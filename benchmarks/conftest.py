@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the resulting rows (run ``pytest benchmarks/ --benchmark-only -s``
+to see them).  The suite profiles are collected once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, collect_suite
+from repro.workloads import standard_benchmark
+
+
+def pytest_configure(config):
+    # Benchmarks run the experiment drivers once; disable warmup noise.
+    config.option.benchmark_warmup = False
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext.create()
+
+
+@pytest.fixture(scope="session")
+def records(ctx):
+    return collect_suite(ctx, standard_benchmark())
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under the benchmark timer."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result)
+    benchmark.extra_info["rows"] = [list(map(str, row)) for row in result.rows]
+    return result

@@ -1,0 +1,56 @@
+"""Benchmarks for the extended ablations (filter order, thresholds,
+cluster transfer, Eq. 1 weights)."""
+
+from repro.experiments import ablations
+
+from .conftest import run_once
+
+
+def test_filter_order_ablation(benchmark, ctx, records):
+    result = run_once(benchmark, ablations.run_filter_order, ctx, records)
+    by_order = {row[0]: row for row in result.rows}
+    assert (
+        by_order["dynamics-first (PStorM)"][2] > by_order["statics-first"][2]
+    )
+
+
+def test_threshold_sensitivity(benchmark, ctx, records):
+    result = run_once(benchmark, ablations.run_threshold_sensitivity, ctx, records)
+    by_setting = {(row[0], row[1]): row[2] for row in result.rows}
+    assert by_setting[(0.5, 1.0)] >= max(by_setting.values()) - 0.05
+
+
+def test_cluster_transfer(benchmark, ctx):
+    result = run_once(benchmark, ablations.run_cluster_transfer, ctx)
+    for row in result.rows:
+        assert row[5] < row[4]
+
+
+def test_gbrt_weights(benchmark, ctx, records):
+    result = run_once(benchmark, ablations.run_gbrt_weights, ctx, records)
+    by_name = {row[0]: row[1] for row in result.rows}
+    assert by_name["Eucl_DS_map"] == max(by_name.values())
+
+
+def test_store_scalability(benchmark, ctx, records):
+    result = run_once(benchmark, ablations.run_store_scalability, ctx, records)
+    sizes = [row[0] for row in result.rows]
+    scans = [row[2] for row in result.rows]
+    assert scans == sorted(scans)
+    assert sizes == sorted(sizes)
+
+
+def test_cfg_cost_correlation(benchmark, ctx, records):
+    result = run_once(benchmark, ablations.run_cfg_cost_correlation, ctx, records)
+    rho = float(result.notes.split("rho=")[1].split(" ")[0])
+    assert rho > 0.5
+
+
+def test_dataflow_similarity(benchmark, ctx):
+    from repro.experiments import dataflow_similarity
+
+    result = run_once(benchmark, dataflow_similarity.run, ctx)
+    by_pop = {row[0]: row for row in result.rows}
+    generated = by_pop["script-generated"]
+    handwritten = by_pop["hand-written"]
+    assert generated[3] > handwritten[3]  # static-path share

@@ -1,0 +1,13 @@
+"""Benchmark: the store warm-up (adoption) experiment."""
+
+from repro.experiments import adoption
+
+from .conftest import run_once
+
+
+def test_adoption(benchmark, ctx):
+    result = run_once(benchmark, adoption.run, ctx)
+    final = result.rows[-1]
+    __, default_h, starfish_h, pstorm_h, starfish_tuned, pstorm_tuned, __ = final
+    assert pstorm_h < starfish_h < default_h
+    assert pstorm_tuned >= starfish_tuned

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 1.3 (motivating profile-reuse speedups)."""
+
+from repro.experiments import fig1_3
+
+from .conftest import run_once
+
+
+def test_fig1_3(benchmark, ctx):
+    result = run_once(benchmark, fig1_3.run, ctx)
+    speedups = {row[0]: row[1] for row in result.rows}
+    assert speedups["CBO (bigram rel. freq. profile)"] > speedups["RBO"]

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 4.1 (profiling overhead and slots)."""
+
+from repro.experiments import fig4_1
+
+from .conftest import run_once
+
+
+def test_fig4_1(benchmark, ctx):
+    result = run_once(benchmark, fig4_1.run, ctx)
+    for row in result.rows:
+        assert row[3] < row[2]  # 1-task overhead < 10% overhead
+        assert row[5] == 1

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 4.3 (map-phase time contrast)."""
+
+from repro.experiments import fig4_3
+
+from .conftest import run_once
+
+
+def test_fig4_3(benchmark, ctx):
+    result = run_once(benchmark, fig4_3.run, ctx)
+    wc, cooc = result.rows
+    map_index = result.headers.index("MAP")
+    assert cooc[map_index] > wc[map_index]

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 4.5 (co-occurrence ≈ bigram phases)."""
+
+from repro.experiments import fig4_5
+
+from .conftest import run_once
+
+
+def test_fig4_5(benchmark, ctx):
+    result = run_once(benchmark, fig4_5.run, ctx)
+    cooc, bigram = result.rows
+    for index in range(1, len(result.headers)):
+        if float(bigram[index]) > 0:
+            assert 0.4 < float(cooc[index]) / float(bigram[index]) < 2.5

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 4.6 (shuffle times across data sizes)."""
+
+from repro.experiments import fig4_6
+
+from .conftest import run_once
+
+
+def test_fig4_6(benchmark, ctx):
+    result = run_once(benchmark, fig4_6.run, ctx)
+    shuffle_index = result.headers.index("shuffle s/reducer")
+    small, large = result.rows
+    assert large[shuffle_index] > small[shuffle_index]

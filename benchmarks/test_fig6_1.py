@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 6.1 (PStorM vs feature-selection
+baselines, SD and DD states)."""
+
+from repro.experiments import fig6_1
+
+from .conftest import run_once
+
+
+def test_fig6_1(benchmark, ctx, records):
+    result = run_once(benchmark, fig6_1.run, ctx, records)
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    assert by_key[("PStorM", "SD")][2] == 1.0
+    assert by_key[("PStorM", "DD")][2] > by_key[("P-features", "DD")][2]
+    assert by_key[("PStorM", "DD")][2] > by_key[("SP-features", "DD")][2]

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 6.2 (PStorM vs GBRT 1-4)."""
+
+from repro.experiments import fig6_2
+
+from .conftest import run_once
+
+
+def test_fig6_2(benchmark, ctx, records):
+    result = run_once(benchmark, fig6_2.run, ctx, records)
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    for state in ("SD", "DD"):
+        pstorm = by_key[("PStorM", state)]
+        for setting in ("GBRT 1", "GBRT 2", "GBRT 3", "GBRT 4"):
+            gbrt = by_key[(setting, state)]
+            assert pstorm[2] >= gbrt[2]  # map side
+            assert pstorm[3] >= gbrt[3]  # reduce side

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 6.3 + Table 6.2 (tuning effectiveness)."""
+
+from repro.experiments import fig6_3
+
+from .conftest import run_once
+
+
+def test_fig6_3_and_table6_2(benchmark, ctx, records):
+    result = run_once(benchmark, fig6_3.run, ctx, records)
+    by_job = {row[0]: row for row in result.rows}
+
+    # Co-occurrence pairs is the headline: the largest speedup.
+    cooc = by_job["word-cooccurrence-pairs"]
+    assert all(cooc[3] >= row[3] for row in result.rows)
+
+    # Inverted index: defaults near-optimal, blanket RBO rules can hurt.
+    invidx = by_job["inverted-index"]
+    assert invidx[2] < 1.1
+    assert invidx[3] < 2.0
+
+    # PStorM never loses badly to the RBO anywhere.
+    for row in result.rows:
+        assert max(row[3], row[4], row[5]) >= row[2] * 0.95
+
+    # Table 6.2's ordering: co-occurrence slowest, word count fastest.
+    assert by_job["word-cooccurrence-pairs"][1] > by_job["word-count"][1]

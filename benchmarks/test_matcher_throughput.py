@@ -1,0 +1,62 @@
+"""Micro-benchmarks: matcher latency and store scan throughput.
+
+Not a paper figure — these measure the cost of PStorM's own machinery
+(one store lookup per submitted job), which the paper argues must stay
+negligible relative to the 1-task sampling run.
+"""
+
+from repro.core.matcher import ProfileMatcher
+from repro.experiments.common import build_store
+
+
+def test_match_job_latency(benchmark, records):
+    store = build_store(records)
+    matcher = ProfileMatcher(store)
+    probe = records["word-count@wikipedia-35gb"].features
+    outcome = benchmark(matcher.match_job, probe)
+    assert outcome.matched
+
+
+def test_store_put_throughput(benchmark, records):
+    items = list(records.values())
+
+    def populate():
+        store = build_store(records)
+        return len(store)
+
+    count = benchmark.pedantic(populate, rounds=3, iterations=1)
+    assert count == len(items)
+
+
+def test_dynamic_scan_throughput(benchmark, records):
+    store = build_store(records)
+    probe = records["word-count@wikipedia-35gb"].features
+
+    def stage():
+        return store.euclidean_stage(
+            "map", "flow", list(probe.map_data_flow), 1.0
+        )
+
+    survivors = benchmark(stage)
+    assert "word-count@wikipedia-35gb" in survivors
+
+
+def test_lsm_read_amplification(benchmark, records):
+    """LSM behaviour under PStorM-shaped row keys: reads stay fast while
+    flush/compaction cadence bounds the file count."""
+    from repro.hbase import LsmStore
+
+    def workload():
+        store = LsmStore(flush_threshold=32, compaction_threshold=4)
+        for index, key in enumerate(sorted(records)):
+            for prefix in ("Dynamic/", "Static/", "Profile/"):
+                store.put(prefix + key, index)
+        probes = 0
+        for key in sorted(records):
+            __, __, probed = store.get("Dynamic/" + key)
+            probes += probed
+        return store, probes
+
+    store, probes = benchmark(workload)
+    assert store.read_amplification() <= store.compaction_threshold
+    assert dict(store.scan())  # merged view intact

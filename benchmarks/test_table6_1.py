@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table 6.1 (the benchmark inventory)."""
+
+from repro.experiments import table6_1
+
+from .conftest import run_once
+
+
+def test_table6_1(benchmark, ctx):
+    result = run_once(benchmark, table6_1.run, ctx)
+    assert len(result.rows) == 56

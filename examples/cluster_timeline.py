@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Visual cluster views: timelines, phase charts, failures, speculation.
+
+Renders the views the thesis screenshots from the Starfish Visualization
+System (phase breakdowns, task timelines) for a default-config and a
+tuned run of word count, then re-runs the job under a fault model to show
+what failures and speculative execution cost.
+"""
+
+from repro.hadoop import FaultModel, HadoopEngine, JobConfiguration, ec2_cluster
+from repro.starfish import (
+    CostBasedOptimizer,
+    StarfishProfiler,
+    WhatIfEngine,
+    compare_phase_breakdowns,
+    phase_breakdown,
+    task_timeline,
+)
+from repro.workloads import random_text_1gb, word_count_job
+
+
+def main() -> None:
+    cluster = ec2_cluster()
+    engine = HadoopEngine(cluster)
+    job = word_count_job()
+    data = random_text_1gb()
+
+    default_run = engine.run_job(job, data, JobConfiguration())
+    print(phase_breakdown(default_run))
+    print()
+    print(task_timeline(default_run, cluster.total_map_slots,
+                        cluster.total_reduce_slots, max_rows=12))
+
+    profiler = StarfishProfiler(engine)
+    profile, __ = profiler.profile_job(job, data)
+    best = CostBasedOptimizer(WhatIfEngine(cluster), seed=0).optimize(profile)
+    tuned_run = engine.run_job(job, data, best.best_config)
+
+    print("\ndefault vs tuned, per-task phases:")
+    print(compare_phase_breakdowns(default_run, tuned_run))
+    print(f"\nspeedup: {default_run.runtime_seconds / tuned_run.runtime_seconds:.2f}x")
+
+    print("\nwith failures and speculation (10% task failure rate):")
+    model = FaultModel(task_failure_probability=0.10)
+    faulty, map_schedule, reduce_schedule = engine.run_job_with_faults(
+        job, data, best.best_config, fault_model=model, seed=3
+    )
+    print(f"  failures: {map_schedule.failures} map"
+          + (f" + {reduce_schedule.failures} reduce" if reduce_schedule else ""))
+    print(f"  speculative attempts: {map_schedule.speculative_attempts}")
+    print(f"  wasted work: {map_schedule.wasted_seconds:.0f} s")
+    print(f"  runtime: {tuned_run.runtime_seconds / 60:.1f} min clean -> "
+          f"{faulty.runtime_seconds / 60:.1f} min faulty")
+
+
+if __name__ == "__main__":
+    main()

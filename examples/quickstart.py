@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: profile a job, tune it with Starfish, compare runtimes.
+
+Walks the basic feedback-tuning loop PStorM builds on: run word count on
+the simulated cluster under Hadoop defaults, collect its execution
+profile, let the cost-based optimizer search the 14-parameter space with
+the What-If engine, and run again with the recommendation.
+"""
+
+from repro.hadoop import HadoopEngine, JobConfiguration, ec2_cluster
+from repro.starfish import CostBasedOptimizer, StarfishProfiler, WhatIfEngine
+from repro.workloads import wikipedia_35gb, word_count_job
+
+
+def main() -> None:
+    cluster = ec2_cluster()            # 15 workers, 2+2 slots, 300 MB heaps
+    engine = HadoopEngine(cluster)
+    job = word_count_job()
+    data = wikipedia_35gb()
+
+    print(f"cluster: {cluster.name}, map slots={cluster.total_map_slots}, "
+          f"reduce slots={cluster.total_reduce_slots}")
+    print(f"job: {job.name} on {data.name} ({data.num_splits} splits)\n")
+
+    # 1. First submission: run with defaults, profiler on (Fig 2.1).
+    profiler = StarfishProfiler(engine)
+    profile, execution = profiler.profile_job(job, data)
+    print(f"default-config runtime: {execution.runtime_seconds / 60:.1f} min")
+    mp = profile.map_profile
+    print(f"profile: MAP_SIZE_SEL={mp.data_flow['MAP_SIZE_SEL']:.2f}, "
+          f"MAP_PAIRS_SEL={mp.data_flow['MAP_PAIRS_SEL']:.2f}, "
+          f"MAP_CPU_COST={mp.cost_factors['MAP_CPU_COST']:.0f} ns/record\n")
+
+    # 2. Cost-based optimization over the What-If engine.
+    whatif = WhatIfEngine(cluster)
+    cbo = CostBasedOptimizer(whatif, seed=0)
+    result = cbo.optimize(profile)
+    print(f"CBO searched {result.evaluations} configurations")
+    changed = {
+        name: value
+        for name, value in result.best_config.to_dict().items()
+        if value != JobConfiguration().get(name)
+    }
+    print("recommended changes:")
+    for name, value in changed.items():
+        print(f"  {name} = {value}")
+
+    # 3. Re-run with the recommendation, profiler off.
+    tuned = engine.run_job(job, data, result.best_config)
+    speedup = execution.runtime_seconds / tuned.runtime_seconds
+    print(f"\ntuned runtime: {tuned.runtime_seconds / 60:.1f} min "
+          f"(speedup {speedup:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""PStorM's headline trick: tune a job that has never run on the cluster.
+
+Reproduces the Chapter 1 motivating scenario (Fig 1.3): the cluster has
+executed the *bigram relative frequency* job before, and its profile sits
+in the PStorM store.  A user submits the *word co-occurrence pairs* job —
+never seen before.  PStorM runs one sampled map task, matches the sample
+against the store, hands the bigram job's profile to the Starfish CBO,
+and the unseen job runs almost as fast as if it had been fully profiled.
+"""
+
+from repro.core import PStorM
+from repro.hadoop import HadoopEngine, JobConfiguration, ec2_cluster
+from repro.workloads import (
+    bigram_relative_frequency_job,
+    cooccurrence_pairs_job,
+    wikipedia_35gb,
+    word_count_job,
+    random_text_1gb,
+    sort_job,
+    teragen_dataset,
+)
+
+
+def main() -> None:
+    engine = HadoopEngine(ec2_cluster())
+    pstorm = PStorM(engine)
+    wiki = wikipedia_35gb()
+
+    # The cluster's history: three other jobs ran fully profiled.
+    print("populating the profile store with the cluster's history...")
+    for job, data in (
+        (bigram_relative_frequency_job(), wiki),
+        (word_count_job(), random_text_1gb()),
+        (sort_job(), teragen_dataset(35)),
+    ):
+        job_id = pstorm.remember(job, data)
+        print(f"  stored {job_id}")
+
+    # A brand-new job arrives.
+    unseen = cooccurrence_pairs_job()
+    print(f"\nsubmitting previously unseen job: {unseen.name}")
+    result = pstorm.submit(unseen, wiki)
+
+    print(f"matched: {result.matched}")
+    print(f"  map side:    {result.outcome.map_match.job_id} "
+          f"({result.outcome.map_match.stage})")
+    print(f"  reduce side: {result.outcome.reduce_match.job_id} "
+          f"({result.outcome.reduce_match.stage})")
+    print(f"  composite profile: {result.outcome.is_composite}")
+    print(f"  sampling cost: {result.sampling_seconds:.0f} s (one map slot)")
+
+    default = engine.run_job(unseen, wiki, JobConfiguration())
+    print(f"\ndefault runtime: {default.runtime_seconds / 60:.1f} min")
+    print(f"PStorM-tuned runtime: {result.runtime_seconds / 60:.1f} min")
+    print(f"speedup: {default.runtime_seconds / result.runtime_seconds:.2f}x "
+          "— without ever having profiled this job")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Explore Hadoop parameter sensitivity with the What-If engine (§2.3.1).
+
+Given one collected profile of the word co-occurrence pairs job, sweep
+individual parameters and print the predicted runtime curve — the same
+queries the CBO issues during its search, exposed interactively.  Shows
+the cross-parameter interaction the paper discusses in §2.2: the best
+``io.sort.record.percent`` depends on the intermediate record size.
+"""
+
+from repro.hadoop import HadoopEngine, JobConfiguration, ec2_cluster
+from repro.starfish import StarfishProfiler, WhatIfEngine
+from repro.workloads import cooccurrence_pairs_job, wikipedia_35gb
+
+
+def sweep(whatif, profile, attribute, values, base=None):
+    base = base or JobConfiguration()
+    print(f"\n{attribute}:")
+    for value in values:
+        config = base.with_params(**{attribute: value})
+        prediction = whatif.predict(profile, config)
+        bar = "#" * int(prediction.runtime_seconds / 60 / 4)
+        print(f"  {value!s:>8} -> {prediction.runtime_seconds / 60:7.1f} min {bar}")
+
+
+def main() -> None:
+    cluster = ec2_cluster()
+    engine = HadoopEngine(cluster)
+    profiler = StarfishProfiler(engine)
+    whatif = WhatIfEngine(cluster)
+
+    job = cooccurrence_pairs_job()
+    data = wikipedia_35gb()
+    print(f"profiling {job.name} on {data.name}...")
+    profile, execution = profiler.profile_job(job, data)
+    print(f"observed runtime: {execution.runtime_seconds / 60:.1f} min")
+
+    sweep(whatif, profile, "num_reduce_tasks", [1, 4, 16, 27, 64, 128, 256, 512])
+    tuned_reducers = JobConfiguration(num_reduce_tasks=128)
+    sweep(whatif, profile, "io_sort_mb", [32, 64, 100, 150, 200], base=tuned_reducers)
+    sweep(
+        whatif, profile, "io_sort_record_percent",
+        [0.01, 0.05, 0.15, 0.3, 0.5], base=tuned_reducers,
+    )
+    sweep(whatif, profile, "compress_map_output", [False, True], base=tuned_reducers)
+
+
+if __name__ == "__main__":
+    main()

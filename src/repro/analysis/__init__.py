@@ -1,0 +1,28 @@
+"""Static code analysis substrate: CFG extraction and static features.
+
+The Python stand-in for the paper's use of the Soot framework over Java
+byte code (§4.1.2-4.1.3): basic blocks from CPython byte code, normalized
+control flow graphs, the conservative synchronized-BFS matcher, and
+Table 4.3 static feature extraction.
+"""
+
+from .bytecode import BasicBlock, basic_blocks
+from .cfg import ControlFlowGraph, NodeKind
+from .cfg_match import cfg_match, cfg_similarity
+from .static_features import (
+    STATIC_FEATURE_NAMES,
+    StaticFeatures,
+    extract_static_features,
+)
+
+__all__ = [
+    "BasicBlock",
+    "basic_blocks",
+    "ControlFlowGraph",
+    "NodeKind",
+    "cfg_match",
+    "cfg_similarity",
+    "STATIC_FEATURE_NAMES",
+    "StaticFeatures",
+    "extract_static_features",
+]

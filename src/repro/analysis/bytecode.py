@@ -1,0 +1,139 @@
+"""Basic-block extraction from CPython byte code.
+
+The paper extracts control flow graphs from the *Java byte code* of map and
+reduce functions using the Soot framework — crucially operating on compiled
+code, treating the function as a black box.  Our map/reduce functions are
+Python callables, so CPython byte code plays the role of Java byte code:
+:func:`basic_blocks` disassembles a code object (via :mod:`dis`) and
+partitions it into basic blocks with fall-through and jump edges.
+"""
+
+from __future__ import annotations
+
+import dis
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["BasicBlock", "basic_blocks"]
+
+#: Unconditional jump opnames across CPython 3.10-3.13.
+_UNCONDITIONAL_JUMPS = {
+    "JUMP_FORWARD",
+    "JUMP_BACKWARD",
+    "JUMP_BACKWARD_NO_INTERRUPT",
+    "JUMP_ABSOLUTE",
+}
+#: Opnames that terminate a block without any successor.
+_TERMINATORS = {
+    "RETURN_VALUE",
+    "RETURN_CONST",
+    "RAISE_VARARGS",
+    "RERAISE",
+}
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    Attributes:
+        offset: byte-code offset of the first instruction (block id).
+        instructions: the block's instruction opnames, in order.
+        successors: offsets of successor blocks; for a conditional branch
+            the fall-through successor comes first, then the jump target.
+        is_branch: True when the block ends in a conditional jump.
+    """
+
+    offset: int
+    instructions: list[str] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    is_branch: bool = False
+
+
+def _is_jump(instruction: dis.Instruction) -> bool:
+    return instruction.opcode in dis.hasjrel or instruction.opcode in dis.hasjabs
+
+
+def _jump_target(instruction: dis.Instruction) -> int:
+    target = instruction.argval
+    if not isinstance(target, int):
+        raise ValueError(f"jump without integer target: {instruction.opname}")
+    return target
+
+
+def basic_blocks(fn: Callable) -> dict[int, BasicBlock]:
+    """Partition a callable's byte code into basic blocks.
+
+    Exception-handler edges are deliberately ignored: the paper's CFGs
+    capture the normal control flow of map/reduce logic, and handler edges
+    would be matched conservatively anyway.
+
+    Returns:
+        Mapping from block offset to :class:`BasicBlock`, including an
+        entry block at the lowest offset.
+    """
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        raise TypeError(f"{fn!r} has no byte code (not a pure-Python callable)")
+
+    instructions = list(dis.get_instructions(code))
+    if not instructions:
+        return {}
+
+    # Pass 1: find block leaders.
+    leaders: set[int] = {instructions[0].offset}
+    for index, instruction in enumerate(instructions):
+        if _is_jump(instruction):
+            leaders.add(_jump_target(instruction))
+            if index + 1 < len(instructions):
+                leaders.add(instructions[index + 1].offset)
+        elif instruction.opname in _TERMINATORS:
+            if index + 1 < len(instructions):
+                leaders.add(instructions[index + 1].offset)
+        elif getattr(instruction, "is_jump_target", False):
+            leaders.add(instruction.offset)
+
+    # Pass 2: build blocks and edges.
+    blocks: dict[int, BasicBlock] = {}
+    current: BasicBlock | None = None
+    for index, instruction in enumerate(instructions):
+        if instruction.offset in leaders:
+            current = BasicBlock(offset=instruction.offset)
+            blocks[instruction.offset] = current
+        assert current is not None
+        current.instructions.append(instruction.opname)
+
+        next_offset = (
+            instructions[index + 1].offset if index + 1 < len(instructions) else None
+        )
+        ends_block = (
+            _is_jump(instruction)
+            or instruction.opname in _TERMINATORS
+            or (next_offset is not None and next_offset in leaders)
+        )
+        if not ends_block:
+            continue
+
+        if instruction.opname in _TERMINATORS:
+            pass  # no successors
+        elif _is_jump(instruction):
+            target = _jump_target(instruction)
+            if instruction.opname in _UNCONDITIONAL_JUMPS:
+                current.successors.append(target)
+            else:
+                # Conditional: fall-through first, then the jump target.
+                if next_offset is not None:
+                    current.successors.append(next_offset)
+                current.successors.append(target)
+                current.is_branch = True
+        elif next_offset is not None:
+            current.successors.append(next_offset)
+        current = None
+
+    # Drop edges into unreachable offsets (e.g. dead code after returns).
+    for block in blocks.values():
+        block.successors = [s for s in block.successors if s in blocks]
+        if block.is_branch and len(set(block.successors)) < 2:
+            block.is_branch = False
+            block.successors = list(dict.fromkeys(block.successors))
+    return blocks

@@ -1,0 +1,233 @@
+"""Control flow graphs in the paper's normalized grammar.
+
+§4.1.3 describes CFGs whose vertices are *branching statements or blocks of
+sequentially executed statements* and whose edges are gotos, following the
+grammar ``CFG -> Stmt; Stmt -> NormalStmt Stmt | BranchStmt (Stmt, Stmt) |
+End``.  :class:`ControlFlowGraph` is that normalized form: after collapsing
+straight-line chains, every node is either a NORMAL node with one successor,
+a BRANCH node with two ordered successors, or an EXIT node — which makes the
+conservative synchronized traversal of :mod:`repro.analysis.cfg_match`
+well-defined, and makes a ``for``-loop and an equivalent ``while``-loop
+compile to the same graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from .bytecode import basic_blocks
+
+__all__ = ["ControlFlowGraph", "NodeKind"]
+
+
+class NodeKind:
+    """Node kinds of the normalized CFG grammar."""
+
+    NORMAL = "normal"
+    BRANCH = "branch"
+    EXIT = "exit"
+
+
+@dataclass(frozen=True)
+class ControlFlowGraph:
+    """A normalized CFG.
+
+    Attributes:
+        entry: id of the entry node.
+        nodes: node id -> kind (one of :class:`NodeKind`).
+        edges: node id -> ordered successor ids (0 for EXIT, 1 for NORMAL,
+            2 for BRANCH with fall-through first).
+    """
+
+    entry: int
+    nodes: Mapping[int, str]
+    edges: Mapping[int, tuple[int, ...]]
+
+    def __post_init__(self) -> None:
+        for node, kind in self.nodes.items():
+            degree = len(self.edges.get(node, ()))
+            if kind == NodeKind.EXIT and degree != 0:
+                raise ValueError(f"exit node {node} has successors")
+            if kind == NodeKind.NORMAL and degree != 1:
+                raise ValueError(f"normal node {node} has {degree} successors")
+            if kind == NodeKind.BRANCH and degree != 2:
+                raise ValueError(f"branch node {node} has {degree} successors")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_branches(self) -> int:
+        return sum(1 for kind in self.nodes.values() if kind == NodeKind.BRANCH)
+
+    @property
+    def num_loops(self) -> int:
+        """Back edges under a DFS from the entry (loop count)."""
+        back_edges = 0
+        visited: set[int] = set()
+        on_stack: set[int] = set()
+
+        def visit(node: int) -> None:
+            nonlocal back_edges
+            visited.add(node)
+            on_stack.add(node)
+            for successor in self.edges.get(node, ()):
+                if successor in on_stack:
+                    back_edges += 1
+                elif successor not in visited:
+                    visit(successor)
+            on_stack.discard(node)
+
+        visit(self.entry)
+        return back_edges
+
+    def signature(self) -> str:
+        """Canonical string over a BFS: kinds in visit order plus the
+        pattern of revisits.  Isomorphic normalized CFGs share signatures."""
+        order: dict[int, int] = {}
+        queue = [self.entry]
+        tokens: list[str] = []
+        while queue:
+            node = queue.pop(0)
+            if node in order:
+                continue
+            order[node] = len(order)
+            kind = self.nodes[node]
+            refs = []
+            for successor in self.edges.get(node, ()):
+                if successor in order:
+                    refs.append(f"^{order[successor]}")
+                else:
+                    refs.append("*")
+                    queue.append(successor)
+            tokens.append(f"{kind[0]}({','.join(refs)})")
+        return ";".join(tokens)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serializable form, for storage in the profile store."""
+        return {
+            "entry": self.entry,
+            "nodes": {str(k): v for k, v in self.nodes.items()},
+            "edges": {str(k): list(v) for k, v in self.edges.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ControlFlowGraph":
+        return cls(
+            entry=int(payload["entry"]),
+            nodes={int(k): v for k, v in payload["nodes"].items()},
+            edges={int(k): tuple(v) for k, v in payload["edges"].items()},
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_callable(cls, fn: Callable) -> "ControlFlowGraph":
+        """Extract and normalize the CFG of a Python callable."""
+        blocks = basic_blocks(fn)
+        if not blocks:
+            return cls(entry=0, nodes={0: NodeKind.EXIT}, edges={0: ()})
+
+        entry = min(blocks)
+        nodes: dict[int, str] = {}
+        edges: dict[int, tuple[int, ...]] = {}
+        for offset, block in blocks.items():
+            successors = tuple(block.successors)
+            if not successors:
+                nodes[offset] = NodeKind.EXIT
+            elif block.is_branch and len(successors) == 2:
+                nodes[offset] = NodeKind.BRANCH
+            else:
+                # Multi-successor non-branch cannot occur by construction;
+                # single successor is a normal node.
+                nodes[offset] = NodeKind.NORMAL
+                successors = successors[:1]
+            edges[offset] = successors
+
+        nodes, edges, entry = _collapse_chains(nodes, edges, entry)
+        nodes, edges, entry = _prune_unreachable(nodes, edges, entry)
+        nodes, edges, entry = _renumber(nodes, edges, entry)
+        return cls(entry=entry, nodes=nodes, edges=edges)
+
+
+def _collapse_chains(
+    nodes: dict[int, str],
+    edges: dict[int, tuple[int, ...]],
+    entry: int,
+) -> tuple[dict[int, str], dict[int, tuple[int, ...]], int]:
+    """Merge NORMAL->NORMAL/EXIT chains so graphs reflect shape, not
+    instruction-count accidents of the compiler."""
+    predecessors: dict[int, list[int]] = {n: [] for n in nodes}
+    for node, successors in edges.items():
+        for successor in successors:
+            predecessors[successor].append(node)
+
+    merged: set[int] = set()
+    for node in sorted(nodes):
+        if node in merged or nodes[node] != NodeKind.NORMAL:
+            continue
+        successor = edges[node][0]
+        # Merge while the unique successor has this node as sole predecessor
+        # and is itself NORMAL or EXIT (absorbing the exit keeps one node).
+        while (
+            successor != node
+            and len(predecessors[successor]) == 1
+            and nodes[successor] in (NodeKind.NORMAL, NodeKind.EXIT)
+        ):
+            merged.add(successor)
+            nodes[node] = nodes[successor]
+            edges[node] = edges[successor]
+            for nxt in edges[node]:
+                predecessors[nxt] = [
+                    node if p == successor else p for p in predecessors[nxt]
+                ]
+            if nodes[node] == NodeKind.EXIT:
+                break
+            successor = edges[node][0]
+    for node in merged:
+        nodes.pop(node, None)
+        edges.pop(node, None)
+    return nodes, edges, entry
+
+
+def _prune_unreachable(
+    nodes: dict[int, str],
+    edges: dict[int, tuple[int, ...]],
+    entry: int,
+) -> tuple[dict[int, str], dict[int, tuple[int, ...]], int]:
+    reachable: set[int] = set()
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        stack.extend(edges.get(node, ()))
+    nodes = {n: k for n, k in nodes.items() if n in reachable}
+    edges = {n: s for n, s in edges.items() if n in reachable}
+    return nodes, edges, entry
+
+
+def _renumber(
+    nodes: dict[int, str],
+    edges: dict[int, tuple[int, ...]],
+    entry: int,
+) -> tuple[dict[int, str], dict[int, tuple[int, ...]], int]:
+    """Relabel nodes 0..n-1 in BFS order from the entry."""
+    mapping: dict[int, int] = {}
+    queue = [entry]
+    while queue:
+        node = queue.pop(0)
+        if node in mapping:
+            continue
+        mapping[node] = len(mapping)
+        queue.extend(edges.get(node, ()))
+    new_nodes = {mapping[n]: k for n, k in nodes.items()}
+    new_edges = {
+        mapping[n]: tuple(mapping[s] for s in successors)
+        for n, successors in edges.items()
+    }
+    return new_nodes, new_edges, mapping[entry]

@@ -1,0 +1,89 @@
+"""Conservative CFG matching by synchronized traversal (§4.2).
+
+General graph matching is expensive or undecidable, so the paper matches
+CFGs by walking both graphs *simultaneously* from their entry statements,
+exploiting the normalized grammar (each node has 0, 1, or 2 ordered
+successors).  The score is binary: 1 for a match, 0 for any structural
+disagreement.  Conservatism is a feature — a small CFG change can mean a
+large behavioural change, and a false mismatch only causes the matcher to
+fall back to other features.
+
+One refinement keeps the walk robust to compiler accidents: at a branch
+node the two successors may pair in order *or swapped*, because semantically
+identical loops compile with opposite branch polarity (``for`` loops jump
+out of the loop on exhaustion, ``while not done`` loops jump out on the
+negated test).  The walk backtracks over the two orderings; CFGs are tiny,
+so this stays cheap.
+"""
+
+from __future__ import annotations
+
+from .cfg import ControlFlowGraph
+
+__all__ = ["cfg_match", "cfg_similarity"]
+
+Pairing = dict[int, int]
+
+
+def _extend(
+    first: ControlFlowGraph,
+    second: ControlFlowGraph,
+    a: int,
+    b: int,
+    forward: Pairing,
+    backward: Pairing,
+) -> tuple[Pairing, Pairing] | None:
+    """Try to pair node *a* of *first* with node *b* of *second*.
+
+    Returns extended (forward, backward) pairings, or None on mismatch.
+    Pairings are copied on extension so backtracking is free.
+    """
+    if a in forward or b in backward:
+        if forward.get(a) == b and backward.get(b) == a:
+            return forward, backward
+        return None
+    if first.nodes[a] != second.nodes[b]:
+        return None
+    successors_a = first.edges.get(a, ())
+    successors_b = second.edges.get(b, ())
+    if len(successors_a) != len(successors_b):
+        return None
+
+    forward = {**forward, a: b}
+    backward = {**backward, b: a}
+
+    if len(successors_a) < 2:
+        state: tuple[Pairing, Pairing] | None = (forward, backward)
+        for x, y in zip(successors_a, successors_b):
+            state = _extend(first, second, x, y, *state)
+            if state is None:
+                return None
+        return state
+
+    # Branch node: successors may pair in order or swapped.
+    for order in ((0, 1), (1, 0)):
+        state = (forward, backward)
+        for i, j in zip((0, 1), order):
+            state = _extend(first, second, successors_a[i], successors_b[j], *state)
+            if state is None:
+                break
+        if state is not None:
+            return state
+    return None
+
+
+def cfg_match(first: ControlFlowGraph, second: ControlFlowGraph) -> bool:
+    """Synchronized-walk equality of two normalized CFGs.
+
+    Nodes are paired starting from the entries; paired nodes must agree on
+    kind, and their successors are paired in turn (branch successors up to
+    polarity).  A node of one graph pairing with two different nodes of the
+    other is a mismatch, making the test an isomorphism check on reachable
+    structure.
+    """
+    return _extend(first, second, first.entry, second.entry, {}, {}) is not None
+
+
+def cfg_similarity(first: ControlFlowGraph, second: ControlFlowGraph) -> float:
+    """The paper's 0/1 CFG match score."""
+    return 1.0 if cfg_match(first, second) else 0.0

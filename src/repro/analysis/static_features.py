@@ -1,0 +1,162 @@
+"""Static MR job features (Table 4.3).
+
+The thirteen static features describe the customizable parts of the MR
+framework: formatter/mapper/combiner/reducer class names, key/value types
+on the map input, map output and reduce output boundaries, and the CFGs of
+the map and reduce functions.  Class names and CFGs come from the job's
+code; the key/value *types* are observed from the records that flow through
+a micro-execution (our stand-in for reading the generic type parameters off
+the compiled class, which Python callables do not carry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..hadoop.job import MapReduceJob
+from ..hadoop.records import writable_type_name
+from .cfg import ControlFlowGraph
+
+__all__ = ["StaticFeatures", "STATIC_FEATURE_NAMES", "extract_static_features"]
+
+#: Feature names in Table 4.3 order.
+STATIC_FEATURE_NAMES: tuple[str, ...] = (
+    "IN_FORMATTER",
+    "MAPPER",
+    "MAP_IN_KEY",
+    "MAP_IN_VAL",
+    "MAP_CFG",
+    "MAP_OUT_KEY",
+    "MAP_OUT_VAL",
+    "COMBINER",
+    "REDUCER",
+    "RED_OUT_KEY",
+    "RED_OUT_VAL",
+    "RED_CFG",
+    "OUT_FORMATTER",
+)
+
+_UNKNOWN = "UNKNOWN"
+
+
+def _observed_types(pairs: Sequence[tuple[Any, Any]]) -> tuple[str, str]:
+    if not pairs:
+        return _UNKNOWN, _UNKNOWN
+    key, value = pairs[0]
+    return writable_type_name(key), writable_type_name(value)
+
+
+@dataclass(frozen=True)
+class StaticFeatures:
+    """The static feature vector of one MR job.
+
+    The categorical features live in :attr:`categorical`; the two CFG
+    features are kept separately because they use the synchronized-walk
+    similarity rather than equality inside a Jaccard index.
+    """
+
+    categorical: Mapping[str, str]
+    map_cfg: ControlFlowGraph
+    reduce_cfg: ControlFlowGraph | None
+
+    def __post_init__(self) -> None:
+        expected = set(STATIC_FEATURE_NAMES) - {"MAP_CFG", "RED_CFG"}
+        missing = expected - set(self.categorical)
+        if missing:
+            raise ValueError(f"missing static features: {sorted(missing)}")
+
+    def _extension_features(self) -> dict[str, str]:
+        """Optional extension features (``PARAM_*`` from §7.2.1,
+        ``CALLGRAPH_*`` from §7.2.2) present in the categorical map."""
+        return {
+            name: value
+            for name, value in self.categorical.items()
+            if name.startswith(("PARAM_", "CALLGRAPH_"))
+        }
+
+    def map_side(self) -> dict[str, str]:
+        """Categorical features relevant to map-profile matching."""
+        names = (
+            "IN_FORMATTER", "MAPPER", "MAP_IN_KEY", "MAP_IN_VAL",
+            "MAP_OUT_KEY", "MAP_OUT_VAL", "COMBINER",
+        )
+        side = {name: self.categorical[name] for name in names}
+        side.update(self._extension_features())
+        return side
+
+    def reduce_side(self) -> dict[str, str]:
+        """Categorical features relevant to reduce-profile matching."""
+        names = (
+            "MAP_OUT_KEY", "MAP_OUT_VAL", "COMBINER", "REDUCER",
+            "RED_OUT_KEY", "RED_OUT_VAL", "OUT_FORMATTER",
+        )
+        side = {name: self.categorical[name] for name in names}
+        side.update(self._extension_features())
+        return side
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serializable form for the profile store."""
+        payload: dict[str, Any] = dict(self.categorical)
+        payload["MAP_CFG"] = self.map_cfg.to_dict()
+        payload["RED_CFG"] = self.reduce_cfg.to_dict() if self.reduce_cfg else None
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StaticFeatures":
+        # Keep every categorical column, including extension features
+        # (PARAM_*/CALLGRAPH_*) that §7.2 matchers store alongside the
+        # Table 4.3 names.
+        categorical = {
+            name: value
+            for name, value in payload.items()
+            if name not in ("MAP_CFG", "RED_CFG")
+        }
+        reduce_cfg = payload.get("RED_CFG")
+        return cls(
+            categorical=categorical,
+            map_cfg=ControlFlowGraph.from_dict(payload["MAP_CFG"]),
+            reduce_cfg=(
+                ControlFlowGraph.from_dict(reduce_cfg) if reduce_cfg else None
+            ),
+        )
+
+
+def extract_static_features(
+    job: MapReduceJob,
+    input_pairs: Sequence[tuple[Any, Any]] = (),
+    intermediate_pairs: Sequence[tuple[Any, Any]] = (),
+    output_pairs: Sequence[tuple[Any, Any]] = (),
+) -> StaticFeatures:
+    """Extract Table 4.3's features from a job and observed record streams.
+
+    Args:
+        job: the submitted MR job.
+        input_pairs: example map input records (for MAP_IN_KEY/VAL).
+        intermediate_pairs: example map output records (MAP_OUT_KEY/VAL).
+        output_pairs: example reduce output records (RED_OUT_KEY/VAL).
+    """
+    map_in_key, map_in_val = _observed_types(input_pairs)
+    map_out_key, map_out_val = _observed_types(intermediate_pairs)
+    red_out_key, red_out_val = _observed_types(output_pairs)
+
+    categorical = {
+        "IN_FORMATTER": job.input_format,
+        "MAPPER": job.mapper_class,
+        "MAP_IN_KEY": map_in_key,
+        "MAP_IN_VAL": map_in_val,
+        "MAP_OUT_KEY": map_out_key,
+        "MAP_OUT_VAL": map_out_val,
+        "COMBINER": job.combiner_class,
+        "REDUCER": job.reducer_class,
+        "RED_OUT_KEY": red_out_key,
+        "RED_OUT_VAL": red_out_val,
+        "OUT_FORMATTER": job.output_format,
+    }
+    map_cfg = ControlFlowGraph.from_callable(job.mapper)
+    reduce_cfg = (
+        ControlFlowGraph.from_callable(job.reducer) if job.reducer else None
+    )
+    return StaticFeatures(
+        categorical=categorical, map_cfg=map_cfg, reduce_cfg=reduce_cfg
+    )

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiments [NAME ...]`` — regenerate the paper's tables/figures
+  (default: all of them) and print the result tables.
+- ``demo`` — the tune-a-never-seen-job walkthrough (Fig 1.3 scenario).
+- ``explain JOB_A JOB_B`` — a PerfXplain query over a freshly profiled
+  mini-log of the named benchmark jobs.
+- ``list-jobs`` — the Table 6.1 benchmark inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _experiment_registry() -> dict[str, Callable]:
+    from .experiments import (
+        ablations, adoption, dataflow_similarity, fig1_3, fig4_1, fig4_3, fig4_5, fig4_6,
+        fig6_1, fig6_2, fig6_3, table6_1,
+    )
+
+    return {
+        "adoption": adoption.run,
+        "dataflow-similarity": dataflow_similarity.run,
+        "table6_1": table6_1.run,
+        "fig1_3": fig1_3.run,
+        "fig4_1": fig4_1.run,
+        "fig4_3": fig4_3.run,
+        "fig4_5": fig4_5.run,
+        "fig4_6": fig4_6.run,
+        "fig6_1": fig6_1.run,
+        "fig6_2": fig6_2.run,
+        "fig6_3": fig6_3.run,
+        "pushdown": ablations.run_pushdown,
+        "store-models": ablations.run_store_models,
+        "param-features": ablations.run_param_features,
+        "thresholds": ablations.run_threshold_sensitivity,
+        "cluster-transfer": ablations.run_cluster_transfer,
+        "gbrt-weights": ablations.run_gbrt_weights,
+        "filter-order": ablations.run_filter_order,
+        "store-scalability": ablations.run_store_scalability,
+        "cfg-cost": ablations.run_cfg_cost_correlation,
+    }
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.common import ExperimentContext, collect_suite
+
+    registry = _experiment_registry()
+    names = args.names or list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        return 2
+
+    ctx = ExperimentContext.create(args.seed)
+    needs_suite = {"fig6_1", "fig6_2", "fig6_3", "pushdown",
+                   "store-models", "thresholds", "gbrt-weights", "filter-order",
+                   "store-scalability", "cfg-cost"}
+    records = None
+    if needs_suite & set(names):
+        print("profiling the benchmark suite...", file=sys.stderr)
+        records = collect_suite(ctx, seed=args.seed)
+    for name in names:
+        run = registry[name]
+        if name in needs_suite:
+            result = run(ctx, records, seed=args.seed)
+        else:
+            result = run(ctx, seed=args.seed)
+        print(result)
+        print()
+    return 0
+
+
+def _cmd_list_jobs(args: argparse.Namespace) -> int:
+    from .workloads import standard_benchmark
+
+    for entry in standard_benchmark():
+        print(
+            f"{entry.job.name:<28} {entry.domain:<28} {entry.dataset.name:<18} "
+            f"{entry.dataset.num_splits:>4} splits"
+        )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import PStorM
+    from .hadoop import HadoopEngine, JobConfiguration, ec2_cluster
+    from .workloads import (
+        bigram_relative_frequency_job,
+        cooccurrence_pairs_job,
+        wikipedia_35gb,
+    )
+
+    engine = HadoopEngine(ec2_cluster())
+    pstorm = PStorM(engine)
+    wiki = wikipedia_35gb()
+
+    print("storing the bigram relative frequency job's profile...")
+    pstorm.remember(bigram_relative_frequency_job(), wiki, seed=args.seed)
+
+    unseen = cooccurrence_pairs_job()
+    print(f"submitting never-seen job {unseen.name!r}...")
+    result = pstorm.submit(unseen, wiki, seed=args.seed)
+    default = engine.run_job(unseen, wiki, JobConfiguration(), seed=args.seed)
+    print(f"matched: {result.matched} via {result.outcome.map_match.stage}")
+    print(f"default:      {default.runtime_seconds / 60:7.1f} min")
+    print(f"PStorM-tuned: {result.runtime_seconds / 60:7.1f} min "
+          f"({default.runtime_seconds / result.runtime_seconds:.2f}x)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .experiments.common import ExperimentContext
+    from .perfxplain import ExecutionLog, PerfQuery, PerfXplain
+    from .workloads import standard_benchmark
+
+    wanted = {args.job_a, args.job_b}
+    ctx = ExperimentContext.create(args.seed)
+    log = ExecutionLog()
+    for entry in standard_benchmark(pigmix_queries=2):
+        profile, execution = ctx.profiler.profile_job(
+            entry.job, entry.dataset, seed=args.seed
+        )
+        log.add_execution(profile, execution)
+    missing = wanted - set(log.keys())
+    if missing:
+        print(f"unknown jobs: {', '.join(sorted(missing))}", file=sys.stderr)
+        print("known:", file=sys.stderr)
+        for key in log.keys():
+            print(f"  {key}", file=sys.stderr)
+        return 2
+
+    explainer = PerfXplain(log)
+    query = PerfQuery(args.job_a, args.job_b, expected=args.expected)
+    print(explainer.explain(query).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PStorM reproduction: experiments, demos, explanations.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global RNG seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("names", nargs="*", help="experiment names (default: all)")
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    list_jobs = commands.add_parser("list-jobs", help="the Table 6.1 inventory")
+    list_jobs.set_defaults(handler=_cmd_list_jobs)
+
+    demo = commands.add_parser("demo", help="tune a never-seen job via PStorM")
+    demo.set_defaults(handler=_cmd_demo)
+
+    explain = commands.add_parser("explain", help="PerfXplain a job pair")
+    explain.add_argument("job_a", help="reference job key, e.g. word-count@wikipedia-35gb")
+    explain.add_argument("job_b", help="surprising job key")
+    explain.add_argument(
+        "--expected", default="similar", choices=("similar", "slower", "faster")
+    )
+    explain.set_defaults(handler=_cmd_explain)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""Generic feature-selection baselines (§6.1.1).
+
+Two alternatives to PStorM's domain-driven feature choice, both ranking
+candidate features by **information gain** against the job label and
+keeping the top *F* (where F = the number of features PStorM uses):
+
+- **P-features**: candidates are the numeric features of the Starfish
+  profile (selectivities + cost factors).
+- **SP-features**: candidates additionally include PStorM's categorical
+  static features.
+
+As the paper observes, the top-F features end up all-numerical even for
+SP-features: fine-grained numeric features form near-pure partitions of
+the (few) samples per job, so their estimated information gain saturates
+at the label entropy and outranks every categorical feature — a textbook
+overfit of the generic approach that PStorM's domain knowledge avoids.
+Matching then has to be a plain nearest-neighbour search in normalized
+Euclidean space, dragging the high-variance cost factors into every
+distance (§4.1.1), which is where the accuracy loss of Fig 6.1 comes from.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..starfish.profile import (
+    MAP_COST_FEATURES,
+    MAP_DATA_FLOW_FEATURES,
+    REDUCE_COST_FEATURES,
+    REDUCE_DATA_FLOW_FEATURES,
+    JobProfile,
+)
+from .similarity import MinMaxNormalizer
+from .store import (
+    MAP_COST_COLUMNS,
+    RED_COST_COLUMNS,
+    ProfileStore,
+)
+
+__all__ = [
+    "NUMERIC_FEATURE_COLUMNS",
+    "profile_numeric_vector",
+    "information_gain",
+    "rank_features",
+    "NearestNeighborMatcher",
+]
+
+#: All numeric (dynamic) candidate features, per side then costs.
+NUMERIC_FEATURE_COLUMNS: tuple[str, ...] = (
+    MAP_DATA_FLOW_FEATURES
+    + REDUCE_DATA_FLOW_FEATURES
+    + MAP_COST_COLUMNS
+    + RED_COST_COLUMNS
+)
+
+#: Categorical static candidates for SP-features.
+CATEGORICAL_FEATURE_COLUMNS: tuple[str, ...] = (
+    "IN_FORMATTER",
+    "MAPPER",
+    "MAP_IN_KEY",
+    "MAP_IN_VAL",
+    "MAP_OUT_KEY",
+    "MAP_OUT_VAL",
+    "COMBINER",
+    "REDUCER",
+    "RED_OUT_KEY",
+    "RED_OUT_VAL",
+    "OUT_FORMATTER",
+)
+
+
+def profile_numeric_vector(profile: JobProfile) -> dict[str, float]:
+    """The numeric candidate features of one profile, by column name."""
+    values: dict[str, float] = {}
+    mp = profile.map_profile
+    for name in MAP_DATA_FLOW_FEATURES:
+        values[name] = float(mp.data_flow[name])
+    for name, column in zip(MAP_COST_FEATURES, MAP_COST_COLUMNS):
+        values[column] = float(mp.cost_factors.get(name, 0.0))
+    rp = profile.reduce_profile
+    for name in REDUCE_DATA_FLOW_FEATURES:
+        values[name] = float(rp.data_flow[name]) if rp else 0.0
+    for name, column in zip(REDUCE_COST_FEATURES, RED_COST_COLUMNS):
+        values[column] = float(rp.cost_factors.get(name, 0.0)) if rp else 0.0
+    return values
+
+
+def _entropy(labels: list[str]) -> float:
+    counts = Counter(labels)
+    total = len(labels)
+    return -sum(
+        (count / total) * math.log2(count / total) for count in counts.values()
+    )
+
+
+def information_gain(
+    values: list[float] | list[str], labels: list[str], bins: int = 10
+) -> float:
+    """Information gain of one feature for predicting the job label.
+
+    Numeric features are quantile-discretized into *bins*; categorical
+    features use their values directly.
+    """
+    if len(values) != len(labels):
+        raise ValueError("values and labels must align")
+    if not labels:
+        return 0.0
+
+    if values and isinstance(values[0], str):
+        assignments = list(values)
+    else:
+        array = np.asarray(values, dtype=float)
+        quantiles = np.quantile(array, np.linspace(0, 1, bins + 1)[1:-1])
+        assignments = [str(int(np.searchsorted(quantiles, v))) for v in array]
+
+    base = _entropy(labels)
+    groups: dict[str, list[str]] = defaultdict(list)
+    for assignment, label in zip(assignments, labels):
+        groups[assignment].append(label)
+    conditional = sum(
+        len(group) / len(labels) * _entropy(group) for group in groups.values()
+    )
+    return base - conditional
+
+
+def rank_features(
+    store: ProfileStore, include_static: bool, bins: int = 10
+) -> list[tuple[str, float]]:
+    """Rank candidate features by information gain, descending.
+
+    Args:
+        include_static: False for P-features, True for SP-features.
+    """
+    job_ids = store.job_ids()
+    labels = []
+    numeric_rows = []
+    static_rows = []
+    for job_id in job_ids:
+        profile = store.get_profile(job_id)
+        labels.append(profile.job_name)
+        numeric_rows.append(profile_numeric_vector(profile))
+        if include_static:
+            static_rows.append(store.get_static(job_id).categorical)
+
+    ranked: list[tuple[str, float]] = []
+    for name in NUMERIC_FEATURE_COLUMNS:
+        gain = information_gain([row[name] for row in numeric_rows], labels, bins)
+        ranked.append((name, gain))
+    if include_static:
+        for name in CATEGORICAL_FEATURE_COLUMNS:
+            gain = information_gain(
+                [row[name] for row in static_rows], labels, bins
+            )
+            ranked.append((name, gain))
+    # Stable sort: numeric candidates come first among equal gains, which
+    # reproduces the paper's all-numerical top-F outcome.
+    ranked.sort(key=lambda pair: -pair[1])
+    return ranked
+
+
+@dataclass
+class NearestNeighborMatcher:
+    """1-NN matcher over the top-F information-gain features.
+
+    This is the matcher both baselines use: all selected features are
+    numeric, so a min-max-normalized Euclidean nearest neighbour is the
+    natural (and the paper's) choice.
+    """
+
+    store: ProfileStore
+    feature_names: list[str]
+
+    def match(
+        self, probe_profile: JobProfile, exclude: set[str] | None = None
+    ) -> str | None:
+        """Nearest stored profile to the probe's sample profile.
+
+        Args:
+            exclude: job ids to skip (emulates the DD content state
+                without rebuilding the store).
+        """
+        job_ids = self.store.job_ids()
+        if exclude:
+            job_ids = [job_id for job_id in job_ids if job_id not in exclude]
+        if not job_ids:
+            return None
+        probe_values = profile_numeric_vector(probe_profile)
+
+        rows = []
+        for job_id in job_ids:
+            vector = profile_numeric_vector(self.store.get_profile(job_id))
+            rows.append([vector[name] for name in self.feature_names])
+
+        normalizer = MinMaxNormalizer()
+        for row in rows:
+            normalizer.update(row)
+        probe = normalizer.normalize(
+            [probe_values[name] for name in self.feature_names]
+        )
+
+        best_id = None
+        best_distance = math.inf
+        for job_id, row in zip(job_ids, rows):
+            candidate = normalizer.normalize(row)
+            distance = math.sqrt(
+                sum((a - b) ** 2 for a, b in zip(probe, candidate))
+            )
+            if distance < best_distance:
+                best_distance = distance
+                best_id = job_id
+        return best_id

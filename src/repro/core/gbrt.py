@@ -1,0 +1,380 @@
+"""Gradient Boosted Regression Trees, from scratch (§4.4).
+
+A faithful reimplementation of the parts of R's ``gbm`` package that
+Appendix A uses: squared-error ("gaussian") and absolute-error ("laplace")
+losses, shrinkage, bag fraction, interaction depth, minimum observations
+per node, a train fraction, and K-fold cross-validation for choosing the
+best iteration (``gbm.perf(method="cv")``).
+
+Trees are fitted on quantile-binned features (histogram splits), which
+keeps 10,000-iteration runs tractable in pure numpy without changing the
+learner's statistical behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GbrtParams", "GbrtModel", "fit_gbrt"]
+
+_MAX_BINS = 32
+
+
+@dataclass(frozen=True)
+class GbrtParams:
+    """Hyper-parameters, named after their R ``gbm`` equivalents."""
+
+    n_trees: int = 2000
+    shrinkage: float = 0.005
+    distribution: str = "gaussian"
+    interaction_depth: int = 3
+    bag_fraction: float = 0.5
+    train_fraction: float = 0.5
+    cv_folds: int = 10
+    n_minobsinnode: int = 10
+
+    def __post_init__(self) -> None:
+        if self.distribution not in ("gaussian", "laplace"):
+            raise ValueError("distribution must be 'gaussian' or 'laplace'")
+        if not 0 < self.train_fraction <= 1:
+            raise ValueError("train_fraction must be in (0, 1]")
+        if not 0 < self.bag_fraction <= 1:
+            raise ValueError("bag_fraction must be in (0, 1]")
+
+
+@dataclass
+class _Tree:
+    """One fitted regression tree in array form."""
+
+    feature: np.ndarray   # int, -1 for leaves
+    threshold_bin: np.ndarray  # int bin index; go left if bin <= threshold
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray     # leaf predictions
+    gain: np.ndarray      # squared-error reduction of each split (0 at leaves)
+
+    def predict_binned(self, binned: np.ndarray) -> np.ndarray:
+        """Predict for pre-binned rows (n, p), vectorized.
+
+        All rows are routed level by level: at most ``interaction_depth``
+        rounds of fancy indexing instead of a Python walk per row.
+        """
+        n = binned.shape[0]
+        nodes = np.zeros(n, dtype=np.int64)
+        while True:
+            features = self.feature[nodes]
+            internal = features >= 0
+            if not internal.any():
+                break
+            rows = np.nonzero(internal)[0]
+            current = nodes[rows]
+            go_left = (
+                binned[rows, features[rows]] <= self.threshold_bin[current]
+            )
+            nodes[rows] = np.where(go_left, self.left[current], self.right[current])
+        return self.value[nodes]
+
+
+def _bin_features(x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Quantile-bin each column; returns (binned uint8 matrix, bin edges)."""
+    n, p = x.shape
+    binned = np.zeros((n, p), dtype=np.uint8)
+    edges: list[np.ndarray] = []
+    for j in range(p):
+        column = x[:, j]
+        quantiles = np.unique(
+            np.quantile(column, np.linspace(0, 1, _MAX_BINS + 1)[1:-1])
+        )
+        edges.append(quantiles)
+        binned[:, j] = np.searchsorted(quantiles, column).astype(np.uint8)
+    return binned, edges
+
+
+def _apply_bins(x: np.ndarray, edges: list[np.ndarray]) -> np.ndarray:
+    n, p = x.shape
+    binned = np.zeros((n, p), dtype=np.uint8)
+    for j in range(p):
+        binned[:, j] = np.searchsorted(edges[j], x[:, j]).astype(np.uint8)
+    return binned
+
+
+def _leaf_value(residuals: np.ndarray, distribution: str) -> float:
+    if residuals.size == 0:
+        return 0.0
+    if distribution == "laplace":
+        return float(np.median(residuals))
+    return float(residuals.mean())
+
+
+def _fit_tree(
+    binned: np.ndarray,
+    gradient: np.ndarray,
+    raw_residuals: np.ndarray,
+    indices: np.ndarray,
+    depth_limit: int,
+    min_obs: int,
+    distribution: str,
+) -> _Tree:
+    """Fit one regression tree on the gradient via histogram splits.
+
+    Splits minimize squared error on the *gradient*; leaf values are the
+    loss-appropriate statistic of the *raw residuals* in the leaf
+    (gaussian: mean of gradient == mean residual; laplace: median
+    residual), matching gbm's terminal-node line search.
+    """
+    feature: list[int] = []
+    threshold: list[int] = []
+    left: list[int] = []
+    right: list[int] = []
+    value: list[float] = []
+    gain: list[float] = []
+
+    def new_node() -> int:
+        feature.append(-1)
+        threshold.append(0)
+        left.append(-1)
+        right.append(-1)
+        value.append(0.0)
+        gain.append(0.0)
+        return len(feature) - 1
+
+    def split(node: int, rows: np.ndarray, depth: int) -> None:
+        grads = gradient[rows]
+        if depth >= depth_limit or rows.size < 2 * min_obs:
+            value[node] = _leaf_value(raw_residuals[rows], distribution)
+            return
+        total_sum = grads.sum()
+        total_count = rows.size
+        parent_score = total_sum * total_sum / total_count
+
+        best_gain = 1e-12
+        best_feature = -1
+        best_bin = -1
+        for j in range(binned.shape[1]):
+            bins = binned[rows, j]
+            counts = np.bincount(bins, minlength=_MAX_BINS)
+            sums = np.bincount(bins, weights=grads, minlength=_MAX_BINS)
+            left_counts = np.cumsum(counts)[:-1]
+            left_sums = np.cumsum(sums)[:-1]
+            right_counts = total_count - left_counts
+            right_sums = total_sum - left_sums
+            valid = (left_counts >= min_obs) & (right_counts >= min_obs)
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                scores = np.where(
+                    valid,
+                    left_sums**2 / np.maximum(left_counts, 1)
+                    + right_sums**2 / np.maximum(right_counts, 1),
+                    -np.inf,
+                )
+            best_local = int(np.argmax(scores))
+            improvement = scores[best_local] - parent_score
+            if improvement > best_gain:
+                best_gain = improvement
+                best_feature = j
+                best_bin = best_local
+
+        if best_feature < 0:
+            value[node] = _leaf_value(raw_residuals[rows], distribution)
+            return
+
+        mask = binned[rows, best_feature] <= best_bin
+        left_rows = rows[mask]
+        right_rows = rows[~mask]
+        feature[node] = best_feature
+        threshold[node] = best_bin
+        gain[node] = float(best_gain)
+        left[node] = new_node()
+        right[node] = new_node()
+        split(left[node], left_rows, depth + 1)
+        split(right[node], right_rows, depth + 1)
+
+    root = new_node()
+    split(root, indices, 0)
+    return _Tree(
+        feature=np.asarray(feature),
+        threshold_bin=np.asarray(threshold),
+        left=np.asarray(left),
+        right=np.asarray(right),
+        value=np.asarray(value),
+        gain=np.asarray(gain),
+    )
+
+
+@dataclass
+class GbrtModel:
+    """A fitted GBRT ensemble."""
+
+    params: GbrtParams
+    initial: float
+    trees: list[_Tree]
+    edges: list[np.ndarray]
+    best_iteration: int
+    cv_curve: np.ndarray | None = None
+
+    def feature_importances(
+        self, num_features: int | None = None, n_trees: int | None = None
+    ) -> np.ndarray:
+        """Relative split-gain importance per feature (gbm's ``summary``).
+
+        For the Appendix-A matcher these are the learned weights of the
+        Equation-1 distance metric: how much each of the eight partial
+        distances contributes to the prediction.
+        """
+        if n_trees is None:
+            n_trees = self.best_iteration
+        if num_features is None:
+            num_features = int(
+                max(
+                    (tree.feature.max(initial=-1) for tree in self.trees),
+                    default=-1,
+                )
+            ) + 1
+        totals = np.zeros(max(1, num_features))
+        for tree in self.trees[:n_trees]:
+            for feature, gain in zip(tree.feature, tree.gain):
+                if feature >= 0:
+                    totals[feature] += gain
+        total = totals.sum()
+        if total > 0:
+            totals /= total
+        return totals
+
+    def predict(self, x: np.ndarray, n_trees: int | None = None) -> np.ndarray:
+        """Predict with the first *n_trees* trees (default: best iteration)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if n_trees is None:
+            n_trees = self.best_iteration
+        n_trees = min(n_trees, len(self.trees))
+        binned = _apply_bins(x, self.edges)
+        out = np.full(x.shape[0], self.initial)
+        for tree in self.trees[:n_trees]:
+            out += self.params.shrinkage * tree.predict_binned(binned)
+        return out
+
+
+def _gradient(y: np.ndarray, current: np.ndarray, distribution: str) -> np.ndarray:
+    residual = y - current
+    if distribution == "laplace":
+        return np.sign(residual)
+    return residual
+
+
+def _loss(y: np.ndarray, prediction: np.ndarray, distribution: str) -> float:
+    if distribution == "laplace":
+        return float(np.abs(y - prediction).mean())
+    return float(((y - prediction) ** 2).mean())
+
+
+def _boost(
+    binned: np.ndarray,
+    y: np.ndarray,
+    params: GbrtParams,
+    rng: np.random.Generator,
+    val_binned: np.ndarray | None = None,
+    val_y: np.ndarray | None = None,
+) -> tuple[float, list[_Tree], np.ndarray | None]:
+    """Run the boosting loop; optionally track per-iteration val loss."""
+    n = y.shape[0]
+    if params.distribution == "laplace":
+        initial = float(np.median(y))
+    else:
+        initial = float(y.mean())
+    current = np.full(n, initial)
+
+    val_losses = None
+    val_current = None
+    if val_binned is not None:
+        val_current = np.full(val_binned.shape[0], initial)
+        val_losses = np.empty(params.n_trees)
+
+    trees: list[_Tree] = []
+    bag_size = max(2 * params.n_minobsinnode, int(round(n * params.bag_fraction)))
+    bag_size = min(bag_size, n)
+    for it in range(params.n_trees):
+        raw_residuals = y - current
+        grad = _gradient(y, current, params.distribution)
+        bag = rng.choice(n, size=bag_size, replace=False)
+        tree = _fit_tree(
+            binned,
+            grad,
+            raw_residuals,
+            bag,
+            params.interaction_depth,
+            params.n_minobsinnode,
+            params.distribution,
+        )
+        trees.append(tree)
+        current += params.shrinkage * tree.predict_binned(binned)
+        if val_binned is not None:
+            val_current += params.shrinkage * tree.predict_binned(val_binned)
+            val_losses[it] = _loss(val_y, val_current, params.distribution)
+    return initial, trees, val_losses
+
+
+def fit_gbrt(
+    x: np.ndarray,
+    y: np.ndarray,
+    params: GbrtParams,
+    seed: int = 0,
+) -> GbrtModel:
+    """Fit a GBRT model with CV-selected best iteration.
+
+    Args:
+        x: feature matrix (n, p).
+        y: regression targets (n,).
+        params: gbm-style hyper-parameters; ``train_fraction`` restricts
+            learning to the first fraction of rows, as in gbm.
+        seed: RNG seed for bagging and fold assignment.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 2 or x.shape[0] != y.shape[0]:
+        raise ValueError("x must be (n, p) aligned with y")
+    rng = np.random.default_rng(seed)
+
+    train_n = max(2 * params.n_minobsinnode, int(round(x.shape[0] * params.train_fraction)))
+    train_n = min(train_n, x.shape[0])
+    x_train, y_train = x[:train_n], y[:train_n]
+
+    binned, edges = _bin_features(x_train)
+
+    # Cross-validation for the best iteration count.
+    cv_curve = None
+    best_iteration = params.n_trees
+    folds = min(params.cv_folds, train_n)
+    if folds >= 2:
+        assignment = rng.permutation(train_n) % folds
+        curves = []
+        for fold in range(folds):
+            hold = assignment == fold
+            fit_rows = ~hold
+            if hold.sum() == 0 or fit_rows.sum() < 2 * params.n_minobsinnode:
+                continue
+            fold_binned, fold_edges = _bin_features(x_train[fit_rows])
+            val_binned = _apply_bins(x_train[hold], fold_edges)
+            __, __, losses = _boost(
+                fold_binned,
+                y_train[fit_rows],
+                params,
+                np.random.default_rng(seed + 1 + fold),
+                val_binned=val_binned,
+                val_y=y_train[hold],
+            )
+            curves.append(losses)
+        if curves:
+            cv_curve = np.mean(np.stack(curves), axis=0)
+            best_iteration = int(np.argmin(cv_curve)) + 1
+
+    initial, trees, __ = _boost(binned, y_train, params, rng)
+    return GbrtModel(
+        params=params,
+        initial=initial,
+        trees=trees,
+        edges=edges,
+        best_iteration=best_iteration,
+        cv_curve=cv_curve,
+    )

@@ -1,0 +1,319 @@
+"""The GBRT-based alternative matcher (§4.4, Appendix A).
+
+Learns a generalized distance metric combining the per-type similarity
+scores into one number.  A training sample compares a job J's complete
+profile against a *composite* candidate (map side of J1, reduce side of
+J2) through eight partial distances::
+
+    [Jacc_map, Eucl_DS_map, Eucl_CS_map, CFG_map,
+     Jacc_red, Eucl_DS_red, Eucl_CS_red, CFG_red]
+
+and its regression target is how differently the What-If engine prices J
+under the two profiles (we use the *relative* runtime difference so that
+35 GB jobs and 200 MB jobs contribute on the same scale; the thesis uses
+the raw difference).  Matching a new job then scores every (map donor,
+reduce donor) combination with the learned metric and returns the nearest
+composite — expensive in training and in matching, which is the paper's
+point when comparing against the multi-stage matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from ..analysis.cfg_match import cfg_similarity
+from ..analysis.static_features import StaticFeatures
+from ..hadoop.config import JobConfiguration
+from ..starfish.profile import (
+    MAP_COST_FEATURES,
+    MAP_DATA_FLOW_FEATURES,
+    REDUCE_COST_FEATURES,
+    REDUCE_DATA_FLOW_FEATURES,
+    JobProfile,
+)
+from ..starfish.whatif import WhatIfEngine
+from .gbrt import GbrtModel, GbrtParams, fit_gbrt
+from .similarity import euclidean_distance, jaccard_index
+from .store import ProfileStore
+
+__all__ = ["GbrtMatcher", "build_training_set", "pair_distances"]
+
+
+def _side_vectors(profile: JobProfile, side: str) -> tuple[list[float], list[float]]:
+    if side == "map":
+        mp = profile.map_profile
+        flow = [float(mp.data_flow[n]) for n in MAP_DATA_FLOW_FEATURES]
+        costs = [float(mp.cost_factors.get(n, 0.0)) for n in MAP_COST_FEATURES]
+        return flow, costs
+    rp = profile.reduce_profile
+    if rp is None:
+        return [], []
+    flow = [float(rp.data_flow[n]) for n in REDUCE_DATA_FLOW_FEATURES]
+    costs = [float(rp.cost_factors.get(n, 0.0)) for n in REDUCE_COST_FEATURES]
+    return flow, costs
+
+
+@dataclass
+class _StoreCache:
+    """Materialized store contents; avoids re-parsing rows per combo."""
+
+    store: ProfileStore
+    profiles: dict[str, JobProfile] = field(default_factory=dict)
+    statics: dict[str, StaticFeatures] = field(default_factory=dict)
+
+    def refresh(self) -> None:
+        for job_id in self.store.job_ids():
+            if job_id not in self.profiles:
+                self.profiles[job_id] = self.store.get_profile(job_id)
+                self.statics[job_id] = self.store.get_static(job_id)
+
+    def job_ids(self) -> list[str]:
+        self.refresh()
+        return sorted(self.profiles)
+
+
+def _normalized(
+    cache: _StoreCache, side: str, kind: str, a: list[float], b: list[float]
+) -> float:
+    if not a or not b:
+        return 0.0
+    normalizer = cache.store.normalizer(side, kind)
+    if normalizer.num_features == 0:
+        return 0.0
+    return euclidean_distance(normalizer.normalize(a), normalizer.normalize(b))
+
+
+def _map_block(
+    cache: _StoreCache,
+    probe_profile: JobProfile,
+    probe_static: StaticFeatures,
+    map_donor_id: str,
+) -> list[float]:
+    """The four map-side partial distances against one donor."""
+    map_profile = cache.profiles[map_donor_id]
+    map_static = cache.statics[map_donor_id]
+    probe_map_flow, probe_map_costs = _side_vectors(probe_profile, "map")
+    donor_map_flow, donor_map_costs = _side_vectors(map_profile, "map")
+    return [
+        jaccard_index(probe_static.map_side(), map_static.map_side()),
+        _normalized(cache, "map", "flow", probe_map_flow, donor_map_flow),
+        _normalized(cache, "map", "cost", probe_map_costs, donor_map_costs),
+        cfg_similarity(probe_static.map_cfg, map_static.map_cfg),
+    ]
+
+
+def _reduce_block(
+    cache: _StoreCache,
+    probe_profile: JobProfile,
+    probe_static: StaticFeatures,
+    reduce_donor_id: str | None,
+) -> list[float]:
+    """The four reduce-side partial distances against one donor."""
+    if reduce_donor_id is None or probe_static.reduce_cfg is None:
+        return [0.0, 0.0, 0.0, 0.0]
+    reduce_profile = cache.profiles[reduce_donor_id]
+    reduce_static = cache.statics[reduce_donor_id]
+    probe_red_flow, probe_red_costs = _side_vectors(probe_profile, "reduce")
+    donor_red_flow, donor_red_costs = _side_vectors(reduce_profile, "reduce")
+    cfg_score = 0.0
+    if reduce_static.reduce_cfg is not None:
+        cfg_score = cfg_similarity(probe_static.reduce_cfg, reduce_static.reduce_cfg)
+    return [
+        jaccard_index(probe_static.reduce_side(), reduce_static.reduce_side()),
+        _normalized(cache, "reduce", "flow", probe_red_flow, donor_red_flow),
+        _normalized(cache, "reduce", "cost", probe_red_costs, donor_red_costs),
+        cfg_score,
+    ]
+
+
+def _distances(
+    cache: _StoreCache,
+    probe_profile: JobProfile,
+    probe_static: StaticFeatures,
+    map_donor_id: str,
+    reduce_donor_id: str | None,
+) -> list[float]:
+    return _map_block(cache, probe_profile, probe_static, map_donor_id) + _reduce_block(
+        cache, probe_profile, probe_static, reduce_donor_id
+    )
+
+
+def pair_distances(
+    store: ProfileStore,
+    probe_profile: JobProfile,
+    probe_static: StaticFeatures,
+    map_donor_id: str,
+    reduce_donor_id: str | None,
+) -> list[float]:
+    """The eight partial distances of one (probe, composite) pair."""
+    cache = _StoreCache(store)
+    cache.refresh()
+    return _distances(cache, probe_profile, probe_static, map_donor_id, reduce_donor_id)
+
+
+def build_training_set(
+    store: ProfileStore,
+    whatif: WhatIfEngine,
+    statics: dict[str, StaticFeatures] | None = None,
+    pairs_per_job: int = 24,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Construct the Appendix A training set from the store's contents.
+
+    For each stored job J, sample (J1, J2) donor pairs — always including
+    the perfect-match pair (J, J), giving the learner a zero-distance
+    example — and label each with the relative WIF runtime difference of
+    J under its own profile versus the composite.
+    """
+    del statics  # statics come from the store itself
+    rng = np.random.default_rng(seed)
+    cache = _StoreCache(store)
+    job_ids = cache.job_ids()
+    reduce_ids = [j for j in job_ids if cache.profiles[j].has_reduce]
+    config = JobConfiguration()
+
+    # Same-program profiles on other datasets ("twins") provide the
+    # small-but-nonzero distance examples the metric must resolve.
+    twins: dict[str, list[str]] = {}
+    for job_id in job_ids:
+        name = cache.profiles[job_id].job_name
+        twins.setdefault(name, []).append(job_id)
+
+    rows: list[list[float]] = []
+    targets: list[float] = []
+    for job_id in job_ids:
+        profile = cache.profiles[job_id]
+        static = cache.statics[job_id]
+        own = whatif.predict(profile, config)
+        own_runtime = own.runtime_seconds
+        own_reduce = max(1.0, own.reduce_task_seconds)
+
+        siblings = [j for j in twins[profile.job_name]]
+        donors: list[tuple[str, str | None]] = []
+        if profile.has_reduce and reduce_ids:
+            # The perfect match, every twin combination, then random pairs.
+            for map_donor in siblings:
+                for reduce_donor in siblings:
+                    donors.append((map_donor, reduce_donor))
+            while len(donors) < pairs_per_job and len(job_ids) > 1:
+                map_donor = job_ids[int(rng.integers(0, len(job_ids)))]
+                reduce_donor = reduce_ids[int(rng.integers(0, len(reduce_ids)))]
+                donors.append((map_donor, reduce_donor))
+        else:
+            donors.extend((sibling, None) for sibling in siblings)
+            while len(donors) < pairs_per_job and len(job_ids) > 1:
+                donors.append((job_ids[int(rng.integers(0, len(job_ids)))], None))
+
+        for map_donor, reduce_donor in donors:
+            candidate = _compose(cache, map_donor, reduce_donor)
+            if candidate is None:
+                continue
+            predicted = whatif.predict(
+                candidate, config, data_bytes=profile.input_bytes
+            )
+            # Relative total-runtime difference, plus a reduce-task term:
+            # with few reducers the total runtime is often insensitive to
+            # the reduce donor's statistics, which would leave the four
+            # reduce-side distances unlearnable.
+            target = abs(
+                predicted.runtime_seconds - own_runtime
+            ) / max(1.0, own_runtime)
+            if profile.has_reduce:
+                target += 0.5 * abs(
+                    predicted.reduce_task_seconds - own_reduce
+                ) / own_reduce
+            rows.append(_distances(cache, profile, static, map_donor, reduce_donor))
+            targets.append(target)
+    return np.asarray(rows), np.asarray(targets)
+
+
+def _compose(
+    cache: _StoreCache, map_donor: str, reduce_donor: str | None
+) -> JobProfile | None:
+    map_profile = cache.profiles[map_donor]
+    if reduce_donor is None:
+        return map_profile
+    reduce_profile = cache.profiles[reduce_donor]
+    if reduce_profile.reduce_profile is None:
+        return None
+    if map_donor == reduce_donor:
+        return map_profile
+    return map_profile.compose_with(reduce_profile)
+
+
+@dataclass
+class GbrtMatcher:
+    """Nearest-neighbour matcher under the learned GBRT distance metric."""
+
+    store: ProfileStore
+    model: GbrtModel
+
+    def __post_init__(self) -> None:
+        self._cache = _StoreCache(self.store)
+        self._cache.refresh()
+
+    @classmethod
+    def train(
+        cls,
+        store: ProfileStore,
+        whatif: WhatIfEngine,
+        params: GbrtParams,
+        pairs_per_job: int = 24,
+        seed: int = 0,
+    ) -> "GbrtMatcher":
+        """Build the training set from the store and fit the metric."""
+        x, y = build_training_set(store, whatif, pairs_per_job=pairs_per_job, seed=seed)
+        model = fit_gbrt(x, y, params, seed=seed)
+        return cls(store=store, model=model)
+
+    def match(
+        self,
+        probe_profile: JobProfile,
+        probe_static: StaticFeatures,
+        candidates: list[str] | None = None,
+    ) -> tuple[str, str | None] | None:
+        """Best (map donor, reduce donor) under the learned metric.
+
+        Args:
+            candidates: restrict donors to these job ids (used by the
+                accuracy experiments to emulate the DD content state
+                without retraining the metric).
+        """
+        job_ids = self._cache.job_ids()
+        if candidates is not None:
+            allowed = set(candidates)
+            job_ids = [j for j in job_ids if j in allowed]
+        if not job_ids:
+            return None
+        has_reduce = probe_profile.has_reduce
+
+        # The eight-distance vector decomposes into a map-side block and a
+        # reduce-side block, so per-donor blocks are computed once and the
+        # N x M combo matrix is assembled by concatenation.
+        map_blocks = {
+            j: _map_block(self._cache, probe_profile, probe_static, j)
+            for j in job_ids
+        }
+        if has_reduce:
+            reduce_ids = [
+                j for j in job_ids if self._cache.profiles[j].has_reduce
+            ]
+            reduce_blocks = {
+                j: _reduce_block(self._cache, probe_profile, probe_static, j)
+                for j in reduce_ids
+            }
+            combos = list(product(job_ids, reduce_ids))
+            rows = [map_blocks[m] + reduce_blocks[r] for m, r in combos]
+        else:
+            combos = [(job_id, None) for job_id in job_ids]
+            empty = [0.0, 0.0, 0.0, 0.0]
+            rows = [map_blocks[m] + empty for m, __ in combos]
+        if not combos:
+            return None
+
+        scores = self.model.predict(np.asarray(rows))
+        best = int(np.argmin(scores))
+        return combos[best]

@@ -1,0 +1,116 @@
+"""Profile store maintenance: eviction of old profiles.
+
+Chapter 5 notes that updates to the store "consist of adding new profiles
+as jobs get executed, and possibly deleting old profiles to free up
+space".  This module provides that deletion half: capacity-bound eviction
+policies over the store, tracking per-profile usage so that the matcher's
+hits refresh recency — profiles that keep serving submissions survive,
+one-off experiments age out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from .store import ProfileStore
+
+__all__ = ["EvictionPolicy", "LruEviction", "FifoEviction", "MaintainedStore"]
+
+
+class EvictionPolicy:
+    """Chooses which stored profile to evict when over capacity."""
+
+    def on_insert(self, job_id: str) -> None:
+        raise NotImplementedError
+
+    def on_hit(self, job_id: str) -> None:
+        raise NotImplementedError
+
+    def on_evict(self, job_id: str) -> None:
+        raise NotImplementedError
+
+    def victim(self, job_ids: list[str]) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class LruEviction(EvictionPolicy):
+    """Least-recently-used: matcher hits refresh a profile's clock."""
+
+    _clock: itertools.count = field(default_factory=lambda: itertools.count(1))
+    _last_used: dict[str, int] = field(default_factory=dict)
+
+    def on_insert(self, job_id: str) -> None:
+        self._last_used[job_id] = next(self._clock)
+
+    def on_hit(self, job_id: str) -> None:
+        self._last_used[job_id] = next(self._clock)
+
+    def on_evict(self, job_id: str) -> None:
+        self._last_used.pop(job_id, None)
+
+    def victim(self, job_ids: list[str]) -> str:
+        return min(job_ids, key=lambda j: (self._last_used.get(j, 0), j))
+
+
+@dataclass
+class FifoEviction(EvictionPolicy):
+    """First-in-first-out: insertion order only, hits ignored."""
+
+    _clock: itertools.count = field(default_factory=lambda: itertools.count(1))
+    _inserted: dict[str, int] = field(default_factory=dict)
+
+    def on_insert(self, job_id: str) -> None:
+        self._inserted.setdefault(job_id, next(self._clock))
+
+    def on_hit(self, job_id: str) -> None:
+        pass
+
+    def on_evict(self, job_id: str) -> None:
+        self._inserted.pop(job_id, None)
+
+    def victim(self, job_ids: list[str]) -> str:
+        return min(job_ids, key=lambda j: (self._inserted.get(j, 0), j))
+
+
+@dataclass
+class MaintainedStore:
+    """A capacity-bound wrapper over the profile store.
+
+    Inserts beyond *capacity* evict a victim chosen by *policy*.  Use
+    :meth:`record_hit` from the submission path (PStorM does) so usage
+    informs the LRU policy.
+    """
+
+    store: ProfileStore
+    capacity: int
+    policy: EvictionPolicy = field(default_factory=LruEviction)
+    evicted: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        for job_id in self.store.job_ids():
+            self.policy.on_insert(job_id)
+
+    def put(self, profile, static, job_id: str | None = None) -> str:
+        """Store a profile, evicting as needed to stay within capacity."""
+        stored_id = self.store.put(profile, static, job_id=job_id)
+        self.policy.on_insert(stored_id)
+        while len(self.store) > self.capacity:
+            candidates = [j for j in self.store.job_ids() if j != stored_id]
+            if not candidates:
+                break
+            victim = self.policy.victim(candidates)
+            self.store.delete(victim)
+            self.policy.on_evict(victim)
+            self.evicted.append(victim)
+        return stored_id
+
+    def record_hit(self, job_id: str) -> None:
+        """Tell the policy a stored profile just served a match."""
+        self.policy.on_hit(job_id)
+
+    def __len__(self) -> int:
+        return len(self.store)

@@ -1,0 +1,307 @@
+"""The multi-stage profile matcher (§4.3, Fig 4.4).
+
+The workflow runs once per side (map, reduce).  Starting from all stored
+profiles, it applies, in order:
+
+1. **Dynamic filter** — normalized Euclidean distance over the side's
+   Table 4.1 selectivities, threshold θ_Eucl.  An empty result here is a
+   hard *No Match* (nothing in the store even behaves like this job).
+2. **CFG filter** — conservative synchronized-walk equality of the side's
+   control flow graph.
+3. **Jaccard filter** — Jaccard index over the side's categorical static
+   features, threshold θ_Jacc.
+4. **Tie-break** — closest stored input data size (Fig 4.6's rationale).
+
+An empty set after stages 2-3 means the job was never run on this cluster;
+the matcher then falls back to a Euclidean filter over the *cost factors*
+of the stage-1 survivors (cost factors are noisy, so they are a last
+resort — §4.1.1) and tie-breaks by size.  Map-side and reduce-side winners
+are composed into the returned profile, which is how previously unseen
+jobs get usable profiles.
+
+The dynamic filter deliberately runs *before* the static filters: the same
+program run with different user parameters (co-occurrence window sizes,
+grep patterns) produces incompatible profiles that static features cannot
+tell apart, and statics-first would also evict behaviour-compatible
+profiles of *other* jobs that composition needs (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..starfish.profile import JobProfile
+from .features import JobFeatures
+from .similarity import (
+    DEFAULT_JACCARD_THRESHOLD,
+    default_euclidean_threshold,
+    jaccard_index,
+)
+from .store import ProfileStore
+
+__all__ = [
+    "ProfileMatcher",
+    "StaticsFirstMatcher",
+    "ParamAwareMatcher",
+    "SideMatch",
+    "MatchOutcome",
+    "explain_match",
+]
+
+
+@dataclass(frozen=True)
+class SideMatch:
+    """Result of the Fig 4.4 workflow for one side."""
+
+    side: str
+    job_id: str | None
+    #: "static" (stages 1-4), "cost-fallback", "no-match-dynamic" (empty
+    #: after stage 1), or "no-match" (fallback empty too).
+    stage: str
+    #: Candidate-set sizes after each stage, for diagnostics.
+    funnel: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def matched(self) -> bool:
+        return self.job_id is not None
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """Result of matching a submitted job against the store."""
+
+    profile: JobProfile | None
+    map_match: SideMatch
+    reduce_match: SideMatch | None
+
+    @property
+    def matched(self) -> bool:
+        return self.profile is not None
+
+    @property
+    def is_composite(self) -> bool:
+        """Whether map and reduce sides come from different stored jobs."""
+        if not self.matched or self.reduce_match is None:
+            return False
+        return self.map_match.job_id != self.reduce_match.job_id
+
+
+class ProfileMatcher:
+    """Matches submitted jobs to stored profiles via the Fig 4.4 stages."""
+
+    def __init__(
+        self,
+        store: ProfileStore,
+        jaccard_threshold: float = DEFAULT_JACCARD_THRESHOLD,
+        euclidean_threshold: float | None = None,
+    ) -> None:
+        """Args:
+            store: the profile store to match against.
+            jaccard_threshold: θ_Jacc (§6 uses 0.5).
+            euclidean_threshold: θ_Eucl; defaults to √(#features)/2 per
+                side as in §6.
+        """
+        self.store = store
+        self.jaccard_threshold = jaccard_threshold
+        self._euclidean_override = euclidean_threshold
+
+    # ------------------------------------------------------------------
+    def _theta_eucl(self, num_features: int) -> float:
+        if self._euclidean_override is not None:
+            return self._euclidean_override
+        return default_euclidean_threshold(num_features)
+
+    def _tie_break(
+        self,
+        candidates: list[str],
+        input_bytes: int,
+        side_statics: dict[str, str],
+        side: str,
+    ) -> str:
+        """Pick one profile from the surviving candidates.
+
+        Candidates whose static features agree *exactly* with the probe
+        (Jaccard 1.0 — the same program) outrank merely similar ones;
+        within a rank, the closest stored input data size wins (Fig 4.6's
+        rationale — the same job on different data sizes has different
+        shuffle behaviour); remaining ties break on similarity and then
+        job id for determinism.
+        """
+        def sort_key(job_id: str) -> tuple[int, int, float, str]:
+            stored = self.store.get_dynamic(job_id).get("INPUT_BYTES", 0)
+            static = self.store.get_static(job_id)
+            candidate = static.map_side() if side == "map" else static.reduce_side()
+            shared = {name: candidate.get(name, "") for name in side_statics}
+            similarity = jaccard_index(side_statics, shared)
+            same_program = 0 if similarity >= 1.0 else 1
+            return (
+                same_program,
+                abs(int(stored) - input_bytes),
+                -similarity,
+                job_id,
+            )
+
+        return min(candidates, key=sort_key)
+
+    # ------------------------------------------------------------------
+    def match_side(self, features: JobFeatures, side: str) -> SideMatch:
+        """Run the Fig 4.4 workflow for one side."""
+        flow, costs, statics, cfg = features.side_vectors(side)
+        funnel: dict[str, int] = {}
+
+        survivors = self.store.euclidean_stage(
+            side, "flow", list(flow), self._theta_eucl(len(flow))
+        )
+        funnel["dynamic"] = len(survivors)
+        if not survivors:
+            return SideMatch(side, None, "no-match-dynamic", funnel)
+        stage1_survivors = survivors
+
+        if cfg is not None:
+            survivors = self.store.cfg_stage(side, cfg, survivors)
+        funnel["cfg"] = len(survivors)
+
+        if survivors:
+            survivors = self.store.jaccard_stage(
+                statics, self.jaccard_threshold, survivors
+            )
+        funnel["jaccard"] = len(survivors)
+
+        if survivors:
+            winner = self._tie_break(survivors, features.input_bytes, statics, side)
+            return SideMatch(side, winner, "static", funnel)
+
+        # Previously unseen job: fall back to cost factors over the
+        # stage-1 survivors (C' in the paper).  §6 defines θ_Eucl as
+        # ½·√(number of dynamic features) — six per Table 4.1 — which we
+        # use verbatim for this lenient last-resort filter.
+        fallback = self.store.euclidean_stage(
+            side,
+            "cost",
+            list(costs),
+            self._theta_eucl(6),
+            candidates=stage1_survivors,
+        )
+        funnel["cost-fallback"] = len(fallback)
+        if fallback:
+            winner = self._tie_break(fallback, features.input_bytes, statics, side)
+            return SideMatch(side, winner, "cost-fallback", funnel)
+        return SideMatch(side, None, "no-match", funnel)
+
+    # ------------------------------------------------------------------
+    def match_job(self, features: JobFeatures) -> MatchOutcome:
+        """Match both sides and compose the returned profile."""
+        map_match = self.match_side(features, "map")
+        reduce_match = (
+            self.match_side(features, "reduce") if features.has_reduce else None
+        )
+
+        if not map_match.matched:
+            return MatchOutcome(None, map_match, reduce_match)
+        if features.has_reduce and (reduce_match is None or not reduce_match.matched):
+            return MatchOutcome(None, map_match, reduce_match)
+
+        map_donor = self.store.get_profile(map_match.job_id)
+        if not features.has_reduce:
+            return MatchOutcome(map_donor, map_match, reduce_match)
+
+        if reduce_match.job_id == map_match.job_id:
+            return MatchOutcome(map_donor, map_match, reduce_match)
+        reduce_donor = self.store.get_profile(reduce_match.job_id)
+        return MatchOutcome(
+            map_donor.compose_with(reduce_donor), map_match, reduce_match
+        )
+
+
+class StaticsFirstMatcher(ProfileMatcher):
+    """The filter order §4.3 argues *against*: statics before dynamics.
+
+    Running the CFG and Jaccard filters first evicts behaviour-compatible
+    profiles of other jobs before the dynamic filter can keep them, so a
+    previously unseen job loses its composition donors; and the same
+    program under different user parameters (incompatible profiles!)
+    sails through the static filters, to be mis-served later.  This class
+    exists for the ablation that *measures* that argument.
+    """
+
+    def match_side(self, features: JobFeatures, side: str) -> SideMatch:
+        flow, costs, statics, cfg = features.side_vectors(side)
+        funnel: dict[str, int] = {}
+
+        survivors = self.store.job_ids()
+        if cfg is not None:
+            survivors = self.store.cfg_stage(side, cfg, survivors)
+        funnel["cfg"] = len(survivors)
+
+        if survivors:
+            survivors = self.store.jaccard_stage(
+                statics, self.jaccard_threshold, survivors
+            )
+        funnel["jaccard"] = len(survivors)
+
+        if survivors:
+            survivors = self.store.euclidean_stage(
+                side,
+                "flow",
+                list(flow),
+                self._theta_eucl(len(flow)),
+                candidates=survivors,
+            )
+        funnel["dynamic"] = len(survivors)
+
+        if survivors:
+            winner = self._tie_break(survivors, features.input_bytes, statics, side)
+            return SideMatch(side, winner, "static", funnel)
+        return SideMatch(side, None, "no-match", funnel)
+
+
+def explain_match(matcher: ProfileMatcher, features: JobFeatures) -> str:
+    """A human-readable trace of a match_job call.
+
+    Renders the per-side funnel — how many candidates survived each
+    Fig 4.4 stage — plus the winning donor and path, the view an operator
+    wants when asking "why did my job get *that* profile?".
+    """
+    outcome = matcher.match_job(features)
+    lines = [f"match trace for {features.job_name!r} "
+             f"(input {features.input_bytes / (1 << 30):.1f} GB)"]
+
+    sides = [("map", outcome.map_match)]
+    if outcome.reduce_match is not None:
+        sides.append(("reduce", outcome.reduce_match))
+    for side, match in sides:
+        lines.append(f"  {side} side:")
+        for stage, survivors in match.funnel.items():
+            lines.append(f"    after {stage:<14} {survivors} candidate(s)")
+        if match.matched:
+            lines.append(f"    -> {match.job_id} via {match.stage}")
+        else:
+            lines.append(f"    -> no match ({match.stage})")
+
+    if outcome.matched:
+        kind = "composite" if outcome.is_composite else "single-donor"
+        lines.append(f"  returned: {kind} profile {outcome.profile.job_name!r}")
+    else:
+        lines.append("  returned: nothing — the job will run instrumented")
+    return "\n".join(lines)
+
+
+class ParamAwareMatcher(ProfileMatcher):
+    """The §7.2.1 extension, end to end.
+
+    Folds each job's user parameters into the static features on both
+    the probe and storage sides (store profiles via
+    :meth:`put_with_params` or pre-augmented statics), so two
+    parameterizations of the same program — statically identical under
+    Table 4.3 — become distinguishable at the Jaccard stage and at the
+    tie-break, as the thesis anticipates.
+    """
+
+    @staticmethod
+    def augment(features: JobFeatures, job) -> JobFeatures:
+        """Probe-side augmentation: PARAM_* entries join the statics."""
+        from dataclasses import replace
+
+        from .extensions import augment_with_params
+
+        return replace(features, static=augment_with_params(features.static, job))

@@ -1,0 +1,67 @@
+"""Profile store persistence: export to and import from JSON.
+
+A real PStorM deployment's state lives in HBase and survives daemon
+restarts; our in-memory substrate needs an explicit snapshot path.  The
+format is plain JSON — one object per stored job holding the serialized
+profile and static features — so snapshots are diffable, versionable, and
+shareable between clusters (pair with
+:func:`repro.core.transfer.transfer_profile` for the §7.2.6 scenario of
+bootstrapping a new cluster's store from another cluster's history).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..analysis.static_features import StaticFeatures
+from ..starfish.profile import JobProfile
+from .store import ProfileStore
+
+__all__ = ["dump_store", "load_store", "store_to_dict", "store_from_dict"]
+
+FORMAT_VERSION = 1
+
+
+def store_to_dict(store: ProfileStore) -> dict[str, Any]:
+    """Serialize a store's contents to a JSON-compatible dict."""
+    entries = {}
+    for job_id in store.job_ids():
+        entries[job_id] = {
+            "profile": store.get_profile(job_id).to_dict(),
+            "static": store.get_static(job_id).to_dict(),
+        }
+    return {"version": FORMAT_VERSION, "entries": entries}
+
+
+def store_from_dict(
+    payload: dict[str, Any], store: ProfileStore | None = None
+) -> ProfileStore:
+    """Rebuild a store from a snapshot dict.
+
+    Normalizer bounds are reconstructed by replaying the inserts, so a
+    restored store matches exactly like the original did.
+    """
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported store snapshot version: {version!r}")
+    if store is None:
+        store = ProfileStore()
+    for job_id, entry in sorted(payload["entries"].items()):
+        profile = JobProfile.from_dict(entry["profile"])
+        static = StaticFeatures.from_dict(entry["static"])
+        store.put(profile, static, job_id=job_id)
+    return store
+
+
+def dump_store(store: ProfileStore, path: str | Path) -> None:
+    """Write a store snapshot to *path* as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(store_to_dict(store), indent=1, sort_keys=True))
+
+
+def load_store(path: str | Path, store: ProfileStore | None = None) -> ProfileStore:
+    """Load a store snapshot from *path*."""
+    payload = json.loads(Path(path).read_text())
+    return store_from_dict(payload, store=store)

@@ -1,0 +1,151 @@
+"""The PStorM daemon: the submission workflow of Chapter 3 (Fig 1.2).
+
+For each submitted job: run one sampled map task (plus its reducers) with
+the Starfish profiler on, build the mixed feature vector, probe the store.
+On a hit, hand the matched (possibly composite) profile to the Starfish
+CBO and run the job with the recommended configuration, profiler off.  On
+a miss, run the job with its submitted configuration, profiler *on*, and
+store the collected profile for future matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hadoop.cluster import ClusterSpec
+from ..hadoop.config import JobConfiguration
+from ..hadoop.dataset import Dataset
+from ..hadoop.engine import HadoopEngine
+from ..hadoop.job import MapReduceJob
+from ..hadoop.tasks import JobExecution
+from ..starfish.cbo import CostBasedOptimizer
+from ..starfish.profile import JobProfile
+from ..starfish.profiler import StarfishProfiler
+from ..starfish.sampler import Sampler
+from ..starfish.whatif import WhatIfEngine
+from .features import JobFeatures, extract_job_features
+from .matcher import MatchOutcome, ProfileMatcher
+from .store import ProfileStore
+
+__all__ = ["PStorM", "SubmissionResult"]
+
+
+@dataclass(frozen=True)
+class SubmissionResult:
+    """What happened to one job submission."""
+
+    job_name: str
+    dataset_name: str
+    matched: bool
+    outcome: MatchOutcome
+    config: JobConfiguration
+    execution: JobExecution
+    sampling_seconds: float
+    profile_stored_as: str | None
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.execution.runtime_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Job runtime plus the 1-task sampling cost PStorM paid."""
+        return self.execution.runtime_seconds + self.sampling_seconds
+
+
+@dataclass
+class PStorM:
+    """Profile Store and Matcher, wired to a cluster and Starfish.
+
+    Attributes:
+        engine: the Hadoop engine (shared with Starfish components).
+        store: the profile store; freshly created if omitted.
+    """
+
+    engine: HadoopEngine
+    store: ProfileStore = field(default_factory=ProfileStore)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.profiler = StarfishProfiler(self.engine)
+        self.sampler = Sampler(self.profiler)
+        self.whatif = WhatIfEngine(self.engine.cluster)
+        self.cbo = CostBasedOptimizer(self.whatif, seed=self.seed)
+        self.matcher = ProfileMatcher(self.store)
+
+    # ------------------------------------------------------------------
+    def extract_features(
+        self, job: MapReduceJob, dataset: Dataset, seed: int = 0
+    ) -> tuple[JobFeatures, float]:
+        """Run the 1-task sample and build the job's feature vector.
+
+        Returns the features and the sampling run's wall-clock cost.
+        """
+        sample = self.sampler.collect(job, dataset, count=1, seed=seed)
+        features = extract_job_features(job, dataset, sample.profile, self.engine)
+        return features, sample.overhead_seconds
+
+    # ------------------------------------------------------------------
+    def remember(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        config: JobConfiguration | None = None,
+        seed: int = 0,
+    ) -> str:
+        """Run *job* fully instrumented and store its profile.
+
+        This is the miss path's bookkeeping, exposed directly so that
+        experiments can pre-populate the store (the SD/DD content states).
+        """
+        profile, __ = self.profiler.profile_job(job, dataset, config, seed=seed)
+        features, __, = self.extract_features(job, dataset, seed=seed)
+        return self.store.put(profile, features.static)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        config: JobConfiguration | None = None,
+        seed: int = 0,
+    ) -> SubmissionResult:
+        """The Chapter 3 submission workflow."""
+        if config is None:
+            config = JobConfiguration()
+
+        features, sampling_seconds = self.extract_features(job, dataset, seed=seed)
+        outcome = self.matcher.match_job(features)
+
+        if outcome.matched:
+            result = self.cbo.optimize(
+                outcome.profile, data_bytes=dataset.nominal_bytes
+            )
+            execution = self.engine.run_job(
+                job, dataset, result.best_config, seed=seed
+            )
+            return SubmissionResult(
+                job_name=job.name,
+                dataset_name=dataset.name,
+                matched=True,
+                outcome=outcome,
+                config=result.best_config,
+                execution=execution,
+                sampling_seconds=sampling_seconds,
+                profile_stored_as=None,
+            )
+
+        # Miss: run with the submitted configuration, profiler on, and
+        # store the collected profile for the future.
+        profile, execution = self.profiler.profile_job(job, dataset, config, seed=seed)
+        job_id = self.store.put(profile, features.static)
+        return SubmissionResult(
+            job_name=job.name,
+            dataset_name=dataset.name,
+            matched=False,
+            outcome=outcome,
+            config=config,
+            execution=execution,
+            sampling_seconds=sampling_seconds,
+            profile_stored_as=job_id,
+        )

@@ -1,0 +1,406 @@
+"""The PStorM profile store (Chapter 5).
+
+Implements the Table 5.1 data model on the HBase substrate: one table, one
+column family, and row keys prefixed by *feature type* —
+
+====================  =======================================================
+``Dynamic/<job id>``  the six Table 4.1 selectivities plus per-side cost
+                      factors and the tie-break input size
+``Static/<job id>``   the Table 4.3 categorical features and both CFGs
+``Profile/<job id>``  the serialized Starfish profile handed to the CBO
+====================  =======================================================
+
+The prefix scheme keeps each feature type contiguous in the row space, so
+the matcher's per-stage scans touch one key range each (the §5.1 locality
+argument), and new feature types are new prefixes, not new column families
+(the extensibility argument).  The matcher's three filters are implemented
+as custom HBase filters, registered with the substrate so they execute on
+the region servers (§5.3 pushdown).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, ClassVar, Iterator, Mapping
+
+from ..analysis.cfg import ControlFlowGraph
+from ..analysis.cfg_match import cfg_match
+from ..analysis.static_features import StaticFeatures
+from ..hbase import (
+    Filter,
+    FilterList,
+    HBaseCluster,
+    PrefixFilter,
+    register_filter,
+)
+from ..starfish.profile import (
+    MAP_COST_FEATURES,
+    MAP_DATA_FLOW_FEATURES,
+    REDUCE_COST_FEATURES,
+    REDUCE_DATA_FLOW_FEATURES,
+    JobProfile,
+)
+from .similarity import MinMaxNormalizer, jaccard_index
+
+__all__ = [
+    "ProfileStore",
+    "DYNAMIC_PREFIX",
+    "STATIC_PREFIX",
+    "PROFILE_PREFIX",
+    "NormalizedEuclideanFilter",
+    "CfgEqualityFilter",
+    "JaccardThresholdFilter",
+    "RowKeySetFilter",
+]
+
+DYNAMIC_PREFIX = "Dynamic/"
+STATIC_PREFIX = "Static/"
+PROFILE_PREFIX = "Profile/"
+_META_ROW = "Meta/__normalizers__"
+
+TABLE_NAME = "Jobs"
+FAMILY = "f"
+
+#: Column names of the per-side flow and cost vectors in Dynamic rows.
+MAP_FLOW_COLUMNS = tuple(MAP_DATA_FLOW_FEATURES)
+RED_FLOW_COLUMNS = tuple(REDUCE_DATA_FLOW_FEATURES)
+MAP_COST_COLUMNS = tuple(f"MCOST_{name}" for name in MAP_COST_FEATURES)
+RED_COST_COLUMNS = tuple(f"RCOST_{name}" for name in REDUCE_COST_FEATURES)
+
+
+def _columns_for(side: str, kind: str) -> tuple[str, ...]:
+    table = {
+        ("map", "flow"): MAP_FLOW_COLUMNS,
+        ("map", "cost"): MAP_COST_COLUMNS,
+        ("reduce", "flow"): RED_FLOW_COLUMNS,
+        ("reduce", "cost"): RED_COST_COLUMNS,
+    }
+    return table[(side, kind)]
+
+
+# ----------------------------------------------------------------------
+# Custom pushdown filters (the matcher's stages, server-side)
+# ----------------------------------------------------------------------
+@register_filter
+class NormalizedEuclideanFilter(Filter):
+    """Pass rows whose selected columns lie within a normalized Euclidean
+    ball around a probe vector.
+
+    The min/max bounds ship *inside* the filter, so the region server can
+    normalize candidate values without a round trip — the same deployment
+    shape as a real HBase custom filter.
+    """
+
+    filter_type: ClassVar[str] = "pstorm-euclidean"
+
+    def __init__(
+        self,
+        columns: list[str],
+        probe: list[float],
+        minimums: list[float],
+        maximums: list[float],
+        threshold: float,
+    ) -> None:
+        if not (len(columns) == len(probe) == len(minimums) == len(maximums)):
+            raise ValueError("columns/probe/bounds must align")
+        self.columns = list(columns)
+        self.probe = [float(v) for v in probe]
+        self.minimums = [float(v) for v in minimums]
+        self.maximums = [float(v) for v in maximums]
+        self.threshold = float(threshold)
+
+    def _normalize(self, index: int, value: float) -> float:
+        span = self.maximums[index] - self.minimums[index]
+        if span <= 0:
+            return 0.0
+        return min(1.0, max(0.0, (value - self.minimums[index]) / span))
+
+    def matches(self, row_key: str, row) -> bool:
+        columns = row.get(FAMILY, {})
+        total = 0.0
+        for index, name in enumerate(self.columns):
+            if name not in columns:
+                return False
+            candidate = self._normalize(index, float(columns[name]))
+            probe = self._normalize(index, self.probe[index])
+            total += (candidate - probe) ** 2
+        return math.sqrt(total) <= self.threshold
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "columns": self.columns,
+            "probe": self.probe,
+            "minimums": self.minimums,
+            "maximums": self.maximums,
+            "threshold": self.threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "NormalizedEuclideanFilter":
+        return cls(
+            columns=payload["columns"],
+            probe=payload["probe"],
+            minimums=payload["minimums"],
+            maximums=payload["maximums"],
+            threshold=payload["threshold"],
+        )
+
+
+@register_filter
+class CfgEqualityFilter(Filter):
+    """Pass Static rows whose stored CFG matches the probe CFG (0/1)."""
+
+    filter_type: ClassVar[str] = "pstorm-cfg"
+
+    def __init__(self, column: str, probe_cfg: Mapping[str, Any]) -> None:
+        self.column = column
+        self.probe_cfg = dict(probe_cfg)
+        self._probe = ControlFlowGraph.from_dict(probe_cfg)
+
+    def matches(self, row_key: str, row) -> bool:
+        payload = row.get(FAMILY, {}).get(self.column)
+        if not payload:
+            return False
+        return cfg_match(self._probe, ControlFlowGraph.from_dict(payload))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"column": self.column, "probe_cfg": self.probe_cfg}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CfgEqualityFilter":
+        return cls(column=payload["column"], probe_cfg=payload["probe_cfg"])
+
+
+@register_filter
+class JaccardThresholdFilter(Filter):
+    """Pass Static rows whose categorical features reach θ_Jacc."""
+
+    filter_type: ClassVar[str] = "pstorm-jaccard"
+
+    def __init__(self, probe: Mapping[str, str], threshold: float) -> None:
+        self.probe = dict(probe)
+        self.threshold = float(threshold)
+
+    def matches(self, row_key: str, row) -> bool:
+        columns = row.get(FAMILY, {})
+        candidate = {name: columns.get(name) for name in self.probe}
+        if any(value is None for value in candidate.values()):
+            return False
+        return jaccard_index(self.probe, candidate) >= self.threshold
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"probe": self.probe, "threshold": self.threshold}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JaccardThresholdFilter":
+        return cls(probe=payload["probe"], threshold=payload["threshold"])
+
+
+@register_filter
+class RowKeySetFilter(Filter):
+    """Pass rows whose key (sans prefix) is in a candidate id set.
+
+    Lets later matcher stages scan only the survivors of earlier stages.
+    """
+
+    filter_type: ClassVar[str] = "pstorm-rowset"
+
+    def __init__(self, job_ids: list[str]) -> None:
+        self.job_ids = sorted(set(job_ids))
+        self._lookup = set(self.job_ids)
+
+    def matches(self, row_key: str, row) -> bool:
+        __, __, job_id = row_key.partition("/")
+        return job_id in self._lookup
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"job_ids": self.job_ids}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RowKeySetFilter":
+        return cls(job_ids=payload["job_ids"])
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ProfileStore:
+    """PStorM's profile repository over the HBase substrate.
+
+    Args:
+        hbase: an HBase cluster; a single-region-server one is created if
+            omitted (the paper's deployment, §6).
+        pushdown: whether scans push filters to the region servers
+            (§5.3); turn off to measure the client-side baseline.
+    """
+
+    def __init__(self, hbase: HBaseCluster | None = None, pushdown: bool = True) -> None:
+        self.hbase = hbase if hbase is not None else HBaseCluster()
+        self.pushdown = pushdown
+        self.table = self.hbase.create_table(TABLE_NAME, (FAMILY,))
+        self._normalizers: dict[tuple[str, str], MinMaxNormalizer] = {
+            key: MinMaxNormalizer()
+            for key in (
+                ("map", "flow"),
+                ("map", "cost"),
+                ("reduce", "flow"),
+                ("reduce", "cost"),
+            )
+        }
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        profile: JobProfile,
+        static: StaticFeatures,
+        job_id: str | None = None,
+    ) -> str:
+        """Store one job's profile and features; returns its job id."""
+        if job_id is None:
+            job_id = f"{profile.job_name}@{profile.dataset_name}"
+
+        dynamic: dict[str, Any] = {"INPUT_BYTES": profile.input_bytes}
+        mp = profile.map_profile
+        for name in MAP_DATA_FLOW_FEATURES:
+            dynamic[name] = float(mp.data_flow[name])
+        for name, column in zip(MAP_COST_FEATURES, MAP_COST_COLUMNS):
+            dynamic[column] = float(mp.cost_factors.get(name, 0.0))
+        rp = profile.reduce_profile
+        dynamic["HAS_REDUCE"] = bool(rp is not None)
+        if rp is not None:
+            for name in REDUCE_DATA_FLOW_FEATURES:
+                dynamic[name] = float(rp.data_flow[name])
+            for name, column in zip(REDUCE_COST_FEATURES, RED_COST_COLUMNS):
+                dynamic[column] = float(rp.cost_factors.get(name, 0.0))
+        self.table.put_row(DYNAMIC_PREFIX + job_id, FAMILY, dynamic)
+
+        self.table.put_row(STATIC_PREFIX + job_id, FAMILY, static.to_dict())
+        self.table.put(PROFILE_PREFIX + job_id, FAMILY, "payload", profile.to_dict())
+
+        self._update_normalizers(dynamic, rp is not None)
+        self._persist_normalizers()
+        return job_id
+
+    def _update_normalizers(self, dynamic: Mapping[str, Any], has_reduce: bool) -> None:
+        self._normalizers[("map", "flow")].update(
+            [dynamic[name] for name in MAP_FLOW_COLUMNS]
+        )
+        self._normalizers[("map", "cost")].update(
+            [dynamic[name] for name in MAP_COST_COLUMNS]
+        )
+        if has_reduce:
+            self._normalizers[("reduce", "flow")].update(
+                [dynamic[name] for name in RED_FLOW_COLUMNS]
+            )
+            self._normalizers[("reduce", "cost")].update(
+                [dynamic[name] for name in RED_COST_COLUMNS]
+            )
+
+    def _persist_normalizers(self) -> None:
+        for (side, kind), normalizer in self._normalizers.items():
+            self.table.put(_META_ROW, FAMILY, f"{side}.{kind}", normalizer.to_dict())
+
+    def delete(self, job_id: str) -> None:
+        """Remove one job's rows (min/max bounds are kept; they only grow)."""
+        for prefix in (DYNAMIC_PREFIX, STATIC_PREFIX, PROFILE_PREFIX):
+            self.table.delete_row(prefix + job_id)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def job_ids(self) -> list[str]:
+        """All stored job ids, in key order."""
+        ids = []
+        for row_key, __ in self.table.scan(
+            scan_filter=PrefixFilter(PROFILE_PREFIX), pushdown=self.pushdown
+        ):
+            ids.append(row_key[len(PROFILE_PREFIX):])
+        return ids
+
+    def __len__(self) -> int:
+        return len(self.job_ids())
+
+    def __contains__(self, job_id: str) -> bool:
+        return self.table.get(PROFILE_PREFIX + job_id) is not None
+
+    def get_profile(self, job_id: str) -> JobProfile:
+        row = self.table.get(PROFILE_PREFIX + job_id)
+        if row is None:
+            raise KeyError(f"no profile stored for {job_id!r}")
+        return JobProfile.from_dict(row[FAMILY]["payload"])
+
+    def get_static(self, job_id: str) -> StaticFeatures:
+        row = self.table.get(STATIC_PREFIX + job_id)
+        if row is None:
+            raise KeyError(f"no static features stored for {job_id!r}")
+        return StaticFeatures.from_dict(row[FAMILY])
+
+    def get_dynamic(self, job_id: str) -> dict[str, Any]:
+        row = self.table.get(DYNAMIC_PREFIX + job_id)
+        if row is None:
+            raise KeyError(f"no dynamic features stored for {job_id!r}")
+        return dict(row[FAMILY])
+
+    def normalizer(self, side: str, kind: str) -> MinMaxNormalizer:
+        """Current min/max bounds for one (side, 'flow'|'cost') vector."""
+        return self._normalizers[(side, kind)]
+
+    # ------------------------------------------------------------------
+    # Filtered scans (one per matcher stage)
+    # ------------------------------------------------------------------
+    def scan_job_ids(self, prefix: str, extra_filter: Filter | None = None) -> list[str]:
+        """Job ids of rows under *prefix* passing *extra_filter*."""
+        filters: list[Filter] = [PrefixFilter(prefix)]
+        if extra_filter is not None:
+            filters.append(extra_filter)
+        result = []
+        for row_key, __ in self.table.scan(
+            scan_filter=FilterList(filters), pushdown=self.pushdown
+        ):
+            result.append(row_key[len(prefix):])
+        return result
+
+    def euclidean_stage(
+        self,
+        side: str,
+        kind: str,
+        probe: list[float],
+        threshold: float,
+        candidates: list[str] | None = None,
+    ) -> list[str]:
+        """Run one normalized-Euclidean filter stage server-side."""
+        columns = list(_columns_for(side, kind))
+        normalizer = self._normalizers[(side, kind)]
+        if normalizer.num_features == 0:
+            return []
+        stage = NormalizedEuclideanFilter(
+            columns=columns,
+            probe=list(probe),
+            minimums=normalizer.minimums,
+            maximums=normalizer.maximums,
+            threshold=threshold,
+        )
+        extra: Filter = stage
+        if candidates is not None:
+            extra = FilterList([RowKeySetFilter(candidates), stage])
+        return self.scan_job_ids(DYNAMIC_PREFIX, extra)
+
+    def cfg_stage(
+        self, side: str, probe_cfg: ControlFlowGraph, candidates: list[str]
+    ) -> list[str]:
+        """Run the CFG-equality filter stage server-side."""
+        column = "MAP_CFG" if side == "map" else "RED_CFG"
+        stage = CfgEqualityFilter(column=column, probe_cfg=probe_cfg.to_dict())
+        extra = FilterList([RowKeySetFilter(candidates), stage])
+        return self.scan_job_ids(STATIC_PREFIX, extra)
+
+    def jaccard_stage(
+        self, probe: Mapping[str, str], threshold: float, candidates: list[str]
+    ) -> list[str]:
+        """Run the Jaccard filter stage server-side."""
+        stage = JaccardThresholdFilter(probe=probe, threshold=threshold)
+        extra = FilterList([RowKeySetFilter(candidates), stage])
+        return self.scan_job_ids(STATIC_PREFIX, extra)

@@ -1,0 +1,106 @@
+"""Rejected profile-store data models (§5.2), built for the ablation.
+
+The paper settles on the feature-type-prefix row-key model after
+considering two alternatives.  Both are implemented here, functionally
+complete, so the benches can *measure* the §5.2 arguments instead of
+restating them:
+
+- :class:`OpenTsdbStore` (§5.2.1) keys rows by
+  ``<feature_name>,<timestamp>,JobID=<job_id>``, which collocates data
+  points of the same *feature* and scatters a single job's feature vector
+  across the key space — poor locality for the matcher, measured as the
+  number of regions touched to assemble one vector.
+- :class:`TablePerTypeStore` (§5.2.2) uses one HBase table per feature
+  type, which doubles the number of in-memory Store objects region
+  servers must maintain relative to the adopted model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping
+
+from ..hbase import HBaseCluster, PrefixFilter
+
+__all__ = ["OpenTsdbStore", "TablePerTypeStore"]
+
+_FAMILY = "t"
+
+
+class OpenTsdbStore:
+    """§5.2.1: the OpenTSDB-style data model for profile features.
+
+    Row key: ``<feature_name>,<timestamp>,JobID=<job_id>``.  Rows are
+    ordered by feature first, so one *feature across jobs* is contiguous
+    but one *job's vector* spans as many key ranges as it has features.
+    """
+
+    def __init__(self, hbase: HBaseCluster | None = None) -> None:
+        self.hbase = hbase if hbase is not None else HBaseCluster()
+        self.table = self.hbase.create_table("tsdb", (_FAMILY,))
+        self._clock = itertools.count(1)
+
+    @staticmethod
+    def _row_key(feature_name: str, timestamp: int, job_id: str) -> str:
+        return f"{feature_name},{timestamp:012d},JobID={job_id}"
+
+    def put_features(self, job_id: str, features: Mapping[str, Any]) -> None:
+        """Store one job's features as time-series data points."""
+        timestamp = next(self._clock)
+        for name, value in features.items():
+            self.table.put(
+                self._row_key(name, timestamp, job_id), _FAMILY, "value", value
+            )
+
+    def feature_vector(self, job_id: str, names: list[str]) -> dict[str, Any]:
+        """Assemble one job's vector — one prefix scan per feature."""
+        suffix = f"JobID={job_id}"
+        vector: dict[str, Any] = {}
+        for name in names:
+            for row_key, row in self.table.scan(
+                scan_filter=PrefixFilter(name + ",")
+            ):
+                if row_key.endswith(suffix):
+                    vector[name] = row[_FAMILY]["value"]
+        return vector
+
+    def scans_to_build_vector(self, names: list[str]) -> int:
+        """Key ranges touched per vector — one per feature (the §5.2.1
+        locality complaint; the adopted model needs exactly one)."""
+        return len(names)
+
+
+class TablePerTypeStore:
+    """§5.2.2: one HBase table per feature type.
+
+    Functionally equivalent to the adopted model, but every region server
+    maintains one in-memory Store object per (region, column family) of
+    *each* table, so the resource-load metric
+    :meth:`HBaseCluster.total_store_objects` roughly doubles.
+    """
+
+    def __init__(self, hbase: HBaseCluster | None = None) -> None:
+        self.hbase = hbase if hbase is not None else HBaseCluster()
+        self.static_table = self.hbase.create_table("Jobs_Static", (_FAMILY,))
+        self.dynamic_table = self.hbase.create_table("Jobs_Dynamic", (_FAMILY,))
+
+    def put_features(
+        self,
+        job_id: str,
+        static: Mapping[str, Any],
+        dynamic: Mapping[str, Any],
+    ) -> None:
+        self.static_table.put_row(job_id, _FAMILY, dict(static))
+        self.dynamic_table.put_row(job_id, _FAMILY, dict(dynamic))
+
+    def feature_vector(self, job_id: str) -> dict[str, Any]:
+        vector: dict[str, Any] = {}
+        for table in (self.dynamic_table, self.static_table):
+            row = table.get(job_id)
+            if row:
+                vector.update(row[_FAMILY])
+        return vector
+
+    def total_store_objects(self) -> int:
+        """The §5.2.2 region-server load metric."""
+        return self.hbase.total_store_objects()

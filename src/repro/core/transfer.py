@@ -1,0 +1,139 @@
+"""Cross-cluster profile transfer (§7.2.6, with a nod to §7.2.3).
+
+The thesis's last future-work item: profiles collected on one cluster
+carry that cluster's *cost factors*, so reusing them on a different
+cluster (other instance types, other disks) mis-prices every phase.  The
+fix it sketches — informed by Herodotou's cluster-sizing work [14] — is to
+*adjust* the cost factors by the ratio of the clusters' calibrated
+resource rates, keeping the data-flow statistics (which are properties of
+the program and data, not the hardware) untouched.
+
+:func:`transfer_profile` implements that adjustment, and
+:func:`calibration_ratios` derives the per-resource ratios from two
+cluster specs the way a calibration benchmark (disk/network/CPU probes)
+would measure them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hadoop.cluster import ClusterSpec
+from ..starfish.profile import JobProfile, SideProfile
+
+__all__ = ["CalibrationRatios", "calibration_ratios", "transfer_profile"]
+
+#: Cost-factor / statistic name -> resource class.
+_RESOURCE_OF = {
+    "READ_HDFS_IO_COST": "disk",
+    "WRITE_HDFS_IO_COST": "disk",
+    "READ_LOCAL_IO_COST": "disk",
+    "WRITE_LOCAL_IO_COST": "disk",
+    "MAP_CPU_COST": "cpu",
+    "REDUCE_CPU_COST": "cpu",
+    "COMBINE_CPU_COST": "cpu",
+    "FRAMEWORK_CPU_COST": "cpu",
+    "NETWORK_COST": "network",
+    "COMPRESS_CPU_COST": "cpu",
+    "DECOMPRESS_CPU_COST": "cpu",
+}
+
+
+@dataclass(frozen=True)
+class CalibrationRatios:
+    """Target/source rate ratios per resource class."""
+
+    disk: float
+    network: float
+    cpu: float
+
+    def for_name(self, name: str) -> float:
+        resource = _RESOURCE_OF.get(name)
+        if resource == "disk":
+            return self.disk
+        if resource == "network":
+            return self.network
+        if resource == "cpu":
+            return self.cpu
+        return 1.0
+
+
+def _mean_rates(cluster: ClusterSpec) -> tuple[float, float, float]:
+    """Cluster-average (disk, network, cpu) base rates."""
+    disks, networks, cpus = [], [], []
+    for worker in cluster.workers:
+        rates = worker.base_rates
+        disks.append(
+            (
+                rates.read_hdfs_ns_per_byte
+                + rates.write_hdfs_ns_per_byte
+                + rates.read_local_ns_per_byte
+                + rates.write_local_ns_per_byte
+            )
+            / 4.0
+        )
+        networks.append(rates.network_ns_per_byte)
+        cpus.append(rates.cpu_ns_per_record)
+    count = len(cluster.workers)
+    return sum(disks) / count, sum(networks) / count, sum(cpus) / count
+
+
+def calibration_ratios(
+    source: ClusterSpec, target: ClusterSpec
+) -> CalibrationRatios:
+    """Rate ratios a calibration run between the clusters would measure."""
+    source_disk, source_net, source_cpu = _mean_rates(source)
+    target_disk, target_net, target_cpu = _mean_rates(target)
+    return CalibrationRatios(
+        disk=target_disk / source_disk,
+        network=target_net / source_net,
+        cpu=target_cpu / source_cpu,
+    )
+
+
+def _transfer_side(side: SideProfile, ratios: CalibrationRatios) -> SideProfile:
+    cost_factors = {
+        name: value * ratios.for_name(name)
+        for name, value in side.cost_factors.items()
+    }
+    statistics = {
+        name: value * ratios.for_name(name)
+        for name, value in side.statistics.items()
+    }
+    return SideProfile(
+        side=side.side,
+        data_flow=dict(side.data_flow),  # hardware-independent, untouched
+        cost_factors=cost_factors,
+        statistics=statistics,
+        phase_times=dict(side.phase_times),
+        num_tasks=side.num_tasks,
+    )
+
+
+def transfer_profile(
+    profile: JobProfile,
+    source: ClusterSpec,
+    target: ClusterSpec,
+) -> JobProfile:
+    """Adjust *profile* collected on *source* for use on *target*.
+
+    Data-flow statistics pass through unchanged; every cost factor and
+    rate-like statistic is scaled by its resource class's calibration
+    ratio.  The returned profile is tagged as transferred.
+    """
+    ratios = calibration_ratios(source, target)
+    return JobProfile(
+        job_name=profile.job_name,
+        dataset_name=profile.dataset_name,
+        input_bytes=profile.input_bytes,
+        split_bytes=profile.split_bytes,
+        num_map_tasks=profile.num_map_tasks,
+        num_reduce_tasks=profile.num_reduce_tasks,
+        map_profile=_transfer_side(profile.map_profile, ratios),
+        reduce_profile=(
+            _transfer_side(profile.reduce_profile, ratios)
+            if profile.reduce_profile
+            else None
+        ),
+        source=f"transferred({profile.source})",
+    )

@@ -1,0 +1,139 @@
+"""Dataflow operators: the mini Pig-Latin the compiler understands.
+
+Chapter 1 argues MR jobs on a cluster are similar "if the jobs are
+generated from high-level query languages such as Pig Latin or Hive" —
+because such systems compile every script onto the *same* generic
+runtime operators.  This package makes that claim executable: operators
+are declarative descriptors (plain tuples of strings/numbers, so they can
+ride in job parameters and keep measurement caching stable), and the
+compiler lowers them onto shared generic map/reduce functions.
+
+Supported relational operators over tuple records:
+
+- ``filter`` — keep records where ``field <op> literal`` holds;
+- ``project`` — keep a subset of fields (with optional flatten of one
+  sequence-valued field, Pig's FLATTEN);
+- ``group`` — group by one or more fields with aggregations
+  (count/sum/avg/min/max/collect over a field);
+- ``distinct`` — deduplicate on a field tuple;
+- ``order`` — global sort by a field (a pure shuffle job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = [
+    "FilterOp",
+    "ProjectOp",
+    "GroupOp",
+    "Aggregation",
+    "DistinctOp",
+    "OrderOp",
+    "COMPARATORS",
+    "AGGREGATORS",
+]
+
+#: Comparison operators a filter may use.
+COMPARATORS: tuple[str, ...] = ("==", "!=", "<", "<=", ">", ">=", "contains")
+
+#: Aggregation function names a group may use.
+AGGREGATORS: tuple[str, ...] = ("count", "sum", "avg", "min", "max", "collect")
+
+
+@dataclass(frozen=True)
+class FilterOp:
+    """Keep records where ``record[field] <op> literal``."""
+
+    field: int
+    op: str
+    literal: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARATORS:
+            raise ValueError(f"unsupported comparator {self.op!r}")
+
+    def descriptor(self) -> tuple:
+        return ("filter", self.field, self.op, self.literal)
+
+
+@dataclass(frozen=True)
+class ProjectOp:
+    """Keep the given fields; optionally flatten one sequence field.
+
+    With ``flatten`` set to a position *within the projected fields*, one
+    output record is emitted per element of that sequence (Pig's
+    FOREACH ... FLATTEN).
+    """
+
+    fields: tuple[int, ...]
+    flatten: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.flatten is not None and not 0 <= self.flatten < len(self.fields):
+            raise ValueError("flatten index must point into the projection")
+
+    def descriptor(self) -> tuple:
+        return ("project", tuple(self.fields), self.flatten)
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """One aggregation inside a group: ``fn`` over ``field``."""
+
+    fn: str
+    field: int
+
+    def __post_init__(self) -> None:
+        if self.fn not in AGGREGATORS:
+            raise ValueError(f"unsupported aggregator {self.fn!r}")
+
+    def descriptor(self) -> tuple:
+        return (self.fn, self.field)
+
+
+@dataclass(frozen=True)
+class GroupOp:
+    """Group by ``keys`` computing ``aggregations`` (a blocking operator)."""
+
+    keys: tuple[int, ...]
+    aggregations: tuple[Aggregation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ValueError("a group needs at least one key field")
+        if not self.aggregations:
+            raise ValueError("a group needs at least one aggregation")
+
+    def descriptor(self) -> tuple:
+        return (
+            "group",
+            tuple(self.keys),
+            tuple(agg.descriptor() for agg in self.aggregations),
+        )
+
+
+@dataclass(frozen=True)
+class DistinctOp:
+    """Deduplicate on a field tuple (blocking)."""
+
+    fields: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ValueError("distinct needs at least one field")
+
+    def descriptor(self) -> tuple:
+        return ("distinct", tuple(self.fields))
+
+
+@dataclass(frozen=True)
+class OrderOp:
+    """Globally order by one field (blocking; a pure shuffle)."""
+
+    field: int
+    descending: bool = False
+
+    def descriptor(self) -> tuple:
+        return ("order", self.field, self.descending)

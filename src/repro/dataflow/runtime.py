@@ -1,0 +1,157 @@
+"""The generic dataflow runtime operators.
+
+Every compiled dataflow job runs these *same* functions — the generated
+jobs differ only in the operator descriptors their job parameters carry.
+This mirrors how Pig compiles scripts onto shared physical operators
+(POFilter, POForEach, POPackage, ...), and it is what makes
+script-generated jobs so amenable to PStorM matching: identical mapper
+class names, identical CFGs, identical formatters — only the dynamic
+behaviour varies with the script.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..hadoop.context import TaskContext
+
+__all__ = ["dataflow_map", "dataflow_reduce"]
+
+
+def _compare(value: Any, op: str, literal: Any) -> bool:
+    if op == "==":
+        return value == literal
+    if op == "!=":
+        return value != literal
+    if op == "<":
+        return value < literal
+    if op == "<=":
+        return value <= literal
+    if op == ">":
+        return value > literal
+    if op == ">=":
+        return value >= literal
+    if op == "contains":
+        return literal in value
+    raise ValueError(f"unsupported comparator {op!r}")
+
+
+def _apply_pipeline(record: tuple, pipeline: Sequence[tuple], context: TaskContext):
+    """Run the map-side operator pipeline; yield surviving records."""
+    records = [record]
+    for descriptor in pipeline:
+        kind = descriptor[0]
+        if kind == "filter":
+            __, field, op, literal = descriptor
+            survivors = []
+            for current in records:
+                context.report_ops(1)
+                if _compare(current[field], op, literal):
+                    survivors.append(current)
+            records = survivors
+        elif kind == "project":
+            __, fields, flatten = descriptor
+            projected = []
+            for current in records:
+                row = tuple(current[field] for field in fields)
+                if flatten is None:
+                    projected.append(row)
+                else:
+                    for element in row[flatten]:
+                        context.report_ops(1)
+                        projected.append(
+                            row[:flatten] + (element,) + row[flatten + 1:]
+                        )
+            records = projected
+        else:
+            raise ValueError(f"map pipeline cannot contain {kind!r}")
+        if not records:
+            return []
+    return records
+
+
+def dataflow_map(key: Any, record: tuple, context: TaskContext) -> None:
+    """The generic map operator: pipeline, then key for the shuffle.
+
+    Parameters (from the job's params):
+        ``pipeline``: tuple of filter/project descriptors;
+        ``shuffle``: the blocking descriptor this job ends in, or None
+        for a map-only (store) job.
+    """
+    pipeline = context.get_param("pipeline", ())
+    shuffle = context.get_param("shuffle")
+    for row in _apply_pipeline(record, pipeline, context):
+        if shuffle is None:
+            context.emit(key, row)
+            continue
+        kind = shuffle[0]
+        if kind == "group":
+            keys = tuple(row[field] for field in shuffle[1])
+            context.emit(keys, row)
+        elif kind == "distinct":
+            values = tuple(row[field] for field in shuffle[1])
+            context.emit(values, None)
+        elif kind == "order":
+            context.emit(row[shuffle[1]], row)
+        else:
+            raise ValueError(f"unsupported shuffle descriptor {kind!r}")
+
+
+def dataflow_reduce(key: Any, values, context: TaskContext) -> None:
+    """The generic reduce operator: aggregate, dedupe, or order-emit."""
+    shuffle = context.get_param("shuffle")
+    if shuffle is None:
+        for value in values:
+            context.emit(key, value)
+        return
+    kind = shuffle[0]
+    if kind == "group":
+        aggregations = shuffle[2]
+        sum_fields = {f for fn, f in aggregations if fn in ("sum", "avg")}
+        min_fields = {f for fn, f in aggregations if fn == "min"}
+        max_fields = {f for fn, f in aggregations if fn == "max"}
+        collect_fields = {f for fn, f in aggregations if fn == "collect"}
+        counts = 0
+        sums = {f: 0.0 for f in sum_fields}
+        minimums: dict[int, Any] = {}
+        maximums: dict[int, Any] = {}
+        collected: dict[int, list] = {f: [] for f in collect_fields}
+        for row in values:
+            counts += 1
+            context.report_ops(1)
+            for field in sum_fields:
+                sums[field] += row[field]
+            for field in min_fields:
+                if field not in minimums or row[field] < minimums[field]:
+                    minimums[field] = row[field]
+            for field in max_fields:
+                if field not in maximums or row[field] > maximums[field]:
+                    maximums[field] = row[field]
+            for field in collect_fields:
+                collected[field].append(row[field])
+        results = []
+        for fn, field in aggregations:
+            if fn == "count":
+                results.append(counts)
+            elif fn == "sum":
+                results.append(sums[field])
+            elif fn == "avg":
+                results.append(sums[field] / counts if counts else 0.0)
+            elif fn == "min":
+                results.append(minimums.get(field))
+            elif fn == "max":
+                results.append(maximums.get(field))
+            elif fn == "collect":
+                results.append(tuple(collected[field]))
+        # The output row carries the group keys first, then the
+        # aggregation results, so downstream stages can index both.
+        context.emit(key, tuple(key) + tuple(results))
+    elif kind == "distinct":
+        for __ in values:
+            context.report_ops(1)
+        context.emit(key, tuple(key))
+    elif kind == "order":
+        for row in values:
+            context.emit(key, row)
+    else:
+        raise ValueError(f"unsupported shuffle descriptor {kind!r}")

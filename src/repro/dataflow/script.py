@@ -1,0 +1,102 @@
+"""The fluent script builder: a tiny Pig Latin.
+
+A :class:`DataflowScript` is an ordered list of operators over one input
+relation.  The builder API reads like the Pig script it stands in for::
+
+    script = (DataflowScript("revenue-by-user")
+              .filter(field=1, op="==", literal=2)          # clicks only
+              .project(0, 4)                                # user, revenue
+              .group_by(0, aggregations=[("sum", 1)]))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .operators import (
+    Aggregation,
+    DistinctOp,
+    FilterOp,
+    GroupOp,
+    OrderOp,
+    ProjectOp,
+)
+
+__all__ = ["DataflowScript"]
+
+_BLOCKING = (GroupOp, DistinctOp, OrderOp)
+
+
+@dataclass
+class DataflowScript:
+    """An ordered operator list over one input relation."""
+
+    name: str
+    operators: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Builder API (each call returns self for chaining).
+    # ------------------------------------------------------------------
+    def filter(self, field: int, op: str, literal: Any) -> "DataflowScript":
+        """Keep records where ``record[field] <op> literal``."""
+        self.operators.append(FilterOp(field=field, op=op, literal=literal))
+        return self
+
+    def project(self, *fields: int, flatten: int | None = None) -> "DataflowScript":
+        """Keep *fields*; optionally FLATTEN one projected sequence field."""
+        self.operators.append(ProjectOp(fields=tuple(fields), flatten=flatten))
+        return self
+
+    def group_by(
+        self, *keys: int, aggregations: Sequence[tuple[str, int]]
+    ) -> "DataflowScript":
+        """Group by *keys*, computing ``(fn, field)`` aggregations."""
+        self.operators.append(
+            GroupOp(
+                keys=tuple(keys),
+                aggregations=tuple(Aggregation(fn, f) for fn, f in aggregations),
+            )
+        )
+        return self
+
+    def distinct(self, *fields: int) -> "DataflowScript":
+        """Deduplicate on a field tuple."""
+        self.operators.append(DistinctOp(fields=tuple(fields)))
+        return self
+
+    def order_by(self, field: int, descending: bool = False) -> "DataflowScript":
+        """Globally order by one field."""
+        self.operators.append(OrderOp(field=field, descending=descending))
+        return self
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check operator composition rules.
+
+        Blocking operators end a stage; field indices after a blocking
+        operator refer to its *output* shape, which only the author can
+        know, so only composition structure is validated here.
+        """
+        if not self.operators:
+            raise ValueError(f"script {self.name!r} has no operators")
+
+    def stages(self) -> list[tuple[list, Any]]:
+        """Partition the operators into MR stages.
+
+        Each stage is ``(map pipeline, blocking operator or None)``: the
+        longest run of filters/projections, closed by the next blocking
+        operator.  A trailing non-blocking run becomes a map-only stage.
+        """
+        self.validate()
+        result: list[tuple[list, Any]] = []
+        pipeline: list = []
+        for op in self.operators:
+            if isinstance(op, _BLOCKING):
+                result.append((pipeline, op))
+                pipeline = []
+            else:
+                pipeline.append(op)
+        if pipeline or not result:
+            result.append((pipeline, None))
+        return result

@@ -1,0 +1,89 @@
+"""Experiment drivers: one module per table/figure, plus ablations.
+
+Every driver exposes ``run(...) -> ExperimentResult``; ``run_all`` chains
+them and returns the formatted report the benchmarks print.
+"""
+
+from . import (
+    ablations,
+    adoption,
+    dataflow_similarity,
+    fig1_3,
+    fig4_1,
+    fig4_3,
+    fig4_5,
+    fig4_6,
+    fig6_1,
+    fig6_2,
+    fig6_3,
+    table6_1,
+)
+from .accuracy import (
+    AccuracyResult,
+    evaluate_gbrt,
+    evaluate_nn_baseline,
+    evaluate_pstorm,
+)
+from .common import (
+    ExperimentContext,
+    SuiteRecord,
+    build_store,
+    collect_suite,
+    twin_of,
+)
+from .result import ExperimentResult
+
+__all__ = [
+    "ablations",
+    "adoption",
+    "dataflow_similarity",
+    "fig1_3",
+    "fig4_1",
+    "fig4_3",
+    "fig4_5",
+    "fig4_6",
+    "fig6_1",
+    "fig6_2",
+    "fig6_3",
+    "table6_1",
+    "AccuracyResult",
+    "evaluate_gbrt",
+    "evaluate_nn_baseline",
+    "evaluate_pstorm",
+    "ExperimentContext",
+    "SuiteRecord",
+    "build_store",
+    "collect_suite",
+    "twin_of",
+    "ExperimentResult",
+    "run_all",
+]
+
+
+def run_all(seed: int = 0) -> list[ExperimentResult]:
+    """Run every experiment once, sharing the context and suite profiles."""
+    ctx = ExperimentContext.create(seed)
+    records = collect_suite(ctx, seed=seed)
+    results = [
+        table6_1.run(ctx, seed=seed),
+        fig1_3.run(ctx, seed=seed),
+        fig4_1.run(ctx, seed=seed),
+        fig4_3.run(ctx, seed=seed),
+        fig4_5.run(ctx, seed=seed),
+        fig4_6.run(ctx, seed=seed),
+        fig6_1.run(ctx, records, seed=seed),
+        fig6_2.run(ctx, records, seed=seed),
+        fig6_3.run(ctx, records, seed=seed),
+        ablations.run_pushdown(ctx, records, seed=seed),
+        ablations.run_store_models(ctx, records, seed=seed),
+        ablations.run_param_features(ctx, seed=seed),
+        ablations.run_filter_order(ctx, records, seed=seed),
+        ablations.run_threshold_sensitivity(ctx, records, seed=seed),
+        ablations.run_cluster_transfer(ctx, seed=seed),
+        ablations.run_gbrt_weights(ctx, records, seed=seed),
+        ablations.run_store_scalability(ctx, records, seed=seed),
+        ablations.run_cfg_cost_correlation(ctx, records, seed=seed),
+        adoption.run(ctx, seed=seed),
+        dataflow_similarity.run(ctx, seed=seed),
+    ]
+    return results

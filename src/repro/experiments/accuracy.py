@@ -1,0 +1,171 @@
+"""Matching-accuracy evaluation (§6.1): the engine behind Figs 6.1/6.2.
+
+Accuracy is the fraction of suite submissions whose matcher answer is the
+*correct* profile: the submission's own stored profile in the SD state,
+its twin in the DD state.  Map-side and reduce-side answers are scored
+separately, exactly as the paper plots them.  Submissions without a twin
+in the DD state (co-occurrence stripes, the FIM chain) cannot be answered
+correctly and therefore count against accuracy as false positives — the
+source of the paper's reported DD mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.feature_selection import (
+    NUMERIC_FEATURE_COLUMNS,
+    NearestNeighborMatcher,
+    rank_features,
+)
+from ..core.gbrt import GbrtParams
+from ..core.gbrt_matcher import GbrtMatcher
+from ..core.matcher import ProfileMatcher
+from .common import ExperimentContext, SuiteRecord, build_store, twin_of
+
+__all__ = [
+    "AccuracyResult",
+    "evaluate_pstorm",
+    "evaluate_nn_baseline",
+    "evaluate_gbrt",
+    "train_gbrt_matcher",
+]
+
+#: PStorM's feature budget: 13 static (Table 4.3) + 6 dynamic (Table 4.1).
+PSTORM_FEATURE_COUNT = 19
+
+
+@dataclass
+class AccuracyResult:
+    """Side-wise matching accuracy of one approach in one content state."""
+
+    approach: str
+    state: str
+    map_correct: int = 0
+    map_total: int = 0
+    reduce_correct: int = 0
+    reduce_total: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def map_accuracy(self) -> float:
+        return self.map_correct / self.map_total if self.map_total else 0.0
+
+    @property
+    def reduce_accuracy(self) -> float:
+        return self.reduce_correct / self.reduce_total if self.reduce_total else 0.0
+
+    def record(self, side: str, answered: str | None, expected: str | None) -> None:
+        correct = expected is not None and answered == expected
+        if side == "map":
+            self.map_total += 1
+            self.map_correct += int(correct)
+        else:
+            self.reduce_total += 1
+            self.reduce_correct += int(correct)
+        if not correct:
+            self.mismatches.append(f"{side}: got {answered!r}, wanted {expected!r}")
+
+
+def _expected_for(records: dict[str, SuiteRecord], key: str, state: str) -> str | None:
+    if state == "SD":
+        return key
+    if state == "DD":
+        return twin_of(records, key)
+    raise ValueError("state must be 'SD' or 'DD'")
+
+
+def evaluate_pstorm(
+    records: dict[str, SuiteRecord], state: str
+) -> AccuracyResult:
+    """Accuracy of the multi-stage matcher in one content state."""
+    result = AccuracyResult("PStorM", state)
+    sd_store = build_store(records) if state == "SD" else None
+    for key, record in records.items():
+        expected = _expected_for(records, key, state)
+        if state == "SD":
+            store = sd_store
+        else:
+            store = build_store(records, exclude_keys={key})
+        matcher = ProfileMatcher(store)
+
+        features = record.features
+        map_match = matcher.match_side(features, "map")
+        result.record("map", map_match.job_id, expected)
+        if features.has_reduce:
+            reduce_match = matcher.match_side(features, "reduce")
+            result.record("reduce", reduce_match.job_id, expected)
+    return result
+
+
+def evaluate_nn_baseline(
+    records: dict[str, SuiteRecord], state: str, include_static: bool
+) -> AccuracyResult:
+    """Accuracy of the P-features / SP-features 1-NN baselines (§6.1.1)."""
+    name = "SP-features" if include_static else "P-features"
+    result = AccuracyResult(name, state)
+    store = build_store(records)
+
+    ranked = rank_features(store, include_static=include_static)
+    numeric_names = set(NUMERIC_FEATURE_COLUMNS)
+    top = [n for n, __ in ranked[:PSTORM_FEATURE_COUNT] if n in numeric_names]
+    matcher = NearestNeighborMatcher(store, feature_names=top)
+
+    for key, record in records.items():
+        expected = _expected_for(records, key, state)
+        exclude = {key} if state == "DD" else None
+        answered = matcher.match(record.sample_profile, exclude=exclude)
+        result.record("map", answered, expected)
+        if record.features.has_reduce:
+            result.record("reduce", answered, expected)
+    return result
+
+
+def train_gbrt_matcher(
+    ctx: ExperimentContext,
+    records: dict[str, SuiteRecord],
+    params: GbrtParams,
+    pairs_per_job: int = 16,
+    seed: int = 0,
+) -> GbrtMatcher:
+    """Train one GBRT matcher on the full store (shared across states)."""
+    store = build_store(records)
+    return GbrtMatcher.train(
+        store, ctx.whatif, params, pairs_per_job=pairs_per_job, seed=seed
+    )
+
+
+def evaluate_gbrt(
+    ctx: ExperimentContext,
+    records: dict[str, SuiteRecord],
+    state: str,
+    params: GbrtParams,
+    label: str,
+    pairs_per_job: int = 16,
+    seed: int = 0,
+    matcher: GbrtMatcher | None = None,
+) -> AccuracyResult:
+    """Accuracy of the GBRT matcher (§4.4) in one content state.
+
+    The metric is trained once on the full store; the DD state is
+    emulated by removing the submitted pair from the candidate donors,
+    which matches the paper's setup of a model trained on the cluster's
+    profile history.
+    """
+    result = AccuracyResult(label, state)
+    if matcher is None:
+        matcher = train_gbrt_matcher(ctx, records, params, pairs_per_job, seed)
+    all_ids = matcher.store.job_ids()
+
+    for key, record in records.items():
+        expected = _expected_for(records, key, state)
+        candidates = all_ids if state == "SD" else [j for j in all_ids if j != key]
+        answer = matcher.match(
+            record.sample_profile, record.static, candidates=candidates
+        )
+        map_answer = answer[0] if answer else None
+        reduce_answer = answer[1] if answer else None
+        result.record("map", map_answer, expected)
+        if record.features.has_reduce:
+            result.record("reduce", reduce_answer, expected)
+    return result

@@ -1,0 +1,174 @@
+"""Shared experiment infrastructure.
+
+Every table/figure driver builds on the same pieces: a simulated cluster
+with its Starfish stack, the Table 6.1 suite profiled end to end, and
+store builders for the three content states of §6 —
+
+- **SD** (Same Data): the store holds every suite profile, including the
+  submitted (job, dataset) pair's own; the correct match is that profile.
+- **DD** (Different Data): the submitted pair's own profile is removed;
+  the correct match is its *twin* (same job, other dataset), when one
+  exists.
+- **NJ** (New Job): every profile of the submitted job (on any dataset)
+  is removed; there is no "correct" stored answer — the measure of
+  success is the tuning speedup the composite profile delivers (Fig 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.static_features import StaticFeatures
+from ..core.features import JobFeatures, extract_job_features
+from ..core.store import ProfileStore
+from ..hadoop.cluster import ClusterSpec
+from ..hadoop.config import JobConfiguration
+from ..hadoop.engine import HadoopEngine
+from ..hadoop.cluster import ec2_cluster
+from ..starfish.cbo import CostBasedOptimizer
+from ..starfish.profile import JobProfile
+from ..starfish.profiler import StarfishProfiler
+from ..starfish.rbo import RuleBasedOptimizer
+from ..starfish.sampler import Sampler
+from ..starfish.whatif import WhatIfEngine
+from ..workloads.benchmark import BenchmarkEntry, standard_benchmark
+
+__all__ = [
+    "ExperimentContext",
+    "SuiteRecord",
+    "collect_suite",
+    "build_store",
+    "twin_of",
+    "format_table",
+]
+
+
+@dataclass
+class ExperimentContext:
+    """A cluster plus the Starfish components every experiment needs."""
+
+    cluster: ClusterSpec
+    engine: HadoopEngine
+    profiler: StarfishProfiler
+    sampler: Sampler
+    whatif: WhatIfEngine
+    seed: int = 0
+
+    @classmethod
+    def create(cls, seed: int = 0) -> "ExperimentContext":
+        cluster = ec2_cluster()
+        engine = HadoopEngine(cluster)
+        profiler = StarfishProfiler(engine)
+        return cls(
+            cluster=cluster,
+            engine=engine,
+            profiler=profiler,
+            sampler=Sampler(profiler),
+            whatif=WhatIfEngine(cluster),
+            seed=seed,
+        )
+
+    def make_cbo(self, seed: int | None = None) -> CostBasedOptimizer:
+        return CostBasedOptimizer(self.whatif, seed=self.seed if seed is None else seed)
+
+    def make_rbo(self) -> RuleBasedOptimizer:
+        return RuleBasedOptimizer(self.cluster)
+
+
+@dataclass
+class SuiteRecord:
+    """Everything collected for one benchmark (job, dataset) pair."""
+
+    entry: BenchmarkEntry
+    full_profile: JobProfile
+    sample_profile: JobProfile
+    features: JobFeatures
+
+    @property
+    def key(self) -> str:
+        return self.entry.key
+
+    @property
+    def job_name(self) -> str:
+        return self.entry.job.name
+
+    @property
+    def static(self) -> StaticFeatures:
+        return self.features.static
+
+
+def collect_suite(
+    ctx: ExperimentContext,
+    entries: list[BenchmarkEntry] | None = None,
+    seed: int = 0,
+) -> dict[str, SuiteRecord]:
+    """Profile the whole suite: full profile + 1-task sample + features."""
+    if entries is None:
+        entries = standard_benchmark()
+    records: dict[str, SuiteRecord] = {}
+    for index, entry in enumerate(entries):
+        run_seed = seed + index
+        full_profile, __ = ctx.profiler.profile_job(
+            entry.job, entry.dataset, seed=run_seed
+        )
+        sample = ctx.sampler.collect(
+            entry.job, entry.dataset, count=1, seed=run_seed + 1
+        )
+        features = extract_job_features(
+            entry.job, entry.dataset, sample.profile, ctx.engine
+        )
+        records[entry.key] = SuiteRecord(
+            entry=entry,
+            full_profile=full_profile,
+            sample_profile=sample.profile,
+            features=features,
+        )
+    return records
+
+
+def build_store(
+    records: dict[str, SuiteRecord],
+    exclude_keys: set[str] | None = None,
+    exclude_jobs: set[str] | None = None,
+) -> ProfileStore:
+    """A fresh profile store holding the suite, minus exclusions.
+
+    Args:
+        exclude_keys: exact (job, dataset) keys to omit (the DD state).
+        exclude_jobs: job names to omit on *all* datasets (the NJ state).
+    """
+    store = ProfileStore()
+    for key, record in records.items():
+        if exclude_keys and key in exclude_keys:
+            continue
+        if exclude_jobs and record.job_name in exclude_jobs:
+            continue
+        store.put(record.full_profile, record.static, job_id=key)
+    return store
+
+
+def twin_of(records: dict[str, SuiteRecord], key: str) -> str | None:
+    """The twin of a (job, dataset) key: same job, other dataset."""
+    job_name = records[key].job_name
+    twins = [
+        other
+        for other, record in records.items()
+        if other != key and record.job_name == job_name
+    ]
+    if not twins:
+        return None
+    # FIM-style chains have one dataset; CF jobs have exactly one twin.
+    return sorted(twins)[0]
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Monospace table rendering for experiment output."""
+    table = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Generated-job similarity: the §1 Pig/Hive claim, measured.
+
+Chapter 1: "The similarity between MR jobs is likely to be higher if the
+jobs are generated from high-level query languages such as Pig Latin or
+Hive."  This driver quantifies it: a set of *distinct* dataflow scripts
+compiles onto the shared generic operators; after storing the first few
+scripts' profiles, every further script is submitted as a brand-new job.
+We report the match rate and how often the match came through the strong
+static path — versus the same protocol over hand-written jobs, which must
+fall back to the lenient cost filter far more often.
+"""
+
+from __future__ import annotations
+
+from ..core.features import extract_job_features
+from ..core.matcher import ProfileMatcher
+from ..core.store import ProfileStore
+from ..dataflow import DataflowScript, compile_script
+from ..workloads.datasets import pigmix_dataset
+from ..workloads.jobs import (
+    bigram_relative_frequency_job,
+    cooccurrence_pairs_job,
+    inverted_index_job,
+    pigmix_job,
+    word_count_job,
+)
+from .common import ExperimentContext
+from .result import ExperimentResult
+
+__all__ = ["run", "example_scripts"]
+
+
+def example_scripts() -> list[DataflowScript]:
+    """Eight distinct analyses over page_views, as a script author would
+    write them (value fields: user, action, timespent, term, revenue,
+    links)."""
+    return [
+        DataflowScript("revenue-by-user")
+        .filter(1, "==", 2)
+        .project(0, 4)
+        .group_by(0, aggregations=[("sum", 1)]),
+        DataflowScript("time-by-term")
+        .project(3, 2)
+        .group_by(0, aggregations=[("sum", 1), ("avg", 1)]),
+        DataflowScript("link-popularity")
+        .project(0, 5, flatten=1)
+        .group_by(1, aggregations=[("count", 0)]),
+        DataflowScript("active-users")
+        .filter(2, ">", 60)
+        .distinct(0),
+        DataflowScript("actions-histogram")
+        .project(1, 0)
+        .group_by(0, aggregations=[("count", 1)]),
+        DataflowScript("big-spenders")
+        .filter(4, ">", 25.0)
+        .project(0, 4)
+        .group_by(0, aggregations=[("max", 1), ("count", 1)]),
+        DataflowScript("terms-ordered")
+        .project(3, 4)
+        .order_by(1, descending=True),
+        DataflowScript("term-users")
+        .project(3, 0)
+        .distinct(0, 1),
+    ]
+
+
+def _match_protocol(ctx, jobs_with_datasets, seed):
+    """Store the first half's profiles; submit the second half as new."""
+    store = ProfileStore()
+    half = max(1, len(jobs_with_datasets) // 2)
+    for index, (job, dataset) in enumerate(jobs_with_datasets[:half]):
+        profile, __ = ctx.profiler.profile_job(job, dataset, seed=seed + index)
+        sample = ctx.sampler.collect(job, dataset, count=1, seed=seed + index)
+        features = extract_job_features(job, dataset, sample.profile, ctx.engine)
+        store.put(profile, features.static, job_id=f"{job.name}@{dataset.name}")
+
+    matcher = ProfileMatcher(store)
+    matched = 0
+    static_path = 0
+    total = 0
+    for index, (job, dataset) in enumerate(jobs_with_datasets[half:]):
+        sample = ctx.sampler.collect(job, dataset, count=1, seed=seed + 100 + index)
+        features = extract_job_features(job, dataset, sample.profile, ctx.engine)
+        outcome = matcher.match_job(features)
+        total += 1
+        if outcome.matched:
+            matched += 1
+            if outcome.map_match.stage == "static":
+                static_path += 1
+    return matched, static_path, total
+
+
+def run(ctx: ExperimentContext | None = None, seed: int = 0) -> ExperimentResult:
+    """Compare generated-script jobs with hand-written jobs."""
+    if ctx is None:
+        ctx = ExperimentContext.create(seed)
+    pages = pigmix_dataset(1)
+
+    generated = [
+        (job, pages)
+        for script in example_scripts()
+        for job in compile_script(script)
+    ]
+    handwritten = [
+        (word_count_job(), pages),
+        (inverted_index_job(), pages),
+        (bigram_relative_frequency_job(), pages),
+        (cooccurrence_pairs_job(), pages),
+        (pigmix_job(1), pages),
+        (pigmix_job(4), pages),
+        (pigmix_job(6), pages),
+        (pigmix_job(11), pages),
+    ]
+    # Hand-written text jobs cannot parse page_views tuples; give them a
+    # comparable text corpus instead, keeping the protocol identical.
+    from ..workloads.datasets import random_text_1gb
+
+    text = random_text_1gb()
+    handwritten = [
+        (job, text if job.input_format == "TextInputFormat" else pages)
+        for job, __ in handwritten
+    ]
+
+    rows = []
+    for label, population in (
+        ("script-generated", generated),
+        ("hand-written", handwritten),
+    ):
+        matched, static_path, total = _match_protocol(ctx, population, seed)
+        rows.append(
+            [
+                label,
+                total,
+                round(matched / total, 3) if total else 0.0,
+                round(static_path / total, 3) if total else 0.0,
+            ]
+        )
+    return ExperimentResult(
+        name="Dataflow similarity",
+        title="Match rate for new jobs: generated scripts vs hand-written",
+        headers=["population", "new jobs", "match rate", "via static path"],
+        rows=rows,
+        notes=(
+            "Expected shape: script-generated jobs match through the strong "
+            "static path far more often — the §1 claim about Pig/Hive "
+            "workloads, measured."
+        ),
+    )

@@ -1,0 +1,48 @@
+"""Figure 4.5: phase-time similarity of word co-occurrence and bigram
+relative frequency on the same 35 GB corpus.
+
+The composite-profile rationale: with a window of 2, the two jobs push
+nearly identical volumes through every phase, so one job's profile prices
+the other's execution well — the motivating example of Chapter 1.
+"""
+
+from __future__ import annotations
+
+from ..hadoop.config import JobConfiguration
+from ..hadoop.tasks import MAP_PHASES, REDUCE_PHASES
+from ..workloads.datasets import wikipedia_35gb
+from ..workloads.jobs import bigram_relative_frequency_job, cooccurrence_pairs_job
+from .common import ExperimentContext
+from .result import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext | None = None, seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 4.5: per-task phase times of the two jobs."""
+    if ctx is None:
+        ctx = ExperimentContext.create(seed)
+    wiki = wikipedia_35gb()
+    config = JobConfiguration()
+
+    rows = []
+    for job in (cooccurrence_pairs_job(window=2), bigram_relative_frequency_job()):
+        execution = ctx.engine.run_job(job, wiki, config, seed=seed)
+        map_totals = execution.map_phase_totals()
+        reduce_totals = execution.reduce_phase_totals()
+        maps = max(1, execution.num_map_tasks)
+        reduces = max(1, execution.num_reduce_tasks)
+        row = [job.name]
+        row += [round(map_totals[p] / maps, 2) for p in MAP_PHASES if p not in ("SETUP", "CLEANUP")]
+        row += [round(reduce_totals[p] / reduces, 2) for p in REDUCE_PHASES if p not in ("SETUP", "CLEANUP")]
+        rows.append(row)
+
+    map_headers = [f"map:{p}" for p in MAP_PHASES if p not in ("SETUP", "CLEANUP")]
+    reduce_headers = [f"red:{p}" for p in REDUCE_PHASES if p not in ("SETUP", "CLEANUP")]
+    return ExperimentResult(
+        name="Figure 4.5",
+        title="Phase times: co-occurrence ≈ bigram relative frequency (avg s/task)",
+        headers=["job"] + map_headers + reduce_headers,
+        rows=rows,
+        notes="Expected shape: every phase within a small factor of its counterpart.",
+    )

@@ -1,0 +1,30 @@
+"""Experiment result container with the paper-style table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .common import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one of the paper's tables or figures."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: str = ""
+
+    def __str__(self) -> str:
+        parts = [f"== {self.name}: {self.title} ==", format_table(self.headers, self.rows)]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by header."""
+        return [dict(zip(self.headers, row)) for row in self.rows]

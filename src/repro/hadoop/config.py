@@ -1,0 +1,244 @@
+"""Hadoop job configuration: the 14 tuning parameters of Table 2.1.
+
+The Starfish system identified 14 Hadoop configuration parameters with a major
+impact on MR job performance.  This module models those parameters, their
+defaults, their legal ranges, and the search space the cost-based optimizer
+explores.  Parameter names follow the Hadoop 0.20-era names used by the paper
+(``io.sort.mb``, ``mapred.reduce.tasks``, ...), exposed as attribute-friendly
+aliases on :class:`JobConfiguration`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "JobConfiguration",
+    "ParameterSpec",
+    "CONFIGURATION_SPACE",
+    "PARAMETER_NAMES",
+    "default_configuration",
+]
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Description of one tunable configuration parameter.
+
+    Attributes:
+        name: Hadoop parameter name, e.g. ``"io.sort.mb"``.
+        attribute: attribute name on :class:`JobConfiguration`.
+        description: one-line description from Table 2.1.
+        default: Hadoop's out-of-the-box value.
+        kind: ``"int"``, ``"float"``, or ``"bool"``.
+        low, high: inclusive numeric bounds for the CBO search (ignored for
+            booleans).
+        log_scale: whether the CBO should sample this dimension on a log scale
+            (used for sizes and counts that span orders of magnitude).
+    """
+
+    name: str
+    attribute: str
+    description: str
+    default: Any
+    kind: str
+    low: float | None = None
+    high: float | None = None
+    log_scale: bool = False
+
+    def clamp(self, value: Any) -> Any:
+        """Coerce *value* into this parameter's type and legal range."""
+        if self.kind == "bool":
+            return bool(value)
+        if self.low is not None:
+            value = max(self.low, value)
+        if self.high is not None:
+            value = min(self.high, value)
+        if self.kind == "int":
+            return int(round(value))
+        return float(value)
+
+
+#: The 14 parameters of Table 2.1, in the paper's order.
+CONFIGURATION_SPACE: tuple[ParameterSpec, ...] = (
+    ParameterSpec(
+        "io.sort.mb", "io_sort_mb",
+        "Size in MB of the map-side memory buffer",
+        default=100, kind="int", low=16, high=1024, log_scale=True,
+    ),
+    ParameterSpec(
+        "io.sort.record.percent", "io_sort_record_percent",
+        "Fraction of the map-side buffer used for record meta-data",
+        default=0.05, kind="float", low=0.01, high=0.5,
+    ),
+    ParameterSpec(
+        "io.sort.spill.percent", "io_sort_spill_percent",
+        "Buffer-fill threshold that triggers a spill to disk",
+        default=0.8, kind="float", low=0.2, high=0.95,
+    ),
+    ParameterSpec(
+        "io.sort.factor", "io_sort_factor",
+        "Number of open streams during the external merge-sort",
+        default=10, kind="int", low=2, high=200, log_scale=True,
+    ),
+    ParameterSpec(
+        "mapreduce.combine.class", "use_combiner",
+        "Whether the job's combiner (if any) is enabled; Hadoop's NULL "
+        "default means the job-defined combiner passes through unchanged",
+        default=True, kind="bool",
+    ),
+    ParameterSpec(
+        "min.num.spills.for.combine", "min_num_spills_for_combine",
+        "Minimum number of disk spills before the combiner runs on merge",
+        default=3, kind="int", low=1, high=20,
+    ),
+    ParameterSpec(
+        "mapred.compress.map.output", "compress_map_output",
+        "Whether intermediate (map output) data is compressed",
+        default=False, kind="bool",
+    ),
+    ParameterSpec(
+        "mapred.reduce.slowstart.completed.maps", "reduce_slowstart",
+        "Fraction of map tasks completed before reducers are scheduled",
+        default=0.05, kind="float", low=0.0, high=1.0,
+    ),
+    ParameterSpec(
+        "mapred.reduce.tasks", "num_reduce_tasks",
+        "Number of reduce tasks spawned during the reduce phase",
+        default=1, kind="int", low=1, high=512, log_scale=True,
+    ),
+    ParameterSpec(
+        "mapred.job.shuffle.input.buffer.percent", "shuffle_input_buffer_percent",
+        "Fraction of reduce-side heap used to buffer shuffled data",
+        default=0.7, kind="float", low=0.1, high=0.9,
+    ),
+    ParameterSpec(
+        "mapred.job.shuffle.merge.percent", "shuffle_merge_percent",
+        "Shuffle-buffer fill fraction that triggers an in-memory merge",
+        default=0.66, kind="float", low=0.2, high=0.95,
+    ),
+    ParameterSpec(
+        "mapred.inmem.merge.threshold", "inmem_merge_threshold",
+        "Number of shuffled map outputs that triggers an in-memory merge",
+        default=1000, kind="int", low=10, high=10000, log_scale=True,
+    ),
+    ParameterSpec(
+        "mapred.job.reduce.input.buffer.percent", "reduce_input_buffer_percent",
+        "Fraction of reduce-side heap retaining map outputs during reduce",
+        default=0.0, kind="float", low=0.0, high=0.8,
+    ),
+    ParameterSpec(
+        "mapred.output.compress", "compress_output",
+        "Whether final job output is compressed",
+        default=False, kind="bool",
+    ),
+)
+
+PARAMETER_NAMES: tuple[str, ...] = tuple(p.name for p in CONFIGURATION_SPACE)
+
+_SPEC_BY_NAME: dict[str, ParameterSpec] = {p.name: p for p in CONFIGURATION_SPACE}
+_SPEC_BY_ATTR: dict[str, ParameterSpec] = {p.attribute: p for p in CONFIGURATION_SPACE}
+
+
+@dataclass(frozen=True)
+class JobConfiguration:
+    """An immutable setting of the 14 tunable Hadoop parameters.
+
+    Instances are hashable value objects; derive variants with
+    :meth:`with_params` or :func:`dataclasses.replace`.
+    """
+
+    io_sort_mb: int = 100
+    io_sort_record_percent: float = 0.05
+    io_sort_spill_percent: float = 0.8
+    io_sort_factor: int = 10
+    use_combiner: bool = True
+    min_num_spills_for_combine: int = 3
+    compress_map_output: bool = False
+    reduce_slowstart: float = 0.05
+    num_reduce_tasks: int = 1
+    shuffle_input_buffer_percent: float = 0.7
+    shuffle_merge_percent: float = 0.66
+    inmem_merge_threshold: int = 1000
+    reduce_input_buffer_percent: float = 0.0
+    compress_output: bool = False
+
+    def __post_init__(self) -> None:
+        for spec in CONFIGURATION_SPACE:
+            value = getattr(self, spec.attribute)
+            clamped = spec.clamp(value)
+            if clamped != value:
+                raise ValueError(
+                    f"{spec.name}={value!r} outside legal range "
+                    f"[{spec.low}, {spec.high}]"
+                )
+
+    # ------------------------------------------------------------------
+    # Hadoop-name access
+    # ------------------------------------------------------------------
+    def get(self, hadoop_name: str) -> Any:
+        """Return a parameter value by its Hadoop name."""
+        spec = _SPEC_BY_NAME.get(hadoop_name)
+        if spec is None:
+            raise KeyError(f"unknown configuration parameter: {hadoop_name}")
+        return getattr(self, spec.attribute)
+
+    def with_params(self, **attrs: Any) -> "JobConfiguration":
+        """Return a copy with the given attribute overrides, clamped."""
+        clean = {
+            name: _SPEC_BY_ATTR[name].clamp(value) if name in _SPEC_BY_ATTR else value
+            for name, value in attrs.items()
+        }
+        return replace(self, **clean)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Dump as a ``{hadoop name: value}`` mapping (Table 2.1 order)."""
+        return {spec.name: getattr(self, spec.attribute) for spec in CONFIGURATION_SPACE}
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "JobConfiguration":
+        """Build a configuration from a ``{hadoop name: value}`` mapping."""
+        attrs: dict[str, Any] = {}
+        for name, value in mapping.items():
+            spec = _SPEC_BY_NAME.get(name)
+            if spec is None:
+                raise KeyError(f"unknown configuration parameter: {name}")
+            attrs[spec.attribute] = spec.clamp(value)
+        return cls(**attrs)
+
+    def iter_params(self) -> Iterator[tuple[str, Any]]:
+        """Yield ``(hadoop name, value)`` pairs in Table 2.1 order."""
+        for spec in CONFIGURATION_SPACE:
+            yield spec.name, getattr(self, spec.attribute)
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the engines and the What-If models
+    # ------------------------------------------------------------------
+    def sort_buffer_bytes(self) -> int:
+        """Bytes of the map-side serialization buffer (io.sort.mb)."""
+        return self.io_sort_mb * 1024 * 1024
+
+    def record_buffer_bytes(self) -> int:
+        """Bytes of the buffer reserved for record meta-data."""
+        return int(self.sort_buffer_bytes() * self.io_sort_record_percent)
+
+    def data_buffer_bytes(self) -> int:
+        """Bytes of the buffer available for serialized records."""
+        return self.sort_buffer_bytes() - self.record_buffer_bytes()
+
+    def merge_passes(self, num_spills: int) -> int:
+        """External-merge passes needed to merge *num_spills* spill files.
+
+        Classic external merge-sort arithmetic with fan-in
+        ``io.sort.factor``; a single spill needs no merging.
+        """
+        if num_spills <= 1:
+            return 0
+        return max(1, math.ceil(math.log(num_spills, self.io_sort_factor)))
+
+
+def default_configuration() -> JobConfiguration:
+    """The out-of-the-box Hadoop configuration of Table 2.1."""
+    return JobConfiguration()

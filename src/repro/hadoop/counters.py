@@ -1,0 +1,53 @@
+"""Hadoop-style counters.
+
+Counters are grouped name -> value accumulators attached to each task and
+aggregated per job, mirroring Hadoop's ``Counters`` API.  The profiler reads
+framework counters (records/bytes through each phase); user functions may
+increment their own counters through the task context.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Counters", "FRAMEWORK_GROUP"]
+
+FRAMEWORK_GROUP = "org.apache.hadoop.mapred.Task$Counter"
+
+
+@dataclass
+class Counters:
+    """Grouped counters with Hadoop-like increment/aggregate semantics."""
+
+    _groups: dict[str, dict[str, int]] = field(
+        default_factory=lambda: defaultdict(dict)
+    )
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* in *group* (creating it at 0)."""
+        counters = self._groups[group]
+        counters[name] = counters.get(name, 0) + amount
+
+    def value(self, group: str, name: str) -> int:
+        """Current value of a counter; missing counters read as 0."""
+        return self._groups.get(group, {}).get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Aggregate another task's counters into this one."""
+        for group, counters in other._groups.items():
+            for name, amount in counters.items():
+                self.increment(group, name, amount)
+
+    def groups(self) -> list[str]:
+        return sorted(self._groups)
+
+    def items(self) -> Iterator[tuple[str, str, int]]:
+        """Yield ``(group, name, value)`` triples in sorted order."""
+        for group in sorted(self._groups):
+            for name in sorted(self._groups[group]):
+                yield group, name, self._groups[group][name]
+
+    def to_dict(self) -> dict[str, dict[str, int]]:
+        return {group: dict(counters) for group, counters in self._groups.items()}

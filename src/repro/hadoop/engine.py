@@ -1,0 +1,320 @@
+"""HadoopEngine: the simulator façade.
+
+``HadoopEngine.run_job`` executes an MR job — really executes the user's
+map/reduce/combine callables over materialized sample records, then
+extrapolates volumes to the dataset's nominal size and prices every task's
+phases on the cluster model.  Measurements (the expensive part: running user
+code) are cached per (job, dataset, split), so re-running the same job under
+a different configuration only re-prices the pipeline arithmetic, exactly
+like re-submitting a job to a real cluster re-uses the same input data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .cluster import ClusterSpec
+from .config import JobConfiguration
+from .counters import Counters
+from .dataset import Dataset
+from .job import MapReduceJob
+from .mapper_engine import (
+    MapSampleMeasurement,
+    measure_map_sample,
+    partition_fractions,
+    simulate_map_task,
+)
+from .reducer_engine import (
+    ReduceSampleMeasurement,
+    measure_reduce_from_pairs,
+    simulate_reduce_task,
+)
+from .scheduler import schedule_job
+from .tasks import JobExecution, MapTaskExecution, ReduceTaskExecution
+
+__all__ = ["HadoopEngine"]
+
+#: Relative slowdown of a profiled task (dynamic instrumentation cost).
+DEFAULT_PROFILING_OVERHEAD = 0.10
+
+
+def _job_key(job: MapReduceJob, dataset: Dataset) -> tuple:
+    params = tuple(sorted((str(k), repr(v)) for k, v in job.params.items()))
+    return (job.name, params, dataset.name)
+
+
+class HadoopEngine:
+    """Simulated Hadoop cluster executing MapReduce jobs.
+
+    Args:
+        cluster: the cluster model tasks run on.
+        representative_splits: number of distinct splits whose sample
+            records are materialized and run through the user functions;
+            remaining map tasks reuse these measurements round-robin (their
+            *cost rates* still vary per task/node).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        representative_splits: int = 3,
+        locality_aware: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.representative_splits = max(1, representative_splits)
+        #: When True, HDFS block placement is modelled and map tasks that
+        #: the locality-aware scheduler could not run node-local pay the
+        #: remote-read penalty on their READ phase.
+        self.locality_aware = locality_aware
+        self._map_cache: dict[tuple, MapSampleMeasurement] = {}
+        self._reduce_cache: dict[tuple, ReduceSampleMeasurement] = {}
+
+    # ------------------------------------------------------------------
+    # Measurement layer
+    # ------------------------------------------------------------------
+    def measure_split(
+        self, job: MapReduceJob, dataset: Dataset, split_index: int
+    ) -> MapSampleMeasurement:
+        """Measured map behaviour of one split (cached)."""
+        key = (*_job_key(job, dataset), split_index)
+        measurement = self._map_cache.get(key)
+        if measurement is None:
+            measurement = measure_map_sample(job, dataset, split_index)
+            self._map_cache[key] = measurement
+        return measurement
+
+    def representative_indices(self, dataset: Dataset) -> list[int]:
+        """Evenly spaced split indices used as measurement representatives."""
+        count = min(self.representative_splits, dataset.num_splits)
+        if count == 1:
+            return [0]
+        positions = np.linspace(0, dataset.num_splits - 1, count)
+        return sorted({int(round(p)) for p in positions})
+
+    def map_measurements(
+        self, job: MapReduceJob, dataset: Dataset
+    ) -> list[MapSampleMeasurement]:
+        return [
+            self.measure_split(job, dataset, index)
+            for index in self.representative_indices(dataset)
+        ]
+
+    def reduce_measurement(
+        self, job: MapReduceJob, dataset: Dataset, combined: bool
+    ) -> ReduceSampleMeasurement:
+        """Measured reduce behaviour over the union of sample map outputs."""
+        key = (*_job_key(job, dataset), "reduce", combined)
+        measurement = self._reduce_cache.get(key)
+        if measurement is None:
+            pairs: list[tuple[Any, Any]] = []
+            for map_measurement in self.map_measurements(job, dataset):
+                pairs.extend(map_measurement.intermediate_pairs(combined))
+            measurement = measure_reduce_from_pairs(job, pairs)
+            self._reduce_cache[key] = measurement
+        return measurement
+
+    # ------------------------------------------------------------------
+    # Execution layer
+    # ------------------------------------------------------------------
+    def run_job(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        config: JobConfiguration | None = None,
+        map_task_ids: Sequence[int] | None = None,
+        profile: bool = False,
+        profiling_overhead: float = DEFAULT_PROFILING_OVERHEAD,
+        seed: int = 0,
+    ) -> JobExecution:
+        """Execute *job* on *dataset* under *config*.
+
+        Args:
+            map_task_ids: if given, only these map tasks run (the Starfish
+                sampler's mode of operation — other input splits are
+                dropped and the reducers process only the sampled output).
+            profile: whether tasks run with the profiler attached, which
+                inflates their phase times by *profiling_overhead*.
+            seed: seed for node placement and utilization noise.
+
+        Returns:
+            A :class:`JobExecution` with per-task phase breakdowns and the
+            scheduled job runtime.
+        """
+        if config is None:
+            config = JobConfiguration()
+        rng = np.random.default_rng(seed)
+
+        splits = dataset.splits()
+        if map_task_ids is None:
+            executed_ids = list(range(len(splits)))
+            sampled = False
+        else:
+            executed_ids = sorted(set(map_task_ids))
+            for task_id in executed_ids:
+                if not 0 <= task_id < len(splits):
+                    raise IndexError(f"map task {task_id} out of range")
+            sampled = True
+
+        measurements = self.map_measurements(job, dataset)
+        combined = config.use_combiner and job.has_combiner
+        num_partitions = max(1, config.num_reduce_tasks) if job.has_reducer else 0
+
+        fractions_cache = {}
+        if num_partitions:
+            for i, measurement in enumerate(measurements):
+                fractions_cache[i] = partition_fractions(
+                    measurement, job, num_partitions, combined
+                )
+        else:
+            zero = (np.zeros(1), np.zeros(1))
+            fractions_cache = {i: zero for i in range(len(measurements))}
+
+        map_tasks: list[MapTaskExecution] = []
+        for task_id in executed_ids:
+            rep = task_id % len(measurements)
+            node = self.cluster.node_for_task(task_id, rng)
+            task = simulate_map_task(
+                task_id=task_id,
+                split=splits[task_id],
+                measurement=measurements[rep],
+                job=job,
+                config=config,
+                node=node,
+                rng=rng,
+                fractions=fractions_cache[rep],
+                profiled=profile,
+                profiling_overhead=profiling_overhead,
+            )
+            map_tasks.append(task)
+
+        if self.locality_aware and map_tasks:
+            self._apply_locality_penalty(map_tasks, dataset, rng)
+
+        reduce_tasks: list[ReduceTaskExecution] = []
+        if job.has_reducer and num_partitions:
+            reduce_measurement = self.reduce_measurement(job, dataset, combined)
+            shuffle_bytes = np.zeros(num_partitions)
+            shuffle_records = np.zeros(num_partitions)
+            for task in map_tasks:
+                shuffle_bytes += task.partition_bytes
+                shuffle_records += task.partition_records
+            for partition in range(num_partitions):
+                node = self.cluster.node_for_task(partition, rng)
+                reduce_tasks.append(
+                    simulate_reduce_task(
+                        task_id=len(map_tasks) + partition,
+                        partition=partition,
+                        shuffle_bytes=float(shuffle_bytes[partition]),
+                        shuffle_records=float(shuffle_records[partition]),
+                        measurement=reduce_measurement,
+                        num_map_tasks=len(map_tasks),
+                        config=config,
+                        node=node,
+                        rng=rng,
+                        profiled=profile,
+                        profiling_overhead=profiling_overhead,
+                    )
+                )
+
+        schedule = schedule_job(
+            map_tasks,
+            reduce_tasks,
+            self.cluster.total_map_slots,
+            self.cluster.total_reduce_slots,
+            config,
+        )
+
+        counters = Counters()
+        for task in map_tasks:
+            counters.merge(task.counters)
+        for task in reduce_tasks:
+            counters.merge(task.counters)
+
+        return JobExecution(
+            job_name=job.name,
+            dataset_name=dataset.name,
+            input_bytes=sum(splits[i].nominal_bytes for i in executed_ids),
+            map_tasks=map_tasks,
+            reduce_tasks=reduce_tasks,
+            runtime_seconds=schedule.runtime_seconds,
+            counters=counters,
+            sampled=sampled,
+        )
+
+    def _apply_locality_penalty(
+        self,
+        map_tasks: list[MapTaskExecution],
+        dataset: Dataset,
+        rng: np.random.Generator,
+    ) -> None:
+        """Charge remote reads on the tasks locality scheduling misses.
+
+        A remote read streams the block over the network instead of the
+        local disks, so its READ phase is re-priced at network+disk rates.
+        """
+        from .hdfs import expected_locality, place_blocks
+
+        placement = place_blocks(dataset.num_splits, self.cluster, seed=dataset.seed)
+        stats = expected_locality(placement, self.cluster, seed=dataset.seed)
+        remote_count = round(stats.remote_tasks / max(1, stats.total) * len(map_tasks))
+        if remote_count <= 0:
+            return
+        remote_indices = rng.choice(len(map_tasks), size=remote_count, replace=False)
+        for index in remote_indices:
+            task = map_tasks[index]
+            rates = task.rates
+            penalty = (
+                rates.network_ns_per_byte + rates.read_local_ns_per_byte
+            ) / max(1e-9, rates.read_hdfs_ns_per_byte)
+            task.phase_times["READ"] *= penalty
+
+    def run_job_with_faults(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        config: JobConfiguration | None = None,
+        fault_model: "FaultModel | None" = None,
+        seed: int = 0,
+    ) -> tuple[JobExecution, "FaultyScheduleResult", "FaultyScheduleResult | None"]:
+        """Execute *job* under task failures and speculative execution.
+
+        Returns the fault-free execution record plus the fault-adjusted
+        map-side and reduce-side schedules; the execution's
+        ``runtime_seconds`` is inflated by the serial delay failures add
+        on each side.
+        """
+        from .faults import FaultModel, schedule_with_faults
+        from .scheduler import _list_schedule
+
+        if fault_model is None:
+            fault_model = FaultModel()
+        execution = self.run_job(job, dataset, config, seed=seed)
+        rng = np.random.default_rng((seed, 0xFA17))
+
+        map_durations = [t.duration for t in execution.map_tasks]
+        map_slots = self.cluster.total_map_slots
+        faulty_map = schedule_with_faults(map_durations, map_slots, fault_model, rng)
+        base_map = max(_list_schedule(map_durations, map_slots), default=0.0)
+        delay = faulty_map.makespan - base_map
+
+        faulty_reduce = None
+        if execution.reduce_tasks:
+            reduce_durations = [t.duration for t in execution.reduce_tasks]
+            reduce_slots = self.cluster.total_reduce_slots
+            faulty_reduce = schedule_with_faults(
+                reduce_durations, reduce_slots, fault_model, rng
+            )
+            base_reduce = max(
+                _list_schedule(reduce_durations, reduce_slots), default=0.0
+            )
+            delay += faulty_reduce.makespan - base_reduce
+
+        execution.runtime_seconds += max(0.0, delay)
+        return execution, faulty_map, faulty_reduce
+
+    def clear_caches(self) -> None:
+        """Drop all cached measurements (e.g. after dataset mutation)."""
+        self._map_cache.clear()
+        self._reduce_cache.clear()

@@ -1,0 +1,146 @@
+"""Failure injection and straggler/speculative-execution modelling.
+
+MapReduce's fault tolerance is part of why the paper's tuning rules exist
+at all: the Appendix-B reducer rule keeps 10% of the reduce slots free
+*because* failed reduce tasks must re-execute somewhere, and §2.1 leans on
+blocking execution + independent tasks for seamless recovery.  This module
+adds both mechanisms on top of the scheduler:
+
+- **Task failures**: each task attempt fails independently with a small
+  probability; a failed attempt wastes a configurable fraction of its
+  duration, then the task re-runs (possibly failing again).
+- **Stragglers + speculation**: a slow task attempt (utilization noise
+  already produces them) can be speculatively duplicated once a wave is
+  mostly done; the earliest finisher wins, reproducing Hadoop's
+  speculative execution at the fidelity runtime modelling needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FaultModel", "FaultyScheduleResult", "schedule_with_faults"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Failure and speculation parameters.
+
+    Attributes:
+        task_failure_probability: chance one task attempt fails.
+        wasted_fraction: fraction of the attempt's duration spent before
+            the failure is detected (work thrown away).
+        max_attempts: give up (job failure) after this many attempts.
+        speculative_execution: whether slow attempts get backups.
+        speculation_threshold: an attempt is a straggler if its duration
+            exceeds this multiple of the wave's median.
+    """
+
+    task_failure_probability: float = 0.02
+    wasted_fraction: float = 0.5
+    max_attempts: int = 4
+    speculative_execution: bool = True
+    speculation_threshold: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.task_failure_probability < 1:
+            raise ValueError("failure probability must be in [0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+
+
+@dataclass(frozen=True)
+class FaultyScheduleResult:
+    """Timeline of a task population under failures and speculation."""
+
+    finish_times: tuple[float, ...]
+    makespan: float
+    failures: int
+    speculative_attempts: int
+    wasted_seconds: float
+
+
+def _attempt_duration(
+    base: float, model: FaultModel, rng: np.random.Generator
+) -> tuple[float, int, float]:
+    """Total time until one task commits, failures included.
+
+    Returns (total duration, failures, wasted seconds).
+    """
+    failures = 0
+    total = 0.0
+    wasted = 0.0
+    for attempt in range(model.max_attempts):
+        if attempt == model.max_attempts - 1:
+            # Hadoop would fail the job; the last attempt is forced good
+            # so the simulation keeps a defined runtime.
+            total += base
+            return total, failures, wasted
+        if rng.random() < model.task_failure_probability:
+            lost = base * model.wasted_fraction
+            total += lost
+            wasted += lost
+            failures += 1
+            continue
+        total += base
+        return total, failures, wasted
+    return total, failures, wasted
+
+
+def schedule_with_faults(
+    durations: list[float],
+    num_slots: int,
+    model: FaultModel,
+    rng: np.random.Generator,
+) -> FaultyScheduleResult:
+    """List-schedule tasks under the fault model.
+
+    Speculation approximation: any attempt longer than
+    ``speculation_threshold`` x the population median runs a backup at the
+    median duration (on the spare capacity the Appendix-B rule reserves),
+    and the earlier finisher commits — Hadoop's backup-task behaviour at
+    wave granularity.
+    """
+    if num_slots <= 0:
+        raise ValueError("need at least one slot")
+    if not durations:
+        return FaultyScheduleResult((), 0.0, 0, 0, 0.0)
+
+    median = float(np.median(durations))
+    slots = [0.0] * min(num_slots, len(durations))
+    heapq.heapify(slots)
+
+    finishes: list[float] = []
+    failures = 0
+    speculative = 0
+    wasted = 0.0
+    for base in durations:
+        duration, task_failures, task_wasted = _attempt_duration(base, model, rng)
+        failures += task_failures
+        wasted += task_wasted
+        if (
+            model.speculative_execution
+            and duration > model.speculation_threshold * median
+        ):
+            backup, backup_failures, backup_wasted = _attempt_duration(
+                median, model, rng
+            )
+            failures += backup_failures
+            wasted += backup_wasted + min(duration, backup)
+            speculative += 1
+            duration = min(duration, backup)
+        start = heapq.heappop(slots)
+        finish = start + duration
+        finishes.append(finish)
+        heapq.heappush(slots, finish)
+
+    return FaultyScheduleResult(
+        finish_times=tuple(finishes),
+        makespan=max(finishes),
+        failures=failures,
+        speculative_attempts=speculative,
+        wasted_seconds=wasted,
+    )

@@ -1,0 +1,106 @@
+"""MapReduce job specification.
+
+A :class:`MapReduceJob` bundles the customizable parts of the Hadoop
+framework the paper enumerates in §4.1.2: input formatter, mapper,
+partitioner, combiner, reducer, and output formatter — everything else about
+execution is fixed by the framework.  Mappers and reducers are plain Python
+callables; their byte code is what the static analysis substrate extracts
+CFGs from (the Python stand-in for Soot over Java byte code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Mapping
+
+from .context import TaskContext
+
+__all__ = ["MapReduceJob", "default_partitioner", "MapFunction", "ReduceFunction"]
+
+MapFunction = Callable[[Any, Any, TaskContext], None]
+ReduceFunction = Callable[[Any, Iterable[Any], TaskContext], None]
+Partitioner = Callable[[Any, int], int]
+
+
+def default_partitioner(key: Any, num_partitions: int) -> int:
+    """Hadoop's ``HashPartitioner``: stable hash of the key, modulo.
+
+    Python's builtin ``hash`` is salted per process for strings, so a stable
+    polynomial hash is used instead to keep partition assignments — and
+    therefore partition skew measurements — deterministic across runs.
+    """
+    text = repr(key)
+    value = 0
+    for char in text:
+        value = (value * 31 + ord(char)) & 0x7FFFFFFF
+    return value % num_partitions
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """A complete MR job program (the ``p`` of Starfish's job 4-tuple).
+
+    Attributes:
+        name: human-readable job name, e.g. ``"word-cooccurrence-pairs"``.
+        mapper: the map function ``(key, value, context) -> None``.
+        reducer: the reduce function ``(key, values, context) -> None``;
+            ``None`` for map-only jobs.
+        combiner: optional map-side combine function with reduce signature.
+        partitioner: intermediate-key partitioner.
+        input_format: input formatter class name (static feature
+            ``IN_FORMATTER``), e.g. ``"TextInputFormat"``.
+        output_format: output formatter class name (``OUT_FORMATTER``).
+        params: user job parameters visible to the functions through the
+            context (e.g. co-occurrence window size).  §7.2.1 discusses
+            folding these into the static features.
+    """
+
+    name: str
+    mapper: MapFunction
+    reducer: ReduceFunction | None = None
+    combiner: ReduceFunction | None = None
+    partitioner: Partitioner = default_partitioner
+    input_format: str = "TextInputFormat"
+    output_format: str = "TextOutputFormat"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not callable(self.mapper):
+            raise TypeError("mapper must be callable")
+        if self.reducer is not None and not callable(self.reducer):
+            raise TypeError("reducer must be callable or None")
+
+    @property
+    def has_reducer(self) -> bool:
+        return self.reducer is not None
+
+    @property
+    def has_combiner(self) -> bool:
+        return self.combiner is not None
+
+    @property
+    def mapper_class(self) -> str:
+        """Mapper 'class name' static feature (function qualname)."""
+        return getattr(self.mapper, "__qualname__", repr(self.mapper))
+
+    @property
+    def reducer_class(self) -> str:
+        if self.reducer is None:
+            return "IdentityReducer"
+        return getattr(self.reducer, "__qualname__", repr(self.reducer))
+
+    @property
+    def combiner_class(self) -> str:
+        if self.combiner is None:
+            return "NULL"
+        return getattr(self.combiner, "__qualname__", repr(self.combiner))
+
+    def with_params(self, **params: Any) -> "MapReduceJob":
+        """Copy of the job with updated user parameters."""
+        merged = dict(self.params)
+        merged.update(params)
+        return replace(self, params=merged)
+
+    def make_context(self) -> TaskContext:
+        """Fresh task context carrying this job's user parameters."""
+        return TaskContext(job_params=dict(self.params))

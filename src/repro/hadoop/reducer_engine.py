@@ -1,0 +1,259 @@
+"""Reduce-task execution: run the user reducer on sample groups, extrapolate.
+
+Mirrors :mod:`repro.hadoop.mapper_engine`: a cacheable **measurement** step
+actually executes the user's reduce function over the grouped sample
+intermediate data to learn its selectivities and op counts, and a
+**simulation** step prices one reduce task's SHUFFLE/SORT/REDUCE/WRITE
+phases under a given configuration and node.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .cluster import WorkerNode
+from .config import JobConfiguration
+from .counters import FRAMEWORK_GROUP
+from .job import MapReduceJob
+from .mapper_engine import (
+    INTERMEDIATE_COMPRESSION_RATIO,
+    OP_CPU_FRACTION,
+    COMPARE_CPU_FRACTION,
+    TASK_CLEANUP_SECONDS,
+    TASK_SETUP_SECONDS,
+)
+from .records import pair_size
+from .tasks import ReduceTaskExecution
+
+__all__ = [
+    "ReduceSampleMeasurement",
+    "measure_reduce_from_pairs",
+    "simulate_reduce_task",
+    "OUTPUT_COMPRESSION_RATIO",
+]
+
+#: Compression ratio assumed for final (HDFS) output compression.
+OUTPUT_COMPRESSION_RATIO = 0.45
+#: Framework cost of deserializing + feeding one reduce input record.
+REDUCE_FEED_CPU_FRACTION = 0.4
+#: Per-record fetch overhead during SHUFFLE (job-dependent measured
+#: network cost: many small records cost more per byte).
+SHUFFLE_CPU_FRACTION = 0.4
+#: Per-record serialization overhead during WRITE.
+WRITE_SER_CPU_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class ReduceSampleMeasurement:
+    """Data-flow behaviour of the job's reduce side, measured on samples."""
+
+    sample_input_records: int
+    sample_input_bytes: int
+    sample_groups: int
+    sample_output_records: int
+    sample_output_bytes: int
+    sample_user_ops: int
+
+    @property
+    def reduce_records_sel(self) -> float:
+        """Reduce selectivity in records (RED_PAIRS_SEL)."""
+        return self.sample_output_records / max(1, self.sample_input_records)
+
+    @property
+    def reduce_size_sel(self) -> float:
+        """Reduce selectivity in bytes (RED_SIZE_SEL)."""
+        return self.sample_output_bytes / max(1, self.sample_input_bytes)
+
+    @property
+    def records_per_group(self) -> float:
+        return self.sample_input_records / max(1, self.sample_groups)
+
+    @property
+    def output_records_per_group(self) -> float:
+        return self.sample_output_records / max(1, self.sample_groups)
+
+    @property
+    def ops_per_input_record(self) -> float:
+        return self.sample_user_ops / max(1, self.sample_input_records)
+
+    @property
+    def avg_output_record_bytes(self) -> float:
+        if self.sample_output_records == 0:
+            return 0.0
+        return self.sample_output_bytes / self.sample_output_records
+
+
+def measure_reduce_from_pairs(
+    job: MapReduceJob, intermediate_pairs: Sequence[tuple[object, object]]
+) -> ReduceSampleMeasurement:
+    """Run the reducer over concrete sample intermediate pairs."""
+    if job.reducer is None or not intermediate_pairs:
+        return ReduceSampleMeasurement(0, 0, 0, 0, 0, 0)
+
+    groups: dict[object, list[object]] = defaultdict(list)
+    input_bytes = 0
+    for key, value in intermediate_pairs:
+        groups[key].append(value)
+        input_bytes += pair_size(key, value)
+
+    context = job.make_context()
+    for key, values in groups.items():
+        job.reducer(key, values, context)
+
+    return ReduceSampleMeasurement(
+        sample_input_records=len(intermediate_pairs),
+        sample_input_bytes=input_bytes,
+        sample_groups=len(groups),
+        sample_output_records=context.records_out,
+        sample_output_bytes=context.bytes_out,
+        sample_user_ops=context.ops,
+    )
+
+
+def simulate_reduce_task(
+    task_id: int,
+    partition: int,
+    shuffle_bytes: float,
+    shuffle_records: float,
+    measurement: ReduceSampleMeasurement,
+    num_map_tasks: int,
+    config: JobConfiguration,
+    node: WorkerNode,
+    rng: np.random.Generator,
+    profiled: bool = False,
+    profiling_overhead: float = 0.0,
+) -> ReduceTaskExecution:
+    """Price one reduce task's phases.
+
+    Args:
+        shuffle_bytes: nominal on-the-wire bytes shuffled to this reducer
+            (post map-output compression).
+        shuffle_records: nominal intermediate records for this reducer.
+        measurement: reduce-side sample measurement for the job.
+        num_map_tasks: map tasks feeding the shuffle (drives in-memory
+            merge rounds through ``mapred.inmem.merge.threshold``).
+    """
+    rates = node.sample_rates(rng)
+    op_ns = rates.cpu_ns_per_record * OP_CPU_FRACTION
+
+    if config.compress_map_output:
+        plain_bytes = shuffle_bytes / INTERMEDIATE_COMPRESSION_RATIO
+    else:
+        plain_bytes = shuffle_bytes
+
+    input_records = int(round(shuffle_records))
+    groups = int(round(shuffle_records / max(1e-9, measurement.records_per_group))) \
+        if measurement.sample_groups else 0
+    groups = min(groups, input_records)
+
+    output_records = int(round(groups * measurement.output_records_per_group))
+    output_bytes = int(round(output_records * measurement.avg_output_record_bytes))
+    user_ops = int(round(input_records * measurement.ops_per_input_record))
+
+    # ------------------------------------------------------------------
+    # SHUFFLE: fetch map outputs over the network (+ decompression).
+    # ------------------------------------------------------------------
+    shuffle_s = (
+        shuffle_bytes * rates.network_ns_per_byte
+        + shuffle_records * rates.cpu_ns_per_record * SHUFFLE_CPU_FRACTION
+    ) / 1e9
+    if config.compress_map_output:
+        shuffle_s += plain_bytes * rates.decompress_ns_per_byte / 1e9
+
+    # ------------------------------------------------------------------
+    # SORT: in-memory merges plus disk merge passes when the shuffle
+    # buffer overflows the reduce-side heap.
+    # ------------------------------------------------------------------
+    buffer_bytes = node.task_heap_bytes * config.shuffle_input_buffer_percent
+    merge_trigger_bytes = max(1.0, buffer_bytes * config.shuffle_merge_percent)
+    overflow_bytes = max(0.0, plain_bytes - buffer_bytes)
+
+    disk_segments = 0
+    if overflow_bytes > 0:
+        disk_segments = max(1, math.ceil(overflow_bytes / merge_trigger_bytes))
+    disk_merge_passes = config.merge_passes(disk_segments) if disk_segments else 0
+
+    inmem_merges = 0
+    if num_map_tasks > 0:
+        inmem_merges = max(
+            math.ceil(num_map_tasks / max(1, config.inmem_merge_threshold)),
+            math.ceil(plain_bytes / merge_trigger_bytes) if plain_bytes else 0,
+        )
+
+    sort_io_bytes = disk_merge_passes * overflow_bytes
+    # Data retained in memory for the reduce phase skips the final disk read.
+    retained_bytes = node.task_heap_bytes * config.reduce_input_buffer_percent
+    final_read_bytes = max(0.0, overflow_bytes - retained_bytes)
+
+    compare_ns = rates.cpu_ns_per_record * COMPARE_CPU_FRACTION
+    sort_cpu_ns = inmem_merges and input_records * compare_ns * math.log2(
+        max(2, input_records / max(1, inmem_merges))
+    )
+    sort_s = (
+        sort_io_bytes
+        * (rates.read_local_ns_per_byte + rates.write_local_ns_per_byte)
+        + final_read_bytes * rates.read_local_ns_per_byte
+        + float(sort_cpu_ns)
+    ) / 1e9
+
+    # ------------------------------------------------------------------
+    # REDUCE: feed groups through the user reduce function.
+    # ------------------------------------------------------------------
+    reduce_s = (
+        input_records * rates.cpu_ns_per_record * REDUCE_FEED_CPU_FRACTION
+        + user_ops * op_ns
+    ) / 1e9
+
+    # ------------------------------------------------------------------
+    # WRITE: final output to HDFS (x3 replication folded into the rate).
+    # ------------------------------------------------------------------
+    if config.compress_output:
+        materialized_bytes = int(round(output_bytes * OUTPUT_COMPRESSION_RATIO))
+        write_cpu_s = output_bytes * rates.compress_ns_per_byte / 1e9
+    else:
+        materialized_bytes = output_bytes
+        write_cpu_s = 0.0
+    write_s = (
+        materialized_bytes * rates.write_hdfs_ns_per_byte
+        + output_records * rates.cpu_ns_per_record * WRITE_SER_CPU_FRACTION
+    ) / 1e9 + write_cpu_s
+
+    phase_times = {
+        "SETUP": TASK_SETUP_SECONDS,
+        "SHUFFLE": shuffle_s,
+        "SORT": sort_s,
+        "REDUCE": reduce_s,
+        "WRITE": write_s,
+        "CLEANUP": TASK_CLEANUP_SECONDS,
+    }
+    if profiled and profiling_overhead > 0:
+        for phase in ("SHUFFLE", "SORT", "REDUCE", "WRITE"):
+            phase_times[phase] *= 1.0 + profiling_overhead
+
+    task = ReduceTaskExecution(
+        task_id=task_id,
+        partition=partition,
+        node_id=node.node_id,
+        shuffle_bytes=int(round(shuffle_bytes)),
+        shuffle_records=input_records,
+        reduce_input_records=input_records,
+        reduce_input_groups=groups,
+        output_records=output_records,
+        output_bytes=output_bytes,
+        materialized_bytes=materialized_bytes,
+        disk_merge_passes=disk_merge_passes,
+        user_ops=user_ops,
+        phase_times=phase_times,
+        rates=rates,
+        profiled=profiled,
+    )
+    task.counters.increment(FRAMEWORK_GROUP, "REDUCE_SHUFFLE_BYTES", task.shuffle_bytes)
+    task.counters.increment(FRAMEWORK_GROUP, "REDUCE_INPUT_RECORDS", input_records)
+    task.counters.increment(FRAMEWORK_GROUP, "REDUCE_INPUT_GROUPS", groups)
+    task.counters.increment(FRAMEWORK_GROUP, "REDUCE_OUTPUT_RECORDS", output_records)
+    return task

@@ -1,0 +1,58 @@
+"""HBase substrate: a column-family store with regions and filter pushdown.
+
+An in-memory reproduction of the HBase machinery PStorM's profile store
+relies on (§5): row-key-sorted regions hosted by region servers, a
+.META.-style catalog, immutable-at-creation column families, scans, and
+serializable filters applied server-side.
+"""
+
+from .catalog import CatalogEntry, MetaCatalog
+from .cluster import HBaseCluster
+from .errors import (
+    HBaseError,
+    TableExistsError,
+    TableNotFoundError,
+    UnknownColumnFamilyError,
+    UnknownFilterError,
+)
+from .filters import (
+    ColumnValueFilter,
+    Filter,
+    FilterList,
+    PrefixFilter,
+    RowRangeFilter,
+    deserialize_filter,
+    register_filter,
+    serialize_filter,
+)
+from .region import Cell, Region
+from .regionserver import RegionServer, ServerMetrics
+from .storage import HFile, LsmStore, WalEntry
+from .table import HTable
+
+__all__ = [
+    "CatalogEntry",
+    "MetaCatalog",
+    "HBaseCluster",
+    "HBaseError",
+    "TableExistsError",
+    "TableNotFoundError",
+    "UnknownColumnFamilyError",
+    "UnknownFilterError",
+    "ColumnValueFilter",
+    "Filter",
+    "FilterList",
+    "PrefixFilter",
+    "RowRangeFilter",
+    "deserialize_filter",
+    "register_filter",
+    "serialize_filter",
+    "Cell",
+    "Region",
+    "RegionServer",
+    "ServerMetrics",
+    "HFile",
+    "LsmStore",
+    "WalEntry",
+    "HTable",
+]

@@ -1,0 +1,97 @@
+"""The -ROOT-/.META.-style catalog: which server hosts which key range.
+
+§5.2.2 of the paper contrasts how region entries look in the ``.META.``
+table under different data models; this catalog reproduces those entries as
+``(table_name, start_key, region_id) -> server_id`` mappings and provides
+the key-range routing clients use to direct gets and scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from .region import Region
+
+__all__ = ["CatalogEntry", "MetaCatalog"]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One .META. row: a region's identity and its hosting server."""
+
+    table_name: str
+    start_key: str
+    region_id: int
+    server_id: int
+
+    @property
+    def meta_key(self) -> str:
+        """The .META. row key, ``<table>,<start_key>,<region_id>``."""
+        return f"{self.table_name},{self.start_key},{self.region_id}"
+
+
+class MetaCatalog:
+    """Routing table from (table, row key) to (region, server)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, list[tuple[str, int, int]]] = {}
+        self._regions: dict[int, Region] = {}
+        self._next_region_id = 0
+
+    # ------------------------------------------------------------------
+    def register(self, region: Region, server_id: int) -> int:
+        """Register a region with its hosting server; returns region id."""
+        region_id = self._next_region_id
+        self._next_region_id += 1
+        self._regions[region_id] = region
+        entries = self._entries.setdefault(region.table_name, [])
+        bisect.insort(entries, (region.start_key, region_id, server_id))
+        return region_id
+
+    def unregister(self, region_id: int) -> None:
+        region = self._regions.pop(region_id)
+        entries = self._entries[region.table_name]
+        self._entries[region.table_name] = [
+            entry for entry in entries if entry[1] != region_id
+        ]
+
+    def drop_table(self, table_name: str) -> None:
+        for __, region_id, __ in list(self._entries.get(table_name, [])):
+            self._regions.pop(region_id, None)
+        self._entries.pop(table_name, None)
+
+    # ------------------------------------------------------------------
+    def locate(self, table_name: str, row_key: str) -> tuple[Region, int]:
+        """Region and server responsible for *row_key* in *table_name*."""
+        entries = self._entries.get(table_name)
+        if not entries:
+            raise KeyError(f"no regions registered for table {table_name!r}")
+        starts = [start for start, __, __ in entries]
+        index = bisect.bisect_right(starts, row_key) - 1
+        index = max(0, index)
+        __, region_id, server_id = entries[index]
+        return self._regions[region_id], server_id
+
+    def find(self, region: Region) -> tuple[int, int]:
+        """``(region_id, server_id)`` of a registered region object."""
+        for __, region_id, server_id in self._entries.get(region.table_name, []):
+            if self._regions[region_id] is region:
+                return region_id, server_id
+        raise KeyError(f"region {region!r} is not registered")
+
+    def regions_of(self, table_name: str) -> list[tuple[Region, int]]:
+        """All (region, server) pairs of a table, in key order."""
+        return [
+            (self._regions[region_id], server_id)
+            for __, region_id, server_id in self._entries.get(table_name, [])
+        ]
+
+    def meta_rows(self, table_name: str | None = None) -> list[CatalogEntry]:
+        """The .META. rows, for inspection (as shown in §5.2.2)."""
+        rows = []
+        tables = [table_name] if table_name else sorted(self._entries)
+        for name in tables:
+            for start, region_id, server_id in self._entries.get(name, []):
+                rows.append(CatalogEntry(name, start, region_id, server_id))
+        return rows

@@ -1,0 +1,107 @@
+"""HBaseCluster: table lifecycle, region assignment, and splits.
+
+The paper's deployment runs one HMaster and one HRegionServer on the
+Hadoop master node; a cluster here defaults to a single region server but
+supports several, with round-robin assignment of new regions and automatic
+median splits once a region exceeds the split threshold — enough to observe
+the data-locality and load arguments of §5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .catalog import MetaCatalog
+from .errors import TableExistsError, TableNotFoundError
+from .region import Region
+from .regionserver import RegionServer
+from .table import HTable
+
+__all__ = ["HBaseCluster"]
+
+DEFAULT_SPLIT_THRESHOLD = 1024
+
+
+class HBaseCluster:
+    """An HBase deployment: region servers, a catalog, and tables."""
+
+    def __init__(
+        self,
+        num_region_servers: int = 1,
+        split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
+    ) -> None:
+        if num_region_servers < 1:
+            raise ValueError("need at least one region server")
+        self.servers: dict[int, RegionServer] = {
+            i: RegionServer(i) for i in range(num_region_servers)
+        }
+        self.catalog = MetaCatalog()
+        self.split_threshold = split_threshold
+        self._tables: dict[str, HTable] = {}
+        self._assign_cursor = 0
+
+    # ------------------------------------------------------------------
+    def _next_server(self) -> RegionServer:
+        server = self.servers[self._assign_cursor % len(self.servers)]
+        self._assign_cursor += 1
+        return server
+
+    def _handle_split(self, table_name: str, region: Region) -> None:
+        """Split an oversized region and re-register its daughters."""
+        del table_name  # identified by the region object itself
+        region_id, server_id = self.catalog.find(region)
+        left, right = region.split()
+        self.catalog.unregister(region_id)
+        self.servers[server_id].unassign(region)
+        for daughter in (left, right):
+            server = self._next_server()
+            server.assign(daughter)
+            self.catalog.register(daughter, server.server_id)
+
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, families: tuple[str, ...]) -> HTable:
+        """Create a table with its (immutable) column families."""
+        if name in self._tables:
+            raise TableExistsError(f"table {name!r} already exists")
+        if not families:
+            raise ValueError("a table needs at least one column family")
+        region = Region(name, tuple(families))
+        server = self._next_server()
+        server.assign(region)
+        self.catalog.register(region, server.server_id)
+        table = HTable(
+            name,
+            tuple(families),
+            self.catalog,
+            self.servers,
+            self.split_threshold,
+            self._handle_split,
+        )
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> HTable:
+        table = self._tables.get(name)
+        if table is None:
+            raise TableNotFoundError(f"table {name!r} does not exist")
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise TableNotFoundError(f"table {name!r} does not exist")
+        for region, server_id in self.catalog.regions_of(name):
+            self.servers[server_id].unassign(region)
+        self.catalog.drop_table(name)
+        del self._tables[name]
+
+    def tables(self) -> Iterator[str]:
+        return iter(sorted(self._tables))
+
+    # ------------------------------------------------------------------
+    def total_store_objects(self) -> int:
+        """Cluster-wide in-memory Store object count (§5.2.2 metric)."""
+        return sum(server.num_store_objects() for server in self.servers.values())
+
+    def reset_metrics(self) -> None:
+        for server in self.servers.values():
+            server.metrics.reset()

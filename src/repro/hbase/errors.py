@@ -1,0 +1,36 @@
+"""Exceptions raised by the HBase substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "HBaseError",
+    "TableExistsError",
+    "TableNotFoundError",
+    "UnknownColumnFamilyError",
+    "UnknownFilterError",
+]
+
+
+class HBaseError(Exception):
+    """Base class for HBase substrate errors."""
+
+
+class TableExistsError(HBaseError):
+    """Raised when creating a table whose name is already taken."""
+
+
+class TableNotFoundError(HBaseError):
+    """Raised when opening or dropping a table that does not exist."""
+
+
+class UnknownColumnFamilyError(HBaseError):
+    """Raised on writes to a column family not declared at creation.
+
+    HBase fixes the set of column families when a table is created; this is
+    precisely the constraint that ruled out the 'column family per feature
+    type' data model in §5.1 of the paper.
+    """
+
+
+class UnknownFilterError(HBaseError):
+    """Raised when deserializing a filter whose type is not registered."""

@@ -1,0 +1,203 @@
+"""Scan filters with HBase-style server-side pushdown.
+
+HBase lets clients serialize predicate objects and ship them to region
+servers, which apply them during scans so that only matching rows cross the
+network (§5.3).  We reproduce that contract: every filter is a small value
+object with a ``matches(row_key, row) -> bool`` method and a
+``to_dict``/``from_dict`` wire format.  The registry lets the substrate
+"deserialize" filters on the server side, and lets PStorM register its own
+domain-specific filters (Euclidean distance, Jaccard, CFG equality) exactly
+the way custom filters are deployed to HBase region servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, Mapping
+
+from .errors import UnknownFilterError
+
+__all__ = [
+    "Filter",
+    "register_filter",
+    "serialize_filter",
+    "deserialize_filter",
+    "PrefixFilter",
+    "RowRangeFilter",
+    "ColumnValueFilter",
+    "FilterList",
+]
+
+#: A row as seen by filters: ``{family: {qualifier: value}}``.
+Row = Mapping[str, Mapping[str, Any]]
+
+_FILTER_REGISTRY: dict[str, type["Filter"]] = {}
+
+
+def register_filter(cls: type["Filter"]) -> type["Filter"]:
+    """Class decorator registering a filter type for deserialization."""
+    _FILTER_REGISTRY[cls.filter_type] = cls
+    return cls
+
+
+class Filter:
+    """Base filter; subclasses define ``filter_type`` and the two codecs."""
+
+    filter_type: ClassVar[str] = "abstract"
+
+    def matches(self, row_key: str, row: Row) -> bool:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Filter":
+        raise NotImplementedError
+
+
+def serialize_filter(filt: Filter) -> dict[str, Any]:
+    """Client-side: encode a filter for shipping to region servers."""
+    payload = filt.to_dict()
+    payload["type"] = filt.filter_type
+    return payload
+
+
+def deserialize_filter(payload: Mapping[str, Any]) -> Filter:
+    """Server-side: decode a shipped filter via the registry."""
+    filter_type = payload.get("type")
+    cls = _FILTER_REGISTRY.get(filter_type)
+    if cls is None:
+        raise UnknownFilterError(f"no filter registered for type {filter_type!r}")
+    return cls.from_dict(payload)
+
+
+@register_filter
+@dataclass(frozen=True)
+class PrefixFilter(Filter):
+    """Match rows whose key starts with *prefix* (PStorM's feature-type
+    prefix scan uses this)."""
+
+    prefix: str
+    filter_type: ClassVar[str] = "prefix"
+
+    def matches(self, row_key: str, row: Row) -> bool:
+        return row_key.startswith(self.prefix)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"prefix": self.prefix}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PrefixFilter":
+        return cls(prefix=payload["prefix"])
+
+
+@register_filter
+@dataclass(frozen=True)
+class RowRangeFilter(Filter):
+    """Match rows with ``start <= key < stop`` (either bound optional)."""
+
+    start: str | None = None
+    stop: str | None = None
+    filter_type: ClassVar[str] = "row-range"
+
+    def matches(self, row_key: str, row: Row) -> bool:
+        if self.start is not None and row_key < self.start:
+            return False
+        if self.stop is not None and row_key >= self.stop:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"start": self.start, "stop": self.stop}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RowRangeFilter":
+        return cls(start=payload.get("start"), stop=payload.get("stop"))
+
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@register_filter
+@dataclass(frozen=True)
+class ColumnValueFilter(Filter):
+    """Compare one column's value against a constant.
+
+    Rows missing the column do not match (HBase's
+    ``setFilterIfMissing(true)`` behaviour).
+    """
+
+    family: str
+    qualifier: str
+    op: str
+    value: Any
+    filter_type: ClassVar[str] = "column-value"
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise ValueError(f"unsupported operator {self.op!r}")
+
+    def matches(self, row_key: str, row: Row) -> bool:
+        family = row.get(self.family)
+        if family is None or self.qualifier not in family:
+            return False
+        return _OPERATORS[self.op](family[self.qualifier], self.value)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "family": self.family,
+            "qualifier": self.qualifier,
+            "op": self.op,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ColumnValueFilter":
+        return cls(
+            family=payload["family"],
+            qualifier=payload["qualifier"],
+            op=payload["op"],
+            value=payload["value"],
+        )
+
+
+@register_filter
+class FilterList(Filter):
+    """AND/OR combination of filters, applied server-side as one unit."""
+
+    filter_type: ClassVar[str] = "filter-list"
+
+    def __init__(self, filters: list[Filter], mode: str = "AND") -> None:
+        if mode not in ("AND", "OR"):
+            raise ValueError("mode must be 'AND' or 'OR'")
+        self.filters = list(filters)
+        self.mode = mode
+
+    def matches(self, row_key: str, row: Row) -> bool:
+        if self.mode == "AND":
+            return all(f.matches(row_key, row) for f in self.filters)
+        return any(f.matches(row_key, row) for f in self.filters)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "filters": [serialize_filter(f) for f in self.filters],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FilterList":
+        return cls(
+            filters=[deserialize_filter(p) for p in payload["filters"]],
+            mode=payload["mode"],
+        )
+
+    def __repr__(self) -> str:
+        return f"FilterList(mode={self.mode!r}, n={len(self.filters)})"

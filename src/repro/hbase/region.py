@@ -1,0 +1,144 @@
+"""Regions: horizontally partitioned, row-key-sorted storage units.
+
+A region holds all rows of one table in a contiguous key range
+``[start_key, end_key)``.  Rows map column families to qualifier->cell
+maps; cells are versioned with a logical timestamp, and reads return the
+latest version, mirroring HBase semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .errors import UnknownColumnFamilyError
+
+__all__ = ["Cell", "Region"]
+
+_timestamp_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One versioned cell value."""
+
+    value: Any
+    timestamp: int
+
+
+class Region:
+    """A sorted slice of a table's row space.
+
+    Attributes:
+        table_name: owning table.
+        start_key: inclusive lower bound (``""`` = unbounded).
+        end_key: exclusive upper bound (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        families: tuple[str, ...],
+        start_key: str = "",
+        end_key: str | None = None,
+    ) -> None:
+        self.table_name = table_name
+        self.families = families
+        self.start_key = start_key
+        self.end_key = end_key
+        #: row_key -> family -> qualifier -> list[Cell] (newest last)
+        self._rows: dict[str, dict[str, dict[str, list[Cell]]]] = {}
+        self._sorted_keys: list[str] | None = []
+
+    # ------------------------------------------------------------------
+    def contains_key(self, row_key: str) -> bool:
+        if row_key < self.start_key:
+            return False
+        if self.end_key is not None and row_key >= self.end_key:
+            return False
+        return True
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    def _keys(self) -> list[str]:
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._rows)
+        return self._sorted_keys
+
+    # ------------------------------------------------------------------
+    def put(self, row_key: str, family: str, qualifier: str, value: Any) -> None:
+        """Write one cell (new version appended)."""
+        if family not in self.families:
+            raise UnknownColumnFamilyError(
+                f"table {self.table_name!r} has no column family {family!r}"
+            )
+        row = self._rows.get(row_key)
+        if row is None:
+            row = {f: {} for f in self.families}
+            self._rows[row_key] = row
+            self._sorted_keys = None
+        cells = row[family].setdefault(qualifier, [])
+        cells.append(Cell(value=value, timestamp=next(_timestamp_counter)))
+
+    def delete_row(self, row_key: str) -> bool:
+        """Remove a whole row; returns whether it existed."""
+        if row_key in self._rows:
+            del self._rows[row_key]
+            self._sorted_keys = None
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def get(self, row_key: str) -> dict[str, dict[str, Any]] | None:
+        """Latest-version view of one row, or None."""
+        row = self._rows.get(row_key)
+        if row is None:
+            return None
+        return self._latest_view(row)
+
+    @staticmethod
+    def _latest_view(
+        row: dict[str, dict[str, list[Cell]]]
+    ) -> dict[str, dict[str, Any]]:
+        return {
+            family: {qual: cells[-1].value for qual, cells in columns.items()}
+            for family, columns in row.items()
+            if columns
+        }
+
+    def scan(
+        self, start: str | None = None, stop: str | None = None
+    ) -> Iterator[tuple[str, dict[str, dict[str, Any]]]]:
+        """Yield ``(row_key, row)`` in key order within [start, stop)."""
+        keys = self._keys()
+        lo = bisect.bisect_left(keys, start) if start is not None else 0
+        hi = bisect.bisect_left(keys, stop) if stop is not None else len(keys)
+        for key in keys[lo:hi]:
+            yield key, self._latest_view(self._rows[key])
+
+    # ------------------------------------------------------------------
+    def split(self) -> tuple["Region", "Region"]:
+        """Split this region at its median key into two daughters."""
+        keys = self._keys()
+        if len(keys) < 2:
+            raise ValueError("cannot split a region with fewer than 2 rows")
+        mid_key = keys[len(keys) // 2]
+        left = Region(self.table_name, self.families, self.start_key, mid_key)
+        right = Region(self.table_name, self.families, mid_key, self.end_key)
+        for key, row in self._rows.items():
+            target = left if key < mid_key else right
+            target._rows[key] = row
+        left._sorted_keys = None
+        right._sorted_keys = None
+        return left, right
+
+    def __repr__(self) -> str:
+        end = self.end_key if self.end_key is not None else "∞"
+        return (
+            f"Region({self.table_name!r}, [{self.start_key!r}, {end!r}), "
+            f"rows={self.num_rows})"
+        )

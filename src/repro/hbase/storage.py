@@ -1,0 +1,161 @@
+"""The LSM write path: WAL, memstore, HFiles, and compaction.
+
+Chapter 5 picks HBase for scalable profile storage; this module models
+the machinery behind that promise at observation fidelity: every write
+appends to a write-ahead log and lands in an in-memory **memstore**;
+when the memstore exceeds its flush threshold it becomes an immutable
+sorted **HFile**; reads merge the memstore with every HFile (newest
+wins), so read amplification grows with the file count until a
+**compaction** merges HFiles back down.  The metrics exposed here —
+files per store, read amplification, WAL length — let tests and benches
+verify the behaviour instead of asserting it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["WalEntry", "HFile", "LsmStore"]
+
+_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One durable log record (replayed on recovery)."""
+
+    sequence: int
+    key: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class HFile:
+    """An immutable, sorted key->value file flushed from the memstore."""
+
+    file_id: int
+    keys: tuple[str, ...]
+    values: tuple[Any, ...]
+
+    @property
+    def num_keys(self) -> int:
+        return len(self.keys)
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """(found, value) via binary search."""
+        index = bisect.bisect_left(self.keys, key)
+        if index < len(self.keys) and self.keys[index] == key:
+            return True, self.values[index]
+        return False, None
+
+
+@dataclass
+class LsmStore:
+    """One column-family store with the HBase write path.
+
+    Attributes:
+        flush_threshold: memstore entries that trigger a flush.
+        compaction_threshold: HFile count that triggers a full compaction.
+    """
+
+    flush_threshold: int = 64
+    compaction_threshold: int = 4
+    memstore: dict[str, Any] = field(default_factory=dict)
+    hfiles: list[HFile] = field(default_factory=list)
+    wal: list[WalEntry] = field(default_factory=list)
+    flushes: int = 0
+    compactions: int = 0
+    _file_ids: itertools.count = field(default_factory=lambda: itertools.count(1))
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        """WAL append, memstore insert, flush when full."""
+        self.wal.append(WalEntry(next(_sequence), key, value))
+        self.memstore[key] = value
+        if len(self.memstore) >= self.flush_threshold:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memstore into a new HFile; truncate the WAL."""
+        if not self.memstore:
+            return
+        keys = tuple(sorted(self.memstore))
+        values = tuple(self.memstore[k] for k in keys)
+        self.hfiles.append(HFile(next(self._file_ids), keys, values))
+        self.memstore = {}
+        self.wal = []
+        self.flushes += 1
+        if len(self.hfiles) >= self.compaction_threshold:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge every HFile into one (newest version of each key wins)."""
+        if len(self.hfiles) <= 1:
+            return
+        merged: dict[str, Any] = {}
+        for hfile in self.hfiles:  # oldest first; later files overwrite
+            for key, value in zip(hfile.keys, hfile.values):
+                merged[key] = value
+        keys = tuple(sorted(merged))
+        values = tuple(merged[k] for k in keys)
+        self.hfiles = [HFile(next(self._file_ids), keys, values)]
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> tuple[bool, Any, int]:
+        """(found, value, files probed) — memstore first, then HFiles
+        newest-to-oldest; ``files probed`` is the read amplification."""
+        if key in self.memstore:
+            return True, self.memstore[key], 0
+        probed = 0
+        for hfile in reversed(self.hfiles):
+            probed += 1
+            found, value = hfile.get(key)
+            if found:
+                return True, value, probed
+        return False, None, probed
+
+    def scan(self) -> Iterator[tuple[str, Any]]:
+        """Merged view of memstore + HFiles, in key order."""
+        merged: dict[str, Any] = {}
+        for hfile in self.hfiles:
+            for key, value in zip(hfile.keys, hfile.values):
+                merged[key] = value
+        merged.update(self.memstore)
+        for key in sorted(merged):
+            yield key, merged[key]
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> "LsmStore":
+        """Crash recovery: a fresh store from HFiles + WAL replay.
+
+        The memstore is volatile; everything in it since the last flush
+        is reconstructed from the write-ahead log.
+        """
+        restored = LsmStore(
+            flush_threshold=self.flush_threshold,
+            compaction_threshold=self.compaction_threshold,
+        )
+        restored.hfiles = list(self.hfiles)
+        for entry in self.wal:
+            restored.memstore[entry.key] = entry.value
+            restored.wal.append(entry)
+        return restored
+
+    # ------------------------------------------------------------------
+    @property
+    def num_keys(self) -> int:
+        return sum(1 for __ in self.scan())
+
+    def read_amplification(self) -> int:
+        """Worst-case files probed by a point read."""
+        return len(self.hfiles)

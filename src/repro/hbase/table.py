@@ -1,0 +1,96 @@
+"""HTable: the client-side table handle.
+
+Routes puts/gets to the responsible region via the catalog and runs scans
+across all of a table's regions in key order, with the filter either pushed
+down to the region servers (the PStorM deployment, §5.3) or applied on the
+client after shipping every row (the baseline the paper argues against).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from .catalog import MetaCatalog
+from .filters import Filter, serialize_filter
+from .regionserver import RegionServer
+
+__all__ = ["HTable"]
+
+
+class HTable:
+    """Client handle for one HBase table."""
+
+    def __init__(
+        self,
+        name: str,
+        families: tuple[str, ...],
+        catalog: MetaCatalog,
+        servers: Mapping[int, RegionServer],
+        split_threshold: int,
+        on_split: Any,
+    ) -> None:
+        self.name = name
+        self.families = families
+        self._catalog = catalog
+        self._servers = servers
+        self._split_threshold = split_threshold
+        self._on_split = on_split
+
+    # ------------------------------------------------------------------
+    def put(self, row_key: str, family: str, qualifier: str, value: Any) -> None:
+        """Write one cell."""
+        region, __ = self._catalog.locate(self.name, row_key)
+        region.put(row_key, family, qualifier, value)
+        if region.num_rows > self._split_threshold:
+            self._on_split(self.name, region)
+
+    def put_row(self, row_key: str, family: str, columns: Mapping[str, Any]) -> None:
+        """Write several cells of one row in one family."""
+        for qualifier, value in columns.items():
+            self.put(row_key, family, qualifier, value)
+
+    def delete_row(self, row_key: str) -> bool:
+        region, __ = self._catalog.locate(self.name, row_key)
+        return region.delete_row(row_key)
+
+    # ------------------------------------------------------------------
+    def get(self, row_key: str) -> dict[str, dict[str, Any]] | None:
+        """Latest version of one row, or None."""
+        region, __ = self._catalog.locate(self.name, row_key)
+        return region.get(row_key)
+
+    def scan(
+        self,
+        start: str | None = None,
+        stop: str | None = None,
+        scan_filter: Filter | None = None,
+        pushdown: bool = True,
+    ) -> Iterator[tuple[str, dict[str, dict[str, Any]]]]:
+        """Scan the table in row-key order.
+
+        Args:
+            scan_filter: optional predicate over rows.
+            pushdown: if True (default), the filter is serialized and
+                applied by the region servers; if False, every row in range
+                is shipped and the filter is applied client-side.
+        """
+        payload = None
+        if scan_filter is not None and pushdown:
+            payload = serialize_filter(scan_filter)
+        for region, server_id in self._catalog.regions_of(self.name):
+            server = self._servers[server_id]
+            for row_key, row in server.scan_region(region, start, stop, payload):
+                if scan_filter is not None and not pushdown:
+                    if not scan_filter.matches(row_key, row):
+                        continue
+                yield row_key, row
+
+    # ------------------------------------------------------------------
+    def num_rows(self) -> int:
+        return sum(
+            region.num_rows for region, __ in self._catalog.regions_of(self.name)
+        )
+
+    def __repr__(self) -> str:
+        regions = len(self._catalog.regions_of(self.name))
+        return f"HTable({self.name!r}, regions={regions}, rows={self.num_rows()})"

@@ -1,0 +1,25 @@
+"""PerfXplain: automatic MapReduce performance explanations (§2.3.2).
+
+A compact reproduction of the PerfXplain system the thesis discusses as
+related work and as an integration target (§7.2.4): an execution log, a
+query language over expected/observed relative performance, and
+information-gain predicate search for generating explanations — with the
+PStorM profile store as a drop-in log source that also contributes
+static-feature explanations.
+"""
+
+from .explain import Explanation, PerfXplain, Predicate
+from .log import FEATURE_NAMES, ExecutionLog, LogEntry
+from .query import PerfQuery, Relation, relative_performance
+
+__all__ = [
+    "Explanation",
+    "PerfXplain",
+    "Predicate",
+    "FEATURE_NAMES",
+    "ExecutionLog",
+    "LogEntry",
+    "PerfQuery",
+    "Relation",
+    "relative_performance",
+]

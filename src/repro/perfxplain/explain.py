@@ -1,0 +1,212 @@
+"""Explanation generation (§2.3.2).
+
+PerfXplain first labels every job pair in the log as matching the
+query's *observed* or *expected* relative performance, then searches for
+the predicates — (pair feature, operator, threshold) triples — with the
+highest information gain for separating the two classes.  The
+explanation for the queried pair is the set of top predicates the pair
+itself satisfies, rendered as sentences.
+
+Pair features are log-ratios of the entries' numeric features ("job B
+shuffles 6.3x more bytes per reducer than job A").  With PStorM static
+features available (§7.2.4), categorical *differences* (different input
+formatters, different map CFG shapes) join the candidate pool — the
+richer explanations the thesis argues PStorM enables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import permutations
+
+from ..core.feature_selection import information_gain
+from .log import FEATURE_NAMES, ExecutionLog, LogEntry
+from .query import PerfQuery, Relation, relative_performance
+
+__all__ = ["Predicate", "Explanation", "PerfXplain"]
+
+#: Static features whose disagreement makes a categorical predicate.
+_STATIC_CANDIDATES = (
+    "IN_FORMATTER", "MAPPER", "COMBINER", "REDUCER", "OUT_FORMATTER",
+    "MAP_OUT_KEY", "MAP_OUT_VAL",
+)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One candidate explanation predicate."""
+
+    feature: str
+    op: str
+    value: float | str
+    gain: float
+    kind: str  # "ratio" or "static"
+
+    def render(self) -> str:
+        if self.kind == "static":
+            return f"the jobs use different {self.feature} ({self.value})"
+        factor = math.exp(abs(float(self.value)))
+        direction = "more" if self.op == ">" else "less"
+        return (
+            f"job B has ≥{factor:.1f}x {direction} {self.feature.replace('_', ' ')} "
+            f"than job A"
+        )
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The ranked predicates explaining one query."""
+
+    query: PerfQuery
+    observed: str
+    predicates: tuple[Predicate, ...]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.query.job_b} was {self.observed} than expected "
+            f"({self.query.expected}) relative to {self.query.job_a} because:"
+        ]
+        if not self.predicates:
+            lines.append("  (no discriminating predicate found in the log)")
+        for rank, predicate in enumerate(self.predicates, start=1):
+            lines.append(f"  {rank}. {predicate.render()}  [gain {predicate.gain:.2f}]")
+        return "\n".join(lines)
+
+
+def _pair_ratios(a: LogEntry, b: LogEntry) -> dict[str, float]:
+    """Log-ratio features of one ordered pair."""
+    ratios = {}
+    for name in FEATURE_NAMES:
+        if name == "runtime_seconds":
+            continue  # the label, not a feature
+        va, vb = a.feature(name), b.feature(name)
+        if va > 0 and vb > 0:
+            ratios[name] = math.log(vb / va)
+        else:
+            ratios[name] = 0.0
+    return ratios
+
+
+class PerfXplain:
+    """Explanation engine over an execution log."""
+
+    def __init__(self, log: ExecutionLog, top_k: int = 3) -> None:
+        if len(log) < 2:
+            raise ValueError("the execution log needs at least two entries")
+        self.log = log
+        self.top_k = top_k
+
+    # ------------------------------------------------------------------
+    def explain(self, query: PerfQuery) -> Explanation:
+        """Answer one performance question."""
+        entry_a = self.log.get(query.job_a)
+        entry_b = self.log.get(query.job_b)
+        observed = query.observed
+        if observed is None:
+            observed = relative_performance(
+                entry_a.feature("runtime_seconds"),
+                entry_b.feature("runtime_seconds"),
+            )
+        if observed == query.expected:
+            return Explanation(query, observed, ())
+
+        labels, rows = self._labelled_pairs(query.expected, observed)
+        predicates = self._rank_predicates(labels, rows, query)
+        query_ratios = _pair_ratios(entry_a, entry_b)
+        matching = tuple(
+            p for p in predicates if self._pair_satisfies(p, query_ratios, entry_a, entry_b)
+        )[: self.top_k]
+        return Explanation(query, observed, matching)
+
+    # ------------------------------------------------------------------
+    def _labelled_pairs(
+        self, expected: str, observed: str
+    ) -> tuple[list[str], list[dict[str, float]]]:
+        """Classify every ordered log pair as expected-like or
+        observed-like.
+
+        When the log holds no expected-like pair at all (small or skewed
+        logs), fall back to contrasting observed-like pairs against every
+        other pair, so the predicate search still has two classes.
+        """
+        labels: list[str] = []
+        rows: list[dict[str, float]] = []
+        strict: list[bool] = []
+        for a, b in permutations(self.log, 2):
+            relation = relative_performance(
+                a.feature("runtime_seconds"), b.feature("runtime_seconds")
+            )
+            if relation == observed:
+                labels.append("observed")
+                strict.append(True)
+            elif relation == expected:
+                labels.append("expected")
+                strict.append(True)
+            else:
+                labels.append("expected")
+                strict.append(False)
+            rows.append(_pair_ratios(a, b))
+
+        if "expected" in (l for l, s in zip(labels, strict) if s):
+            # Both strict classes exist: keep only strictly classified pairs.
+            rows = [row for row, s in zip(rows, strict) if s]
+            labels = [label for label, s in zip(labels, strict) if s]
+        return labels, rows
+
+    def _rank_predicates(
+        self,
+        labels: list[str],
+        rows: list[dict[str, float]],
+        query: PerfQuery,
+    ) -> list[Predicate]:
+        if not rows or len(set(labels)) < 2:
+            return []
+        predicates: list[Predicate] = []
+        for name in rows[0]:
+            if query.despite is not None and name == query.despite:
+                continue
+            values = [row[name] for row in rows]
+            gain = information_gain(values, labels, bins=6)
+            if gain <= 1e-9:
+                continue
+            # Threshold at the observed-class median; direction follows it.
+            observed_values = [
+                v for v, label in zip(values, labels) if label == "observed"
+            ]
+            median = sorted(observed_values)[len(observed_values) // 2]
+            op = ">" if median >= 0 else "<"
+            predicates.append(Predicate(name, op, median, gain, "ratio"))
+        predicates.sort(key=lambda p: -p.gain)
+        return predicates
+
+    def _pair_satisfies(
+        self,
+        predicate: Predicate,
+        ratios: dict[str, float],
+        entry_a: LogEntry,
+        entry_b: LogEntry,
+    ) -> bool:
+        """The queried pair exhibits the predicate: same direction as the
+        observed class and at least half its median magnitude."""
+        del entry_a, entry_b  # ratio predicates need only the pair ratios
+        value = ratios.get(predicate.feature, 0.0)
+        threshold = float(predicate.value)
+        if predicate.op == ">":
+            return value > 0 and value >= 0.5 * max(0.0, threshold)
+        return value < 0 and value <= 0.5 * min(0.0, threshold)
+
+    # ------------------------------------------------------------------
+    def static_differences(self, query: PerfQuery) -> list[Predicate]:
+        """§7.2.4: categorical explanations from PStorM static features."""
+        entry_a = self.log.get(query.job_a)
+        entry_b = self.log.get(query.job_b)
+        differences = []
+        for name in _STATIC_CANDIDATES:
+            va = entry_a.statics.get(name)
+            vb = entry_b.statics.get(name)
+            if va and vb and va != vb:
+                differences.append(
+                    Predicate(name, "!=", f"{va} vs {vb}", gain=1.0, kind="static")
+                )
+        return differences

@@ -1,0 +1,150 @@
+"""The PerfXplain execution log.
+
+PerfXplain (§2.3.2) mines a log of past MR job executions: per-job
+performance features measured at the different phases of the map/reduce
+tasks.  §7.2.4 observes that these are the same dynamic features PStorM
+already stores — so the log can be built either directly from executions
+or straight out of a :class:`repro.core.store.ProfileStore`, optionally
+enriched with PStorM's static features for more precise explanations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from ..hadoop.tasks import JobExecution
+from ..starfish.profile import JobProfile
+
+__all__ = ["LogEntry", "ExecutionLog"]
+
+#: The numeric performance features one log entry carries.
+FEATURE_NAMES: tuple[str, ...] = (
+    "runtime_seconds",
+    "num_map_tasks",
+    "num_reduce_tasks",
+    "input_bytes",
+    "map_output_bytes",
+    "shuffle_bytes_per_reducer",
+    "map_size_sel",
+    "map_pairs_sel",
+    "map_cpu_cost",
+    "reduce_cpu_cost",
+    "map_seconds_per_task",
+    "reduce_seconds_per_task",
+)
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One executed job's performance record."""
+
+    job_name: str
+    dataset_name: str
+    features: Mapping[str, float]
+    statics: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.job_name}@{self.dataset_name}"
+
+    def feature(self, name: str) -> float:
+        return float(self.features.get(name, 0.0))
+
+
+def _entry_from_profile(
+    profile: JobProfile,
+    runtime_seconds: float,
+    statics: Mapping[str, str],
+) -> LogEntry:
+    mp = profile.map_profile
+    rp = profile.reduce_profile
+    map_out = profile.input_bytes * mp.data_flow["MAP_SIZE_SEL"]
+    reducers = max(1, profile.num_reduce_tasks)
+    features = {
+        "runtime_seconds": runtime_seconds,
+        "num_map_tasks": float(profile.num_map_tasks),
+        "num_reduce_tasks": float(profile.num_reduce_tasks),
+        "input_bytes": float(profile.input_bytes),
+        "map_output_bytes": map_out,
+        "shuffle_bytes_per_reducer": map_out / reducers if rp else 0.0,
+        "map_size_sel": mp.data_flow["MAP_SIZE_SEL"],
+        "map_pairs_sel": mp.data_flow["MAP_PAIRS_SEL"],
+        "map_cpu_cost": mp.cost_factors.get("MAP_CPU_COST", 0.0),
+        "reduce_cpu_cost": (
+            rp.cost_factors.get("REDUCE_CPU_COST", 0.0) if rp else 0.0
+        ),
+        "map_seconds_per_task": sum(mp.phase_times.values()),
+        "reduce_seconds_per_task": sum(rp.phase_times.values()) if rp else 0.0,
+    }
+    return LogEntry(
+        job_name=profile.job_name,
+        dataset_name=profile.dataset_name,
+        features=features,
+        statics=dict(statics),
+    )
+
+
+class ExecutionLog:
+    """An append-only log of job performance records."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, LogEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries.values())
+
+    def get(self, key: str) -> LogEntry:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(f"no log entry for {key!r}")
+        return entry
+
+    def keys(self) -> list[str]:
+        return sorted(self._entries)
+
+    # ------------------------------------------------------------------
+    def add_entry(self, entry: LogEntry) -> None:
+        self._entries[entry.key] = entry
+
+    def add_profile(
+        self,
+        profile: JobProfile,
+        runtime_seconds: float,
+        statics: Mapping[str, str] | None = None,
+    ) -> LogEntry:
+        """Record one (profile, observed runtime) pair."""
+        entry = _entry_from_profile(profile, runtime_seconds, statics or {})
+        self.add_entry(entry)
+        return entry
+
+    def add_execution(
+        self,
+        profile: JobProfile,
+        execution: JobExecution,
+        statics: Mapping[str, str] | None = None,
+    ) -> LogEntry:
+        """Record one executed job via its profile + execution record."""
+        return self.add_profile(profile, execution.runtime_seconds, statics)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_profile_store(cls, store: "Any", whatif: "Any") -> "ExecutionLog":
+        """§7.2.4: build the log from a PStorM profile store.
+
+        Runtimes come from the What-If engine's default-config prediction
+        of each stored profile (the store does not retain raw runtimes),
+        and the static features come along for richer explanations.
+        """
+        from ..hadoop.config import JobConfiguration
+
+        log = cls()
+        for job_id in store.job_ids():
+            profile = store.get_profile(job_id)
+            static = store.get_static(job_id)
+            runtime = whatif.predict(profile, JobConfiguration()).runtime_seconds
+            log.add_profile(profile, runtime, statics=static.categorical)
+        return log

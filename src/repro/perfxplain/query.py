@@ -1,0 +1,68 @@
+"""The PerfXplain query language (§2.3.2).
+
+A query names a pair of jobs and states the *expected* and *observed*
+relative performance, optionally with a despite-a-fact clause: "I expected
+these two jobs to run in SIMILAR time DESPITE processing similar input,
+but job B was SLOWER — why?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Relation", "PerfQuery", "relative_performance"]
+
+#: Jobs within this runtime ratio of each other count as SIMILAR.
+SIMILARITY_TOLERANCE = 1.25
+
+
+class Relation:
+    """Relative performance relations between job A and job B."""
+
+    SIMILAR = "similar"
+    SLOWER = "slower"   # B slower than A
+    FASTER = "faster"   # B faster than A
+
+    ALL = (SIMILAR, SLOWER, FASTER)
+
+
+def relative_performance(
+    runtime_a: float, runtime_b: float, tolerance: float = SIMILARITY_TOLERANCE
+) -> str:
+    """Classify the relative performance of B with respect to A."""
+    if runtime_a <= 0 or runtime_b <= 0:
+        raise ValueError("runtimes must be positive")
+    ratio = runtime_b / runtime_a
+    if ratio > tolerance:
+        return Relation.SLOWER
+    if ratio < 1.0 / tolerance:
+        return Relation.FASTER
+    return Relation.SIMILAR
+
+
+@dataclass(frozen=True)
+class PerfQuery:
+    """One performance question.
+
+    Attributes:
+        job_a: log key of the reference job.
+        job_b: log key of the job whose performance surprised the user.
+        expected: the relation the user expected (B vs A).
+        observed: the relation the user saw; filled in from the log's
+            runtimes when omitted.
+        despite: optional feature name the user believes is comparable
+            between the two jobs (the despite-a-fact clause); candidate
+            explanations on that feature are suppressed.
+    """
+
+    job_a: str
+    job_b: str
+    expected: str = Relation.SIMILAR
+    observed: str | None = None
+    despite: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.expected not in Relation.ALL:
+            raise ValueError(f"unknown relation {self.expected!r}")
+        if self.observed is not None and self.observed not in Relation.ALL:
+            raise ValueError(f"unknown relation {self.observed!r}")

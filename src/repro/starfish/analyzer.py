@@ -1,0 +1,84 @@
+"""Bottleneck analysis over execution profiles.
+
+The Starfish visualizer the thesis screenshots doubles as a diagnosis
+tool: which phase dominates a job, and which configuration parameters
+move that phase.  This module reproduces that diagnosis layer — it reads
+a :class:`JobProfile` (or an execution) and reports the dominant phases
+with the Table 2.1 parameters that govern each, which is also a readable
+explanation of *why* the CBO's recommendation looks the way it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .profile import JobProfile
+
+__all__ = ["Bottleneck", "analyze_profile"]
+
+#: Phase -> the Table 2.1 parameters that most directly move it.
+_PHASE_LEVERS: dict[str, tuple[str, ...]] = {
+    "READ": (),
+    "MAP": ("mapreduce.combine.class",),
+    "COLLECT": ("io.sort.mb", "io.sort.record.percent", "io.sort.spill.percent"),
+    "SPILL": ("io.sort.mb", "mapred.compress.map.output", "mapreduce.combine.class"),
+    "MERGE": ("io.sort.factor", "io.sort.mb"),
+    "SHUFFLE": ("mapred.reduce.tasks", "mapred.compress.map.output",
+                "mapred.reduce.slowstart.completed.maps"),
+    "SORT": ("mapred.reduce.tasks", "mapred.job.shuffle.input.buffer.percent",
+             "mapred.job.shuffle.merge.percent", "io.sort.factor"),
+    "REDUCE": ("mapred.reduce.tasks",),
+    "WRITE": ("mapred.output.compress", "mapred.reduce.tasks"),
+    "SETUP": ("mapred.reduce.tasks",),
+    "CLEANUP": (),
+}
+
+
+@dataclass(frozen=True)
+class Bottleneck:
+    """One diagnosed bottleneck."""
+
+    side: str
+    phase: str
+    seconds_per_task: float
+    share: float
+    levers: tuple[str, ...]
+
+    def render(self) -> str:
+        lever_text = ", ".join(self.levers) if self.levers else "(data/cluster bound)"
+        return (
+            f"{self.side}:{self.phase} — {self.seconds_per_task:.1f} s/task "
+            f"({self.share:.0%} of the side) — tune: {lever_text}"
+        )
+
+
+def analyze_profile(profile: JobProfile, top_k: int = 3) -> list[Bottleneck]:
+    """Rank the profile's phases by their share of task time.
+
+    Phases from both sides compete in one ranking, each weighted by its
+    share *within its side* so single-reducer jobs (whose reduce phases
+    are enormous in absolute seconds) don't drown out map-side issues.
+    """
+    bottlenecks: list[Bottleneck] = []
+    sides = [("map", profile.map_profile)]
+    if profile.reduce_profile is not None:
+        sides.append(("reduce", profile.reduce_profile))
+
+    for side, side_profile in sides:
+        total = sum(side_profile.phase_times.values())
+        if total <= 0:
+            continue
+        for phase, seconds in side_profile.phase_times.items():
+            if phase in ("SETUP", "CLEANUP"):
+                continue
+            bottlenecks.append(
+                Bottleneck(
+                    side=side,
+                    phase=phase,
+                    seconds_per_task=seconds,
+                    share=seconds / total,
+                    levers=_PHASE_LEVERS.get(phase, ()),
+                )
+            )
+    bottlenecks.sort(key=lambda b: -b.share)
+    return bottlenecks[:top_k]

@@ -1,0 +1,151 @@
+"""The Starfish cost-based optimizer (CBO).
+
+Searches the 14-parameter configuration space with recursive random search
+(the strategy the Starfish job optimizer uses): a broad random sampling of
+the space, followed by rounds of local perturbation around the elite
+configurations, always scoring candidates with the What-If engine.  The
+recommendation is the best-predicted configuration found — so the quality
+of the recommendation is bounded by the quality of the profile given to
+the WIF engine, which is exactly what PStorM's matcher competes on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hadoop.config import CONFIGURATION_SPACE, JobConfiguration, ParameterSpec
+from .profile import JobProfile
+from .whatif import WhatIfEngine
+
+__all__ = ["CostBasedOptimizer", "OptimizationResult"]
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of a CBO search."""
+
+    best_config: JobConfiguration
+    predicted_runtime: float
+    evaluations: int
+    default_predicted_runtime: float
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Predicted improvement over the default configuration."""
+        if self.predicted_runtime <= 0:
+            return 1.0
+        return self.default_predicted_runtime / self.predicted_runtime
+
+
+def _sample_value(spec: ParameterSpec, rng: np.random.Generator):
+    """Draw one random legal value for a parameter."""
+    if spec.kind == "bool":
+        return bool(rng.integers(0, 2))
+    low, high = float(spec.low), float(spec.high)
+    if spec.log_scale:
+        value = math.exp(rng.uniform(math.log(max(low, 1e-9)), math.log(high)))
+    else:
+        value = rng.uniform(low, high)
+    return spec.clamp(value)
+
+
+def _perturb_value(spec: ParameterSpec, current, rng: np.random.Generator):
+    """Locally perturb a value (refinement move)."""
+    if spec.kind == "bool":
+        return not current
+    factor = math.exp(rng.normal(0.0, 0.35))
+    if spec.log_scale:
+        return spec.clamp(current * factor)
+    span = (float(spec.high) - float(spec.low)) * 0.15
+    return spec.clamp(current + rng.normal(0.0, span))
+
+
+@dataclass
+class CostBasedOptimizer:
+    """Recursive-random-search optimizer over the WIF engine.
+
+    Attributes:
+        whatif: the What-If engine used as the objective.
+        num_samples: size of the initial random sampling.
+        refine_rounds: rounds of local perturbation.
+        elite: how many best configurations seed each refinement round.
+        perturbations_per_elite: neighbours generated per elite per round.
+        max_reducers: optional cap on ``mapred.reduce.tasks`` during the
+            search; defaults to the parameter's full range, since huge
+            shuffles genuinely profit from many reducer waves.
+        seed: RNG seed; the search is fully deterministic.
+    """
+
+    whatif: WhatIfEngine
+    num_samples: int = 120
+    refine_rounds: int = 3
+    elite: int = 5
+    perturbations_per_elite: int = 6
+    max_reducers: int | None = None
+    seed: int = 0
+
+    _REDUCER_SPEC_HIGH = 512
+
+    def optimize(
+        self,
+        profile: JobProfile,
+        data_bytes: int | None = None,
+    ) -> OptimizationResult:
+        """Search for the configuration with the lowest predicted runtime."""
+        rng = np.random.default_rng(self.seed)
+        reducer_cap = self.max_reducers
+        if reducer_cap is None:
+            reducer_cap = self._REDUCER_SPEC_HIGH
+
+        def evaluate(config: JobConfiguration) -> float:
+            return self.whatif.predict(profile, config, data_bytes).runtime_seconds
+
+        def random_config() -> JobConfiguration:
+            attrs = {}
+            for spec in CONFIGURATION_SPACE:
+                value = _sample_value(spec, rng)
+                if spec.attribute == "num_reduce_tasks":
+                    value = min(value, reducer_cap)
+                attrs[spec.attribute] = value
+            return JobConfiguration(**attrs)
+
+        default = JobConfiguration()
+        default_runtime = evaluate(default)
+
+        scored: list[tuple[float, JobConfiguration]] = [(default_runtime, default)]
+        evaluations = 1
+        for __ in range(self.num_samples):
+            config = random_config()
+            scored.append((evaluate(config), config))
+            evaluations += 1
+
+        for __ in range(self.refine_rounds):
+            scored.sort(key=lambda pair: pair[0])
+            elites = scored[: self.elite]
+            for __, elite_config in elites:
+                for __ in range(self.perturbations_per_elite):
+                    attrs = {}
+                    for spec in CONFIGURATION_SPACE:
+                        current = getattr(elite_config, spec.attribute)
+                        if rng.random() < 0.4:
+                            value = _perturb_value(spec, current, rng)
+                        else:
+                            value = current
+                        if spec.attribute == "num_reduce_tasks":
+                            value = min(value, reducer_cap)
+                        attrs[spec.attribute] = value
+                    candidate = JobConfiguration(**attrs)
+                    scored.append((evaluate(candidate), candidate))
+                    evaluations += 1
+
+        scored.sort(key=lambda pair: pair[0])
+        best_runtime, best_config = scored[0]
+        return OptimizationResult(
+            best_config=best_config,
+            predicted_runtime=best_runtime,
+            evaluations=evaluations,
+            default_predicted_runtime=default_runtime,
+        )

@@ -1,0 +1,229 @@
+"""Starfish execution profiles.
+
+An execution profile captures, per task side, the three ingredient families
+of the Starfish What-If models (§4.1): **data flow statistics** (Table 4.1
+selectivities plus the record-size statistics needed to reconstruct
+volumes), **cost factors** (Table 4.2 per-byte / per-record costs), and the
+observed per-phase timings.  A :class:`JobProfile` bundles a map-side and a
+reduce-side profile; profile *composition* — map side from one job, reduce
+side from another — is the mechanism PStorM uses to serve previously
+unseen jobs (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = [
+    "SideProfile",
+    "JobProfile",
+    "MAP_DATA_FLOW_FEATURES",
+    "REDUCE_DATA_FLOW_FEATURES",
+    "MAP_COST_FEATURES",
+    "REDUCE_COST_FEATURES",
+    "MAP_STATISTICS",
+    "REDUCE_STATISTICS",
+]
+
+#: Table 4.1 data flow statistics, split by the side they describe.
+MAP_DATA_FLOW_FEATURES: tuple[str, ...] = (
+    "MAP_SIZE_SEL",
+    "MAP_PAIRS_SEL",
+    "COMBINE_SIZE_SEL",
+    "COMBINE_PAIRS_SEL",
+)
+REDUCE_DATA_FLOW_FEATURES: tuple[str, ...] = (
+    "RED_SIZE_SEL",
+    "RED_PAIRS_SEL",
+)
+
+#: Table 4.2 cost factors, split by side (READ_LOCAL appears on both: map
+#: merge passes read local disk, and so do reduce-side merges).
+MAP_COST_FEATURES: tuple[str, ...] = (
+    "READ_HDFS_IO_COST",
+    "READ_LOCAL_IO_COST",
+    "WRITE_LOCAL_IO_COST",
+    "MAP_CPU_COST",
+    "COMBINE_CPU_COST",
+)
+REDUCE_COST_FEATURES: tuple[str, ...] = (
+    "READ_LOCAL_IO_COST",
+    "WRITE_LOCAL_IO_COST",
+    "WRITE_HDFS_IO_COST",
+    "REDUCE_CPU_COST",
+)
+
+#: Additional statistics the What-If engine needs to reconstruct volumes.
+MAP_STATISTICS: tuple[str, ...] = (
+    "INPUT_RECORD_BYTES",
+    "INTERMEDIATE_RECORD_BYTES",
+    "FRAMEWORK_CPU_COST",
+    "NETWORK_COST",
+    "COMPRESS_CPU_COST",
+    "DECOMPRESS_CPU_COST",
+    "HAS_COMBINER",
+)
+REDUCE_STATISTICS: tuple[str, ...] = (
+    "RECORDS_PER_GROUP",
+    "OUT_RECORDS_PER_GROUP",
+    "OUTPUT_RECORD_BYTES",
+    "REDUCE_SKEW",
+    "FRAMEWORK_CPU_COST",
+    "NETWORK_COST",
+    "COMPRESS_CPU_COST",
+    "DECOMPRESS_CPU_COST",
+)
+
+
+@dataclass(frozen=True)
+class SideProfile:
+    """One side (map or reduce) of an execution profile.
+
+    Attributes:
+        side: ``"map"`` or ``"reduce"``.
+        data_flow: Table 4.1 selectivities for this side.
+        cost_factors: Table 4.2 costs for this side (ns/byte or ns/record).
+        statistics: auxiliary statistics for What-If volume reconstruction.
+        phase_times: mean per-task phase durations observed (seconds).
+        num_tasks: number of profiled tasks that produced these averages.
+    """
+
+    side: str
+    data_flow: Mapping[str, float]
+    cost_factors: Mapping[str, float]
+    statistics: Mapping[str, float]
+    phase_times: Mapping[str, float]
+    num_tasks: int
+
+    def __post_init__(self) -> None:
+        if self.side not in ("map", "reduce"):
+            raise ValueError("side must be 'map' or 'reduce'")
+        expected = (
+            MAP_DATA_FLOW_FEATURES if self.side == "map"
+            else REDUCE_DATA_FLOW_FEATURES
+        )
+        missing = set(expected) - set(self.data_flow)
+        if missing:
+            raise ValueError(f"{self.side} profile missing {sorted(missing)}")
+
+    def data_flow_vector(self) -> list[float]:
+        """Selectivities in canonical order (the matcher's dynamic vector)."""
+        names = (
+            MAP_DATA_FLOW_FEATURES if self.side == "map"
+            else REDUCE_DATA_FLOW_FEATURES
+        )
+        return [float(self.data_flow[name]) for name in names]
+
+    def cost_vector(self) -> list[float]:
+        """Cost factors in canonical order (the fallback filter's vector)."""
+        names = (
+            MAP_COST_FEATURES if self.side == "map" else REDUCE_COST_FEATURES
+        )
+        return [float(self.cost_factors.get(name, 0.0)) for name in names]
+
+    def stat(self, name: str, default: float = 0.0) -> float:
+        return float(self.statistics.get(name, default))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "side": self.side,
+            "data_flow": dict(self.data_flow),
+            "cost_factors": dict(self.cost_factors),
+            "statistics": dict(self.statistics),
+            "phase_times": dict(self.phase_times),
+            "num_tasks": self.num_tasks,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SideProfile":
+        return cls(
+            side=payload["side"],
+            data_flow=dict(payload["data_flow"]),
+            cost_factors=dict(payload["cost_factors"]),
+            statistics=dict(payload["statistics"]),
+            phase_times=dict(payload["phase_times"]),
+            num_tasks=int(payload["num_tasks"]),
+        )
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """A complete Starfish job profile.
+
+    Attributes:
+        job_name: name of the job the profile was collected from (for a
+            composite profile, a synthesized name).
+        dataset_name: dataset of the collecting run.
+        input_bytes: input data size of the collecting run — the matcher's
+            tie-break key (§4.3, Fig 4.6).
+        split_bytes: HDFS split size during collection.
+        num_map_tasks / num_reduce_tasks: shape of the collecting run.
+        map_profile: map-side profile.
+        reduce_profile: reduce-side profile, or None for map-only jobs.
+        source: ``"full"``, ``"sample"``, or ``"composite"``.
+    """
+
+    job_name: str
+    dataset_name: str
+    input_bytes: int
+    split_bytes: int
+    num_map_tasks: int
+    num_reduce_tasks: int
+    map_profile: SideProfile
+    reduce_profile: SideProfile | None
+    source: str = "full"
+
+    @property
+    def has_reduce(self) -> bool:
+        return self.reduce_profile is not None
+
+    def compose_with(self, reduce_donor: "JobProfile") -> "JobProfile":
+        """Composite profile: this job's map side + *reduce_donor*'s reduce.
+
+        Valid because map and reduce task populations are independent
+        (§4.3): a job profile is two independent sub-profiles.
+        """
+        return JobProfile(
+            job_name=f"composite({self.job_name}|{reduce_donor.job_name})",
+            dataset_name=self.dataset_name,
+            input_bytes=self.input_bytes,
+            split_bytes=self.split_bytes,
+            num_map_tasks=self.num_map_tasks,
+            num_reduce_tasks=reduce_donor.num_reduce_tasks,
+            map_profile=self.map_profile,
+            reduce_profile=reduce_donor.reduce_profile,
+            source="composite",
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_name": self.job_name,
+            "dataset_name": self.dataset_name,
+            "input_bytes": self.input_bytes,
+            "split_bytes": self.split_bytes,
+            "num_map_tasks": self.num_map_tasks,
+            "num_reduce_tasks": self.num_reduce_tasks,
+            "map_profile": self.map_profile.to_dict(),
+            "reduce_profile": (
+                self.reduce_profile.to_dict() if self.reduce_profile else None
+            ),
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobProfile":
+        reduce_payload = payload.get("reduce_profile")
+        return cls(
+            job_name=payload["job_name"],
+            dataset_name=payload["dataset_name"],
+            input_bytes=int(payload["input_bytes"]),
+            split_bytes=int(payload["split_bytes"]),
+            num_map_tasks=int(payload["num_map_tasks"]),
+            num_reduce_tasks=int(payload["num_reduce_tasks"]),
+            map_profile=SideProfile.from_dict(payload["map_profile"]),
+            reduce_profile=(
+                SideProfile.from_dict(reduce_payload) if reduce_payload else None
+            ),
+            source=payload.get("source", "full"),
+        )

@@ -1,0 +1,285 @@
+"""The Starfish profiler: turn an instrumented execution into a profile.
+
+The real profiler attaches dynamic instrumentation (BTrace) to an
+unmodified MR job and records per-phase timings and data-flow counters.
+Here the :class:`repro.hadoop.engine.HadoopEngine` exposes exactly those
+observables on its task execution records, so profiling means (a) running
+the job with per-task overhead inflation turned on, and (b) aggregating
+the task records into a :class:`JobProfile`.
+"""
+
+from __future__ import annotations
+
+import statistics as stats
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hadoop.config import JobConfiguration
+from ..hadoop.dataset import Dataset
+from ..hadoop.engine import DEFAULT_PROFILING_OVERHEAD, HadoopEngine
+from ..hadoop.job import MapReduceJob
+from ..hadoop.mapper_engine import (
+    INTERMEDIATE_COMPRESSION_RATIO,
+    MERGE_READ_CPU_FRACTION,
+    OP_CPU_FRACTION,
+    READER_CPU_FRACTION,
+    SPILL_SER_CPU_FRACTION,
+)
+from ..hadoop.reducer_engine import SHUFFLE_CPU_FRACTION, WRITE_SER_CPU_FRACTION
+from ..hadoop.tasks import JobExecution, MAP_PHASES, REDUCE_PHASES
+from .profile import JobProfile, SideProfile
+
+__all__ = ["StarfishProfiler", "build_profile"]
+
+
+def _mean(values: list[float]) -> float:
+    return stats.fmean(values) if values else 0.0
+
+
+def _map_side_profile(execution: JobExecution, config: JobConfiguration) -> SideProfile:
+    tasks = execution.map_tasks
+    total_in_bytes = sum(t.input_bytes for t in tasks)
+    total_in_records = sum(t.input_records for t in tasks)
+    total_out_bytes = sum(t.map_output_bytes for t in tasks)
+    total_out_records = sum(t.map_output_records for t in tasks)
+
+    combine_in = sum(t.combine_input_records for t in tasks)
+    combine_out = sum(t.combine_output_records for t in tasks)
+    if combine_in > 0:
+        combine_pairs_sel = combine_out / combine_in
+        combine_size_sel = (
+            sum(t.spill_bytes for t in tasks) / max(1, total_out_bytes)
+        )
+        has_combiner = 1.0
+    else:
+        combine_pairs_sel = 1.0
+        combine_size_sel = 1.0
+        has_combiner = 0.0
+
+    data_flow = {
+        "MAP_SIZE_SEL": total_out_bytes / max(1, total_in_bytes),
+        "MAP_PAIRS_SEL": total_out_records / max(1, total_in_records),
+        "COMBINE_SIZE_SEL": combine_size_sel,
+        "COMBINE_PAIRS_SEL": combine_pairs_sel,
+    }
+
+    # Cost factors are derived per task the way operation-level
+    # instrumentation measures them: per-byte costs fold in the per-record
+    # framework overheads, so they are *job-dependent* (small records cost
+    # more per byte) on top of node/utilization noise.
+    read_costs = []
+    read_local_costs = []
+    write_local_costs = []
+    map_cpu_costs = []
+    combine_cpu_costs = []
+    for task in tasks:
+        cpu = task.rates.cpu_ns_per_record
+        read_cost = task.rates.read_hdfs_ns_per_byte
+        if task.input_bytes:
+            read_cost += READER_CPU_FRACTION * cpu * task.input_records / task.input_bytes
+        read_costs.append(read_cost)
+
+        read_local_cost = task.rates.read_local_ns_per_byte
+        if task.materialized_bytes:
+            read_local_cost += (
+                MERGE_READ_CPU_FRACTION
+                * cpu
+                * task.spill_records
+                / task.materialized_bytes
+            )
+        read_local_costs.append(read_local_cost)
+
+        write_cost = task.rates.write_local_ns_per_byte
+        if task.materialized_bytes:
+            write_cost += (
+                SPILL_SER_CPU_FRACTION
+                * cpu
+                * task.spill_records
+                / task.materialized_bytes
+            )
+        write_local_costs.append(write_cost)
+
+        if task.input_records:
+            map_cpu_costs.append(
+                task.phase_times["MAP"] * 1e9 / task.input_records
+            )
+        if task.combine_input_records:
+            op_ns = cpu * OP_CPU_FRACTION
+            combine_cpu_costs.append(
+                task.combine_ops * op_ns / task.combine_input_records
+            )
+    cost_factors = {
+        "READ_HDFS_IO_COST": _mean(read_costs),
+        "READ_LOCAL_IO_COST": _mean(read_local_costs),
+        "WRITE_LOCAL_IO_COST": _mean(write_local_costs),
+        "MAP_CPU_COST": _mean(map_cpu_costs),
+        "COMBINE_CPU_COST": _mean(combine_cpu_costs),
+    }
+
+    statistics = {
+        "INPUT_RECORD_BYTES": total_in_bytes / max(1, total_in_records),
+        "INTERMEDIATE_RECORD_BYTES": total_out_bytes / max(1, total_out_records),
+        "FRAMEWORK_CPU_COST": _mean([t.rates.cpu_ns_per_record for t in tasks]),
+        "NETWORK_COST": _mean([t.rates.network_ns_per_byte for t in tasks]),
+        "COMPRESS_CPU_COST": _mean([t.rates.compress_ns_per_byte for t in tasks]),
+        "DECOMPRESS_CPU_COST": _mean([t.rates.decompress_ns_per_byte for t in tasks]),
+        "HAS_COMBINER": has_combiner,
+    }
+
+    phase_times = {
+        phase: _mean([t.phase_times.get(phase, 0.0) for t in tasks])
+        for phase in MAP_PHASES
+    }
+    return SideProfile(
+        side="map",
+        data_flow=data_flow,
+        cost_factors=cost_factors,
+        statistics=statistics,
+        phase_times=phase_times,
+        num_tasks=len(tasks),
+    )
+
+
+def _reduce_side_profile(
+    execution: JobExecution, config: JobConfiguration
+) -> SideProfile | None:
+    tasks = execution.reduce_tasks
+    if not tasks:
+        return None
+
+    wire_bytes = [float(t.shuffle_bytes) for t in tasks]
+    if config.compress_map_output:
+        plain_bytes = [b / INTERMEDIATE_COMPRESSION_RATIO for b in wire_bytes]
+    else:
+        plain_bytes = wire_bytes
+    total_in_bytes = sum(plain_bytes)
+    total_in_records = sum(t.reduce_input_records for t in tasks)
+    total_groups = sum(t.reduce_input_groups for t in tasks)
+    total_out_records = sum(t.output_records for t in tasks)
+    total_out_bytes = sum(t.output_bytes for t in tasks)
+
+    data_flow = {
+        "RED_SIZE_SEL": total_out_bytes / max(1.0, total_in_bytes),
+        "RED_PAIRS_SEL": total_out_records / max(1, total_in_records),
+    }
+
+    reduce_cpu_costs = [
+        t.phase_times["REDUCE"] * 1e9 / t.reduce_input_records
+        for t in tasks
+        if t.reduce_input_records
+    ]
+    write_hdfs_costs = []
+    network_costs = []
+    for task in tasks:
+        cpu = task.rates.cpu_ns_per_record
+        write_cost = task.rates.write_hdfs_ns_per_byte
+        if task.materialized_bytes:
+            write_cost += (
+                WRITE_SER_CPU_FRACTION
+                * cpu
+                * task.output_records
+                / task.materialized_bytes
+            )
+        write_hdfs_costs.append(write_cost)
+
+        network_cost = task.rates.network_ns_per_byte
+        if task.shuffle_bytes:
+            network_cost += (
+                SHUFFLE_CPU_FRACTION * cpu * task.shuffle_records / task.shuffle_bytes
+            )
+        network_costs.append(network_cost)
+    cost_factors = {
+        "READ_LOCAL_IO_COST": _mean([t.rates.read_local_ns_per_byte for t in tasks]),
+        "WRITE_LOCAL_IO_COST": _mean([t.rates.write_local_ns_per_byte for t in tasks]),
+        "WRITE_HDFS_IO_COST": _mean(write_hdfs_costs),
+        "REDUCE_CPU_COST": _mean(reduce_cpu_costs),
+    }
+
+    mean_wire = _mean(wire_bytes)
+    skew = max(wire_bytes) / mean_wire if mean_wire > 0 else 1.0
+    statistics = {
+        "RECORDS_PER_GROUP": total_in_records / max(1, total_groups),
+        "OUT_RECORDS_PER_GROUP": total_out_records / max(1, total_groups),
+        "OUTPUT_RECORD_BYTES": total_out_bytes / max(1, total_out_records),
+        "REDUCE_SKEW": skew,
+        "FRAMEWORK_CPU_COST": _mean([t.rates.cpu_ns_per_record for t in tasks]),
+        "NETWORK_COST": _mean(network_costs),
+        "COMPRESS_CPU_COST": _mean([t.rates.compress_ns_per_byte for t in tasks]),
+        "DECOMPRESS_CPU_COST": _mean([t.rates.decompress_ns_per_byte for t in tasks]),
+    }
+
+    phase_times = {
+        phase: _mean([t.phase_times.get(phase, 0.0) for t in tasks])
+        for phase in REDUCE_PHASES
+    }
+    return SideProfile(
+        side="reduce",
+        data_flow=data_flow,
+        cost_factors=cost_factors,
+        statistics=statistics,
+        phase_times=phase_times,
+        num_tasks=len(tasks),
+    )
+
+
+def build_profile(
+    execution: JobExecution,
+    config: JobConfiguration,
+    source: str,
+    split_bytes: int,
+) -> JobProfile:
+    """Aggregate an instrumented execution into a job profile."""
+    return JobProfile(
+        job_name=execution.job_name,
+        dataset_name=execution.dataset_name,
+        input_bytes=execution.input_bytes,
+        split_bytes=split_bytes,
+        num_map_tasks=execution.num_map_tasks,
+        num_reduce_tasks=execution.num_reduce_tasks,
+        map_profile=_map_side_profile(execution, config),
+        reduce_profile=_reduce_side_profile(execution, config),
+        source=source,
+    )
+
+
+@dataclass
+class StarfishProfiler:
+    """Collects execution profiles by running instrumented jobs.
+
+    Attributes:
+        engine: the Hadoop engine jobs run on.
+        overhead: relative per-task slowdown of instrumentation.
+    """
+
+    engine: HadoopEngine
+    overhead: float = DEFAULT_PROFILING_OVERHEAD
+
+    def profile_job(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        config: JobConfiguration | None = None,
+        map_task_ids: list[int] | None = None,
+        seed: int = 0,
+    ) -> tuple[JobProfile, JobExecution]:
+        """Run *job* with profiling on and return (profile, execution).
+
+        With ``map_task_ids`` given, only those map tasks run (sampling
+        mode); otherwise the full job runs instrumented (complete
+        profiling, the Fig 2.1 first-submission path).
+        """
+        if config is None:
+            config = JobConfiguration()
+        execution = self.engine.run_job(
+            job,
+            dataset,
+            config,
+            map_task_ids=map_task_ids,
+            profile=True,
+            profiling_overhead=self.overhead,
+            seed=seed,
+        )
+        source = "sample" if map_task_ids is not None else "full"
+        profile = build_profile(execution, config, source, dataset.split_bytes)
+        return profile, execution

@@ -1,0 +1,91 @@
+"""The rule-based optimizer (Appendix B).
+
+A transcription of the thesis's hand-built RBO: five rules drawn from
+Hadoop tuning folklore, triggered by simple diagnostics over an execution
+profile (we feed it the 1-task sample profile) and the cluster shape.  As
+the paper stresses, these heuristics carry no guarantee — Fig 6.3's
+inverted-index case shows the RBO *degrading* performance — which is the
+motivation for cost-based tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hadoop.cluster import ClusterSpec
+from ..hadoop.config import JobConfiguration
+from .profile import JobProfile
+
+__all__ = ["RuleBasedOptimizer", "RboDecision"]
+
+
+@dataclass(frozen=True)
+class RboDecision:
+    """An RBO recommendation plus the rules that fired."""
+
+    config: JobConfiguration
+    fired_rules: tuple[str, ...]
+
+
+@dataclass
+class RuleBasedOptimizer:
+    """Applies the Appendix B rules to a sample profile."""
+
+    cluster: ClusterSpec
+    #: io.sort.mb ceiling: with 300 MB task heaps, experts keep the sort
+    #: buffer well under the heap.
+    io_sort_mb_cap: int = 200
+
+    def recommend(self, profile: JobProfile) -> RboDecision:
+        """Derive a configuration from the Appendix B rule set."""
+        mp = profile.map_profile
+        fired: list[str] = []
+        config = JobConfiguration()
+
+        map_size_sel = mp.data_flow["MAP_SIZE_SEL"]
+        intermediate_rec = mp.stat("INTERMEDIATE_RECORD_BYTES")
+
+        # Rule: mapred.compress.map.output — compress when intermediate
+        # data is non-negligible or larger than the input, or records are
+        # large (e.g. CompositeInputFormat joins).
+        if map_size_sel >= 0.9 or intermediate_rec >= 100:
+            config = config.with_params(compress_map_output=True)
+            fired.append("compress-map-output")
+
+        # Rule: io.sort.mb — raise the buffer for jobs with larger
+        # size/number of intermediate records than input records.
+        map_out_mb_per_split = (
+            profile.split_bytes * map_size_sel / (1024 * 1024)
+        )
+        if map_out_mb_per_split > 0.5 * config.io_sort_mb:
+            new_size = min(self.io_sort_mb_cap, int(map_out_mb_per_split * 1.2) + 1)
+            if new_size > config.io_sort_mb:
+                config = config.with_params(io_sort_mb=new_size)
+                fired.append("io-sort-mb")
+
+        # Rule: io.sort.record.percent — the folklore version is blunt:
+        # "small records need much more meta-data space, large records
+        # much less".  (The *optimal* share would be 16/(16+record size);
+        # rules of thumb overshoot, which is part of why RBOs misfire —
+        # the paper's cross-parameter-interaction discussion in §2.2.)
+        if 0 < intermediate_rec <= 32:
+            config = config.with_params(io_sort_record_percent=0.3)
+            fired.append("io-sort-record-percent")
+        elif intermediate_rec > 200:
+            config = config.with_params(io_sort_record_percent=0.02)
+            fired.append("io-sort-record-percent")
+
+        # Rule: combiner usage — always enable a job-defined combiner
+        # (associative/commutative reduce assumed by the rule).
+        if mp.stat("HAS_COMBINER") > 0:
+            config = config.with_params(use_combiner=True)
+            fired.append("combiner")
+
+        # Rule: mapred.reduce.tasks — 90% of the cluster's reduce slots,
+        # leaving headroom for re-executed failures.
+        if profile.reduce_profile is not None:
+            reducers = max(1, int(0.9 * self.cluster.total_reduce_slots))
+            config = config.with_params(num_reduce_tasks=reducers)
+            fired.append("reduce-tasks")
+
+        return RboDecision(config=config, fired_rules=tuple(fired))

@@ -1,0 +1,95 @@
+"""The Starfish sampler: profile a random subset of map tasks.
+
+Starfish's rule of thumb samples 10% of a job's map tasks ("10%-profile");
+PStorM needs far less — one map task plus the reducers that process its
+output — because its sample only has to support a store lookup, not a
+full-fidelity profile (§3).  Both modes are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hadoop.config import JobConfiguration
+from ..hadoop.dataset import Dataset
+from ..hadoop.job import MapReduceJob
+from ..hadoop.tasks import JobExecution
+from .profile import JobProfile
+from .profiler import StarfishProfiler
+
+__all__ = ["Sampler", "SampleResult"]
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """Outcome of a sampling run."""
+
+    profile: JobProfile
+    execution: JobExecution
+    sampled_task_ids: tuple[int, ...]
+
+    @property
+    def map_slots_consumed(self) -> int:
+        """Map slots the sampling run occupied (Fig 4.1b's metric)."""
+        return len(self.sampled_task_ids)
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Wall-clock cost of the sampling run."""
+        return self.execution.runtime_seconds
+
+
+@dataclass
+class Sampler:
+    """Selects random input splits and runs only their map tasks."""
+
+    profiler: StarfishProfiler
+
+    def choose_task_ids(
+        self,
+        dataset: Dataset,
+        fraction: float | None = None,
+        count: int | None = None,
+        seed: int = 0,
+    ) -> list[int]:
+        """Pick map task ids uniformly at random without replacement.
+
+        Exactly one of *fraction* / *count* must be given.
+        """
+        if (fraction is None) == (count is None):
+            raise ValueError("give exactly one of fraction or count")
+        num_splits = dataset.num_splits
+        if fraction is not None:
+            if not 0 < fraction <= 1:
+                raise ValueError("fraction must be in (0, 1]")
+            count = max(1, round(num_splits * fraction))
+        count = min(count, num_splits)
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(num_splits, size=count, replace=False)
+        return sorted(int(i) for i in chosen)
+
+    def collect(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        config: JobConfiguration | None = None,
+        fraction: float | None = None,
+        count: int | None = None,
+        seed: int = 0,
+    ) -> SampleResult:
+        """Run a sampling pass and collect its profile.
+
+        ``count=1`` is PStorM's 1-task sample; ``fraction=0.1`` is
+        Starfish's 10%-profile.
+        """
+        task_ids = self.choose_task_ids(dataset, fraction, count, seed)
+        profile, execution = self.profiler.profile_job(
+            job, dataset, config, map_task_ids=task_ids, seed=seed
+        )
+        return SampleResult(
+            profile=profile,
+            execution=execution,
+            sampled_task_ids=tuple(task_ids),
+        )

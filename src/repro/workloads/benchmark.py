@@ -1,0 +1,125 @@
+"""The Table 6.1 benchmark: (job, dataset) pairs.
+
+Most jobs run on two datasets ("profile twins", §6.1); the word
+co-occurrence stripes job and the FIM chain run on one dataset each, which
+is why they produce the DD-state mismatches the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hadoop.dataset import Dataset
+from ..hadoop.job import MapReduceJob
+from . import datasets as ds
+from .jobs import (
+    PIGMIX_QUERY_COUNT,
+    bigram_relative_frequency_job,
+    cf_similarity_job,
+    cf_user_vectors_job,
+    cloudburst_job,
+    cooccurrence_pairs_job,
+    cooccurrence_stripes_job,
+    fim_aggregate_job,
+    fim_item_count_job,
+    fim_pair_count_job,
+    inverted_index_job,
+    join_job,
+    pigmix_job,
+    sort_job,
+    word_count_job,
+)
+
+__all__ = ["BenchmarkEntry", "standard_benchmark", "compact_benchmark"]
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One benchmark run: a job on a dataset, with a domain label."""
+
+    job: MapReduceJob
+    dataset: Dataset
+    domain: str
+
+    @property
+    def key(self) -> str:
+        """Unique identifier of this (job, dataset) pair."""
+        return f"{self.job.name}@{self.dataset.name}"
+
+
+def _text_datasets() -> tuple[Dataset, Dataset]:
+    return ds.random_text_1gb(), ds.wikipedia_35gb()
+
+
+def standard_benchmark(pigmix_queries: int = PIGMIX_QUERY_COUNT) -> list[BenchmarkEntry]:
+    """The full Table 6.1 suite.
+
+    Args:
+        pigmix_queries: how many of the 17 PigMix queries to include
+            (lowering this speeds up accuracy experiments ~linearly
+            without changing their structure).
+    """
+    text_small, text_large = _text_datasets()
+    entries: list[BenchmarkEntry] = []
+
+    entries.append(
+        BenchmarkEntry(cloudburst_job(), ds.genome_dataset("sample", 200), "Bioinformatics")
+    )
+    entries.append(
+        BenchmarkEntry(cloudburst_job(), ds.genome_dataset("lakewash", 1100), "Bioinformatics")
+    )
+
+    webdocs = ds.webdocs_dataset()
+    entries.append(BenchmarkEntry(fim_item_count_job(), webdocs, "Data Mining"))
+    entries.append(BenchmarkEntry(fim_pair_count_job(), webdocs, "Data Mining"))
+    entries.append(BenchmarkEntry(fim_aggregate_job(), webdocs, "Data Mining"))
+
+    for millions in (1, 10):
+        ratings = ds.movielens_dataset(millions)
+        entries.append(
+            BenchmarkEntry(cf_user_vectors_job(), ratings, "Recommendation Systems")
+        )
+        entries.append(
+            BenchmarkEntry(cf_similarity_job(), ratings, "Recommendation Systems")
+        )
+
+    for gb in (1, 35):
+        entries.append(
+            BenchmarkEntry(join_job(), ds.tpch_dataset(gb), "Business Intelligence")
+        )
+
+    for text in (text_small, text_large):
+        entries.append(BenchmarkEntry(word_count_job(), text, "Text Mining"))
+        entries.append(BenchmarkEntry(inverted_index_job(), text, "Text Mining"))
+        entries.append(
+            BenchmarkEntry(
+                bigram_relative_frequency_job(), text, "Natural Language Processing"
+            )
+        )
+        entries.append(
+            BenchmarkEntry(
+                cooccurrence_pairs_job(), text, "Natural Language Processing"
+            )
+        )
+
+    for gb in (1, 35):
+        entries.append(BenchmarkEntry(sort_job(), ds.teragen_dataset(gb), "Many Domains"))
+
+    for gb in (1, 35):
+        pig_data = ds.pigmix_dataset(gb)
+        for query in range(1, pigmix_queries + 1):
+            entries.append(BenchmarkEntry(pigmix_job(query), pig_data, "Pig Benchmark"))
+
+    entries.append(
+        BenchmarkEntry(
+            cooccurrence_stripes_job(),
+            text_small,
+            "Natural Language Processing",
+        )
+    )
+    return entries
+
+
+def compact_benchmark() -> list[BenchmarkEntry]:
+    """A reduced suite (4 PigMix queries) for fast experiment iterations."""
+    return standard_benchmark(pigmix_queries=4)

@@ -1,0 +1,284 @@
+"""The Table 6.1 datasets, as seeded synthetic generators.
+
+Every dataset the paper's benchmark runs on has a synthetic equivalent
+here with the *nominal* size of the original (which drives split counts,
+wave counts and shuffle volumes) and a deterministic per-split record
+sample (which drives measured selectivities).  See DESIGN.md for the
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..hadoop.dataset import Dataset
+from .text import random_text_source, wikipedia_source
+
+__all__ = [
+    "random_text_1gb",
+    "wikipedia_35gb",
+    "tpch_dataset",
+    "teragen_dataset",
+    "movielens_dataset",
+    "webdocs_dataset",
+    "genome_dataset",
+    "pigmix_dataset",
+]
+
+GB = 1 << 30
+
+
+def random_text_1gb() -> Dataset:
+    """1 GB of random text (word count / inverted index / bigram / co-oc)."""
+    return Dataset("random-text-1gb", nominal_bytes=GB, source=random_text_source(), seed=101)
+
+
+def wikipedia_35gb() -> Dataset:
+    """35 GB of Wikipedia documents (571-ish splits on 64 MB blocks)."""
+    return Dataset("wikipedia-35gb", nominal_bytes=35 * GB, source=wikipedia_source(), seed=102)
+
+
+# ----------------------------------------------------------------------
+# TPC-H-style join inputs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TpchSource:
+    """A tagged mix of ORDERS and LINEITEM rows sharing order keys.
+
+    A reduce-side (repartition) join consumes a single tagged stream, so a
+    split interleaves rows of both tables.  Order keys are drawn from a
+    bounded range so joins actually find partners across splits.
+    """
+
+    rows_per_split: int = 300
+    orders_fraction: float = 0.25
+    key_space: int = 50_000
+
+    def generate(
+        self, split_index: int, rng: np.random.Generator
+    ) -> Sequence[tuple[int, tuple]]:
+        records = []
+        for i in range(self.rows_per_split):
+            order_key = int(rng.integers(0, self.key_space))
+            if rng.random() < self.orders_fraction:
+                row = (
+                    "ORDERS",
+                    order_key,
+                    f"cust{int(rng.integers(0, 5000)):05d}",
+                    round(float(rng.uniform(10.0, 5000.0)), 2),
+                    f"1996-{int(rng.integers(1, 13)):02d}-{int(rng.integers(1, 29)):02d}",
+                )
+            else:
+                row = (
+                    "LINEITEM",
+                    order_key,
+                    int(rng.integers(1, 8)),
+                    int(rng.integers(1, 51)),
+                    round(float(rng.uniform(1.0, 100.0)), 2),
+                    round(float(rng.uniform(0.0, 0.1)), 2),
+                )
+            records.append((i, row))
+        return records
+
+
+def tpch_dataset(nominal_gb: int) -> Dataset:
+    """TPC-H-style tagged ORDERS+LINEITEM rows (1 GB and 35 GB variants)."""
+    return Dataset(
+        f"tpch-{nominal_gb}gb",
+        nominal_bytes=nominal_gb * GB,
+        source=TpchSource(),
+        seed=200 + nominal_gb,
+    )
+
+
+# ----------------------------------------------------------------------
+# TeraGen-style sort input
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TeraGenSource:
+    """TeraGen's 100-byte records: 10-char random key, 90-char payload."""
+
+    rows_per_split: int = 400
+
+    def generate(
+        self, split_index: int, rng: np.random.Generator
+    ) -> Sequence[tuple[str, str]]:
+        alphabet = np.array(list("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"))
+        records = []
+        for __ in range(self.rows_per_split):
+            key = "".join(rng.choice(alphabet, size=10))
+            payload = "".join(rng.choice(alphabet, size=90))
+            records.append((key, payload))
+        return records
+
+
+def teragen_dataset(nominal_gb: int) -> Dataset:
+    """TeraGen records for the Sort job (1 GB and 35 GB variants)."""
+    return Dataset(
+        f"teragen-{nominal_gb}gb",
+        nominal_bytes=nominal_gb * GB,
+        source=TeraGenSource(),
+        seed=300 + nominal_gb,
+    )
+
+
+# ----------------------------------------------------------------------
+# MovieLens-style ratings
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RatingsSource:
+    """(user, (movie, rating)) tuples with Zipfian movie popularity."""
+
+    rows_per_split: int = 350
+    num_users: int = 6000
+    num_movies: int = 3900
+
+    def generate(
+        self, split_index: int, rng: np.random.Generator
+    ) -> Sequence[tuple[int, tuple[int, float]]]:
+        records = []
+        for __ in range(self.rows_per_split):
+            user = int(rng.integers(0, self.num_users))
+            movie = int(rng.zipf(1.3)) % self.num_movies
+            rating = float(rng.integers(1, 11)) / 2.0
+            records.append((user, (movie, rating)))
+        return records
+
+
+def movielens_dataset(millions: int) -> Dataset:
+    """Movie ratings (the 1M and 10M MovieLens-style sets).
+
+    Nominal size approximates the on-disk size of the rating files.
+    """
+    scale = {1: 24 * (1 << 20), 10: 252 * (1 << 20)}
+    if millions not in scale:
+        raise ValueError("movielens_dataset supports 1 or 10 (millions)")
+    users = 6000 if millions == 1 else 72000
+    movies = 3900 if millions == 1 else 10600
+    return Dataset(
+        f"movielens-{millions}m",
+        nominal_bytes=scale[millions],
+        source=RatingsSource(num_users=users, num_movies=movies),
+        split_bytes=16 * (1 << 20),
+        seed=400 + millions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Webdocs-style transactions (frequent itemset mining)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TransactionsSource:
+    """(tid, frozenset of item ids): market-basket style transactions."""
+
+    rows_per_split: int = 260
+    num_items: int = 2000
+    min_items: int = 3
+    max_items: int = 15
+
+    def generate(
+        self, split_index: int, rng: np.random.Generator
+    ) -> Sequence[tuple[int, tuple[int, ...]]]:
+        records = []
+        for tid in range(self.rows_per_split):
+            count = int(rng.integers(self.min_items, self.max_items + 1))
+            items = sorted(
+                {int(rng.zipf(1.35)) % self.num_items for __ in range(count)}
+            )
+            records.append((tid, tuple(items)))
+        return records
+
+
+def webdocs_dataset() -> Dataset:
+    """The 1.5 GB webdocs transaction set (frequent itemset mining)."""
+    return Dataset(
+        "webdocs-1.5gb",
+        nominal_bytes=int(1.5 * GB),
+        source=TransactionsSource(),
+        seed=500,
+    )
+
+
+# ----------------------------------------------------------------------
+# Genome reads (CloudBurst-style alignment)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GenomeSource:
+    """Tagged reference chunks and short reads over {A, C, G, T}.
+
+    CloudBurst aligns reads against a reference; its map input interleaves
+    reference sequence chunks and query reads, tagged accordingly.
+    """
+
+    rows_per_split: int = 220
+    reference_fraction: float = 0.3
+    read_length: int = 36
+    chunk_length: int = 120
+
+    def generate(
+        self, split_index: int, rng: np.random.Generator
+    ) -> Sequence[tuple[int, tuple[str, str]]]:
+        bases = np.array(list("ACGT"))
+        records = []
+        for i in range(self.rows_per_split):
+            if rng.random() < self.reference_fraction:
+                seq = "".join(rng.choice(bases, size=self.chunk_length))
+                records.append((i, ("REF", seq)))
+            else:
+                seq = "".join(rng.choice(bases, size=self.read_length))
+                records.append((i, ("READ", seq)))
+        return records
+
+
+def genome_dataset(name: str, nominal_mb: int) -> Dataset:
+    """A genome read set: ``sample`` or ``lakewash`` scale."""
+    return Dataset(
+        f"genome-{name}",
+        nominal_bytes=nominal_mb * (1 << 20),
+        source=GenomeSource(),
+        split_bytes=32 * (1 << 20),
+        seed=600 + nominal_mb,
+    )
+
+
+# ----------------------------------------------------------------------
+# PigMix-style page views
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PageViewsSource:
+    """PigMix's page_views schema: (user, action, timespent, query_term,
+    estimated_revenue, page_links)."""
+
+    rows_per_split: int = 280
+    num_users: int = 20000
+    num_terms: int = 800
+
+    def generate(
+        self, split_index: int, rng: np.random.Generator
+    ) -> Sequence[tuple[int, tuple]]:
+        records = []
+        for i in range(self.rows_per_split):
+            user = f"u{int(rng.zipf(1.3)) % self.num_users:06d}"
+            action = int(rng.integers(1, 4))
+            timespent = int(rng.integers(1, 300))
+            term = f"t{int(rng.zipf(1.4)) % self.num_terms:04d}"
+            revenue = round(float(rng.uniform(0.0, 50.0)), 2)
+            num_links = int(rng.integers(0, 6))
+            links = tuple(
+                f"p{int(rng.integers(0, 9999)):04d}" for __ in range(num_links)
+            )
+            records.append((i, (user, action, timespent, term, revenue, links)))
+        return records
+
+
+def pigmix_dataset(nominal_gb: int) -> Dataset:
+    """PigMix page_views data (1 GB and 35 GB variants)."""
+    return Dataset(
+        f"pigmix-{nominal_gb}gb",
+        nominal_bytes=nominal_gb * GB,
+        source=PageViewsSource(),
+        seed=700 + nominal_gb,
+    )

@@ -1,0 +1,33 @@
+"""The Table 6.1 benchmark MR jobs, one module per job family."""
+
+from .bigram import bigram_relative_frequency_job
+from .cloudburst import cloudburst_job
+from .collabfilter import cf_similarity_job, cf_user_vectors_job
+from .cooccurrence import cooccurrence_pairs_job, cooccurrence_stripes_job
+from .fim import fim_aggregate_job, fim_item_count_job, fim_pair_count_job
+from .grep import grep_job
+from .invertedindex import inverted_index_job
+from .join import join_job
+from .pigmix import PIGMIX_QUERY_COUNT, pigmix_all_jobs, pigmix_job
+from .sort import sort_job
+from .wordcount import word_count_job
+
+__all__ = [
+    "bigram_relative_frequency_job",
+    "cloudburst_job",
+    "cf_similarity_job",
+    "cf_user_vectors_job",
+    "cooccurrence_pairs_job",
+    "cooccurrence_stripes_job",
+    "fim_aggregate_job",
+    "fim_item_count_job",
+    "fim_pair_count_job",
+    "grep_job",
+    "inverted_index_job",
+    "join_job",
+    "PIGMIX_QUERY_COUNT",
+    "pigmix_all_jobs",
+    "pigmix_job",
+    "sort_job",
+    "word_count_job",
+]

@@ -1,0 +1,86 @@
+"""Bigram relative frequency (Lin & Dyer).
+
+Counts the frequency of each word pair *(a, b)* relative to the frequency
+of *a*: the mapper emits one pair count plus one marginal count
+``((a, '*'), 1)`` per bigram; a first-word partitioner routes a word's
+marginal and all its pairs to the same reducer, which sees the marginal
+first (the ``'*'`` sorts before words) and divides.
+
+With a window of 2, the co-occurrence pairs job and this job process text
+nearly identically — the profile-reuse motivating example of Chapter 1
+(Figs 1.3 and 4.5).
+"""
+
+from __future__ import annotations
+
+from ...hadoop.context import TaskContext
+from ...hadoop.job import MapReduceJob, default_partitioner
+
+__all__ = ["bigram_relative_frequency_job"]
+
+
+def bigram_map(key: object, line: str, context: TaskContext) -> None:
+    """Emit ((a, b), 1) and the marginal ((a, '*'), 1) per bigram."""
+    words = line.split()
+    for i in range(len(words) - 1):
+        if words[i]:
+            context.emit((words[i], words[i + 1]), 1)
+            context.emit((words[i], "*"), 1)
+
+
+def bigram_combine(pair, counts, context: TaskContext) -> None:
+    """Partial sums of pair and marginal counts."""
+    total = 0
+    for count in counts:
+        total += count
+        context.report_ops(1)
+    context.emit(pair, total)
+
+
+class _MarginalState:
+    """Per-reducer running marginal; reset whenever the first word changes.
+
+    The real implementation keeps this in the reducer instance across
+    ``reduce()`` calls; module state plays that role here.
+    """
+
+    word: str | None = None
+    total: int = 0
+
+
+_state = _MarginalState()
+
+
+def bigram_reduce(pair, counts, context: TaskContext) -> None:
+    """Divide each pair count by its first word's marginal count."""
+    first, second = pair
+    total = 0
+    for count in counts:
+        total += count
+        context.report_ops(1)
+    if second == "*":
+        _state.word = first
+        _state.total = total
+        return
+    if _state.word == first and _state.total > 0:
+        context.emit(pair, total / _state.total)
+    else:
+        context.emit(pair, float(total))
+
+
+def bigram_partitioner(pair, num_partitions: int) -> int:
+    """Route by the first word so marginals meet their pairs."""
+    return default_partitioner(pair[0], num_partitions)
+
+
+def bigram_relative_frequency_job() -> MapReduceJob:
+    """The bigram relative frequency job."""
+    return MapReduceJob(
+        name="bigram-relative-frequency",
+        mapper=bigram_map,
+        reducer=bigram_reduce,
+        combiner=bigram_combine,
+        partitioner=bigram_partitioner,
+        input_format="TextInputFormat",
+        output_format="TextOutputFormat",
+    )

@@ -1,0 +1,80 @@
+"""CloudBurst-style read alignment (Schatz, Bioinformatics 2009).
+
+Seed-and-extend alignment as MapReduce: the mapper emits fixed-length
+k-mer seeds from both the tagged reference chunks and the query reads;
+each reducer receives all sequences sharing a seed and extends reference/
+read pairs, emitting alignments below a mismatch budget.
+"""
+
+from __future__ import annotations
+
+from ...hadoop.context import TaskContext
+from ...hadoop.job import MapReduceJob
+
+__all__ = ["cloudburst_job"]
+
+SEED_LENGTH = 12
+
+
+def cloudburst_map(key: object, record: tuple, context: TaskContext) -> None:
+    """Emit (seed k-mer, (tag, sequence, offset)) seeds.
+
+    Reference chunks shed a seed at every offset (dense); reads shed
+    non-overlapping seeds only (sparse), as in CloudBurst.
+    """
+    tag, sequence = record
+    if tag == "REF":
+        step = 4
+    else:
+        step = SEED_LENGTH
+    offset = 0
+    while offset + SEED_LENGTH <= len(sequence):
+        seed = sequence[offset:offset + SEED_LENGTH]
+        context.emit(seed, (tag, sequence, offset))
+        offset += step
+
+
+def cloudburst_reduce(seed: str, hits, context: TaskContext) -> None:
+    """Extend reference/read pairs sharing this seed."""
+    max_mismatches = context.get_param("max_mismatches", 4)
+    references = []
+    reads = []
+    for tag, sequence, offset in hits:
+        if tag == "REF":
+            references.append((sequence, offset))
+        else:
+            reads.append((sequence, offset))
+        context.report_ops(1)
+    for read_seq, read_off in reads:
+        for ref_seq, ref_off in references:
+            mismatches = _extend(read_seq, read_off, ref_seq, ref_off)
+            context.report_ops(len(read_seq))
+            if mismatches <= max_mismatches:
+                context.emit(seed, (read_seq, ref_off - read_off, mismatches))
+
+
+def _extend(read_seq: str, read_off: int, ref_seq: str, ref_off: int) -> int:
+    """Count mismatches aligning the read against the reference chunk."""
+    start = ref_off - read_off
+    mismatches = 0
+    for i, base in enumerate(read_seq):
+        position = start + i
+        if 0 <= position < len(ref_seq):
+            if ref_seq[position] != base:
+                mismatches += 1
+        else:
+            mismatches += 1
+    return mismatches
+
+
+def cloudburst_job(max_mismatches: int = 4) -> MapReduceJob:
+    """The CloudBurst-style alignment job."""
+    return MapReduceJob(
+        name="cloudburst",
+        mapper=cloudburst_map,
+        reducer=cloudburst_reduce,
+        combiner=None,
+        input_format="SequenceFileInputFormat",
+        output_format="SequenceFileOutputFormat",
+        params={"max_mismatches": max_mismatches},
+    )

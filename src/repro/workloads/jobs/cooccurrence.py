@@ -1,0 +1,92 @@
+"""Word co-occurrence: the *pairs* and *stripes* patterns of Lin & Dyer.
+
+The pairs variant (Algorithm 2) emits one ``((w_i, w_j), 1)`` pair for
+every pair of words inside a sliding window of length *n*; its map output
+is much larger than its input, which is why the paper's Fig 6.3 shows a
+~9x tuning speedup for it — the default single reducer and 100 MB sort
+buffer drown in the intermediate data.
+
+The stripes variant emits one associative array (``{neighbor: count}``)
+per word, trading many small records for fewer, larger, more memory-hungry
+ones; the paper notes it failed with memory exceptions on the 35 GB corpus
+(§6.1.1), which is why it appears on only one dataset in Table 6.1.
+"""
+
+from __future__ import annotations
+
+from ...hadoop.context import TaskContext
+from ...hadoop.job import MapReduceJob
+
+__all__ = ["cooccurrence_pairs_job", "cooccurrence_stripes_job"]
+
+DEFAULT_WINDOW = 2
+
+
+def cooccurrence_pairs_map(key: object, line: str, context: TaskContext) -> None:
+    """Emit ((w_i, w_j), 1) for j in the window after i (Algorithm 2)."""
+    window = context.get_param("window", DEFAULT_WINDOW)
+    words = line.split()
+    for i in range(len(words)):
+        if words[i]:
+            for j in range(i + 1, min(i + window + 1, len(words))):
+                context.emit((words[i], words[j]), 1)
+
+
+def cooccurrence_pairs_reduce(pair, counts, context: TaskContext) -> None:
+    """Sum co-occurrence counts of one word pair."""
+    total = 0
+    for count in counts:
+        total += count
+        context.report_ops(1)
+    context.emit(pair, total)
+
+
+def cooccurrence_pairs_job(window: int = DEFAULT_WINDOW) -> MapReduceJob:
+    """The word co-occurrence *pairs* job with sliding window *window*."""
+    return MapReduceJob(
+        name="word-cooccurrence-pairs",
+        mapper=cooccurrence_pairs_map,
+        reducer=cooccurrence_pairs_reduce,
+        combiner=cooccurrence_pairs_reduce,
+        input_format="TextInputFormat",
+        output_format="TextOutputFormat",
+        params={"window": window},
+    )
+
+
+def cooccurrence_stripes_map(key: object, line: str, context: TaskContext) -> None:
+    """Emit one stripe {neighbor: count} per word occurrence."""
+    window = context.get_param("window", DEFAULT_WINDOW)
+    words = line.split()
+    for i in range(len(words)):
+        if not words[i]:
+            continue
+        stripe: dict[str, int] = {}
+        for j in range(i + 1, min(i + window + 1, len(words))):
+            stripe[words[j]] = stripe.get(words[j], 0) + 1
+            context.report_ops(1)
+        if stripe:
+            context.emit(words[i], stripe)
+
+
+def cooccurrence_stripes_reduce(word: str, stripes, context: TaskContext) -> None:
+    """Element-wise sum of the stripes of one word."""
+    merged: dict[str, int] = {}
+    for stripe in stripes:
+        for neighbor, count in stripe.items():
+            merged[neighbor] = merged.get(neighbor, 0) + count
+            context.report_ops(1)
+    context.emit(word, merged)
+
+
+def cooccurrence_stripes_job(window: int = DEFAULT_WINDOW) -> MapReduceJob:
+    """The word co-occurrence *stripes* job."""
+    return MapReduceJob(
+        name="word-cooccurrence-stripes",
+        mapper=cooccurrence_stripes_map,
+        reducer=cooccurrence_stripes_reduce,
+        combiner=cooccurrence_stripes_reduce,
+        input_format="TextInputFormat",
+        output_format="SequenceFileOutputFormat",
+        params={"window": window},
+    )

@@ -1,0 +1,45 @@
+"""Grep: count lines matching a search keyword.
+
+§7.2.1 uses grep as the example of a job whose execution profile depends
+on a *user parameter* (the search term): a rare term filters almost
+everything map-side (tiny selectivity), a common one passes most lines.
+The keyword is a job parameter, making this the natural test subject for
+the user-parameter static-feature extension.
+"""
+
+from __future__ import annotations
+
+from ...hadoop.context import TaskContext
+from ...hadoop.job import MapReduceJob
+
+__all__ = ["grep_job"]
+
+
+def grep_map(key: object, line: str, context: TaskContext) -> None:
+    """Emit (keyword, 1) when the line contains the keyword."""
+    keyword = context.get_param("pattern", "w0001")
+    context.report_ops(1)
+    if keyword in line:
+        context.emit(keyword, 1)
+
+
+def grep_reduce(keyword: str, counts, context: TaskContext) -> None:
+    """Total match count of the keyword."""
+    total = 0
+    for count in counts:
+        total += count
+        context.report_ops(1)
+    context.emit(keyword, total)
+
+
+def grep_job(pattern: str = "w0001") -> MapReduceJob:
+    """The grep job searching for *pattern*."""
+    return MapReduceJob(
+        name="grep",
+        mapper=grep_map,
+        reducer=grep_reduce,
+        combiner=grep_reduce,
+        input_format="TextInputFormat",
+        output_format="TextOutputFormat",
+        params={"pattern": pattern},
+    )

@@ -1,0 +1,52 @@
+"""Join: a TPC-H-style repartition join of ORDERS and LINEITEM.
+
+The mapper tags each row with its table and keys it by order key; each
+reducer buffers the (single) ORDERS row of a key and emits one joined
+tuple per LINEITEM partner.  The input formatter is the composite
+formatter feeding both tables — one of the paper's examples of an input
+formatter that changes READ_HDFS_IO_COST (§4.1.2).
+"""
+
+from __future__ import annotations
+
+from ...hadoop.context import TaskContext
+from ...hadoop.job import MapReduceJob
+
+__all__ = ["join_job"]
+
+
+def join_map(key: object, row: tuple, context: TaskContext) -> None:
+    """Tag and re-key one input row by its join key."""
+    table = row[0]
+    order_key = row[1]
+    if table == "ORDERS":
+        context.emit(order_key, ("O", row[2:]))
+    else:
+        context.emit(order_key, ("L", row[2:]))
+
+
+def join_reduce(order_key: int, tagged_rows, context: TaskContext) -> None:
+    """Join the ORDERS row of this key with each LINEITEM row."""
+    orders = []
+    lineitems = []
+    for tag, payload in tagged_rows:
+        if tag == "O":
+            orders.append(payload)
+        else:
+            lineitems.append(payload)
+        context.report_ops(1)
+    for order in orders:
+        for lineitem in lineitems:
+            context.emit(order_key, order + lineitem)
+
+
+def join_job() -> MapReduceJob:
+    """The repartition join job."""
+    return MapReduceJob(
+        name="tpch-join",
+        mapper=join_map,
+        reducer=join_reduce,
+        combiner=None,
+        input_format="CompositeInputFormat",
+        output_format="TextOutputFormat",
+    )

@@ -1,0 +1,362 @@
+"""PigMix-style queries L1-L17 over page_views rows.
+
+Table 6.1 includes the 17 PigMix benchmark queries.  PigMix scripts compile
+to MR jobs whose mappers project/filter/explode page_views fields and whose
+reducers aggregate, deduplicate, join, or sort — so each Lk below is a
+hand-compiled equivalent of the corresponding PigMix latency query, giving
+the profile store a large population of *related but distinct* jobs, which
+is exactly the regime PStorM's matcher is designed for.
+
+A page_views value is ``(user, action, timespent, term, revenue, links)``.
+"""
+
+from __future__ import annotations
+
+from ...hadoop.context import TaskContext
+from ...hadoop.job import MapReduceJob
+
+__all__ = ["pigmix_job", "pigmix_all_jobs", "PIGMIX_QUERY_COUNT"]
+
+PIGMIX_QUERY_COUNT = 17
+
+#: Users with ids below this hash cutoff play the role of the small
+#: ``users`` side table PigMix joins against.
+_KNOWN_USER_CUTOFF = 4000
+
+
+def _user_id(user: str) -> int:
+    return int(user[1:])
+
+
+# ----------------------------------------------------------------------
+# L1: explode the page_links bag and count link references.
+# ----------------------------------------------------------------------
+def l1_map(key, row, context: TaskContext) -> None:
+    """Flatten page_links, one pair per referenced page."""
+    links = row[5]
+    for link in links:
+        context.emit(link, 1)
+
+
+def l1_reduce(link, counts, context: TaskContext) -> None:
+    total = 0
+    for count in counts:
+        total += count
+        context.report_ops(1)
+    context.emit(link, total)
+
+
+# ----------------------------------------------------------------------
+# L2: project user/revenue for views by known users (broadcast join).
+# ----------------------------------------------------------------------
+def l2_map(key, row, context: TaskContext) -> None:
+    """Filter to known users, project (user, revenue)."""
+    user = row[0]
+    context.report_ops(1)
+    if _user_id(user) < _KNOWN_USER_CUTOFF:
+        context.emit(user, row[4])
+
+
+def l2_reduce(user, revenues, context: TaskContext) -> None:
+    total = 0.0
+    for revenue in revenues:
+        total += revenue
+        context.report_ops(1)
+    context.emit(user, total)
+
+
+# ----------------------------------------------------------------------
+# L3: join page_views with users and sum revenue per user.
+# ----------------------------------------------------------------------
+def l3_map(key, row, context: TaskContext) -> None:
+    """Tag page view rows for the repartition join against users."""
+    user = row[0]
+    context.emit(user, ("V", row[4]))
+    if _user_id(user) < _KNOWN_USER_CUTOFF:
+        context.emit(user, ("U", user))
+
+
+def l3_reduce(user, tagged, context: TaskContext) -> None:
+    revenues = []
+    known = False
+    for tag, payload in tagged:
+        if tag == "U":
+            known = True
+        else:
+            revenues.append(payload)
+        context.report_ops(1)
+    if known:
+        context.emit(user, sum(revenues))
+
+
+# ----------------------------------------------------------------------
+# L4: distinct actions per user.
+# ----------------------------------------------------------------------
+def l4_map(key, row, context: TaskContext) -> None:
+    context.emit(row[0], row[1])
+
+
+def l4_reduce(user, actions, context: TaskContext) -> None:
+    distinct = set()
+    for action in actions:
+        distinct.add(action)
+        context.report_ops(1)
+    context.emit(user, len(distinct))
+
+
+# ----------------------------------------------------------------------
+# L5: anti-join — views by *unknown* users.
+# ----------------------------------------------------------------------
+def l5_map(key, row, context: TaskContext) -> None:
+    user = row[0]
+    context.report_ops(1)
+    if _user_id(user) >= _KNOWN_USER_CUTOFF:
+        context.emit(user, 1)
+
+
+def l5_reduce(user, counts, context: TaskContext) -> None:
+    total = 0
+    for count in counts:
+        total += count
+        context.report_ops(1)
+    context.emit(user, total)
+
+
+# ----------------------------------------------------------------------
+# L6: sum timespent per user (wide group-by).
+# ----------------------------------------------------------------------
+def l6_map(key, row, context: TaskContext) -> None:
+    context.emit(row[0], row[2])
+
+
+def l6_reduce(user, times, context: TaskContext) -> None:
+    total = 0
+    for timespent in times:
+        total += timespent
+        context.report_ops(1)
+    context.emit(user, total)
+
+
+# ----------------------------------------------------------------------
+# L7: top timespent per user (nested sort / max).
+# ----------------------------------------------------------------------
+def l7_map(key, row, context: TaskContext) -> None:
+    context.emit(row[0], (row[2], row[3]))
+
+
+def l7_reduce(user, visits, context: TaskContext) -> None:
+    best = None
+    for timespent, term in visits:
+        if best is None or timespent > best[0]:
+            best = (timespent, term)
+        context.report_ops(1)
+    context.emit(user, best)
+
+
+# ----------------------------------------------------------------------
+# L8: global aggregates (one group).
+# ----------------------------------------------------------------------
+def l8_map(key, row, context: TaskContext) -> None:
+    context.emit("all", (row[2], row[4], 1))
+
+
+def l8_reduce(group, triples, context: TaskContext) -> None:
+    time_total = 0
+    revenue_total = 0.0
+    count = 0
+    for timespent, revenue, one in triples:
+        time_total += timespent
+        revenue_total += revenue
+        count += one
+        context.report_ops(1)
+    context.emit(group, (time_total, revenue_total / max(1, count)))
+
+
+# ----------------------------------------------------------------------
+# L9: order by query term (sort job shape).
+# ----------------------------------------------------------------------
+def l9_map(key, row, context: TaskContext) -> None:
+    context.emit(row[3], row)
+
+
+def l9_reduce(term, rows, context: TaskContext) -> None:
+    for row in rows:
+        context.emit(term, row)
+
+
+# ----------------------------------------------------------------------
+# L10: order by (term, timespent desc) — compound sort key.
+# ----------------------------------------------------------------------
+def l10_map(key, row, context: TaskContext) -> None:
+    context.emit((row[3], -row[2]), row)
+
+
+def l10_reduce(sort_key, rows, context: TaskContext) -> None:
+    for row in rows:
+        context.emit(sort_key, row)
+
+
+# ----------------------------------------------------------------------
+# L11: distinct users (wide distinct).
+# ----------------------------------------------------------------------
+def l11_map(key, row, context: TaskContext) -> None:
+    context.emit(row[0], None)
+
+
+def l11_reduce(user, markers, context: TaskContext) -> None:
+    for __ in markers:
+        context.report_ops(1)
+    context.emit(user, 1)
+
+
+# ----------------------------------------------------------------------
+# L12: multi-store split by action.
+# ----------------------------------------------------------------------
+def l12_map(key, row, context: TaskContext) -> None:
+    action = row[1]
+    if action == 1:
+        context.emit(("view", row[0]), row[2])
+    elif action == 2:
+        context.emit(("click", row[0]), row[4])
+    else:
+        context.emit(("other", row[0]), 1)
+
+
+def l12_reduce(stream_key, values, context: TaskContext) -> None:
+    total = 0.0
+    for value in values:
+        total += value
+        context.report_ops(1)
+    context.emit(stream_key, total)
+
+
+# ----------------------------------------------------------------------
+# L13: left outer join with the users table.
+# ----------------------------------------------------------------------
+def l13_map(key, row, context: TaskContext) -> None:
+    user = row[0]
+    context.emit(user, ("V", row[4]))
+    if _user_id(user) < _KNOWN_USER_CUTOFF // 2:
+        context.emit(user, ("U", 1))
+
+
+def l13_reduce(user, tagged, context: TaskContext) -> None:
+    revenues = []
+    known = False
+    for tag, payload in tagged:
+        if tag == "U":
+            known = True
+        else:
+            revenues.append(payload)
+        context.report_ops(1)
+    context.emit(user, (sum(revenues), known))
+
+
+# ----------------------------------------------------------------------
+# L14: merge-join shape — pre-sorted keys, pass-through aggregation.
+# ----------------------------------------------------------------------
+def l14_map(key, row, context: TaskContext) -> None:
+    context.emit((row[0], row[1]), row[2])
+
+
+def l14_reduce(compound_key, times, context: TaskContext) -> None:
+    total = 0
+    for timespent in times:
+        total += timespent
+        context.report_ops(1)
+    context.emit(compound_key, total)
+
+
+# ----------------------------------------------------------------------
+# L15: per-user action histogram with percentages.
+# ----------------------------------------------------------------------
+def l15_map(key, row, context: TaskContext) -> None:
+    context.emit(row[0], row[1])
+
+
+def l15_reduce(user, actions, context: TaskContext) -> None:
+    histogram: dict[int, int] = {}
+    count = 0
+    for action in actions:
+        histogram[action] = histogram.get(action, 0) + 1
+        count += 1
+        context.report_ops(1)
+    shares = tuple(
+        (action, histogram[action] / count) for action in sorted(histogram)
+    )
+    context.emit(user, shares)
+
+
+# ----------------------------------------------------------------------
+# L16: accumulate per-user revenue lists.
+# ----------------------------------------------------------------------
+def l16_map(key, row, context: TaskContext) -> None:
+    context.emit(row[0], row[4])
+
+
+def l16_reduce(user, revenues, context: TaskContext) -> None:
+    values = []
+    for revenue in revenues:
+        values.append(revenue)
+        context.report_ops(1)
+    values.sort()
+    context.emit(user, tuple(values))
+
+
+# ----------------------------------------------------------------------
+# L17: wide group by (user, term) with two aggregates.
+# ----------------------------------------------------------------------
+def l17_map(key, row, context: TaskContext) -> None:
+    context.emit((row[0], row[3]), (row[2], row[4]))
+
+
+def l17_reduce(group_key, pairs, context: TaskContext) -> None:
+    time_total = 0
+    revenue_total = 0.0
+    for timespent, revenue in pairs:
+        time_total += timespent
+        revenue_total += revenue
+        context.report_ops(1)
+    context.emit(group_key, (time_total, revenue_total))
+
+
+#: Query number -> (mapper, reducer, combiner, output format).
+_QUERIES = {
+    1: (l1_map, l1_reduce, l1_reduce, "TextOutputFormat"),
+    2: (l2_map, l2_reduce, l2_reduce, "TextOutputFormat"),
+    3: (l3_map, l3_reduce, None, "TextOutputFormat"),
+    4: (l4_map, l4_reduce, None, "TextOutputFormat"),
+    5: (l5_map, l5_reduce, l5_reduce, "TextOutputFormat"),
+    6: (l6_map, l6_reduce, l6_reduce, "TextOutputFormat"),
+    7: (l7_map, l7_reduce, None, "TextOutputFormat"),
+    8: (l8_map, l8_reduce, None, "TextOutputFormat"),
+    9: (l9_map, l9_reduce, None, "SequenceFileOutputFormat"),
+    10: (l10_map, l10_reduce, None, "SequenceFileOutputFormat"),
+    11: (l11_map, l11_reduce, l11_reduce, "TextOutputFormat"),
+    12: (l12_map, l12_reduce, l12_reduce, "SequenceFileOutputFormat"),
+    13: (l13_map, l13_reduce, None, "TextOutputFormat"),
+    14: (l14_map, l14_reduce, l14_reduce, "TextOutputFormat"),
+    15: (l15_map, l15_reduce, None, "TextOutputFormat"),
+    16: (l16_map, l16_reduce, None, "SequenceFileOutputFormat"),
+    17: (l17_map, l17_reduce, None, "TextOutputFormat"),
+}
+
+
+def pigmix_job(query: int) -> MapReduceJob:
+    """The PigMix-style query ``L<query>`` as a compiled MR job."""
+    if query not in _QUERIES:
+        raise ValueError(f"PigMix query must be 1..{PIGMIX_QUERY_COUNT}")
+    mapper, reducer, combiner, output_format = _QUERIES[query]
+    return MapReduceJob(
+        name=f"pigmix-l{query}",
+        mapper=mapper,
+        reducer=reducer,
+        combiner=combiner,
+        input_format="PigStorage",
+        output_format=output_format,
+    )
+
+
+def pigmix_all_jobs() -> list[MapReduceJob]:
+    """All 17 PigMix query jobs, in order."""
+    return [pigmix_job(i) for i in range(1, PIGMIX_QUERY_COUNT + 1)]

@@ -1,0 +1,37 @@
+"""Sort: the identity job over TeraGen records.
+
+Map and reduce are both identity functions — all the work happens in the
+framework's sort/shuffle machinery, making this the purest test of buffer
+and merge parameters.  Its map size selectivity is exactly 1, the §4.1.1
+example of a stable dynamic feature.
+"""
+
+from __future__ import annotations
+
+from ...hadoop.context import TaskContext
+from ...hadoop.job import MapReduceJob
+
+__all__ = ["sort_job"]
+
+
+def sort_map(key: str, value: str, context: TaskContext) -> None:
+    """Identity: pass the record through keyed for the global sort."""
+    context.emit(key, value)
+
+
+def sort_reduce(key: str, values, context: TaskContext) -> None:
+    """Identity: write each value back out under its key."""
+    for value in values:
+        context.emit(key, value)
+
+
+def sort_job() -> MapReduceJob:
+    """The Sort job (TeraSort without the custom range partitioner)."""
+    return MapReduceJob(
+        name="sort",
+        mapper=sort_map,
+        reducer=sort_reduce,
+        combiner=None,
+        input_format="SequenceFileInputFormat",
+        output_format="SequenceFileOutputFormat",
+    )

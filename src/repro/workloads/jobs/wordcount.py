@@ -1,0 +1,40 @@
+"""Word Count: the canonical text-mining MR job (Table 6.1).
+
+Emits one ``(word, 1)`` pair per token; the reducer (doubling as the
+combiner, since summation is associative and commutative) adds the counts.
+The map CFG is the single-loop graph of Fig 4.2(a).
+"""
+
+from __future__ import annotations
+
+from ...hadoop.context import TaskContext
+from ...hadoop.job import MapReduceJob
+
+__all__ = ["word_count_job"]
+
+
+def word_count_map(key: object, line: str, context: TaskContext) -> None:
+    """Tokenize one line and emit each word with count 1 (Algorithm 1)."""
+    for word in line.split():
+        context.emit(word, 1)
+
+
+def word_count_reduce(word: str, counts, context: TaskContext) -> None:
+    """Sum the counts of one word."""
+    total = 0
+    for count in counts:
+        total += count
+        context.report_ops(1)
+    context.emit(word, total)
+
+
+def word_count_job() -> MapReduceJob:
+    """The Word Count job with its combiner enabled."""
+    return MapReduceJob(
+        name="word-count",
+        mapper=word_count_map,
+        reducer=word_count_reduce,
+        combiner=word_count_reduce,
+        input_format="TextInputFormat",
+        output_format="TextOutputFormat",
+    )

@@ -1,0 +1,85 @@
+"""Synthetic text corpora.
+
+Stand-ins for the paper's text datasets: "1 GB of random text" and "35 GB
+of Wikipedia documents".  Both are Zipf-distributed word streams — natural
+language word frequencies are famously Zipfian — differing in vocabulary
+size, line length, and skew, so jobs measure *different* selectivities on
+the two corpora (which is what makes the DD store state a real test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ZipfTextSource", "random_text_source", "wikipedia_source"]
+
+
+def _vocabulary(size: int) -> list[str]:
+    """Deterministic pseudo-words ``w000…``; longer words are rarer, like
+    real text (rank-correlated word length)."""
+    words = []
+    for rank in range(size):
+        stem = f"w{rank:04d}"
+        suffix = "x" * (rank % 7)
+        words.append(stem + suffix)
+    return words
+
+
+@dataclass(frozen=True)
+class ZipfTextSource:
+    """Lines of Zipf-distributed words, keyed by byte offset.
+
+    Attributes:
+        vocabulary_size: distinct words available.
+        zipf_s: Zipf exponent (larger = more skew).
+        lines_per_split: sample lines materialized per split.
+        min_words / max_words: line length range.
+    """
+
+    vocabulary_size: int = 4000
+    zipf_s: float = 1.4
+    lines_per_split: int = 250
+    min_words: int = 6
+    max_words: int = 14
+
+    def generate(
+        self, split_index: int, rng: np.random.Generator
+    ) -> Sequence[tuple[int, str]]:
+        words = _vocabulary(self.vocabulary_size)
+        records = []
+        offset = 0
+        for __ in range(self.lines_per_split):
+            count = int(rng.integers(self.min_words, self.max_words + 1))
+            ranks = rng.zipf(self.zipf_s, size=count)
+            line = " ".join(
+                words[int(rank - 1) % self.vocabulary_size] for rank in ranks
+            )
+            records.append((offset, line))
+            offset += len(line) + 1
+        return records
+
+
+def random_text_source() -> ZipfTextSource:
+    """The '1 GB of random text' corpus: small vocabulary, short lines."""
+    return ZipfTextSource(
+        vocabulary_size=1500,
+        zipf_s=1.25,
+        lines_per_split=250,
+        min_words=5,
+        max_words=12,
+    )
+
+
+def wikipedia_source() -> ZipfTextSource:
+    """The '35 GB of Wikipedia documents' corpus: large vocabulary,
+    longer sentences, heavier skew."""
+    return ZipfTextSource(
+        vocabulary_size=8000,
+        zipf_s=1.5,
+        lines_per_split=220,
+        min_words=9,
+        max_words=22,
+    )

@@ -1,0 +1,101 @@
+"""Shared fixtures: a small cluster, small datasets, and simple jobs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hadoop import (
+    Dataset,
+    FunctionRecordSource,
+    HadoopEngine,
+    JobConfiguration,
+    MapReduceJob,
+    ec2_cluster,
+)
+from repro.starfish import Sampler, StarfishProfiler, WhatIfEngine
+
+MB = 1 << 20
+
+
+def _text_lines(split_index, rng):
+    words = [f"word{i:02d}" for i in range(40)]
+    lines = []
+    for i in range(120):
+        count = int(rng.integers(4, 10))
+        line = " ".join(words[int(rng.integers(0, 40))] for __ in range(count))
+        lines.append((i, line))
+    return lines
+
+
+def wc_map(key, line, ctx):
+    for word in line.split():
+        ctx.emit(word, 1)
+
+
+def wc_reduce(word, counts, ctx):
+    total = 0
+    for count in counts:
+        total += count
+        ctx.report_ops(1)
+    ctx.emit(word, total)
+
+
+def identity_map(key, value, ctx):
+    ctx.emit(key, value)
+
+
+@pytest.fixture(scope="session")
+def cluster():
+    return ec2_cluster()
+
+
+@pytest.fixture(scope="session")
+def engine(cluster):
+    return HadoopEngine(cluster)
+
+
+@pytest.fixture(scope="session")
+def profiler(engine):
+    return StarfishProfiler(engine)
+
+
+@pytest.fixture(scope="session")
+def sampler(profiler):
+    return Sampler(profiler)
+
+
+@pytest.fixture(scope="session")
+def whatif(cluster):
+    return WhatIfEngine(cluster)
+
+
+@pytest.fixture()
+def small_text():
+    """A 256 MB (4-split) text dataset."""
+    return Dataset(
+        "small-text",
+        nominal_bytes=256 * MB,
+        source=FunctionRecordSource(_text_lines),
+        seed=5,
+    )
+
+
+@pytest.fixture()
+def wordcount():
+    return MapReduceJob(
+        name="wordcount-test",
+        mapper=wc_map,
+        reducer=wc_reduce,
+        combiner=wc_reduce,
+    )
+
+
+@pytest.fixture()
+def maponly_job():
+    return MapReduceJob(name="identity-maponly", mapper=identity_map)
+
+
+@pytest.fixture()
+def default_config():
+    return JobConfiguration()

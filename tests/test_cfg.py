@@ -1,0 +1,216 @@
+"""Unit and property tests for CFG extraction, normalization, matching."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.bytecode import basic_blocks
+from repro.analysis.cfg import ControlFlowGraph, NodeKind
+from repro.analysis.cfg_match import cfg_match, cfg_similarity
+
+
+# ----------------------------------------------------------------------
+# Sample functions spanning the control-flow shapes in the benchmark.
+# ----------------------------------------------------------------------
+def straight(k, v, c):
+    c.emit(k, v)
+
+
+def one_loop(k, line, c):
+    for word in line.split():
+        c.emit(word, 1)
+
+
+def one_loop_while(k, line, c):
+    it = iter(line.split())
+    while True:
+        word = next(it, None)
+        if word is None:
+            break
+        c.emit(word, 1)
+
+
+def loop_with_condition(k, line, c):
+    for word in line.split():
+        if word:
+            c.emit(word, 1)
+
+
+def nested_loops(k, line, c):
+    words = line.split()
+    for i in range(len(words)):
+        if words[i]:
+            for j in range(i + 1, len(words)):
+                c.emit((words[i], words[j]), 1)
+
+
+class TestBasicBlocks:
+    def test_straight_line_single_block_chain(self):
+        blocks = basic_blocks(straight)
+        branch_blocks = [b for b in blocks.values() if b.is_branch]
+        assert branch_blocks == []
+
+    def test_loop_has_branch_block(self):
+        blocks = basic_blocks(one_loop)
+        assert any(b.is_branch for b in blocks.values())
+
+    def test_edges_point_to_existing_blocks(self):
+        for fn in (straight, one_loop, loop_with_condition, nested_loops):
+            blocks = basic_blocks(fn)
+            for block in blocks.values():
+                for successor in block.successors:
+                    assert successor in blocks
+
+    def test_branch_blocks_have_two_distinct_successors(self):
+        for fn in (one_loop, nested_loops):
+            blocks = basic_blocks(fn)
+            for block in blocks.values():
+                if block.is_branch:
+                    assert len(set(block.successors)) == 2
+
+    def test_non_python_callable_rejected(self):
+        with pytest.raises(TypeError):
+            basic_blocks(len)
+
+
+class TestControlFlowGraph:
+    def test_straight_line_normalizes_to_single_exit(self):
+        cfg = ControlFlowGraph.from_callable(straight)
+        assert cfg.num_nodes == 1
+        assert cfg.nodes[cfg.entry] == NodeKind.EXIT
+
+    def test_loop_counts(self):
+        cfg = ControlFlowGraph.from_callable(one_loop)
+        assert cfg.num_loops == 1
+        assert cfg.num_branches == 1
+
+    def test_nested_loop_counts(self):
+        cfg = ControlFlowGraph.from_callable(nested_loops)
+        assert cfg.num_loops == 2
+        assert cfg.num_branches >= 3  # two loops + the condition
+
+    def test_grammar_invariants(self):
+        for fn in (straight, one_loop, loop_with_condition, nested_loops):
+            cfg = ControlFlowGraph.from_callable(fn)
+            for node, kind in cfg.nodes.items():
+                degree = len(cfg.edges[node])
+                expected = {NodeKind.EXIT: 0, NodeKind.NORMAL: 1, NodeKind.BRANCH: 2}
+                assert degree == expected[kind]
+
+    def test_nodes_renumbered_from_zero(self):
+        cfg = ControlFlowGraph.from_callable(nested_loops)
+        assert set(cfg.nodes) == set(range(cfg.num_nodes))
+        assert cfg.entry == 0
+
+    def test_invalid_graph_rejected(self):
+        with pytest.raises(ValueError):
+            ControlFlowGraph(entry=0, nodes={0: NodeKind.EXIT}, edges={0: (0,)})
+        with pytest.raises(ValueError):
+            ControlFlowGraph(entry=0, nodes={0: NodeKind.BRANCH}, edges={0: (0,)})
+
+    def test_dict_roundtrip(self):
+        cfg = ControlFlowGraph.from_callable(nested_loops)
+        restored = ControlFlowGraph.from_dict(cfg.to_dict())
+        assert restored.nodes == dict(cfg.nodes)
+        assert restored.edges == dict(cfg.edges)
+        assert cfg_match(cfg, restored)
+
+    def test_signature_distinguishes_shapes(self):
+        signatures = {
+            ControlFlowGraph.from_callable(fn).signature()
+            for fn in (straight, one_loop, loop_with_condition, nested_loops)
+        }
+        assert len(signatures) == 4
+
+
+class TestCfgMatch:
+    def test_self_match(self):
+        for fn in (straight, one_loop, loop_with_condition, nested_loops):
+            cfg = ControlFlowGraph.from_callable(fn)
+            assert cfg_match(cfg, cfg)
+
+    def test_for_matches_equivalent_while(self):
+        a = ControlFlowGraph.from_callable(one_loop)
+        b = ControlFlowGraph.from_callable(one_loop_while)
+        assert cfg_match(a, b)
+        assert cfg_match(b, a)
+
+    def test_different_shapes_mismatch(self):
+        loop = ControlFlowGraph.from_callable(one_loop)
+        nested = ControlFlowGraph.from_callable(nested_loops)
+        cond = ControlFlowGraph.from_callable(loop_with_condition)
+        assert not cfg_match(loop, nested)
+        assert not cfg_match(loop, cond)
+        assert not cfg_match(cond, nested)
+
+    def test_match_is_symmetric(self):
+        graphs = [
+            ControlFlowGraph.from_callable(fn)
+            for fn in (straight, one_loop, loop_with_condition, nested_loops)
+        ]
+        for a in graphs:
+            for b in graphs:
+                assert cfg_match(a, b) == cfg_match(b, a)
+
+    def test_similarity_is_binary(self):
+        a = ControlFlowGraph.from_callable(one_loop)
+        b = ControlFlowGraph.from_callable(nested_loops)
+        assert cfg_similarity(a, a) == 1.0
+        assert cfg_similarity(a, b) == 0.0
+
+    def test_benchmark_map_cfgs_distinct(self):
+        """The suite's map functions must be mutually distinguishable
+        where the matcher relies on it."""
+        from repro.workloads.jobs.wordcount import word_count_map
+        from repro.workloads.jobs.cooccurrence import cooccurrence_pairs_map
+        from repro.workloads.jobs.bigram import bigram_map
+
+        wc = ControlFlowGraph.from_callable(word_count_map)
+        cooc = ControlFlowGraph.from_callable(cooccurrence_pairs_map)
+        bigram = ControlFlowGraph.from_callable(bigram_map)
+        assert not cfg_match(wc, cooc)
+        assert not cfg_match(cooc, bigram)
+
+
+# ----------------------------------------------------------------------
+# Property tests over randomly generated normalized CFGs.
+# ----------------------------------------------------------------------
+@st.composite
+def normalized_cfgs(draw):
+    """Random graphs satisfying the normalized grammar."""
+    size = draw(st.integers(min_value=1, max_value=8))
+    kinds = {}
+    edges = {}
+    kinds[size - 1] = NodeKind.EXIT
+    edges[size - 1] = ()
+    for node in range(size - 1):
+        is_branch = draw(st.booleans())
+        if is_branch:
+            a = draw(st.integers(min_value=0, max_value=size - 1))
+            b = draw(st.integers(min_value=0, max_value=size - 1))
+            if a == b:
+                b = (b + 1) % size
+            kinds[node] = NodeKind.BRANCH
+            edges[node] = (a, b)
+        else:
+            target = draw(st.integers(min_value=0, max_value=size - 1))
+            kinds[node] = NodeKind.NORMAL
+            edges[node] = (target,)
+    return ControlFlowGraph(entry=0, nodes=kinds, edges=edges)
+
+
+@given(normalized_cfgs())
+@settings(max_examples=60)
+def test_property_self_match(cfg):
+    assert cfg_match(cfg, cfg)
+
+
+@given(normalized_cfgs(), normalized_cfgs())
+@settings(max_examples=60)
+def test_property_match_symmetric(a, b):
+    assert cfg_match(a, b) == cfg_match(b, a)
+
+
+@given(normalized_cfgs())
+@settings(max_examples=60)
+def test_property_roundtrip_preserves_match(cfg):
+    assert cfg_match(cfg, ControlFlowGraph.from_dict(cfg.to_dict()))

@@ -1,0 +1,110 @@
+"""Integration tests for the HadoopEngine façade."""
+
+import pytest
+
+from repro.hadoop.config import JobConfiguration
+
+
+class TestRunJob:
+    def test_full_run_shape(self, engine, wordcount, small_text):
+        execution = engine.run_job(wordcount, small_text, JobConfiguration())
+        assert execution.num_map_tasks == small_text.num_splits
+        assert execution.num_reduce_tasks == 1
+        assert execution.runtime_seconds > 0
+        assert not execution.sampled
+
+    def test_map_only_job_has_no_reducers(self, engine, maponly_job, small_text):
+        execution = engine.run_job(maponly_job, small_text, JobConfiguration())
+        assert execution.num_reduce_tasks == 0
+
+    def test_reducer_count_follows_config(self, engine, wordcount, small_text):
+        execution = engine.run_job(
+            wordcount, small_text, JobConfiguration(num_reduce_tasks=6)
+        )
+        assert execution.num_reduce_tasks == 6
+
+    def test_sampled_run(self, engine, wordcount, small_text):
+        execution = engine.run_job(
+            wordcount, small_text, JobConfiguration(), map_task_ids=[1]
+        )
+        assert execution.sampled
+        assert execution.num_map_tasks == 1
+        assert execution.map_tasks[0].split_index == 1
+        assert execution.input_bytes == small_text.split(1).nominal_bytes
+
+    def test_sampled_run_rejects_bad_ids(self, engine, wordcount, small_text):
+        with pytest.raises(IndexError):
+            engine.run_job(wordcount, small_text, map_task_ids=[99])
+
+    def test_deterministic_under_seed(self, engine, wordcount, small_text):
+        a = engine.run_job(wordcount, small_text, JobConfiguration(), seed=7)
+        b = engine.run_job(wordcount, small_text, JobConfiguration(), seed=7)
+        assert a.runtime_seconds == b.runtime_seconds
+
+    def test_seed_changes_node_noise(self, engine, wordcount, small_text):
+        a = engine.run_job(wordcount, small_text, JobConfiguration(), seed=1)
+        b = engine.run_job(wordcount, small_text, JobConfiguration(), seed=2)
+        assert a.runtime_seconds != b.runtime_seconds
+
+    def test_tuning_reduces_runtime(self, engine, wordcount, small_text):
+        default = engine.run_job(wordcount, small_text, JobConfiguration())
+        tuned = engine.run_job(
+            wordcount,
+            small_text,
+            JobConfiguration(num_reduce_tasks=8, compress_map_output=True),
+        )
+        assert tuned.runtime_seconds < default.runtime_seconds
+
+    def test_counters_aggregate(self, engine, wordcount, small_text):
+        from repro.hadoop.counters import FRAMEWORK_GROUP
+
+        execution = engine.run_job(wordcount, small_text, JobConfiguration())
+        total = execution.counters.value(FRAMEWORK_GROUP, "MAP_INPUT_RECORDS")
+        assert total == sum(t.input_records for t in execution.map_tasks)
+
+    def test_profiled_run_slower(self, engine, wordcount, small_text):
+        plain = engine.run_job(wordcount, small_text, JobConfiguration())
+        profiled = engine.run_job(
+            wordcount, small_text, JobConfiguration(), profile=True
+        )
+        assert profiled.runtime_seconds > plain.runtime_seconds
+
+    def test_phase_totals_cover_phases(self, engine, wordcount, small_text):
+        execution = engine.run_job(wordcount, small_text, JobConfiguration())
+        assert set(execution.map_phase_totals()) == {
+            "SETUP", "READ", "MAP", "COLLECT", "SPILL", "MERGE", "CLEANUP",
+        }
+        assert set(execution.reduce_phase_totals()) == {
+            "SETUP", "SHUFFLE", "SORT", "REDUCE", "WRITE", "CLEANUP",
+        }
+
+
+class TestMeasurementCache:
+    def test_measure_split_cached(self, engine, wordcount, small_text):
+        first = engine.measure_split(wordcount, small_text, 0)
+        second = engine.measure_split(wordcount, small_text, 0)
+        assert first is second
+
+    def test_clear_caches(self, engine, wordcount, small_text):
+        first = engine.measure_split(wordcount, small_text, 0)
+        engine.clear_caches()
+        second = engine.measure_split(wordcount, small_text, 0)
+        assert first is not second
+
+    def test_representatives_within_range(self, engine, small_text):
+        indices = engine.representative_indices(small_text)
+        assert all(0 <= i < small_text.num_splits for i in indices)
+        assert indices == sorted(indices)
+
+    def test_params_change_cache_key(self, engine, small_text):
+        from repro.hadoop.job import MapReduceJob
+
+        def param_map(key, value, ctx):
+            for __ in range(ctx.get_param("n", 1)):
+                ctx.emit(key, value)
+
+        one = MapReduceJob(name="p", mapper=param_map, params={"n": 1})
+        three = MapReduceJob(name="p", mapper=param_map, params={"n": 3})
+        m1 = engine.measure_split(one, small_text, 0)
+        m3 = engine.measure_split(three, small_text, 0)
+        assert m3.sample_output_records == 3 * m1.sample_output_records

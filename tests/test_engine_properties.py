@@ -1,0 +1,132 @@
+"""Property-based tests over the execution engine's invariants.
+
+Hypothesis drives random (but legal) configurations through the engine
+and asserts physics-level invariants the cost model must never violate.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hadoop import (
+    Dataset,
+    FunctionRecordSource,
+    HadoopEngine,
+    JobConfiguration,
+    MapReduceJob,
+    ec2_cluster,
+)
+
+MB = 1 << 20
+
+
+def _lines(split_index, rng):
+    words = [f"w{i}" for i in range(25)]
+    return [
+        (i, " ".join(words[int(rng.integers(0, 25))] for __ in range(6)))
+        for i in range(60)
+    ]
+
+
+def _wc_map(key, line, ctx):
+    for word in line.split():
+        ctx.emit(word, 1)
+
+
+def _wc_reduce(word, counts, ctx):
+    total = 0
+    for count in counts:
+        total += count
+        ctx.report_ops(1)
+    ctx.emit(word, total)
+
+
+_ENGINE = HadoopEngine(ec2_cluster())
+_DATASET = Dataset("prop-text", nominal_bytes=192 * MB,
+                   source=FunctionRecordSource(_lines), seed=11)
+_JOB = MapReduceJob(
+    name="prop-wordcount", mapper=_wc_map, reducer=_wc_reduce, combiner=_wc_reduce
+)
+
+configurations = st.builds(
+    JobConfiguration,
+    io_sort_mb=st.integers(min_value=16, max_value=1024),
+    io_sort_record_percent=st.floats(min_value=0.01, max_value=0.5),
+    io_sort_spill_percent=st.floats(min_value=0.2, max_value=0.95),
+    io_sort_factor=st.integers(min_value=2, max_value=200),
+    use_combiner=st.booleans(),
+    compress_map_output=st.booleans(),
+    num_reduce_tasks=st.integers(min_value=1, max_value=64),
+    reduce_slowstart=st.floats(min_value=0.0, max_value=1.0),
+    shuffle_input_buffer_percent=st.floats(min_value=0.1, max_value=0.9),
+    compress_output=st.booleans(),
+)
+
+
+@given(config=configurations)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_runtime_positive_and_finite(config):
+    execution = _ENGINE.run_job(_JOB, _DATASET, config, seed=1)
+    assert 0 < execution.runtime_seconds < 1e7
+
+
+@given(config=configurations)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_data_flow_independent_of_configuration(config):
+    """Selectivities are program/data properties: no configuration may
+    change the map output volumes (§4.1.1's stability premise)."""
+    execution = _ENGINE.run_job(_JOB, _DATASET, config, seed=1)
+    baseline = _ENGINE.run_job(_JOB, _DATASET, JobConfiguration(), seed=1)
+    for got, want in zip(execution.map_tasks, baseline.map_tasks):
+        assert got.map_output_bytes == want.map_output_bytes
+        assert got.map_output_records == want.map_output_records
+
+
+@given(config=configurations)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_conservation_of_shuffle_volume(config):
+    """Bytes leaving the map side equal bytes arriving at reducers."""
+    execution = _ENGINE.run_job(_JOB, _DATASET, config, seed=1)
+    sent = sum(float(t.partition_bytes.sum()) for t in execution.map_tasks)
+    received = sum(t.shuffle_bytes for t in execution.reduce_tasks)
+    assert received == pytest.approx(sent, rel=0.01)
+
+
+@given(config=configurations)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_runtime_at_least_map_critical_path(config):
+    """No configuration can beat the map-side critical path."""
+    execution = _ENGINE.run_job(_JOB, _DATASET, config, seed=1)
+    slots = _ENGINE.cluster.total_map_slots
+    lower_bound = sum(t.duration for t in execution.map_tasks) / slots
+    assert execution.runtime_seconds >= lower_bound * 0.99
+
+
+@given(
+    small=st.integers(min_value=1, max_value=4),
+    large=st.integers(min_value=5, max_value=30),
+)
+@settings(max_examples=15, deadline=None)
+def test_more_data_never_faster(small, large):
+    small_data = Dataset("s", nominal_bytes=small * 64 * MB,
+                         source=FunctionRecordSource(_lines), seed=11)
+    large_data = Dataset("l", nominal_bytes=large * 64 * MB,
+                         source=FunctionRecordSource(_lines), seed=11)
+    config = JobConfiguration(num_reduce_tasks=8)
+    small_run = _ENGINE.run_job(_JOB, small_data, config, seed=1)
+    large_run = _ENGINE.run_job(_JOB, large_data, config, seed=1)
+    assert large_run.runtime_seconds > small_run.runtime_seconds
+
+
+@given(config=configurations)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_whatif_agrees_with_engine_ranking(config):
+    """For any configuration, the WIF prediction from the job's own full
+    profile stays within a factor-2 band of the actual runtime."""
+    from repro.starfish import StarfishProfiler, WhatIfEngine
+
+    profiler = StarfishProfiler(_ENGINE)
+    profile, __ = profiler.profile_job(_JOB, _DATASET, seed=1)
+    whatif = WhatIfEngine(_ENGINE.cluster)
+    predicted = whatif.predict(profile, config).runtime_seconds
+    actual = _ENGINE.run_job(_JOB, _DATASET, config, seed=1).runtime_seconds
+    assert predicted == pytest.approx(actual, rel=1.0)

@@ -1,0 +1,101 @@
+"""Tests for failure injection and speculative execution."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop.faults import FaultModel, schedule_with_faults
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFaultModel:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultModel(task_failure_probability=1.0)
+        with pytest.raises(ValueError):
+            FaultModel(task_failure_probability=-0.1)
+
+    def test_attempts_validated(self):
+        with pytest.raises(ValueError):
+            FaultModel(max_attempts=0)
+
+
+class TestScheduleWithFaults:
+    def test_no_failures_matches_list_schedule(self, rng):
+        model = FaultModel(task_failure_probability=0.0, speculative_execution=False)
+        result = schedule_with_faults([2.0] * 6, 3, model, rng)
+        assert result.makespan == pytest.approx(4.0)
+        assert result.failures == 0
+        assert result.wasted_seconds == 0.0
+
+    def test_failures_inflate_makespan(self, rng):
+        durations = [5.0] * 40
+        clean = schedule_with_faults(
+            durations, 4,
+            FaultModel(task_failure_probability=0.0, speculative_execution=False),
+            np.random.default_rng(1),
+        )
+        faulty = schedule_with_faults(
+            durations, 4,
+            FaultModel(task_failure_probability=0.3, speculative_execution=False),
+            np.random.default_rng(1),
+        )
+        assert faulty.failures > 0
+        assert faulty.makespan > clean.makespan
+        assert faulty.wasted_seconds > 0
+
+    def test_speculation_trims_stragglers(self):
+        # One 10x straggler among uniform tasks.
+        durations = [1.0] * 20 + [10.0]
+        model_on = FaultModel(task_failure_probability=0.0, speculative_execution=True)
+        model_off = FaultModel(task_failure_probability=0.0, speculative_execution=False)
+        with_spec = schedule_with_faults(durations, 4, model_on, np.random.default_rng(2))
+        without = schedule_with_faults(durations, 4, model_off, np.random.default_rng(2))
+        assert with_spec.speculative_attempts == 1
+        assert with_spec.makespan < without.makespan
+
+    def test_empty_population(self, rng):
+        result = schedule_with_faults([], 4, FaultModel(), rng)
+        assert result.makespan == 0.0
+        assert result.finish_times == ()
+
+    def test_zero_slots_rejected(self, rng):
+        with pytest.raises(ValueError):
+            schedule_with_faults([1.0], 0, FaultModel(), rng)
+
+    def test_bounded_attempts_terminate(self):
+        # Even with a near-certain failure probability the forced final
+        # attempt keeps the makespan finite and defined.
+        model = FaultModel(task_failure_probability=0.99, max_attempts=3,
+                           speculative_execution=False)
+        result = schedule_with_faults([1.0] * 5, 2, model, np.random.default_rng(3))
+        assert result.makespan > 0
+        assert result.failures <= 5 * 2  # at most (max_attempts-1) per task
+
+    def test_deterministic_under_seed(self):
+        model = FaultModel(task_failure_probability=0.2)
+        a = schedule_with_faults([3.0] * 10, 2, model, np.random.default_rng(7))
+        b = schedule_with_faults([3.0] * 10, 2, model, np.random.default_rng(7))
+        assert a == b
+
+
+class TestEngineIntegration:
+    def test_run_job_with_faults(self, engine, wordcount, small_text):
+        from repro.hadoop import FaultModel
+
+        model = FaultModel(task_failure_probability=0.15)
+        execution, faulty_map, faulty_reduce = engine.run_job_with_faults(
+            wordcount, small_text, fault_model=model, seed=1
+        )
+        clean = engine.run_job(wordcount, small_text, seed=1)
+        assert execution.runtime_seconds >= clean.runtime_seconds
+        assert faulty_reduce is not None
+
+    def test_map_only_job_no_reduce_schedule(self, engine, maponly_job, small_text):
+        execution, __, faulty_reduce = engine.run_job_with_faults(
+            maponly_job, small_text, seed=1
+        )
+        assert faulty_reduce is None

@@ -1,0 +1,123 @@
+"""Tests for information-gain feature selection and the NN baselines."""
+
+import pytest
+
+from repro.core.feature_selection import (
+    CATEGORICAL_FEATURE_COLUMNS,
+    NUMERIC_FEATURE_COLUMNS,
+    NearestNeighborMatcher,
+    information_gain,
+    profile_numeric_vector,
+    rank_features,
+)
+from repro.core.features import extract_job_features
+from repro.core.store import ProfileStore
+
+
+@pytest.fixture()
+def populated(engine, profiler, sampler, wordcount, maponly_job, small_text):
+    store = ProfileStore()
+    samples = {}
+    for job in (wordcount, maponly_job):
+        profile, __ = profiler.profile_job(job, small_text)
+        sample = sampler.collect(job, small_text, count=1)
+        features = extract_job_features(job, small_text, sample.profile, engine)
+        job_id = store.put(profile, features.static)
+        samples[job_id] = sample.profile
+    return store, samples
+
+
+class TestInformationGain:
+    def test_perfectly_predictive_feature(self):
+        gain = information_gain(["a", "a", "b", "b"], ["x", "x", "y", "y"])
+        assert gain == pytest.approx(1.0)
+
+    def test_uninformative_feature(self):
+        gain = information_gain(["a", "a", "a", "a"], ["x", "x", "y", "y"])
+        assert gain == pytest.approx(0.0)
+
+    def test_numeric_feature_discretized(self):
+        values = [0.1, 0.2, 10.0, 11.0]
+        labels = ["x", "x", "y", "y"]
+        assert information_gain(values, labels, bins=4) > 0.5
+
+    def test_empty_inputs(self):
+        assert information_gain([], []) == 0.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            information_gain([1.0], ["a", "b"])
+
+    def test_gain_bounded_by_label_entropy(self):
+        labels = ["x", "y", "z", "x", "y", "z"]
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        import math
+        assert information_gain(values, labels) <= math.log2(3) + 1e-9
+
+
+class TestRanking:
+    def test_p_features_all_numeric(self, populated):
+        store, __ = populated
+        ranked = rank_features(store, include_static=False)
+        assert {name for name, __ in ranked} <= set(NUMERIC_FEATURE_COLUMNS)
+
+    def test_sp_features_include_categorical_candidates(self, populated):
+        store, __ = populated
+        ranked = rank_features(store, include_static=True)
+        names = {name for name, __ in ranked}
+        assert names & set(CATEGORICAL_FEATURE_COLUMNS)
+
+    def test_gains_descending(self, populated):
+        store, __ = populated
+        ranked = rank_features(store, include_static=True)
+        gains = [gain for __, gain in ranked]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_top_of_sp_ranking_is_numeric(self, populated):
+        """The paper's observation: the generic selector saturates on the
+        fine-grained numeric features, so the top-F are all numeric."""
+        store, __ = populated
+        ranked = rank_features(store, include_static=True)
+        top = [name for name, __ in ranked[:5]]
+        assert all(name in set(NUMERIC_FEATURE_COLUMNS) for name in top)
+
+
+class TestNearestNeighbor:
+    def test_matches_own_profile_from_exact_vector(self, populated):
+        store, __ = populated
+        matcher = NearestNeighborMatcher(
+            store, feature_names=list(NUMERIC_FEATURE_COLUMNS)
+        )
+        for job_id in store.job_ids():
+            answer = matcher.match(store.get_profile(job_id))
+            assert answer == job_id
+
+    def test_exclusion(self, populated):
+        store, __ = populated
+        matcher = NearestNeighborMatcher(
+            store, feature_names=list(NUMERIC_FEATURE_COLUMNS)
+        )
+        job_id = store.job_ids()[0]
+        answer = matcher.match(store.get_profile(job_id), exclude={job_id})
+        assert answer != job_id
+
+    def test_empty_store_returns_none(self, populated):
+        __, samples = populated
+        matcher = NearestNeighborMatcher(
+            ProfileStore(), feature_names=list(NUMERIC_FEATURE_COLUMNS)
+        )
+        probe = next(iter(samples.values()))
+        assert matcher.match(probe) is None
+
+    def test_profile_numeric_vector_covers_all_columns(self, populated):
+        store, __ = populated
+        vector = profile_numeric_vector(store.get_profile(store.job_ids()[0]))
+        assert set(vector) == set(NUMERIC_FEATURE_COLUMNS)
+
+    def test_map_only_profile_zero_reduce_features(self, populated):
+        store, __ = populated
+        map_only_id = next(
+            j for j in store.job_ids() if not store.get_profile(j).has_reduce
+        )
+        vector = profile_numeric_vector(store.get_profile(map_only_id))
+        assert vector["RED_SIZE_SEL"] == 0.0

@@ -1,0 +1,102 @@
+"""Tests for the from-scratch GBRT learner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gbrt import GbrtModel, GbrtParams, fit_gbrt
+
+
+def _toy_data(n=250, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 5))
+    y = 3.0 * x[:, 0] - 2.0 * x[:, 2] + rng.normal(0, 0.05, n)
+    return x, y
+
+
+class TestParams:
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            GbrtParams(distribution="poisson")
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            GbrtParams(train_fraction=0.0)
+        with pytest.raises(ValueError):
+            GbrtParams(bag_fraction=1.5)
+
+
+class TestFit:
+    def test_learns_linear_signal(self):
+        x, y = _toy_data()
+        params = GbrtParams(n_trees=200, shrinkage=0.1, cv_folds=0, train_fraction=1.0)
+        model = fit_gbrt(x, y, params, seed=1)
+        residual = np.abs(model.predict(x, n_trees=200) - y).mean()
+        assert residual < 0.25
+
+    def test_laplace_learns_too(self):
+        x, y = _toy_data()
+        params = GbrtParams(
+            n_trees=200, shrinkage=0.1, distribution="laplace",
+            cv_folds=0, train_fraction=1.0,
+        )
+        model = fit_gbrt(x, y, params, seed=1)
+        assert np.abs(model.predict(x, n_trees=200) - y).mean() < 0.4
+
+    def test_more_trees_fit_better(self):
+        x, y = _toy_data()
+        params = GbrtParams(n_trees=150, shrinkage=0.05, cv_folds=0, train_fraction=1.0)
+        model = fit_gbrt(x, y, params, seed=2)
+        few = np.abs(model.predict(x, n_trees=10) - y).mean()
+        many = np.abs(model.predict(x, n_trees=150) - y).mean()
+        assert many < few
+
+    def test_cv_selects_iteration(self):
+        x, y = _toy_data()
+        params = GbrtParams(n_trees=80, shrinkage=0.1, cv_folds=4, train_fraction=1.0)
+        model = fit_gbrt(x, y, params, seed=3)
+        assert 1 <= model.best_iteration <= 80
+        assert model.cv_curve is not None
+        assert len(model.cv_curve) == 80
+
+    def test_default_predict_uses_best_iteration(self):
+        x, y = _toy_data()
+        params = GbrtParams(n_trees=60, shrinkage=0.1, cv_folds=3, train_fraction=1.0)
+        model = fit_gbrt(x, y, params, seed=4)
+        default = model.predict(x)
+        explicit = model.predict(x, n_trees=model.best_iteration)
+        assert np.allclose(default, explicit)
+
+    def test_train_fraction_limits_rows(self):
+        x, y = _toy_data(n=300)
+        x[200:] += 100.0  # held-out rows live elsewhere in feature space
+        params = GbrtParams(n_trees=30, shrinkage=0.1, cv_folds=0, train_fraction=0.5)
+        model = fit_gbrt(x, y, params, seed=5)
+        assert model.predict(x[:5]).shape == (5,)
+
+    def test_deterministic_under_seed(self):
+        x, y = _toy_data()
+        params = GbrtParams(n_trees=40, shrinkage=0.1, cv_folds=0, train_fraction=1.0)
+        a = fit_gbrt(x, y, params, seed=7).predict(x, 40)
+        b = fit_gbrt(x, y, params, seed=7).predict(x, 40)
+        assert np.array_equal(a, b)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gbrt(np.zeros((5, 2)), np.zeros(4), GbrtParams())
+
+    def test_single_row_prediction(self):
+        x, y = _toy_data()
+        params = GbrtParams(n_trees=20, shrinkage=0.1, cv_folds=0, train_fraction=1.0)
+        model = fit_gbrt(x, y, params, seed=8)
+        assert model.predict(x[0]).shape == (1,)
+
+    @given(st.integers(min_value=30, max_value=120))
+    @settings(max_examples=5, deadline=None)
+    def test_constant_target_predicts_constant(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.uniform(0, 1, size=(n, 3))
+        y = np.full(n, 4.2)
+        params = GbrtParams(n_trees=10, shrinkage=0.1, cv_folds=0, train_fraction=1.0)
+        model = fit_gbrt(x, y, params, seed=0)
+        assert np.allclose(model.predict(x, 10), 4.2, atol=1e-6)

@@ -1,0 +1,119 @@
+"""Tests for the GBRT matcher pipeline (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import extract_job_features
+from repro.core.gbrt import GbrtParams
+from repro.core.gbrt_matcher import GbrtMatcher, build_training_set, pair_distances
+from repro.core.store import ProfileStore
+
+
+@pytest.fixture()
+def populated(engine, profiler, sampler, wordcount, maponly_job, small_text):
+    store = ProfileStore()
+    probes = {}
+    for job in (wordcount, maponly_job):
+        profile, __ = profiler.profile_job(job, small_text)
+        sample = sampler.collect(job, small_text, count=1)
+        features = extract_job_features(job, small_text, sample.profile, engine)
+        job_id = store.put(profile, features.static)
+        probes[job_id] = (sample.profile, features.static)
+    return store, probes
+
+
+class TestPairDistances:
+    def test_eight_values(self, populated):
+        store, probes = populated
+        job_id = store.job_ids()[0]
+        profile, static = probes[job_id]
+        distances = pair_distances(store, profile, static, job_id, job_id)
+        assert len(distances) == 8
+
+    def test_self_pair_is_near_perfect(self, populated):
+        store, probes = populated
+        wc_id = "wordcount-test@small-text"
+        profile = store.get_profile(wc_id)
+        static = store.get_static(wc_id)
+        d = pair_distances(store, profile, static, wc_id, wc_id)
+        jacc_map, eucl_ds_map, __, cfg_map = d[:4]
+        assert jacc_map == 1.0
+        assert eucl_ds_map == pytest.approx(0.0, abs=1e-9)
+        assert cfg_map == 1.0
+
+    def test_map_only_pair_has_zero_reduce_block(self, populated):
+        store, probes = populated
+        map_only = "identity-maponly@small-text"
+        profile, static = probes[map_only]
+        d = pair_distances(store, profile, static, map_only, None)
+        assert d[4:] == [0.0, 0.0, 0.0, 0.0]
+
+
+class TestTrainingSet:
+    def test_shapes_align(self, populated, whatif):
+        store, __ = populated
+        x, y = build_training_set(store, whatif, pairs_per_job=6, seed=0)
+        assert x.shape[0] == y.shape[0]
+        assert x.shape[1] == 8
+        assert x.shape[0] >= 2  # at least the perfect pairs
+
+    def test_contains_zero_target_perfect_pairs(self, populated, whatif):
+        store, __ = populated
+        __, y = build_training_set(store, whatif, pairs_per_job=6, seed=0)
+        assert y.min() == pytest.approx(0.0, abs=1e-9)
+
+    def test_targets_non_negative(self, populated, whatif):
+        store, __ = populated
+        __, y = build_training_set(store, whatif, pairs_per_job=8, seed=1)
+        assert (y >= 0).all()
+
+
+class TestGbrtMatcher:
+    def test_trained_matcher_finds_own_profile(self, populated, whatif):
+        store, probes = populated
+        params = GbrtParams(n_trees=120, shrinkage=0.1, distribution="laplace",
+                            cv_folds=0, train_fraction=1.0, n_minobsinnode=2)
+        matcher = GbrtMatcher.train(store, whatif, params, pairs_per_job=10, seed=0)
+        wc_id = "wordcount-test@small-text"
+        profile = store.get_profile(wc_id)
+        static = store.get_static(wc_id)
+        answer = matcher.match(profile, static)
+        assert answer is not None
+        assert answer[0] == wc_id
+
+    def test_reduce_probe_needs_reduce_capable_donor(self, populated, whatif):
+        store, probes = populated
+        params = GbrtParams(n_trees=60, shrinkage=0.1, distribution="laplace",
+                            cv_folds=0, train_fraction=1.0, n_minobsinnode=2)
+        matcher = GbrtMatcher.train(store, whatif, params, pairs_per_job=8, seed=0)
+        wc_id = "wordcount-test@small-text"
+        map_only = "identity-maponly@small-text"
+        profile = store.get_profile(wc_id)
+        static = store.get_static(wc_id)
+        # Only a map-only donor available: no composite can serve a
+        # reduce-side probe.
+        assert matcher.match(profile, static, candidates=[map_only]) is None
+
+    def test_candidate_restriction_map_only_probe(self, populated, whatif):
+        store, probes = populated
+        params = GbrtParams(n_trees=60, shrinkage=0.1, distribution="laplace",
+                            cv_folds=0, train_fraction=1.0, n_minobsinnode=2)
+        matcher = GbrtMatcher.train(store, whatif, params, pairs_per_job=8, seed=0)
+        wc_id = "wordcount-test@small-text"
+        map_only = "identity-maponly@small-text"
+        profile = store.get_profile(map_only)
+        static = store.get_static(map_only)
+        answer = matcher.match(profile, static, candidates=[wc_id])
+        assert answer is not None
+        assert answer[0] == wc_id
+
+    def test_empty_candidates_none(self, populated, whatif):
+        store, probes = populated
+        params = GbrtParams(n_trees=30, shrinkage=0.1, cv_folds=0,
+                            train_fraction=1.0, n_minobsinnode=2)
+        matcher = GbrtMatcher.train(store, whatif, params, pairs_per_job=6, seed=0)
+        wc_id = "wordcount-test@small-text"
+        answer = matcher.match(
+            store.get_profile(wc_id), store.get_static(wc_id), candidates=[]
+        )
+        assert answer is None

@@ -1,0 +1,138 @@
+"""Unit tests for the 14-parameter configuration model (Table 2.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hadoop.config import (
+    CONFIGURATION_SPACE,
+    PARAMETER_NAMES,
+    JobConfiguration,
+    default_configuration,
+)
+
+
+class TestConfigurationSpace:
+    def test_has_fourteen_parameters(self):
+        assert len(CONFIGURATION_SPACE) == 14
+
+    def test_parameter_names_match_table_2_1(self):
+        assert "io.sort.mb" in PARAMETER_NAMES
+        assert "mapred.reduce.tasks" in PARAMETER_NAMES
+        assert "mapred.compress.map.output" in PARAMETER_NAMES
+        assert "mapred.job.reduce.input.buffer.percent" in PARAMETER_NAMES
+
+    def test_defaults_match_table_2_1(self):
+        config = default_configuration()
+        assert config.io_sort_mb == 100
+        assert config.io_sort_record_percent == pytest.approx(0.05)
+        assert config.io_sort_spill_percent == pytest.approx(0.8)
+        assert config.io_sort_factor == 10
+        assert config.num_reduce_tasks == 1
+        assert config.reduce_slowstart == pytest.approx(0.05)
+        assert config.shuffle_input_buffer_percent == pytest.approx(0.7)
+        assert config.shuffle_merge_percent == pytest.approx(0.66)
+        assert config.inmem_merge_threshold == 1000
+        assert config.reduce_input_buffer_percent == pytest.approx(0.0)
+        assert config.compress_map_output is False
+        assert config.compress_output is False
+
+    def test_every_spec_clamps_its_default(self):
+        for spec in CONFIGURATION_SPACE:
+            assert spec.clamp(spec.default) == spec.default
+
+
+class TestJobConfiguration:
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            JobConfiguration(io_sort_mb=4)
+        with pytest.raises(ValueError):
+            JobConfiguration(num_reduce_tasks=0)
+        with pytest.raises(ValueError):
+            JobConfiguration(io_sort_spill_percent=0.99)
+
+    def test_get_by_hadoop_name(self):
+        config = JobConfiguration(io_sort_mb=128)
+        assert config.get("io.sort.mb") == 128
+
+    def test_get_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            JobConfiguration().get("mapred.no.such.param")
+
+    def test_with_params_clamps(self):
+        config = JobConfiguration().with_params(io_sort_mb=99999)
+        assert config.io_sort_mb == 1024
+
+    def test_with_params_preserves_others(self):
+        config = JobConfiguration(num_reduce_tasks=8).with_params(io_sort_mb=64)
+        assert config.num_reduce_tasks == 8
+        assert config.io_sort_mb == 64
+
+    def test_dict_round_trip(self):
+        config = JobConfiguration(
+            io_sort_mb=200, num_reduce_tasks=27, compress_map_output=True
+        )
+        assert JobConfiguration.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            JobConfiguration.from_dict({"bogus.param": 1})
+
+    def test_to_dict_order_is_table_order(self):
+        assert list(JobConfiguration().to_dict()) == list(PARAMETER_NAMES)
+
+    def test_iter_params_matches_to_dict(self):
+        config = JobConfiguration()
+        assert dict(config.iter_params()) == config.to_dict()
+
+    def test_hashable_value_object(self):
+        assert JobConfiguration() == JobConfiguration()
+        assert hash(JobConfiguration()) == hash(JobConfiguration())
+        assert JobConfiguration(io_sort_mb=128) != JobConfiguration()
+
+
+class TestDerivedQuantities:
+    def test_sort_buffer_bytes(self):
+        assert JobConfiguration(io_sort_mb=100).sort_buffer_bytes() == 100 * 1024 * 1024
+
+    def test_record_plus_data_buffer_is_total(self):
+        config = JobConfiguration(io_sort_mb=64, io_sort_record_percent=0.2)
+        total = config.sort_buffer_bytes()
+        assert config.record_buffer_bytes() + config.data_buffer_bytes() == total
+
+    def test_merge_passes_zero_for_single_spill(self):
+        config = JobConfiguration()
+        assert config.merge_passes(0) == 0
+        assert config.merge_passes(1) == 0
+
+    def test_merge_passes_single_pass_within_factor(self):
+        config = JobConfiguration(io_sort_factor=10)
+        assert config.merge_passes(10) == 1
+        assert config.merge_passes(2) == 1
+
+    def test_merge_passes_grows_logarithmically(self):
+        config = JobConfiguration(io_sort_factor=10)
+        assert config.merge_passes(100) == 2
+        assert config.merge_passes(1000) == 3
+
+    def test_larger_factor_fewer_passes(self):
+        narrow = JobConfiguration(io_sort_factor=2)
+        wide = JobConfiguration(io_sort_factor=100)
+        assert narrow.merge_passes(64) > wide.merge_passes(64)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_merge_passes_bounds(self, spills):
+        config = JobConfiguration(io_sort_factor=10)
+        passes = config.merge_passes(spills)
+        assert passes >= 1
+        assert passes <= math.ceil(math.log2(spills))
+
+    @given(
+        st.integers(min_value=16, max_value=1024),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    def test_buffers_always_partition(self, mb, record_percent):
+        config = JobConfiguration(io_sort_mb=mb, io_sort_record_percent=record_percent)
+        assert 0 < config.record_buffer_bytes() < config.sort_buffer_bytes()
+        assert config.data_buffer_bytes() > 0

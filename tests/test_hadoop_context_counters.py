@@ -1,0 +1,123 @@
+"""Unit tests for task contexts, counters, and the job specification."""
+
+import pytest
+
+from repro.hadoop.context import TaskContext
+from repro.hadoop.counters import FRAMEWORK_GROUP, Counters
+from repro.hadoop.job import MapReduceJob, default_partitioner
+
+
+class TestCounters:
+    def test_missing_counter_reads_zero(self):
+        assert Counters().value("g", "c") == 0
+
+    def test_increment_accumulates(self):
+        counters = Counters()
+        counters.increment("g", "c")
+        counters.increment("g", "c", 4)
+        assert counters.value("g", "c") == 5
+
+    def test_merge_adds_groups(self):
+        a, b = Counters(), Counters()
+        a.increment("g", "x", 1)
+        b.increment("g", "x", 2)
+        b.increment("h", "y", 3)
+        a.merge(b)
+        assert a.value("g", "x") == 3
+        assert a.value("h", "y") == 3
+
+    def test_items_sorted(self):
+        counters = Counters()
+        counters.increment("b", "z")
+        counters.increment("a", "y")
+        assert [g for g, __, __ in counters.items()] == ["a", "b"]
+
+    def test_to_dict(self):
+        counters = Counters()
+        counters.increment(FRAMEWORK_GROUP, "MAP_INPUT_RECORDS", 10)
+        assert counters.to_dict() == {FRAMEWORK_GROUP: {"MAP_INPUT_RECORDS": 10}}
+
+
+class TestTaskContext:
+    def test_emit_tracks_records_and_bytes(self):
+        ctx = TaskContext()
+        ctx.emit("word", 1)
+        ctx.emit("word", 2)
+        assert ctx.records_out == 2
+        assert ctx.bytes_out > 0
+        assert ctx.pairs == [("word", 1), ("word", 2)]
+
+    def test_emit_counts_ops(self):
+        ctx = TaskContext()
+        ctx.emit("a", 1)
+        assert ctx.ops == 1
+
+    def test_report_ops(self):
+        ctx = TaskContext()
+        ctx.report_ops(5)
+        assert ctx.ops == 5
+        with pytest.raises(ValueError):
+            ctx.report_ops(-1)
+
+    def test_write_alias(self):
+        ctx = TaskContext()
+        ctx.write("k", "v")
+        assert ctx.pairs == [("k", "v")]
+
+    def test_params_visible(self):
+        ctx = TaskContext(job_params={"window": 3})
+        assert ctx.get_param("window") == 3
+        assert ctx.get_param("missing", 7) == 7
+
+    def test_reset_output_keeps_ops(self):
+        ctx = TaskContext()
+        ctx.emit("a", 1)
+        ctx.reset_output()
+        assert ctx.pairs == []
+        assert ctx.ops == 1
+
+
+class TestMapReduceJob:
+    def test_requires_callable_mapper(self):
+        with pytest.raises(TypeError):
+            MapReduceJob(name="bad", mapper="not-callable")
+
+    def test_map_only_job(self):
+        job = MapReduceJob(name="m", mapper=lambda k, v, c: None)
+        assert not job.has_reducer
+        assert job.reducer_class == "IdentityReducer"
+        assert job.combiner_class == "NULL"
+
+    def test_class_names_from_qualnames(self):
+        def my_map(k, v, c):
+            pass
+
+        def my_reduce(k, vs, c):
+            pass
+
+        job = MapReduceJob(name="j", mapper=my_map, reducer=my_reduce)
+        assert "my_map" in job.mapper_class
+        assert "my_reduce" in job.reducer_class
+
+    def test_with_params_merges(self):
+        job = MapReduceJob(name="j", mapper=lambda k, v, c: None, params={"a": 1})
+        updated = job.with_params(b=2)
+        assert dict(updated.params) == {"a": 1, "b": 2}
+        assert dict(job.params) == {"a": 1}
+
+    def test_make_context_carries_params(self):
+        job = MapReduceJob(name="j", mapper=lambda k, v, c: None, params={"x": 9})
+        assert job.make_context().get_param("x") == 9
+
+
+class TestDefaultPartitioner:
+    def test_deterministic_across_calls(self):
+        assert default_partitioner("abc", 10) == default_partitioner("abc", 10)
+
+    def test_within_range(self):
+        for key in ("a", ("x", "y"), 123, 4.5):
+            assert 0 <= default_partitioner(key, 7) < 7
+
+    def test_spreads_keys(self):
+        buckets = {default_partitioner(f"key{i}", 8) for i in range(100)}
+        assert len(buckets) == 8

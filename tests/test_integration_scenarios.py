@@ -1,0 +1,126 @@
+"""End-to-end organization scenarios across subsystems.
+
+Each test plays out a realistic multi-step story — daemon restart,
+capacity-bound store, cross-cluster bootstrap — exercising several
+subsystems against each other rather than in isolation.
+"""
+
+import pytest
+
+from repro.core import (
+    LruEviction,
+    MaintainedStore,
+    PStorM,
+    ProfileMatcher,
+    ProfileStore,
+    extract_job_features,
+)
+from repro.core.persistence import dump_store, load_store
+from repro.core.transfer import transfer_profile
+from repro.hadoop import HadoopEngine, JobConfiguration, ec2_cluster
+from repro.hadoop.cluster import CostRates
+
+
+class TestDaemonRestart:
+    def test_snapshot_survives_restart(self, engine, wordcount, small_text, tmp_path):
+        """Day 1: profiles collected; daemon restarts; day 2: matching
+        works off the reloaded snapshot."""
+        day1 = PStorM(engine)
+        day1.remember(wordcount, small_text)
+        snapshot = tmp_path / "pstorm.json"
+        dump_store(day1.store, snapshot)
+
+        day2 = PStorM(engine, store=load_store(snapshot))
+        result = day2.submit(wordcount, small_text)
+        assert result.matched
+
+
+class TestCapacityBoundOperation:
+    def test_store_stays_within_capacity_under_stream(
+        self, engine, profiler, sampler, small_text
+    ):
+        """A capacity-2 store under a 4-job stream evicts but keeps
+        matching the recently used profiles."""
+        from repro.workloads import (
+            bigram_relative_frequency_job,
+            cooccurrence_pairs_job,
+            inverted_index_job,
+            word_count_job,
+        )
+
+        store = ProfileStore()
+        maintained = MaintainedStore(store, capacity=2, policy=LruEviction())
+        jobs = [
+            word_count_job(),
+            inverted_index_job(),
+            bigram_relative_frequency_job(),
+            cooccurrence_pairs_job(),
+        ]
+        for job in jobs:
+            profile, __ = profiler.profile_job(job, small_text)
+            sample = sampler.collect(job, small_text, count=1)
+            features = extract_job_features(job, small_text, sample.profile, engine)
+            maintained.put(profile, features.static)
+        assert len(maintained) == 2
+        assert len(maintained.evicted) == 2
+        # The most recent job still matches.
+        last = jobs[-1]
+        sample = sampler.collect(last, small_text, count=1)
+        features = extract_job_features(last, small_text, sample.profile, engine)
+        outcome = ProfileMatcher(store).match_job(features)
+        assert outcome.matched
+
+
+class TestCrossClusterBootstrap:
+    def test_new_cluster_bootstrapped_from_old(self, wordcount, small_text, tmp_path):
+        """§7.2.6 end to end: a store snapshot from an old slow cluster
+        seeds a new cluster's PStorM after cost-factor adjustment, and
+        the first submission on the new cluster is already a hit."""
+        slow_rates = CostRates(
+            read_hdfs_ns_per_byte=32.0, write_hdfs_ns_per_byte=50.0,
+            read_local_ns_per_byte=18.0, write_local_ns_per_byte=24.0,
+            network_ns_per_byte=44.0, cpu_ns_per_record=700.0,
+            compress_ns_per_byte=60.0, decompress_ns_per_byte=20.0,
+        )
+        old_cluster = ec2_cluster(base_rates=slow_rates, seed=33)
+        old_engine = HadoopEngine(old_cluster)
+        old_pstorm = PStorM(old_engine)
+        old_pstorm.remember(wordcount, small_text)
+        snapshot = tmp_path / "old-cluster.json"
+        dump_store(old_pstorm.store, snapshot)
+
+        new_cluster = ec2_cluster()
+        new_engine = HadoopEngine(new_cluster)
+        seeded_store = ProfileStore()
+        staging = load_store(snapshot)
+        for job_id in staging.job_ids():
+            adjusted = transfer_profile(
+                staging.get_profile(job_id), old_cluster, new_cluster
+            )
+            seeded_store.put(adjusted, staging.get_static(job_id), job_id=job_id)
+
+        new_pstorm = PStorM(new_engine, store=seeded_store)
+        result = new_pstorm.submit(wordcount, small_text)
+        assert result.matched
+        default = new_engine.run_job(wordcount, small_text, JobConfiguration())
+        assert result.runtime_seconds < default.runtime_seconds
+
+
+class TestFaultyTunedRuns:
+    def test_tuning_benefit_survives_failures(self, engine, wordcount, small_text):
+        """Tuned configurations keep their edge under a fault model."""
+        from repro.hadoop import FaultModel
+        from repro.starfish import CostBasedOptimizer, StarfishProfiler, WhatIfEngine
+
+        profiler = StarfishProfiler(engine)
+        profile, __ = profiler.profile_job(wordcount, small_text)
+        best = CostBasedOptimizer(WhatIfEngine(engine.cluster), seed=1).optimize(profile)
+
+        model = FaultModel(task_failure_probability=0.1)
+        default_run, __, __ = engine.run_job_with_faults(
+            wordcount, small_text, JobConfiguration(), fault_model=model, seed=5
+        )
+        tuned_run, __, __ = engine.run_job_with_faults(
+            wordcount, small_text, best.best_config, fault_model=model, seed=5
+        )
+        assert tuned_run.runtime_seconds < default_run.runtime_seconds

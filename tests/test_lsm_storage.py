@@ -1,0 +1,140 @@
+"""Tests for the LSM write path (WAL, memstore, HFiles, compaction)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hbase import LsmStore
+
+
+class TestWritePath:
+    def test_put_lands_in_memstore_and_wal(self):
+        store = LsmStore(flush_threshold=10)
+        store.put("k", 1)
+        assert store.memstore == {"k": 1}
+        assert len(store.wal) == 1
+        assert store.hfiles == []
+
+    def test_flush_at_threshold(self):
+        store = LsmStore(flush_threshold=3, compaction_threshold=100)
+        for i in range(3):
+            store.put(f"k{i}", i)
+        assert store.memstore == {}
+        assert store.wal == []
+        assert len(store.hfiles) == 1
+        assert store.flushes == 1
+
+    def test_hfiles_are_sorted(self):
+        store = LsmStore(flush_threshold=3, compaction_threshold=100)
+        for key in ("c", "a", "b"):
+            store.put(key, key)
+        hfile = store.hfiles[0]
+        assert list(hfile.keys) == sorted(hfile.keys)
+
+    def test_manual_flush_empty_is_noop(self):
+        store = LsmStore()
+        store.flush()
+        assert store.flushes == 0
+
+
+class TestReadPath:
+    def test_memstore_read_costs_no_files(self):
+        store = LsmStore(flush_threshold=100)
+        store.put("k", 1)
+        found, value, probed = store.get("k")
+        assert (found, value, probed) == (True, 1, 0)
+
+    def test_newest_version_wins(self):
+        store = LsmStore(flush_threshold=2, compaction_threshold=100)
+        store.put("k", 1)
+        store.put("pad1", 0)   # flush 1 contains k=1
+        store.put("k", 2)
+        store.put("pad2", 0)   # flush 2 contains k=2
+        found, value, __ = store.get("k")
+        assert (found, value) == (True, 2)
+
+    def test_read_amplification_grows_with_files(self):
+        store = LsmStore(flush_threshold=2, compaction_threshold=100)
+        for i in range(8):
+            store.put(f"k{i}", i)
+        assert store.read_amplification() == 4
+        __, __, probed = store.get("k0")  # oldest file: probes them all
+        assert probed == 4
+
+    def test_missing_key(self):
+        store = LsmStore(flush_threshold=2, compaction_threshold=100)
+        store.put("a", 1)
+        store.put("b", 2)
+        found, value, probed = store.get("zzz")
+        assert not found
+        assert probed == store.read_amplification()
+
+    def test_scan_merges_all_sources(self):
+        store = LsmStore(flush_threshold=2, compaction_threshold=100)
+        for i in range(5):
+            store.put(f"k{i}", i)
+        assert dict(store.scan()) == {f"k{i}": i for i in range(5)}
+
+
+class TestCompaction:
+    def test_compaction_at_threshold(self):
+        store = LsmStore(flush_threshold=2, compaction_threshold=3)
+        for i in range(6):
+            store.put(f"k{i}", i)
+        assert store.compactions >= 1
+        assert store.read_amplification() == 1
+        assert dict(store.scan()) == {f"k{i}": i for i in range(6)}
+
+    def test_compaction_keeps_newest(self):
+        store = LsmStore(flush_threshold=2, compaction_threshold=100)
+        store.put("k", "old")
+        store.put("p1", 0)
+        store.put("k", "new")
+        store.put("p2", 0)
+        store.compact()
+        found, value, probed = store.get("k")
+        assert (found, value, probed) == (True, "new", 1)
+
+    def test_single_file_compaction_noop(self):
+        store = LsmStore(flush_threshold=2, compaction_threshold=100)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.compact()
+        assert store.compactions == 0
+
+
+class TestRecovery:
+    def test_wal_replay_restores_unflushed_writes(self):
+        store = LsmStore(flush_threshold=100)
+        store.put("durable", 42)
+        recovered = store.recover()
+        found, value, __ = recovered.get("durable")
+        assert (found, value) == (True, 42)
+
+    def test_recovery_preserves_hfiles(self):
+        store = LsmStore(flush_threshold=2, compaction_threshold=100)
+        store.put("a", 1)
+        store.put("b", 2)   # flushed
+        store.put("c", 3)   # in memstore/WAL only
+        recovered = store.recover()
+        assert dict(recovered.scan()) == {"a": 1, "b": 2, "c": 3}
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from([f"k{i}" for i in range(12)]), st.integers()),
+        max_size=60,
+    )
+)
+@settings(max_examples=50)
+def test_property_lsm_equals_dict(writes):
+    """The LSM store must behave exactly like a dict, at any flush and
+    compaction cadence."""
+    store = LsmStore(flush_threshold=5, compaction_threshold=3)
+    reference = {}
+    for key, value in writes:
+        store.put(key, value)
+        reference[key] = value
+    assert dict(store.scan()) == reference
+    for key, expected in reference.items():
+        found, value, __ = store.get(key)
+        assert found and value == expected

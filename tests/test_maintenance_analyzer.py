@@ -1,0 +1,123 @@
+"""Tests for store maintenance (eviction) and the bottleneck analyzer."""
+
+import pytest
+
+from repro.core.features import extract_job_features
+from repro.core.maintenance import FifoEviction, LruEviction, MaintainedStore
+from repro.core.store import ProfileStore
+from repro.hadoop.config import JobConfiguration
+from repro.starfish.analyzer import analyze_profile
+
+
+def _profile_and_static(engine, profiler, sampler, job, dataset):
+    profile, __ = profiler.profile_job(job, dataset)
+    sample = sampler.collect(job, dataset, count=1)
+    features = extract_job_features(job, dataset, sample.profile, engine)
+    return profile, features.static
+
+
+@pytest.fixture()
+def stored_items(engine, profiler, sampler, wordcount, maponly_job, small_text):
+    wc = _profile_and_static(engine, profiler, sampler, wordcount, small_text)
+    ident = _profile_and_static(engine, profiler, sampler, maponly_job, small_text)
+    return {"wc": wc, "ident": ident}
+
+
+class TestMaintainedStore:
+    def test_capacity_enforced(self, stored_items):
+        maintained = MaintainedStore(ProfileStore(), capacity=1)
+        maintained.put(*stored_items["wc"], job_id="first")
+        maintained.put(*stored_items["ident"], job_id="second")
+        assert len(maintained) == 1
+        assert maintained.evicted == ["first"]
+        assert "second" in maintained.store
+
+    def test_lru_hits_protect(self, stored_items):
+        maintained = MaintainedStore(ProfileStore(), capacity=2, policy=LruEviction())
+        maintained.put(*stored_items["wc"], job_id="a")
+        maintained.put(*stored_items["ident"], job_id="b")
+        maintained.record_hit("a")  # refresh the older entry
+        maintained.put(*stored_items["wc"], job_id="c")
+        assert "a" in maintained.store
+        assert maintained.evicted == ["b"]
+
+    def test_fifo_ignores_hits(self, stored_items):
+        maintained = MaintainedStore(ProfileStore(), capacity=2, policy=FifoEviction())
+        maintained.put(*stored_items["wc"], job_id="a")
+        maintained.put(*stored_items["ident"], job_id="b")
+        maintained.record_hit("a")
+        maintained.put(*stored_items["wc"], job_id="c")
+        assert maintained.evicted == ["a"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            MaintainedStore(ProfileStore(), capacity=0)
+
+    def test_preexisting_entries_registered(self, stored_items):
+        store = ProfileStore()
+        profile, static = stored_items["wc"]
+        store.put(profile, static, job_id="old")
+        maintained = MaintainedStore(store, capacity=1)
+        maintained.put(*stored_items["ident"], job_id="new")
+        assert maintained.evicted == ["old"]
+
+    def test_newest_insert_never_self_evicts(self, stored_items):
+        maintained = MaintainedStore(ProfileStore(), capacity=1)
+        stored_id = maintained.put(*stored_items["wc"], job_id="only")
+        assert stored_id in maintained.store
+
+
+class TestAnalyzer:
+    def test_single_reducer_job_surfaces_reduce_side(self, profiler, wordcount, small_text):
+        profile, __ = profiler.profile_job(
+            wordcount, small_text, JobConfiguration(num_reduce_tasks=1)
+        )
+        bottlenecks = analyze_profile(profile, top_k=5)
+        assert bottlenecks
+        assert any(b.side == "reduce" and b.share > 0.2 for b in bottlenecks)
+        assert all(0 < b.share <= 1 for b in bottlenecks)
+
+    def test_levers_mention_tunable_params(self, profiler, wordcount, small_text):
+        profile, __ = profiler.profile_job(wordcount, small_text)
+        bottlenecks = analyze_profile(profile, top_k=5)
+        all_levers = {lever for b in bottlenecks for lever in b.levers}
+        assert all_levers & {"mapred.reduce.tasks", "io.sort.mb",
+                             "mapred.compress.map.output"}
+
+    def test_map_only_profile(self, profiler, maponly_job, small_text):
+        profile, __ = profiler.profile_job(maponly_job, small_text)
+        bottlenecks = analyze_profile(profile)
+        assert all(b.side == "map" for b in bottlenecks)
+
+    def test_shares_descending(self, profiler, wordcount, small_text):
+        profile, __ = profiler.profile_job(wordcount, small_text)
+        shares = [b.share for b in analyze_profile(profile, top_k=6)]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_render_readable(self, profiler, wordcount, small_text):
+        profile, __ = profiler.profile_job(wordcount, small_text)
+        text = analyze_profile(profile)[0].render()
+        assert "s/task" in text
+        assert "tune:" in text
+
+
+class TestStaticsFirstMatcher:
+    def test_loses_nj_composition(self, engine, profiler, sampler, small_text):
+        """The §4.3 argument in miniature: with only behaviour-compatible
+        *other* jobs stored, statics-first finds nothing."""
+        from repro.core.matcher import ProfileMatcher, StaticsFirstMatcher
+        from repro.workloads import bigram_relative_frequency_job, cooccurrence_pairs_job
+
+        store = ProfileStore()
+        donor = bigram_relative_frequency_job()
+        profile, static = _profile_and_static(engine, profiler, sampler, donor, small_text)
+        store.put(profile, static)
+
+        probe_job = cooccurrence_pairs_job()
+        sample = sampler.collect(probe_job, small_text, count=1)
+        features = extract_job_features(probe_job, small_text, sample.profile, engine)
+
+        dynamics_first = ProfileMatcher(store).match_job(features)
+        statics_first = StaticsFirstMatcher(store).match_job(features)
+        assert dynamics_first.matched
+        assert not statics_first.matched

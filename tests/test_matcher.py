@@ -1,0 +1,186 @@
+"""Tests for the multi-stage profile matcher (Fig 4.4)."""
+
+import pytest
+
+from repro.core.features import extract_job_features
+from repro.core.matcher import ProfileMatcher
+from repro.core.store import ProfileStore
+
+
+@pytest.fixture()
+def make_features(engine, sampler):
+    def build(job, dataset, seed=0):
+        sample = sampler.collect(job, dataset, count=1, seed=seed)
+        return extract_job_features(job, dataset, sample.profile, engine)
+
+    return build
+
+
+@pytest.fixture()
+def store_with(engine, profiler, make_features):
+    def build(jobs_and_datasets):
+        store = ProfileStore()
+        for job, dataset in jobs_and_datasets:
+            profile, __ = profiler.profile_job(job, dataset)
+            features = make_features(job, dataset)
+            store.put(profile, features.static)
+        return store
+
+    return build
+
+
+class TestSameDataMatching:
+    def test_own_profile_wins(self, store_with, make_features, wordcount, maponly_job, small_text):
+        store = store_with([(wordcount, small_text), (maponly_job, small_text)])
+        matcher = ProfileMatcher(store)
+        outcome = matcher.match_job(make_features(wordcount, small_text))
+        assert outcome.matched
+        assert outcome.map_match.job_id == "wordcount-test@small-text"
+        assert outcome.reduce_match.job_id == "wordcount-test@small-text"
+        assert not outcome.is_composite
+        assert outcome.map_match.stage == "static"
+
+    def test_funnel_recorded(self, store_with, make_features, wordcount, small_text):
+        store = store_with([(wordcount, small_text)])
+        matcher = ProfileMatcher(store)
+        match = matcher.match_side(make_features(wordcount, small_text), "map")
+        assert match.funnel["dynamic"] >= 1
+        assert "cfg" in match.funnel
+        assert "jaccard" in match.funnel
+
+    def test_map_only_probe_skips_reduce(self, store_with, make_features, maponly_job, small_text):
+        store = store_with([(maponly_job, small_text)])
+        matcher = ProfileMatcher(store)
+        outcome = matcher.match_job(make_features(maponly_job, small_text))
+        assert outcome.matched
+        assert outcome.reduce_match is None
+        assert not outcome.profile.has_reduce
+
+
+class TestNoMatch:
+    def test_empty_store_no_match(self, make_features, wordcount, small_text):
+        matcher = ProfileMatcher(ProfileStore())
+        outcome = matcher.match_job(make_features(wordcount, small_text))
+        assert not outcome.matched
+        assert outcome.profile is None
+
+    def test_dissimilar_store_never_passes_static_stages(
+        self, store_with, make_features, wordcount, maponly_job, small_text
+    ):
+        # Identity's CFG and statics differ from word count's, so a match
+        # (if any, via the lenient cost fallback) can never claim the
+        # "static" path.
+        store = store_with([(maponly_job, small_text)])
+        matcher = ProfileMatcher(store)
+        match = matcher.match_side(make_features(wordcount, small_text), "map")
+        assert match.stage != "static"
+
+    def test_single_profile_store_is_degenerate_but_safe(
+        self, store_with, make_features, wordcount, maponly_job, small_text
+    ):
+        # With one stored profile every min-max span is zero, so numeric
+        # filters cannot discriminate; the matcher must still terminate
+        # with a well-formed outcome.
+        store = store_with([(maponly_job, small_text)])
+        matcher = ProfileMatcher(store)
+        outcome = matcher.match_job(make_features(wordcount, small_text))
+        assert outcome.map_match.stage in (
+            "static", "cost-fallback", "no-match", "no-match-dynamic"
+        )
+
+
+class TestThresholds:
+    def test_stricter_jaccard_rejects_similar_jobs(
+        self, store_with, make_features, wordcount, small_text
+    ):
+        from repro.hadoop.job import MapReduceJob
+        from conftest import wc_map, wc_reduce
+
+        clone = MapReduceJob(
+            name="wordcount-clone",
+            mapper=wc_map,
+            reducer=wc_reduce,
+            combiner=wc_reduce,
+            input_format="KeyValueTextInputFormat",
+            output_format="SequenceFileOutputFormat",
+        )
+        store = store_with([(clone, small_text)])
+        lenient = ProfileMatcher(store, jaccard_threshold=0.5)
+        strict = ProfileMatcher(store, jaccard_threshold=0.99)
+        features = make_features(wordcount, small_text)
+        lenient_match = lenient.match_side(features, "map")
+        strict_match = strict.match_side(features, "map")
+        # The clone shares mapper code (CFG + names) but differs in the
+        # formatters: lenient Jaccard accepts, strict falls through.
+        assert lenient_match.stage == "static"
+        assert strict_match.stage in ("cost-fallback", "no-match")
+
+    def test_euclidean_override(self, store_with, make_features, wordcount, small_text):
+        store = store_with([(wordcount, small_text)])
+        impossible = ProfileMatcher(store, euclidean_threshold=0.0)
+        features = make_features(wordcount, small_text, seed=99)
+        match = impossible.match_side(features, "map")
+        assert match.stage in ("no-match-dynamic", "no-match", "static")
+
+
+class TestTieBreak:
+    def test_same_program_outranks_similar(self, engine, profiler, make_features, wordcount, small_text):
+        """A stored profile with identical statics (the same program on
+        other data) beats a behaviour-alike with closer input size."""
+        from repro.hadoop.dataset import Dataset, FunctionRecordSource
+        from conftest import _text_lines
+        from repro.hadoop.job import MapReduceJob
+
+        other_data = Dataset(
+            "bigger-text",
+            nominal_bytes=1 << 30,
+            source=FunctionRecordSource(_text_lines),
+            seed=5,
+        )
+
+        # A behavioural clone with its *own* map/reduce functions: same
+        # CFG shapes and types, different class names.
+        def clone_map(key, line, ctx):
+            for token in line.split():
+                ctx.emit(token, 1)
+
+        def clone_reduce(token, counts, ctx):
+            total = 0
+            for count in counts:
+                total += count
+                ctx.report_ops(1)
+            ctx.emit(token, total)
+
+        lookalike = MapReduceJob(
+            name="lookalike", mapper=clone_map, reducer=clone_reduce,
+            combiner=clone_reduce,
+        )
+        store = ProfileStore()
+        for job, dataset in ((wordcount, other_data), (lookalike, small_text)):
+            profile, __ = profiler.profile_job(job, dataset)
+            sample_features = make_features(job, dataset)
+            store.put(profile, sample_features.static)
+
+        # A wide θ keeps both candidates through the dynamic stage so the
+        # test isolates the tie-break: identical statics must outrank the
+        # size-closer lookalike.
+        matcher = ProfileMatcher(store, euclidean_threshold=2.0)
+        outcome = matcher.match_side(make_features(wordcount, small_text), "map")
+        assert outcome.job_id == "wordcount-test@bigger-text"
+
+    def test_size_tie_break_among_same_program(self, engine, profiler, make_features, wordcount, small_text):
+        """Among twins of the same program, the closest size wins."""
+        from repro.hadoop.dataset import Dataset, FunctionRecordSource
+        from conftest import _text_lines
+
+        near = Dataset("near", nominal_bytes=small_text.nominal_bytes * 2,
+                       source=FunctionRecordSource(_text_lines), seed=5)
+        far = Dataset("far", nominal_bytes=small_text.nominal_bytes * 64,
+                      source=FunctionRecordSource(_text_lines), seed=5)
+        store = ProfileStore()
+        for dataset in (near, far):
+            profile, __ = profiler.profile_job(wordcount, dataset)
+            store.put(profile, make_features(wordcount, dataset).static)
+        matcher = ProfileMatcher(store)
+        outcome = matcher.match_side(make_features(wordcount, small_text), "map")
+        assert outcome.job_id == "wordcount-test@near"

@@ -1,0 +1,161 @@
+"""Tests for the PerfXplain subsystem."""
+
+import pytest
+
+from repro.perfxplain import (
+    ExecutionLog,
+    PerfQuery,
+    PerfXplain,
+    Relation,
+    relative_performance,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_log():
+    """A log of five profiled executions."""
+    from repro.experiments.common import ExperimentContext
+    from repro.workloads import (
+        cooccurrence_pairs_job,
+        inverted_index_job,
+        random_text_1gb,
+        sort_job,
+        teragen_dataset,
+        wikipedia_35gb,
+        word_count_job,
+    )
+
+    ctx = ExperimentContext.create()
+    log = ExecutionLog()
+    for job, dataset in (
+        (word_count_job(), wikipedia_35gb()),
+        (cooccurrence_pairs_job(), wikipedia_35gb()),
+        (inverted_index_job(), wikipedia_35gb()),
+        (sort_job(), teragen_dataset(35)),
+        (word_count_job(), random_text_1gb()),
+    ):
+        profile, execution = ctx.profiler.profile_job(job, dataset)
+        log.add_execution(profile, execution)
+    return log
+
+
+class TestRelativePerformance:
+    def test_similar_within_tolerance(self):
+        assert relative_performance(100.0, 110.0) == Relation.SIMILAR
+
+    def test_slower_and_faster(self):
+        assert relative_performance(100.0, 200.0) == Relation.SLOWER
+        assert relative_performance(200.0, 100.0) == Relation.FASTER
+
+    def test_invalid_runtimes(self):
+        with pytest.raises(ValueError):
+            relative_performance(0.0, 1.0)
+
+
+class TestQuery:
+    def test_relations_validated(self):
+        with pytest.raises(ValueError):
+            PerfQuery("a", "b", expected="weird")
+        with pytest.raises(ValueError):
+            PerfQuery("a", "b", observed="weird")
+
+
+class TestLog:
+    def test_entries_keyed(self, mini_log):
+        assert "word-count@wikipedia-35gb" in mini_log.keys()
+        assert len(mini_log) == 5
+
+    def test_features_present(self, mini_log):
+        entry = mini_log.get("word-count@wikipedia-35gb")
+        assert entry.feature("runtime_seconds") > 0
+        assert entry.feature("map_output_bytes") > entry.feature("input_bytes")
+
+    def test_missing_entry_raises(self, mini_log):
+        with pytest.raises(KeyError):
+            mini_log.get("nope@never")
+
+    def test_from_profile_store(self, engine, profiler, sampler, wordcount, small_text, whatif):
+        from repro.core.features import extract_job_features
+        from repro.core.store import ProfileStore
+
+        store = ProfileStore()
+        profile, __ = profiler.profile_job(wordcount, small_text)
+        sample = sampler.collect(wordcount, small_text, count=1)
+        features = extract_job_features(wordcount, small_text, sample.profile, engine)
+        store.put(profile, features.static)
+
+        log = ExecutionLog.from_profile_store(store, whatif)
+        entry = log.get("wordcount-test@small-text")
+        assert entry.feature("runtime_seconds") > 0
+        assert entry.statics["IN_FORMATTER"] == "TextInputFormat"
+
+
+class TestExplanations:
+    def test_surprising_pair_gets_predicates(self, mini_log):
+        explainer = PerfXplain(mini_log)
+        query = PerfQuery(
+            "word-count@wikipedia-35gb",
+            "word-cooccurrence-pairs@wikipedia-35gb",
+            expected=Relation.SIMILAR,
+        )
+        explanation = explainer.explain(query)
+        assert explanation.observed == Relation.SLOWER
+        assert explanation.predicates
+        rendered = explanation.render()
+        assert "because" in rendered
+
+    def test_expected_behaviour_needs_no_explanation(self, mini_log):
+        explainer = PerfXplain(mini_log)
+        query = PerfQuery(
+            "word-count@wikipedia-35gb",
+            "word-cooccurrence-pairs@wikipedia-35gb",
+            expected=Relation.SLOWER,
+        )
+        explanation = explainer.explain(query)
+        assert explanation.predicates == ()
+
+    def test_despite_clause_suppresses_feature(self, mini_log):
+        explainer = PerfXplain(mini_log)
+        base = PerfQuery(
+            "word-count@wikipedia-35gb",
+            "word-cooccurrence-pairs@wikipedia-35gb",
+        )
+        baseline = explainer.explain(base)
+        suppressed_feature = baseline.predicates[0].feature
+        query = PerfQuery(
+            base.job_a, base.job_b, despite=suppressed_feature
+        )
+        explanation = explainer.explain(query)
+        assert all(p.feature != suppressed_feature for p in explanation.predicates)
+
+    def test_predicates_ranked_by_gain(self, mini_log):
+        explainer = PerfXplain(mini_log)
+        explanation = explainer.explain(
+            PerfQuery("word-count@wikipedia-35gb",
+                      "word-cooccurrence-pairs@wikipedia-35gb")
+        )
+        gains = [p.gain for p in explanation.predicates]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_tiny_log_rejected(self):
+        with pytest.raises(ValueError):
+            PerfXplain(ExecutionLog())
+
+    def test_static_differences(self, engine, profiler, sampler, wordcount, maponly_job, small_text, whatif):
+        from repro.core.features import extract_job_features
+        from repro.core.store import ProfileStore
+
+        store = ProfileStore()
+        for job in (wordcount, maponly_job):
+            profile, __ = profiler.profile_job(job, small_text)
+            sample = sampler.collect(job, small_text, count=1)
+            features = extract_job_features(job, small_text, sample.profile, engine)
+            store.put(profile, features.static)
+        log = ExecutionLog.from_profile_store(store, whatif)
+        explainer = PerfXplain(log)
+        query = PerfQuery(
+            "wordcount-test@small-text", "identity-maponly@small-text"
+        )
+        differences = explainer.static_differences(query)
+        assert any(p.feature == "MAPPER" for p in differences)
+        assert all(p.kind == "static" for p in differences)

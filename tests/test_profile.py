@@ -1,0 +1,133 @@
+"""Unit tests for Starfish profiles and profile composition."""
+
+import pytest
+
+from repro.starfish.profile import (
+    MAP_COST_FEATURES,
+    MAP_DATA_FLOW_FEATURES,
+    REDUCE_DATA_FLOW_FEATURES,
+    JobProfile,
+    SideProfile,
+)
+
+
+def _map_side(**overrides):
+    data_flow = {
+        "MAP_SIZE_SEL": 2.0,
+        "MAP_PAIRS_SEL": 8.0,
+        "COMBINE_SIZE_SEL": 0.3,
+        "COMBINE_PAIRS_SEL": 0.2,
+    }
+    data_flow.update(overrides)
+    return SideProfile(
+        side="map",
+        data_flow=data_flow,
+        cost_factors={name: 10.0 for name in MAP_COST_FEATURES},
+        statistics={"INPUT_RECORD_BYTES": 100.0, "HAS_COMBINER": 1.0},
+        phase_times={"MAP": 3.0},
+        num_tasks=4,
+    )
+
+
+def _reduce_side():
+    return SideProfile(
+        side="reduce",
+        data_flow={"RED_SIZE_SEL": 0.6, "RED_PAIRS_SEL": 0.1},
+        cost_factors={"REDUCE_CPU_COST": 500.0},
+        statistics={"RECORDS_PER_GROUP": 12.0},
+        phase_times={"REDUCE": 9.0},
+        num_tasks=2,
+    )
+
+
+def _profile(name="jobA", reduce_side=True, input_bytes=1 << 30):
+    return JobProfile(
+        job_name=name,
+        dataset_name="ds",
+        input_bytes=input_bytes,
+        split_bytes=64 << 20,
+        num_map_tasks=16,
+        num_reduce_tasks=2 if reduce_side else 0,
+        map_profile=_map_side(),
+        reduce_profile=_reduce_side() if reduce_side else None,
+    )
+
+
+class TestSideProfile:
+    def test_side_validated(self):
+        with pytest.raises(ValueError):
+            SideProfile(
+                side="weird", data_flow={}, cost_factors={},
+                statistics={}, phase_times={}, num_tasks=1,
+            )
+
+    def test_missing_data_flow_rejected(self):
+        with pytest.raises(ValueError):
+            SideProfile(
+                side="map",
+                data_flow={"MAP_SIZE_SEL": 1.0},
+                cost_factors={}, statistics={}, phase_times={}, num_tasks=1,
+            )
+
+    def test_data_flow_vector_order(self):
+        vector = _map_side().data_flow_vector()
+        assert vector == [2.0, 8.0, 0.3, 0.2]
+        assert len(vector) == len(MAP_DATA_FLOW_FEATURES)
+
+    def test_reduce_vector_order(self):
+        vector = _reduce_side().data_flow_vector()
+        assert vector == [0.6, 0.1]
+        assert len(vector) == len(REDUCE_DATA_FLOW_FEATURES)
+
+    def test_cost_vector_defaults_missing_to_zero(self):
+        vector = _reduce_side().cost_vector()
+        assert 500.0 in vector
+        assert 0.0 in vector
+
+    def test_stat_default(self):
+        assert _map_side().stat("NOT_THERE", 3.3) == 3.3
+
+    def test_roundtrip(self):
+        side = _map_side()
+        assert SideProfile.from_dict(side.to_dict()) == side
+
+
+class TestJobProfile:
+    def test_has_reduce(self):
+        assert _profile().has_reduce
+        assert not _profile(reduce_side=False).has_reduce
+
+    def test_roundtrip(self):
+        profile = _profile()
+        restored = JobProfile.from_dict(profile.to_dict())
+        assert restored == profile
+
+    def test_map_only_roundtrip(self):
+        profile = _profile(reduce_side=False)
+        assert JobProfile.from_dict(profile.to_dict()) == profile
+
+
+class TestComposition:
+    def test_compose_takes_map_from_self_reduce_from_donor(self):
+        a = _profile("jobA")
+        b = _profile("jobB")
+        composite = a.compose_with(b)
+        assert composite.map_profile is a.map_profile
+        assert composite.reduce_profile is b.reduce_profile
+        assert composite.source == "composite"
+        assert "jobA" in composite.job_name
+        assert "jobB" in composite.job_name
+
+    def test_compose_keeps_own_input_size(self):
+        a = _profile("jobA", input_bytes=123)
+        b = _profile("jobB", input_bytes=456)
+        assert a.compose_with(b).input_bytes == 123
+
+    def test_compose_inherits_donor_reducer_count(self):
+        a = _profile("jobA")
+        b = JobProfile(
+            job_name="jobB", dataset_name="ds", input_bytes=1, split_bytes=1,
+            num_map_tasks=1, num_reduce_tasks=9,
+            map_profile=_map_side(), reduce_profile=_reduce_side(),
+        )
+        assert a.compose_with(b).num_reduce_tasks == 9

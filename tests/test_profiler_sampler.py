@@ -1,0 +1,120 @@
+"""Tests for the Starfish profiler and sampler."""
+
+import pytest
+
+from repro.hadoop.config import JobConfiguration
+from repro.starfish.profile import MAP_COST_FEATURES, MAP_STATISTICS
+from repro.starfish.profiler import build_profile
+
+
+class TestProfiler:
+    def test_full_profile_shape(self, profiler, wordcount, small_text):
+        profile, execution = profiler.profile_job(wordcount, small_text)
+        assert profile.source == "full"
+        assert profile.num_map_tasks == small_text.num_splits
+        assert profile.input_bytes == small_text.nominal_bytes
+        assert profile.has_reduce
+
+    def test_selectivities_match_execution(self, profiler, wordcount, small_text):
+        profile, execution = profiler.profile_job(wordcount, small_text)
+        total_in = sum(t.input_bytes for t in execution.map_tasks)
+        total_out = sum(t.map_output_bytes for t in execution.map_tasks)
+        assert profile.map_profile.data_flow["MAP_SIZE_SEL"] == pytest.approx(
+            total_out / total_in
+        )
+
+    def test_combiner_selectivities_measured(self, profiler, wordcount, small_text):
+        profile, __ = profiler.profile_job(wordcount, small_text)
+        mp = profile.map_profile
+        assert mp.data_flow["COMBINE_PAIRS_SEL"] < 1.0
+        assert mp.stat("HAS_COMBINER") == 1.0
+
+    def test_no_combiner_unity(self, profiler, maponly_job, small_text):
+        profile, __ = profiler.profile_job(maponly_job, small_text)
+        assert profile.map_profile.data_flow["COMBINE_PAIRS_SEL"] == 1.0
+        assert profile.map_profile.stat("HAS_COMBINER") == 0.0
+        assert profile.reduce_profile is None
+
+    def test_cost_factors_present_and_positive(self, profiler, wordcount, small_text):
+        profile, __ = profiler.profile_job(wordcount, small_text)
+        for name in MAP_COST_FEATURES:
+            assert profile.map_profile.cost_factors[name] > 0
+
+    def test_statistics_present(self, profiler, wordcount, small_text):
+        profile, __ = profiler.profile_job(wordcount, small_text)
+        for name in MAP_STATISTICS:
+            assert name in profile.map_profile.statistics
+
+    def test_small_record_jobs_have_higher_io_cost(
+        self, profiler, wordcount, maponly_job, small_text
+    ):
+        """Per-byte spill cost folds per-record overhead: word count's tiny
+        intermediate records must cost more per byte than identity's."""
+        wc_profile, __ = profiler.profile_job(wordcount, small_text)
+        id_profile, __ = profiler.profile_job(maponly_job, small_text)
+        assert (
+            wc_profile.map_profile.cost_factors["WRITE_LOCAL_IO_COST"]
+            > id_profile.map_profile.cost_factors["WRITE_LOCAL_IO_COST"]
+        )
+
+    def test_reduce_side_statistics(self, profiler, wordcount, small_text):
+        profile, __ = profiler.profile_job(wordcount, small_text)
+        rp = profile.reduce_profile
+        assert rp.stat("RECORDS_PER_GROUP") >= 1.0
+        assert rp.stat("OUT_RECORDS_PER_GROUP") == pytest.approx(1.0)
+        assert rp.stat("REDUCE_SKEW") >= 1.0
+
+    def test_build_profile_from_execution(self, engine, wordcount, small_text):
+        config = JobConfiguration()
+        execution = engine.run_job(wordcount, small_text, config, profile=True)
+        profile = build_profile(execution, config, "full", small_text.split_bytes)
+        assert profile.job_name == wordcount.name
+
+
+class TestSampler:
+    def test_one_task_sample(self, sampler, wordcount, small_text):
+        result = sampler.collect(wordcount, small_text, count=1)
+        assert result.map_slots_consumed == 1
+        assert result.profile.source == "sample"
+        assert result.execution.sampled
+
+    def test_fraction_sample(self, sampler, wordcount, small_text):
+        result = sampler.collect(wordcount, small_text, fraction=0.5)
+        assert result.map_slots_consumed == small_text.num_splits // 2
+
+    def test_fraction_at_least_one(self, sampler, wordcount, small_text):
+        result = sampler.collect(wordcount, small_text, fraction=0.01)
+        assert result.map_slots_consumed == 1
+
+    def test_exactly_one_mode_required(self, sampler, small_text):
+        with pytest.raises(ValueError):
+            sampler.choose_task_ids(small_text)
+        with pytest.raises(ValueError):
+            sampler.choose_task_ids(small_text, fraction=0.1, count=1)
+
+    def test_invalid_fraction(self, sampler, small_text):
+        with pytest.raises(ValueError):
+            sampler.choose_task_ids(small_text, fraction=1.5)
+
+    def test_choices_within_range_and_unique(self, sampler, small_text):
+        ids = sampler.choose_task_ids(small_text, count=3, seed=1)
+        assert len(set(ids)) == len(ids)
+        assert all(0 <= i < small_text.num_splits for i in ids)
+
+    def test_deterministic_under_seed(self, sampler, small_text):
+        assert sampler.choose_task_ids(small_text, count=2, seed=5) == \
+            sampler.choose_task_ids(small_text, count=2, seed=5)
+
+    def test_sample_selectivity_close_to_full(self, profiler, sampler, wordcount, small_text):
+        """The 1-task sample's data flow stats must be stable enough for
+        matching (§4.1.1): close to the full profile's."""
+        full, __ = profiler.profile_job(wordcount, small_text)
+        sample = sampler.collect(wordcount, small_text, count=1)
+        full_sel = full.map_profile.data_flow["MAP_PAIRS_SEL"]
+        sample_sel = sample.profile.map_profile.data_flow["MAP_PAIRS_SEL"]
+        assert sample_sel == pytest.approx(full_sel, rel=0.15)
+
+    def test_sample_cheaper_than_ten_percent(self, sampler, wordcount, small_text):
+        one = sampler.collect(wordcount, small_text, count=1)
+        half = sampler.collect(wordcount, small_text, fraction=0.5)
+        assert one.overhead_seconds < half.overhead_seconds

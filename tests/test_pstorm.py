@@ -1,0 +1,65 @@
+"""Integration tests for the PStorM daemon workflow (Chapter 3)."""
+
+import pytest
+
+from repro.core.pstorm import PStorM
+from repro.hadoop.config import JobConfiguration
+
+
+@pytest.fixture()
+def pstorm(engine):
+    # A fresh store per test; the engine (and its caches) are shared.
+    return PStorM(engine)
+
+
+class TestSubmissionWorkflow:
+    def test_miss_stores_profile(self, pstorm, wordcount, small_text):
+        result = pstorm.submit(wordcount, small_text)
+        assert not result.matched
+        assert result.profile_stored_as == "wordcount-test@small-text"
+        assert len(pstorm.store) == 1
+
+    def test_second_submission_hits(self, pstorm, wordcount, small_text):
+        first = pstorm.submit(wordcount, small_text)
+        second = pstorm.submit(wordcount, small_text)
+        assert not first.matched
+        assert second.matched
+        assert second.profile_stored_as is None
+        assert len(pstorm.store) == 1  # nothing new stored on a hit
+
+    def test_hit_is_tuned_better_than_default(self, pstorm, engine, wordcount, small_text):
+        pstorm.remember(wordcount, small_text)
+        result = pstorm.submit(wordcount, small_text)
+        default = engine.run_job(wordcount, small_text, JobConfiguration())
+        assert result.matched
+        assert result.runtime_seconds < default.runtime_seconds
+
+    def test_sampling_cost_accounted(self, pstorm, wordcount, small_text):
+        result = pstorm.submit(wordcount, small_text)
+        assert result.sampling_seconds > 0
+        assert result.total_seconds == pytest.approx(
+            result.runtime_seconds + result.sampling_seconds
+        )
+
+    def test_miss_runs_with_submitted_config(self, pstorm, wordcount, small_text):
+        submitted = JobConfiguration(num_reduce_tasks=4)
+        result = pstorm.submit(wordcount, small_text, config=submitted)
+        assert result.config == submitted
+        assert result.execution.num_reduce_tasks == 4
+
+    def test_remember_prepopulates(self, pstorm, wordcount, small_text):
+        job_id = pstorm.remember(wordcount, small_text)
+        assert job_id in pstorm.store
+
+    def test_extract_features_runs_one_task(self, pstorm, wordcount, small_text):
+        features, sampling_seconds = pstorm.extract_features(wordcount, small_text)
+        assert features.job_name == wordcount.name
+        assert features.has_reduce
+        assert len(features.map_data_flow) == 4
+        assert sampling_seconds > 0
+
+    def test_map_only_submission(self, pstorm, maponly_job, small_text):
+        pstorm.remember(maponly_job, small_text)
+        result = pstorm.submit(maponly_job, small_text)
+        assert result.matched
+        assert result.outcome.reduce_match is None

@@ -1,0 +1,65 @@
+"""Seed-robustness: the headline claims must not be seed artifacts.
+
+These re-run the key qualitative results under different RNG seeds (on
+the reduced suite, to stay fast) and assert the *shapes*, not the
+numbers.
+"""
+
+import pytest
+
+from repro.experiments.accuracy import evaluate_nn_baseline, evaluate_pstorm
+from repro.experiments.common import ExperimentContext, collect_suite
+from repro.workloads import standard_benchmark
+
+SEEDS = (7, 1234)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded(request):
+    seed = request.param
+    ctx = ExperimentContext.create(seed)
+    records = collect_suite(ctx, standard_benchmark(pigmix_queries=2), seed=seed)
+    return seed, ctx, records
+
+
+class TestSeedRobustness:
+    def test_sd_accuracy_is_perfect(self, seeded):
+        __, __, records = seeded
+        result = evaluate_pstorm(records, "SD")
+        assert result.map_accuracy == 1.0
+        assert result.reduce_accuracy == 1.0
+
+    def test_dd_beats_baselines(self, seeded):
+        __, __, records = seeded
+        pstorm = evaluate_pstorm(records, "DD")
+        p_features = evaluate_nn_baseline(records, "DD", include_static=False)
+        assert pstorm.map_accuracy > p_features.map_accuracy
+
+    def test_unseen_job_tuning_beats_rbo(self, seeded):
+        seed, ctx, __ = seeded
+        from repro.core import PStorM
+        from repro.hadoop import JobConfiguration
+        from repro.workloads import (
+            bigram_relative_frequency_job,
+            cooccurrence_pairs_job,
+            wikipedia_35gb,
+        )
+
+        wiki = wikipedia_35gb()
+        pstorm = PStorM(ctx.engine)
+        pstorm.remember(bigram_relative_frequency_job(), wiki, seed=seed)
+        result = pstorm.submit(cooccurrence_pairs_job(), wiki, seed=seed)
+        assert result.matched
+
+        default = ctx.engine.run_job(
+            cooccurrence_pairs_job(), wiki, JobConfiguration(), seed=seed
+        )
+        sample = ctx.sampler.collect(cooccurrence_pairs_job(), wiki, count=1, seed=seed)
+        rbo_config = ctx.make_rbo().recommend(sample.profile).config
+        rbo_run = ctx.engine.run_job(
+            cooccurrence_pairs_job(), wiki, rbo_config, seed=seed
+        )
+        pstorm_speedup = default.runtime_seconds / result.runtime_seconds
+        rbo_speedup = default.runtime_seconds / rbo_run.runtime_seconds
+        assert pstorm_speedup > 1.0
+        assert pstorm_speedup >= rbo_speedup * 0.95

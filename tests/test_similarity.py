@@ -1,0 +1,154 @@
+"""Unit and property tests for the similarity measures (§4.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.similarity import (
+    DEFAULT_JACCARD_THRESHOLD,
+    MinMaxNormalizer,
+    default_euclidean_threshold,
+    euclidean_distance,
+    jaccard_index,
+)
+
+
+class TestJaccard:
+    def test_identical_vectors(self):
+        features = {"A": "x", "B": "y"}
+        assert jaccard_index(features, dict(features)) == 1.0
+
+    def test_disjoint_values(self):
+        assert jaccard_index({"A": "x"}, {"A": "z"}) == 0.0
+
+    def test_partial_agreement(self):
+        a = {"A": "x", "B": "y", "C": "z", "D": "w"}
+        b = {"A": "x", "B": "y", "C": "q", "D": "r"}
+        assert jaccard_index(a, b) == 0.5
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(ValueError):
+            jaccard_index({"A": "x"}, {"B": "x"})
+
+    def test_empty_vectors_match(self):
+        assert jaccard_index({}, {}) == 1.0
+
+    def test_paper_threshold(self):
+        assert DEFAULT_JACCARD_THRESHOLD == 0.5
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["A", "B", "C", "D", "E"]),
+            st.sampled_from(["1", "2"]),
+            min_size=1,
+        )
+    )
+    def test_symmetric_and_bounded(self, features):
+        other = {k: "1" for k in features}
+        score = jaccard_index(features, other)
+        assert 0.0 <= score <= 1.0
+        assert score == jaccard_index(other, features)
+
+
+class TestEuclidean:
+    def test_zero_distance_to_self(self):
+        assert euclidean_distance([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_distance(self):
+        assert euclidean_distance([0.0, 0.0], [3.0, 4.0]) == 5.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            euclidean_distance([1.0], [1.0, 2.0])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=8))
+    def test_triangle_inequality_with_origin(self, vector):
+        origin = [0.0] * len(vector)
+        assert euclidean_distance(vector, origin) >= 0
+
+
+class TestThreshold:
+    def test_formula(self):
+        assert default_euclidean_threshold(4) == 1.0
+        assert default_euclidean_threshold(6) == pytest.approx(math.sqrt(6) / 2)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            default_euclidean_threshold(0)
+
+    def test_threshold_is_half_max_distance(self):
+        # Normalized features live in [0,1]^n, so max distance is sqrt(n).
+        for n in (1, 2, 4, 6):
+            assert default_euclidean_threshold(n) == pytest.approx(math.sqrt(n) / 2)
+
+
+class TestMinMaxNormalizer:
+    def test_normalizes_to_unit_interval(self):
+        norm = MinMaxNormalizer()
+        norm.update([0.0, 10.0])
+        norm.update([10.0, 30.0])
+        assert norm.normalize([5.0, 20.0]) == [0.5, 0.5]
+        assert norm.normalize([0.0, 10.0]) == [0.0, 0.0]
+        assert norm.normalize([10.0, 30.0]) == [1.0, 1.0]
+
+    def test_clips_out_of_range(self):
+        norm = MinMaxNormalizer()
+        norm.update([0.0])
+        norm.update([1.0])
+        assert norm.normalize([5.0]) == [1.0]
+        assert norm.normalize([-5.0]) == [0.0]
+
+    def test_degenerate_span_maps_to_zero(self):
+        norm = MinMaxNormalizer()
+        norm.update([7.0])
+        assert norm.normalize([7.0]) == [0.0]
+
+    def test_dimension_change_rejected(self):
+        norm = MinMaxNormalizer()
+        norm.update([1.0, 2.0])
+        with pytest.raises(ValueError):
+            norm.update([1.0])
+        with pytest.raises(ValueError):
+            norm.normalize([1.0, 2.0, 3.0])
+
+    def test_roundtrip(self):
+        norm = MinMaxNormalizer()
+        norm.update([1.0, 5.0])
+        norm.update([3.0, 2.0])
+        restored = MinMaxNormalizer.from_dict(norm.to_dict())
+        assert restored.minimums == norm.minimums
+        assert restored.maximums == norm.maximums
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=3, max_size=3),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_property_outputs_in_unit_interval(self, vectors):
+        norm = MinMaxNormalizer()
+        for vector in vectors:
+            norm.update(vector)
+        for vector in vectors:
+            assert all(0.0 <= v <= 1.0 for v in norm.normalize(vector))
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=2),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    def test_property_bounds_only_grow(self, vectors):
+        norm = MinMaxNormalizer()
+        norm.update(vectors[0])
+        previous_min = list(norm.minimums)
+        previous_max = list(norm.maximums)
+        for vector in vectors[1:]:
+            norm.update(vector)
+            assert all(a <= b for a, b in zip(norm.minimums, previous_min))
+            assert all(a >= b for a, b in zip(norm.maximums, previous_max))
+            previous_min = list(norm.minimums)
+            previous_max = list(norm.maximums)

@@ -1,0 +1,122 @@
+"""Unit tests for Table 4.3 static feature extraction."""
+
+import pytest
+
+from repro.analysis.static_features import (
+    STATIC_FEATURE_NAMES,
+    StaticFeatures,
+    extract_static_features,
+)
+from repro.workloads.jobs import (
+    cooccurrence_pairs_job,
+    inverted_index_job,
+    word_count_job,
+)
+
+
+@pytest.fixture()
+def wc_features():
+    return extract_static_features(
+        word_count_job(),
+        input_pairs=[(0, "hello world")],
+        intermediate_pairs=[("hello", 1)],
+        output_pairs=[("hello", 2)],
+    )
+
+
+class TestExtraction:
+    def test_thirteen_features(self):
+        assert len(STATIC_FEATURE_NAMES) == 13
+
+    def test_class_name_features(self, wc_features):
+        cat = wc_features.categorical
+        assert cat["IN_FORMATTER"] == "TextInputFormat"
+        assert "word_count_map" in cat["MAPPER"]
+        assert "word_count_reduce" in cat["REDUCER"]
+        assert "word_count_reduce" in cat["COMBINER"]
+        assert cat["OUT_FORMATTER"] == "TextOutputFormat"
+
+    def test_type_features_observed(self, wc_features):
+        cat = wc_features.categorical
+        assert cat["MAP_IN_KEY"] == "LongWritable"
+        assert cat["MAP_IN_VAL"] == "Text"
+        assert cat["MAP_OUT_KEY"] == "Text"
+        assert cat["MAP_OUT_VAL"] == "LongWritable"
+        assert cat["RED_OUT_KEY"] == "Text"
+        assert cat["RED_OUT_VAL"] == "LongWritable"
+
+    def test_unknown_types_without_examples(self):
+        features = extract_static_features(word_count_job())
+        assert features.categorical["MAP_IN_KEY"] == "UNKNOWN"
+
+    def test_cfgs_attached(self, wc_features):
+        assert wc_features.map_cfg.num_loops == 1
+        assert wc_features.reduce_cfg is not None
+
+    def test_map_only_job_has_no_reduce_cfg(self):
+        from repro.hadoop.job import MapReduceJob
+
+        job = MapReduceJob(name="m", mapper=lambda k, v, c: c.emit(k, v))
+        features = extract_static_features(job)
+        assert features.reduce_cfg is None
+
+    def test_missing_feature_rejected(self, wc_features):
+        broken = dict(wc_features.categorical)
+        del broken["MAPPER"]
+        with pytest.raises(ValueError):
+            StaticFeatures(
+                categorical=broken,
+                map_cfg=wc_features.map_cfg,
+                reduce_cfg=wc_features.reduce_cfg,
+            )
+
+
+class TestSideViews:
+    def test_map_side_names(self, wc_features):
+        assert set(wc_features.map_side()) == {
+            "IN_FORMATTER", "MAPPER", "MAP_IN_KEY", "MAP_IN_VAL",
+            "MAP_OUT_KEY", "MAP_OUT_VAL", "COMBINER",
+        }
+
+    def test_reduce_side_names(self, wc_features):
+        assert set(wc_features.reduce_side()) == {
+            "MAP_OUT_KEY", "MAP_OUT_VAL", "COMBINER", "REDUCER",
+            "RED_OUT_KEY", "RED_OUT_VAL", "OUT_FORMATTER",
+        }
+
+    def test_extension_features_appear_in_both_sides(self, wc_features):
+        categorical = dict(wc_features.categorical)
+        categorical["PARAM_window"] = "2"
+        extended = StaticFeatures(
+            categorical=categorical,
+            map_cfg=wc_features.map_cfg,
+            reduce_cfg=wc_features.reduce_cfg,
+        )
+        assert extended.map_side()["PARAM_window"] == "2"
+        assert extended.reduce_side()["PARAM_window"] == "2"
+
+
+class TestSerialization:
+    def test_roundtrip(self, wc_features):
+        restored = StaticFeatures.from_dict(wc_features.to_dict())
+        assert restored.categorical == dict(wc_features.categorical)
+        assert restored.map_cfg.signature() == wc_features.map_cfg.signature()
+
+    def test_map_only_roundtrip(self):
+        from repro.hadoop.job import MapReduceJob
+
+        job = MapReduceJob(name="m", mapper=lambda k, v, c: c.emit(k, v))
+        features = extract_static_features(job)
+        restored = StaticFeatures.from_dict(features.to_dict())
+        assert restored.reduce_cfg is None
+
+
+class TestJobDistinguishability:
+    def test_different_jobs_different_features(self):
+        wc = extract_static_features(word_count_job())
+        invidx = extract_static_features(inverted_index_job())
+        cooc = extract_static_features(cooccurrence_pairs_job())
+        assert wc.categorical["MAPPER"] != invidx.categorical["MAPPER"]
+        assert wc.categorical["COMBINER"] != invidx.categorical["COMBINER"]
+        assert invidx.categorical["OUT_FORMATTER"] == "MapFileOutputFormat"
+        assert wc.map_cfg.signature() != cooc.map_cfg.signature()

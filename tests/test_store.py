@@ -1,0 +1,196 @@
+"""Tests for the PStorM profile store (Table 5.1 data model + pushdown)."""
+
+import pytest
+
+from repro.core.features import extract_job_features
+from repro.core.store import (
+    DYNAMIC_PREFIX,
+    PROFILE_PREFIX,
+    STATIC_PREFIX,
+    CfgEqualityFilter,
+    JaccardThresholdFilter,
+    NormalizedEuclideanFilter,
+    ProfileStore,
+    RowKeySetFilter,
+)
+from repro.hbase import deserialize_filter, serialize_filter
+
+
+@pytest.fixture()
+def populated(engine, profiler, sampler, wordcount, maponly_job, small_text):
+    """A store holding wordcount and a map-only job."""
+    store = ProfileStore()
+    entries = {}
+    for job in (wordcount, maponly_job):
+        profile, __ = profiler.profile_job(job, small_text)
+        sample = sampler.collect(job, small_text, count=1)
+        features = extract_job_features(job, small_text, sample.profile, engine)
+        job_id = store.put(profile, features.static)
+        entries[job.name] = (job_id, profile, features)
+    return store, entries
+
+
+class TestPutGet:
+    def test_job_id_format(self, populated):
+        store, entries = populated
+        job_id, __, __ = entries["wordcount-test"]
+        assert job_id == "wordcount-test@small-text"
+
+    def test_profile_roundtrip(self, populated):
+        store, entries = populated
+        job_id, profile, __ = entries["wordcount-test"]
+        assert store.get_profile(job_id) == profile
+
+    def test_static_roundtrip(self, populated):
+        store, entries = populated
+        job_id, __, features = entries["wordcount-test"]
+        restored = store.get_static(job_id)
+        assert restored.categorical == dict(features.static.categorical)
+
+    def test_dynamic_row_contents(self, populated):
+        store, entries = populated
+        job_id, profile, __ = entries["wordcount-test"]
+        dynamic = store.get_dynamic(job_id)
+        assert dynamic["MAP_SIZE_SEL"] == pytest.approx(
+            profile.map_profile.data_flow["MAP_SIZE_SEL"]
+        )
+        assert dynamic["INPUT_BYTES"] == profile.input_bytes
+        assert dynamic["HAS_REDUCE"] is True
+
+    def test_map_only_row_lacks_reduce_columns(self, populated):
+        store, entries = populated
+        job_id, __, __ = entries["identity-maponly"]
+        dynamic = store.get_dynamic(job_id)
+        assert dynamic["HAS_REDUCE"] is False
+        assert "RED_SIZE_SEL" not in dynamic
+
+    def test_membership_and_len(self, populated):
+        store, entries = populated
+        assert len(store) == 2
+        job_id, __, __ = entries["wordcount-test"]
+        assert job_id in store
+        assert "nope@never" not in store
+
+    def test_get_missing_raises(self, populated):
+        store, __ = populated
+        with pytest.raises(KeyError):
+            store.get_profile("nope@never")
+        with pytest.raises(KeyError):
+            store.get_static("nope@never")
+
+    def test_delete(self, populated):
+        store, entries = populated
+        job_id, __, __ = entries["wordcount-test"]
+        store.delete(job_id)
+        assert job_id not in store
+        assert len(store) == 1
+
+    def test_three_rows_per_job(self, populated):
+        store, entries = populated
+        job_id, __, __ = entries["wordcount-test"]
+        for prefix in (DYNAMIC_PREFIX, STATIC_PREFIX, PROFILE_PREFIX):
+            assert store.table.get(prefix + job_id) is not None
+
+
+class TestNormalizers:
+    def test_bounds_updated_on_put(self, populated):
+        store, __ = populated
+        norm = store.normalizer("map", "flow")
+        assert norm.num_features == 4
+        assert any(mx > mn for mn, mx in zip(norm.minimums, norm.maximums))
+
+    def test_reduce_bounds_only_from_reduce_jobs(self, engine, profiler, sampler, maponly_job, small_text):
+        store = ProfileStore()
+        profile, __ = profiler.profile_job(maponly_job, small_text)
+        sample = sampler.collect(maponly_job, small_text, count=1)
+        features = extract_job_features(maponly_job, small_text, sample.profile, engine)
+        store.put(profile, features.static)
+        assert store.normalizer("reduce", "flow").num_features == 0
+
+
+class TestStages:
+    def test_euclidean_stage_finds_self(self, populated):
+        store, entries = populated
+        job_id, profile, __ = entries["wordcount-test"]
+        probe = profile.map_profile.data_flow_vector()
+        survivors = store.euclidean_stage("map", "flow", probe, threshold=1.0)
+        assert job_id in survivors
+
+    def test_euclidean_stage_respects_candidates(self, populated):
+        store, entries = populated
+        job_id, profile, __ = entries["wordcount-test"]
+        probe = profile.map_profile.data_flow_vector()
+        survivors = store.euclidean_stage(
+            "map", "flow", probe, threshold=5.0, candidates=[]
+        )
+        assert survivors == []
+
+    def test_cfg_stage(self, populated):
+        store, entries = populated
+        wc_id, __, wc_features = entries["wordcount-test"]
+        id_id, __, __ = entries["identity-maponly"]
+        survivors = store.cfg_stage(
+            "map", wc_features.static.map_cfg, [wc_id, id_id]
+        )
+        assert survivors == [wc_id]
+
+    def test_jaccard_stage(self, populated):
+        store, entries = populated
+        wc_id, __, wc_features = entries["wordcount-test"]
+        id_id, __, __ = entries["identity-maponly"]
+        survivors = store.jaccard_stage(
+            wc_features.static.map_side(), 0.5, [wc_id, id_id]
+        )
+        assert wc_id in survivors
+
+
+class TestCustomFilters:
+    def test_euclidean_filter_roundtrip(self):
+        original = NormalizedEuclideanFilter(
+            columns=["a", "b"], probe=[1.0, 2.0],
+            minimums=[0.0, 0.0], maximums=[2.0, 4.0], threshold=0.5,
+        )
+        restored = deserialize_filter(serialize_filter(original))
+        assert restored.columns == ["a", "b"]
+        assert restored.threshold == 0.5
+
+    def test_euclidean_filter_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            NormalizedEuclideanFilter(["a"], [1.0, 2.0], [0.0], [1.0], 0.5)
+
+    def test_euclidean_filter_missing_column_fails_row(self):
+        filt = NormalizedEuclideanFilter(
+            columns=["a"], probe=[0.5], minimums=[0.0], maximums=[1.0], threshold=1.0
+        )
+        assert not filt.matches("row", {"f": {"other": 1.0}})
+
+    def test_jaccard_filter_roundtrip(self):
+        original = JaccardThresholdFilter({"MAPPER": "X"}, 0.5)
+        restored = deserialize_filter(serialize_filter(original))
+        assert restored.probe == {"MAPPER": "X"}
+
+    def test_rowset_filter_strips_prefix(self):
+        filt = RowKeySetFilter(["job@ds"])
+        assert filt.matches("Dynamic/job@ds", {})
+        assert not filt.matches("Dynamic/other@ds", {})
+
+    def test_cfg_filter_requires_stored_cfg(self, populated):
+        store, entries = populated
+        __, __, wc_features = entries["wordcount-test"]
+        filt = CfgEqualityFilter("RED_CFG", wc_features.static.map_cfg.to_dict())
+        # Row whose RED_CFG is missing/None never matches.
+        assert not filt.matches("Static/x", {"f": {"RED_CFG": None}})
+
+
+class TestPushdownToggle:
+    def test_results_identical_either_way(self, engine, profiler, sampler, wordcount, small_text):
+        results = {}
+        for pushdown in (True, False):
+            store = ProfileStore(pushdown=pushdown)
+            profile, __ = profiler.profile_job(wordcount, small_text)
+            sample = sampler.collect(wordcount, small_text, count=1)
+            features = extract_job_features(wordcount, small_text, sample.profile, engine)
+            store.put(profile, features.static)
+            probe = profile.map_profile.data_flow_vector()
+            results[pushdown] = store.euclidean_stage("map", "flow", probe, 1.0)
+        assert results[True] == results[False]

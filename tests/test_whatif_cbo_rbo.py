@@ -1,0 +1,127 @@
+"""Tests for the What-If engine, CBO, and RBO."""
+
+import pytest
+
+from repro.hadoop.config import JobConfiguration
+from repro.starfish.cbo import CostBasedOptimizer
+from repro.starfish.rbo import RuleBasedOptimizer
+
+
+@pytest.fixture()
+def wc_profile(profiler, wordcount, small_text):
+    profile, __ = profiler.profile_job(wordcount, small_text)
+    return profile
+
+
+class TestWhatIf:
+    def test_prediction_close_to_actual(self, engine, whatif, wc_profile, wordcount, small_text):
+        config = JobConfiguration()
+        predicted = whatif.predict(wc_profile, config).runtime_seconds
+        actual = engine.run_job(wordcount, small_text, config).runtime_seconds
+        assert predicted == pytest.approx(actual, rel=0.35)
+
+    def test_prediction_tracks_config_changes(self, engine, whatif, wc_profile, wordcount, small_text):
+        """The WIF must rank configurations like the actual executions do."""
+        configs = [
+            JobConfiguration(),
+            JobConfiguration(num_reduce_tasks=8),
+            JobConfiguration(num_reduce_tasks=8, compress_map_output=True),
+            JobConfiguration(use_combiner=False),
+        ]
+        predictions = [whatif.predict(wc_profile, c).runtime_seconds for c in configs]
+        actuals = [
+            engine.run_job(wordcount, small_text, c).runtime_seconds for c in configs
+        ]
+        predicted_order = sorted(range(len(configs)), key=lambda i: predictions[i])
+        actual_order = sorted(range(len(configs)), key=lambda i: actuals[i])
+        assert predicted_order == actual_order
+
+    def test_scaling_data_size(self, whatif, wc_profile):
+        small = whatif.predict(wc_profile, JobConfiguration(), data_bytes=64 << 20)
+        large = whatif.predict(wc_profile, JobConfiguration(), data_bytes=10 << 30)
+        assert large.runtime_seconds > small.runtime_seconds
+        assert large.num_map_tasks > small.num_map_tasks
+
+    def test_map_only_prediction(self, profiler, whatif, maponly_job, small_text):
+        profile, __ = profiler.profile_job(maponly_job, small_text)
+        prediction = whatif.predict(profile, JobConfiguration())
+        assert prediction.num_reduce_tasks == 0
+        assert prediction.reduce_task_seconds == 0.0
+        assert prediction.runtime_seconds > 0
+
+    def test_more_reducers_smaller_reduce_tasks(self, whatif, wc_profile):
+        few = whatif.predict(wc_profile, JobConfiguration(num_reduce_tasks=2))
+        many = whatif.predict(wc_profile, JobConfiguration(num_reduce_tasks=16))
+        assert many.reduce_task_seconds < few.reduce_task_seconds
+
+    def test_combiner_off_increases_shuffle(self, whatif, wc_profile):
+        on = whatif.predict(wc_profile, JobConfiguration(use_combiner=True))
+        off = whatif.predict(wc_profile, JobConfiguration(use_combiner=False))
+        assert off.reduce_phases["SHUFFLE"] > on.reduce_phases["SHUFFLE"]
+
+    def test_phases_non_negative(self, whatif, wc_profile):
+        prediction = whatif.predict(wc_profile, JobConfiguration())
+        assert all(v >= 0 for v in prediction.map_phases.values())
+        assert all(v >= 0 for v in prediction.reduce_phases.values())
+
+
+class TestCbo:
+    def test_improves_over_default(self, whatif, wc_profile):
+        cbo = CostBasedOptimizer(whatif, num_samples=60, seed=3)
+        result = cbo.optimize(wc_profile)
+        assert result.predicted_runtime <= result.default_predicted_runtime
+        assert result.predicted_speedup >= 1.0
+
+    def test_deterministic_under_seed(self, whatif, wc_profile):
+        a = CostBasedOptimizer(whatif, num_samples=40, seed=5).optimize(wc_profile)
+        b = CostBasedOptimizer(whatif, num_samples=40, seed=5).optimize(wc_profile)
+        assert a.best_config == b.best_config
+
+    def test_respects_reducer_cap(self, whatif, wc_profile):
+        cbo = CostBasedOptimizer(whatif, num_samples=80, max_reducers=4, seed=1)
+        result = cbo.optimize(wc_profile)
+        assert result.best_config.num_reduce_tasks <= 4
+
+    def test_counts_evaluations(self, whatif, wc_profile):
+        cbo = CostBasedOptimizer(
+            whatif, num_samples=10, refine_rounds=1, elite=2,
+            perturbations_per_elite=3, seed=0,
+        )
+        result = cbo.optimize(wc_profile)
+        assert result.evaluations == 1 + 10 + 2 * 3
+
+    def test_recommendation_actually_faster(self, engine, whatif, wc_profile, wordcount, small_text):
+        cbo = CostBasedOptimizer(whatif, seed=2)
+        result = cbo.optimize(wc_profile)
+        default = engine.run_job(wordcount, small_text, JobConfiguration())
+        tuned = engine.run_job(wordcount, small_text, result.best_config)
+        assert tuned.runtime_seconds < default.runtime_seconds
+
+
+class TestRbo:
+    def test_wordcount_rules(self, cluster, sampler, wordcount, small_text):
+        sample = sampler.collect(wordcount, small_text, count=1)
+        decision = RuleBasedOptimizer(cluster).recommend(sample.profile)
+        assert "combiner" in decision.fired_rules
+        assert "reduce-tasks" in decision.fired_rules
+        # 90% of 30 reduce slots.
+        assert decision.config.num_reduce_tasks == 27
+        # Word count's intermediate exceeds its input: compression fires.
+        assert decision.config.compress_map_output is True
+
+    def test_small_records_raise_record_percent(self, cluster, sampler, wordcount, small_text):
+        sample = sampler.collect(wordcount, small_text, count=1)
+        decision = RuleBasedOptimizer(cluster).recommend(sample.profile)
+        assert decision.config.io_sort_record_percent > 0.05
+
+    def test_map_only_job_skips_reducer_rule(self, cluster, sampler, maponly_job, small_text):
+        sample = sampler.collect(maponly_job, small_text, count=1)
+        decision = RuleBasedOptimizer(cluster).recommend(sample.profile)
+        assert "reduce-tasks" not in decision.fired_rules
+        assert "combiner" not in decision.fired_rules
+
+    def test_io_sort_mb_capped(self, cluster, sampler, wordcount, small_text):
+        sample = sampler.collect(wordcount, small_text, count=1)
+        rbo = RuleBasedOptimizer(cluster, io_sort_mb_cap=150)
+        decision = rbo.recommend(sample.profile)
+        assert decision.config.io_sort_mb <= 150

@@ -1,0 +1,237 @@
+"""Tests for the Table 6.1 workload jobs and synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop.context import TaskContext
+from repro.workloads import (
+    PIGMIX_QUERY_COUNT,
+    bigram_relative_frequency_job,
+    cf_similarity_job,
+    cf_user_vectors_job,
+    cloudburst_job,
+    compact_benchmark,
+    cooccurrence_pairs_job,
+    cooccurrence_stripes_job,
+    fim_aggregate_job,
+    fim_item_count_job,
+    fim_pair_count_job,
+    genome_dataset,
+    grep_job,
+    inverted_index_job,
+    join_job,
+    movielens_dataset,
+    pigmix_all_jobs,
+    pigmix_dataset,
+    pigmix_job,
+    random_text_1gb,
+    sort_job,
+    standard_benchmark,
+    teragen_dataset,
+    tpch_dataset,
+    webdocs_dataset,
+    wikipedia_35gb,
+    word_count_job,
+)
+
+
+def run_mapper(job, records):
+    ctx = job.make_context()
+    for key, value in records:
+        job.mapper(key, value, ctx)
+    return ctx
+
+
+def run_reducer(job, pairs):
+    groups = {}
+    for key, value in pairs:
+        groups.setdefault(key, []).append(value)
+    ctx = job.make_context()
+    for key, values in groups.items():
+        job.reducer(key, values, ctx)
+    return ctx
+
+
+class TestDatasets:
+    def test_nominal_sizes(self):
+        assert wikipedia_35gb().nominal_bytes == 35 << 30
+        assert random_text_1gb().nominal_bytes == 1 << 30
+        assert webdocs_dataset().nominal_bytes == int(1.5 * (1 << 30))
+
+    def test_movielens_variants(self):
+        small = movielens_dataset(1)
+        large = movielens_dataset(10)
+        assert large.nominal_bytes > small.nominal_bytes
+        with pytest.raises(ValueError):
+            movielens_dataset(5)
+
+    def test_all_sources_deterministic(self):
+        for dataset in (
+            random_text_1gb(), wikipedia_35gb(), tpch_dataset(1),
+            teragen_dataset(1), movielens_dataset(1), webdocs_dataset(),
+            genome_dataset("sample", 200), pigmix_dataset(1),
+        ):
+            assert dataset.materialize(0) == dataset.materialize(0)
+
+    def test_teragen_records_are_100_chars(self):
+        record = teragen_dataset(1).materialize(0)[0]
+        assert len(record[0]) == 10
+        assert len(record[1]) == 90
+
+    def test_tpch_mixes_tables(self):
+        tables = {row[0] for __, row in tpch_dataset(1).materialize(0)}
+        assert tables == {"ORDERS", "LINEITEM"}
+
+    def test_genome_mixes_reads_and_reference(self):
+        tags = {rec[0] for __, rec in genome_dataset("sample", 200).materialize(0)}
+        assert tags == {"REF", "READ"}
+
+
+class TestTextJobs:
+    def test_wordcount_counts(self):
+        job = word_count_job()
+        ctx = run_mapper(job, [(0, "a b a")])
+        assert ctx.pairs == [("a", 1), ("b", 1), ("a", 1)]
+        reduced = run_reducer(job, ctx.pairs)
+        assert dict(reduced.pairs) == {"a": 2, "b": 1}
+
+    def test_cooccurrence_window(self):
+        ctx2 = run_mapper(cooccurrence_pairs_job(window=2), [(0, "a b c d")])
+        ctx1 = run_mapper(cooccurrence_pairs_job(window=1), [(0, "a b c d")])
+        assert ctx2.records_out > ctx1.records_out
+        assert ("a", "b") in dict(ctx1.pairs)
+
+    def test_stripes_emit_dicts(self):
+        ctx = run_mapper(cooccurrence_stripes_job(), [(0, "a b b")])
+        key, stripe = ctx.pairs[0]
+        assert key == "a"
+        assert isinstance(stripe, dict)
+
+    def test_stripes_reduce_merges(self):
+        job = cooccurrence_stripes_job()
+        reduced = run_reducer(job, [("a", {"b": 1}), ("a", {"b": 2, "c": 1})])
+        assert dict(reduced.pairs)["a"] == {"b": 3, "c": 1}
+
+    def test_bigram_emits_marginals(self):
+        ctx = run_mapper(bigram_relative_frequency_job(), [(0, "x y z")])
+        keys = [k for k, __ in ctx.pairs]
+        assert ("x", "*") in keys
+        assert ("x", "y") in keys
+
+    def test_bigram_partitioner_routes_by_first_word(self):
+        job = bigram_relative_frequency_job()
+        assert job.partitioner(("x", "*"), 8) == job.partitioner(("x", "zz"), 8)
+
+    def test_bigram_relative_frequency_values(self):
+        job = bigram_relative_frequency_job()
+        # Marginal first (HBase-like sort puts '*' first), then pairs.
+        ctx = job.make_context()
+        job.reducer(("x", "*"), [4], ctx)
+        job.reducer(("x", "y"), [1], ctx)
+        assert ctx.pairs == [(("x", "y"), 0.25)]
+
+    def test_inverted_index_posting_lists(self):
+        job = inverted_index_job()
+        ctx = run_mapper(job, [(3, "w w v")])
+        assert ctx.pairs == [("w", 3), ("v", 3)]  # distinct words only
+        reduced = run_reducer(job, [("w", 3), ("w", 1)])
+        assert reduced.pairs == [("w", (1, 3))]
+
+    def test_grep_selectivity_depends_on_pattern(self):
+        records = [(0, "hello world"), (1, "nothing here")]
+        hit = run_mapper(grep_job("hello"), records)
+        miss = run_mapper(grep_job("zzz"), records)
+        assert hit.records_out == 1
+        assert miss.records_out == 0
+
+
+class TestOtherJobs:
+    def test_sort_is_identity(self):
+        job = sort_job()
+        ctx = run_mapper(job, [("k1", "v1"), ("k2", "v2")])
+        assert ctx.pairs == [("k1", "v1"), ("k2", "v2")]
+
+    def test_join_pairs_orders_with_lineitems(self):
+        job = join_job()
+        rows = [
+            (0, ("ORDERS", 7, "cust", 10.0, "1996-01-01")),
+            (1, ("LINEITEM", 7, 1, 2, 3.0, 0.0)),
+            (2, ("LINEITEM", 7, 2, 5, 6.0, 0.1)),
+        ]
+        ctx = run_mapper(job, rows)
+        reduced = run_reducer(job, ctx.pairs)
+        assert len(reduced.pairs) == 2
+        assert all(key == 7 for key, __ in reduced.pairs)
+
+    def test_fim_chain_distinct_jobs(self):
+        names = {fim_item_count_job().name, fim_pair_count_job().name, fim_aggregate_job().name}
+        assert len(names) == 3
+
+    def test_fim_pair_count_respects_support(self):
+        job = fim_pair_count_job(frequent_item_cutoff=100, min_support=2)
+        ctx = run_mapper(job, [(0, (1, 2, 500)), (1, (1, 2))])
+        reduced = run_reducer(job, ctx.pairs)
+        assert dict(reduced.pairs) == {(1, 2): 2}
+
+    def test_cf_user_vectors_quadratic_pairs(self):
+        job = cf_user_vectors_job()
+        reduced = run_reducer(job, [(9, (1, 5.0)), (9, (2, 4.0)), (9, (3, 3.0))])
+        assert len(reduced.pairs) == 3  # C(3,2)
+
+    def test_cf_similarity_averages(self):
+        job = cf_similarity_job()
+        reduced = run_reducer(job, [((1, 2), 4.0), ((1, 2), 2.0)])
+        assert reduced.pairs == [((1, 2), 3.0)]
+
+    def test_cloudburst_alignment(self):
+        job = cloudburst_job(max_mismatches=1)
+        ref = ("REF", "ACGTACGTACGTACGT")
+        read = ("READ", "ACGTACGTACGT")
+        ctx = run_mapper(job, [(0, ref), (1, read)])
+        reduced = run_reducer(job, ctx.pairs)
+        assert any(mismatches <= 1 for __, (__, __, mismatches) in reduced.pairs)
+
+
+class TestPigMix:
+    def test_seventeen_queries(self):
+        jobs = pigmix_all_jobs()
+        assert len(jobs) == PIGMIX_QUERY_COUNT == 17
+        assert len({job.name for job in jobs}) == 17
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pigmix_job(0)
+        with pytest.raises(ValueError):
+            pigmix_job(18)
+
+    def test_every_query_runs_on_page_views(self):
+        records = pigmix_dataset(1).materialize(0)
+        for job in pigmix_all_jobs():
+            ctx = run_mapper(job, records)
+            if ctx.pairs:
+                reduced = run_reducer(job, ctx.pairs)
+                assert reduced.records_out >= 0
+
+    def test_l1_explodes_links(self):
+        row = ("u000001", 1, 10, "t0001", 1.0, ("p1", "p2"))
+        ctx = run_mapper(pigmix_job(1), [(0, row)])
+        assert ctx.records_out == 2
+
+
+class TestBenchmarkAssembly:
+    def test_standard_size(self):
+        entries = standard_benchmark()
+        assert len(entries) == 56
+
+    def test_compact_smaller(self):
+        assert len(compact_benchmark()) < len(standard_benchmark())
+
+    def test_keys_unique(self):
+        keys = [entry.key for entry in standard_benchmark()]
+        assert len(set(keys)) == len(keys)
+
+    def test_twinless_entries_present(self):
+        names = [entry.job.name for entry in standard_benchmark()]
+        assert names.count("word-cooccurrence-stripes") == 1
+        assert names.count("fim-item-count") == 1
+        assert names.count("word-count") == 2
