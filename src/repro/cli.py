@@ -8,6 +8,12 @@ Commands:
 - ``explain JOB_A JOB_B`` — a PerfXplain query over a freshly profiled
   mini-log of the named benchmark jobs.
 - ``list-jobs`` — the Table 6.1 benchmark inventory.
+- ``metrics`` — run a small smoke workload through the whole stack and
+  print the collected metrics in Prometheus text format.
+
+``demo``, ``experiments``, and ``metrics`` accept ``--emit-metrics PATH``
+to dump the collected metrics and completed spans as JSON (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -49,6 +55,19 @@ def _experiment_registry() -> dict[str, Callable]:
     }
 
 
+def _maybe_emit_metrics(args: argparse.Namespace) -> None:
+    """Dump the default registry/tracer snapshot when --emit-metrics is set."""
+    path = getattr(args, "emit_metrics", None)
+    if not path:
+        return
+    from .observability import export
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(export.to_json())
+        handle.write("\n")
+    print(f"metrics written to {path}", file=sys.stderr)
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.common import ExperimentContext, collect_suite
 
@@ -76,6 +95,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             result = run(ctx, seed=args.seed)
         print(result)
         print()
+    _maybe_emit_metrics(args)
     return 0
 
 
@@ -114,6 +134,57 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"default:      {default.runtime_seconds / 60:7.1f} min")
     print(f"PStorM-tuned: {result.runtime_seconds / 60:7.1f} min "
           f"({default.runtime_seconds / result.runtime_seconds:.2f}x)")
+    _maybe_emit_metrics(args)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Exercise every instrumented layer once, then render the metrics."""
+    from .core import PStorM
+    from .hadoop import (
+        Dataset,
+        FunctionRecordSource,
+        HadoopEngine,
+        MapReduceJob,
+        ec2_cluster,
+    )
+    from .observability import export
+
+    def lines(split_index, rng):
+        words = [f"word{i:02d}" for i in range(30)]
+        return [
+            (i, " ".join(words[int(rng.integers(0, 30))] for __ in range(8)))
+            for i in range(80)
+        ]
+
+    def wc_map(key, line, ctx):
+        for word in line.split():
+            ctx.emit(word, 1)
+
+    def wc_reduce(word, counts, ctx):
+        total = 0
+        for count in counts:
+            total += count
+            ctx.report_ops(1)
+        ctx.emit(word, total)
+
+    dataset = Dataset(
+        "metrics-smoke",
+        nominal_bytes=128 << 20,
+        source=FunctionRecordSource(lines),
+        seed=7,
+    )
+    job = MapReduceJob(
+        name="metrics-wordcount", mapper=wc_map, reducer=wc_reduce,
+        combiner=wc_reduce,
+    )
+    engine = HadoopEngine(ec2_cluster())
+    pstorm = PStorM(engine, seed=args.seed)
+    print("running the smoke workload...", file=sys.stderr)
+    pstorm.remember(job, dataset, seed=args.seed)
+    pstorm.submit(job, dataset, seed=args.seed)
+    print(export.to_prometheus(), end="")
+    _maybe_emit_metrics(args)
     return 0
 
 
@@ -152,17 +223,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="global RNG seed")
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_emit_metrics(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--emit-metrics",
+            metavar="PATH",
+            default=None,
+            help="write collected metrics and spans to PATH as JSON",
+        )
+
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
     )
     experiments.add_argument("names", nargs="*", help="experiment names (default: all)")
+    add_emit_metrics(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
 
     list_jobs = commands.add_parser("list-jobs", help="the Table 6.1 inventory")
     list_jobs.set_defaults(handler=_cmd_list_jobs)
 
     demo = commands.add_parser("demo", help="tune a never-seen job via PStorM")
+    add_emit_metrics(demo)
     demo.set_defaults(handler=_cmd_demo)
+
+    metrics = commands.add_parser(
+        "metrics", help="run a smoke workload and print Prometheus-format metrics"
+    )
+    add_emit_metrics(metrics)
+    metrics.set_defaults(handler=_cmd_metrics)
 
     explain = commands.add_parser("explain", help="PerfXplain a job pair")
     explain.add_argument("job_a", help="reference job key, e.g. word-count@wikipedia-35gb")

@@ -27,6 +27,13 @@ import numpy as np
 from ..analysis.cfg_match import cfg_similarity
 from ..analysis.static_features import StaticFeatures
 from ..hadoop.config import JobConfiguration
+from ..observability import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 from ..starfish.profile import (
     MAP_COST_FEATURES,
     MAP_DATA_FLOW_FEATURES,
@@ -250,6 +257,9 @@ class GbrtMatcher:
 
     store: ProfileStore
     model: GbrtModel
+    #: Observability sinks; None falls back to the module defaults.
+    registry: MetricsRegistry | None = None
+    tracer: Tracer | None = None
 
     def __post_init__(self) -> None:
         self._cache = _StoreCache(self.store)
@@ -314,6 +324,19 @@ class GbrtMatcher:
         if not combos:
             return None
 
-        scores = self.model.predict(np.asarray(rows))
+        registry = get_registry(self.registry)
+        with get_tracer(self.tracer).span(
+            "pstorm.gbrt.match", combos=len(combos)
+        ):
+            scores = self.model.predict(np.asarray(rows))
         best = int(np.argmin(scores))
+        registry.counter(
+            "pstorm_gbrt_pairs_scored_total",
+            "donor combinations scored by the learned metric",
+        ).inc(len(combos))
+        registry.histogram(
+            "pstorm_gbrt_match_score",
+            "learned-metric distance of the winning composite",
+            buckets=DEFAULT_BUCKETS,
+        ).observe(float(scores[best]))
         return combos[best]

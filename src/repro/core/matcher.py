@@ -30,6 +30,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..observability import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 from ..starfish.profile import JobProfile
 from .features import JobFeatures
 from .similarity import (
@@ -94,16 +102,39 @@ class ProfileMatcher:
         store: ProfileStore,
         jaccard_threshold: float = DEFAULT_JACCARD_THRESHOLD,
         euclidean_threshold: float | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         """Args:
             store: the profile store to match against.
             jaccard_threshold: θ_Jacc (§6 uses 0.5).
             euclidean_threshold: θ_Eucl; defaults to √(#features)/2 per
                 side as in §6.
+            registry, tracer: observability sinks; None falls back to the
+                module defaults.
         """
         self.store = store
         self.jaccard_threshold = jaccard_threshold
         self._euclidean_override = euclidean_threshold
+        self.registry = registry
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    def _record_side_match(self, match: SideMatch) -> None:
+        """Funnel histograms + per-side outcome counters for one side."""
+        registry = get_registry(self.registry)
+        for stage, survivors in match.funnel.items():
+            registry.histogram(
+                "pstorm_matcher_funnel_survivors",
+                "candidates surviving each matcher stage",
+                labels={"side": match.side, "stage": stage},
+                buckets=COUNT_BUCKETS,
+            ).observe(survivors)
+        registry.counter(
+            "pstorm_matcher_side_outcomes_total",
+            "per-side matcher outcomes by terminal stage",
+            labels={"side": match.side, "stage": match.stage},
+        ).inc()
 
     # ------------------------------------------------------------------
     def _theta_eucl(self, num_features: int) -> float:
@@ -127,12 +158,20 @@ class ProfileMatcher:
         shuffle behaviour); remaining ties break on similarity and then
         job id for determinism.
         """
+        score_hist = get_registry(self.registry).histogram(
+            "pstorm_matcher_tiebreak_similarity",
+            "Jaccard similarity of tie-break candidates to the probe",
+            labels={"side": side},
+            buckets=DEFAULT_BUCKETS,
+        )
+
         def sort_key(job_id: str) -> tuple[int, int, float, str]:
             stored = self.store.get_dynamic(job_id).get("INPUT_BYTES", 0)
             static = self.store.get_static(job_id)
             candidate = static.map_side() if side == "map" else static.reduce_side()
             shared = {name: candidate.get(name, "") for name in side_statics}
             similarity = jaccard_index(side_statics, shared)
+            score_hist.observe(similarity)
             same_program = 0 if similarity >= 1.0 else 1
             return (
                 same_program,
@@ -146,6 +185,17 @@ class ProfileMatcher:
     # ------------------------------------------------------------------
     def match_side(self, features: JobFeatures, side: str) -> SideMatch:
         """Run the Fig 4.4 workflow for one side."""
+        tracer = get_tracer(self.tracer)
+        with tracer.span(
+            "pstorm.match_side", side=side, job=features.job_name
+        ) as span:
+            match = self._match_side_inner(features, side)
+            span.set_attr("stage", match.stage)
+            span.set_attr("matched", match.matched)
+        self._record_side_match(match)
+        return match
+
+    def _match_side_inner(self, features: JobFeatures, side: str) -> SideMatch:
         flow, costs, statics, cfg = features.side_vectors(side)
         funnel: dict[str, int] = {}
 
@@ -191,6 +241,31 @@ class ProfileMatcher:
     # ------------------------------------------------------------------
     def match_job(self, features: JobFeatures) -> MatchOutcome:
         """Match both sides and compose the returned profile."""
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
+        with tracer.span("pstorm.match_job", job=features.job_name) as span:
+            outcome = self._match_job_inner(features)
+            span.set_attr("matched", outcome.matched)
+            span.set_attr("composite", outcome.is_composite)
+        registry.counter(
+            "pstorm_matcher_jobs_total", "jobs probed against the store"
+        ).inc()
+        if outcome.matched:
+            registry.counter(
+                "pstorm_matcher_matches_total", "probes that found a profile"
+            ).inc()
+            if outcome.is_composite:
+                registry.counter(
+                    "pstorm_matcher_composite_matches_total",
+                    "matches composed from two donor jobs",
+                ).inc()
+        else:
+            registry.counter(
+                "pstorm_matcher_no_match_total", "probes that found nothing"
+            ).inc()
+        return outcome
+
+    def _match_job_inner(self, features: JobFeatures) -> MatchOutcome:
         map_match = self.match_side(features, "map")
         reduce_match = (
             self.match_side(features, "reduce") if features.has_reduce else None
@@ -224,7 +299,7 @@ class StaticsFirstMatcher(ProfileMatcher):
     exists for the ablation that *measures* that argument.
     """
 
-    def match_side(self, features: JobFeatures, side: str) -> SideMatch:
+    def _match_side_inner(self, features: JobFeatures, side: str) -> SideMatch:
         flow, costs, statics, cfg = features.side_vectors(side)
         funnel: dict[str, int] = {}
 

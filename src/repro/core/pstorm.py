@@ -11,6 +11,7 @@ store the collected profile for future matching.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from ..hadoop.cluster import ClusterSpec
 from ..hadoop.config import JobConfiguration
@@ -18,6 +19,14 @@ from ..hadoop.dataset import Dataset
 from ..hadoop.engine import HadoopEngine
 from ..hadoop.job import MapReduceJob
 from ..hadoop.tasks import JobExecution
+from ..observability import (
+    SIM_SECONDS_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
+from ..observability.export import registry_to_dict
 from ..starfish.cbo import CostBasedOptimizer
 from ..starfish.profile import JobProfile
 from ..starfish.profiler import StarfishProfiler
@@ -42,6 +51,9 @@ class SubmissionResult:
     execution: JobExecution
     sampling_seconds: float
     profile_stored_as: str | None
+    #: Snapshot of the daemon's metrics registry taken when the
+    #: submission finished (``export.registry_to_dict`` form).
+    metrics: Mapping[str, Any] | None = None
 
     @property
     def runtime_seconds(self) -> float:
@@ -65,13 +77,24 @@ class PStorM:
     engine: HadoopEngine
     store: ProfileStore = field(default_factory=ProfileStore)
     seed: int = 0
+    #: Observability sinks; None falls back to the module defaults.  An
+    #: explicit registry/tracer is pushed into the store and matcher the
+    #: daemon owns (but never into an externally shared engine).
+    registry: MetricsRegistry | None = None
+    tracer: Tracer | None = None
 
     def __post_init__(self) -> None:
+        if self.registry is not None and self.store.registry is None:
+            self.store.registry = self.registry
+        if self.tracer is not None and self.store.tracer is None:
+            self.store.tracer = self.tracer
         self.profiler = StarfishProfiler(self.engine)
         self.sampler = Sampler(self.profiler)
         self.whatif = WhatIfEngine(self.engine.cluster)
         self.cbo = CostBasedOptimizer(self.whatif, seed=self.seed)
-        self.matcher = ProfileMatcher(self.store)
+        self.matcher = ProfileMatcher(
+            self.store, registry=self.registry, tracer=self.tracer
+        )
 
     # ------------------------------------------------------------------
     def extract_features(
@@ -98,9 +121,16 @@ class PStorM:
         This is the miss path's bookkeeping, exposed directly so that
         experiments can pre-populate the store (the SD/DD content states).
         """
-        profile, __ = self.profiler.profile_job(job, dataset, config, seed=seed)
-        features, __, = self.extract_features(job, dataset, seed=seed)
-        return self.store.put(profile, features.static)
+        with get_tracer(self.tracer).span(
+            "pstorm.remember", job=job.name, dataset=dataset.name
+        ):
+            profile, __ = self.profiler.profile_job(job, dataset, config, seed=seed)
+            features, __, = self.extract_features(job, dataset, seed=seed)
+            job_id = self.store.put(profile, features.static)
+        get_registry(self.registry).counter(
+            "pstorm_remembers_total", "profiles stored via the remember path"
+        ).inc()
+        return job_id
 
     # ------------------------------------------------------------------
     def submit(
@@ -113,7 +143,44 @@ class PStorM:
         """The Chapter 3 submission workflow."""
         if config is None:
             config = JobConfiguration()
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
+        with tracer.span(
+            "pstorm.submit", job=job.name, dataset=dataset.name
+        ) as span:
+            result = self._submit_inner(job, dataset, config, seed)
+            span.set_attr("matched", result.matched)
 
+        registry.counter(
+            "pstorm_submissions_total", "jobs submitted to the daemon"
+        ).inc()
+        if result.matched:
+            registry.counter(
+                "pstorm_submission_hits_total", "submissions served from the store"
+            ).inc()
+        else:
+            registry.counter(
+                "pstorm_submission_misses_total",
+                "submissions that ran instrumented and stored a profile",
+            ).inc()
+        registry.histogram(
+            "pstorm_sampling_seconds",
+            "simulated cost of the 1-task sampling run",
+            buckets=SIM_SECONDS_BUCKETS,
+        ).observe(result.sampling_seconds)
+        if registry.enabled:
+            from dataclasses import replace
+
+            result = replace(result, metrics=registry_to_dict(registry))
+        return result
+
+    def _submit_inner(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        config: JobConfiguration,
+        seed: int,
+    ) -> SubmissionResult:
         features, sampling_seconds = self.extract_features(job, dataset, seed=seed)
         outcome = self.matcher.match_job(features)
 

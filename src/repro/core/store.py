@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, ClassVar, Iterator, Mapping
 
 from ..analysis.cfg import ControlFlowGraph
@@ -33,6 +34,14 @@ from ..hbase import (
     HBaseCluster,
     PrefixFilter,
     register_filter,
+)
+from ..observability import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
 )
 from ..starfish.profile import (
     MAP_COST_FEATURES,
@@ -235,8 +244,23 @@ class ProfileStore:
             (§5.3); turn off to measure the client-side baseline.
     """
 
-    def __init__(self, hbase: HBaseCluster | None = None, pushdown: bool = True) -> None:
-        self.hbase = hbase if hbase is not None else HBaseCluster()
+    def __init__(
+        self,
+        hbase: HBaseCluster | None = None,
+        pushdown: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        #: Observability sinks; None falls back to the module defaults.
+        #: A freshly created substrate inherits them; an injected one
+        #: keeps whatever it was built with.
+        self.registry = registry
+        self.tracer = tracer
+        self.hbase = (
+            hbase
+            if hbase is not None
+            else HBaseCluster(registry=registry, tracer=tracer)
+        )
         self.pushdown = pushdown
         self.table = self.hbase.create_table(TABLE_NAME, (FAMILY,))
         self._normalizers: dict[tuple[str, str], MinMaxNormalizer] = {
@@ -259,6 +283,21 @@ class ProfileStore:
         job_id: str | None = None,
     ) -> str:
         """Store one job's profile and features; returns its job id."""
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
+        with tracer.span("pstorm.store.put", job=profile.job_name):
+            job_id = self._put_inner(profile, static, job_id)
+        registry.counter(
+            "pstorm_store_puts_total", "profiles written to the store"
+        ).inc()
+        return job_id
+
+    def _put_inner(
+        self,
+        profile: JobProfile,
+        static: StaticFeatures,
+        job_id: str | None,
+    ) -> str:
         if job_id is None:
             job_id = f"{profile.job_name}@{profile.dataset_name}"
 
@@ -351,16 +390,42 @@ class ProfileStore:
     # ------------------------------------------------------------------
     # Filtered scans (one per matcher stage)
     # ------------------------------------------------------------------
-    def scan_job_ids(self, prefix: str, extra_filter: Filter | None = None) -> list[str]:
+    def scan_job_ids(
+        self,
+        prefix: str,
+        extra_filter: Filter | None = None,
+        stage: str = "scan",
+    ) -> list[str]:
         """Job ids of rows under *prefix* passing *extra_filter*."""
-        filters: list[Filter] = [PrefixFilter(prefix)]
-        if extra_filter is not None:
-            filters.append(extra_filter)
-        result = []
-        for row_key, __ in self.table.scan(
-            scan_filter=FilterList(filters), pushdown=self.pushdown
-        ):
-            result.append(row_key[len(prefix):])
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
+        began = perf_counter()
+        with tracer.span("pstorm.store.probe", stage=stage, prefix=prefix):
+            filters: list[Filter] = [PrefixFilter(prefix)]
+            if extra_filter is not None:
+                filters.append(extra_filter)
+            result = []
+            for row_key, __ in self.table.scan(
+                scan_filter=FilterList(filters), pushdown=self.pushdown
+            ):
+                result.append(row_key[len(prefix):])
+        registry.counter(
+            "pstorm_store_probe_scans_total",
+            "filtered scans issued by matcher stages",
+            labels={"stage": stage},
+        ).inc()
+        registry.histogram(
+            "pstorm_store_probe_seconds",
+            "wall-clock latency of one filtered store scan",
+            labels={"stage": stage},
+            buckets=LATENCY_BUCKETS,
+        ).observe(perf_counter() - began)
+        registry.histogram(
+            "pstorm_store_candidates",
+            "candidate-set size surviving one store stage",
+            labels={"stage": stage},
+            buckets=COUNT_BUCKETS,
+        ).observe(len(result))
         return result
 
     def euclidean_stage(
@@ -386,7 +451,9 @@ class ProfileStore:
         extra: Filter = stage
         if candidates is not None:
             extra = FilterList([RowKeySetFilter(candidates), stage])
-        return self.scan_job_ids(DYNAMIC_PREFIX, extra)
+        return self.scan_job_ids(
+            DYNAMIC_PREFIX, extra, stage=f"euclidean-{side}-{kind}"
+        )
 
     def cfg_stage(
         self, side: str, probe_cfg: ControlFlowGraph, candidates: list[str]
@@ -395,7 +462,7 @@ class ProfileStore:
         column = "MAP_CFG" if side == "map" else "RED_CFG"
         stage = CfgEqualityFilter(column=column, probe_cfg=probe_cfg.to_dict())
         extra = FilterList([RowKeySetFilter(candidates), stage])
-        return self.scan_job_ids(STATIC_PREFIX, extra)
+        return self.scan_job_ids(STATIC_PREFIX, extra, stage=f"cfg-{side}")
 
     def jaccard_stage(
         self, probe: Mapping[str, str], threshold: float, candidates: list[str]
@@ -403,4 +470,4 @@ class ProfileStore:
         """Run the Jaccard filter stage server-side."""
         stage = JaccardThresholdFilter(probe=probe, threshold=threshold)
         extra = FilterList([RowKeySetFilter(candidates), stage])
-        return self.scan_job_ids(STATIC_PREFIX, extra)
+        return self.scan_job_ids(STATIC_PREFIX, extra, stage="jaccard")

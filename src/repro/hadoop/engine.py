@@ -15,6 +15,13 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from ..observability import (
+    SIM_SECONDS_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 from .cluster import ClusterSpec
 from .config import JobConfiguration
 from .counters import Counters
@@ -61,6 +68,8 @@ class HadoopEngine:
         cluster: ClusterSpec,
         representative_splits: int = 3,
         locality_aware: bool = False,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.cluster = cluster
         self.representative_splits = max(1, representative_splits)
@@ -68,6 +77,9 @@ class HadoopEngine:
         #: the locality-aware scheduler could not run node-local pay the
         #: remote-read penalty on their READ phase.
         self.locality_aware = locality_aware
+        #: Observability sinks; None falls back to the module defaults.
+        self.registry = registry
+        self.tracer = tracer
         self._map_cache: dict[tuple, MapSampleMeasurement] = {}
         self._reduce_cache: dict[tuple, ReduceSampleMeasurement] = {}
 
@@ -79,10 +91,20 @@ class HadoopEngine:
     ) -> MapSampleMeasurement:
         """Measured map behaviour of one split (cached)."""
         key = (*_job_key(job, dataset), split_index)
+        registry = get_registry(self.registry)
         measurement = self._map_cache.get(key)
         if measurement is None:
+            registry.counter(
+                "hadoop_engine_map_cache_misses_total",
+                "map sample measurements computed (cache misses)",
+            ).inc()
             measurement = measure_map_sample(job, dataset, split_index)
             self._map_cache[key] = measurement
+        else:
+            registry.counter(
+                "hadoop_engine_map_cache_hits_total",
+                "map sample measurements served from cache",
+            ).inc()
         return measurement
 
     def representative_indices(self, dataset: Dataset) -> list[int]:
@@ -106,13 +128,23 @@ class HadoopEngine:
     ) -> ReduceSampleMeasurement:
         """Measured reduce behaviour over the union of sample map outputs."""
         key = (*_job_key(job, dataset), "reduce", combined)
+        registry = get_registry(self.registry)
         measurement = self._reduce_cache.get(key)
         if measurement is None:
+            registry.counter(
+                "hadoop_engine_reduce_cache_misses_total",
+                "reduce sample measurements computed (cache misses)",
+            ).inc()
             pairs: list[tuple[Any, Any]] = []
             for map_measurement in self.map_measurements(job, dataset):
                 pairs.extend(map_measurement.intermediate_pairs(combined))
             measurement = measure_reduce_from_pairs(job, pairs)
             self._reduce_cache[key] = measurement
+        else:
+            registry.counter(
+                "hadoop_engine_reduce_cache_hits_total",
+                "reduce sample measurements served from cache",
+            ).inc()
         return measurement
 
     # ------------------------------------------------------------------
@@ -144,6 +176,37 @@ class HadoopEngine:
         """
         if config is None:
             config = JobConfiguration()
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
+        with tracer.span(
+            "hadoop.run_job", job=job.name, dataset=dataset.name, seed=seed
+        ):
+            execution = self._run_job_inner(
+                job, dataset, config, map_task_ids, profile,
+                profiling_overhead, seed, registry, tracer,
+            )
+        registry.counter(
+            "hadoop_engine_jobs_total", "jobs executed by the engine"
+        ).inc()
+        registry.histogram(
+            "hadoop_engine_job_runtime_seconds",
+            "simulated job runtimes",
+            buckets=SIM_SECONDS_BUCKETS,
+        ).observe(execution.runtime_seconds)
+        return execution
+
+    def _run_job_inner(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        config: JobConfiguration,
+        map_task_ids: Sequence[int] | None,
+        profile: bool,
+        profiling_overhead: float,
+        seed: int,
+        registry: MetricsRegistry,
+        tracer: Tracer,
+    ) -> JobExecution:
         rng = np.random.default_rng(seed)
 
         splits = dataset.splits()
@@ -224,6 +287,10 @@ class HadoopEngine:
             self.cluster.total_map_slots,
             self.cluster.total_reduce_slots,
             config,
+            registry=registry,
+        )
+        self._record_schedule_trace(
+            registry, tracer, map_tasks, reduce_tasks, schedule
         )
 
         counters = Counters()
@@ -242,6 +309,78 @@ class HadoopEngine:
             counters=counters,
             sampled=sampled,
         )
+
+    def _record_schedule_trace(
+        self,
+        registry: MetricsRegistry,
+        tracer: Tracer,
+        map_tasks: list[MapTaskExecution],
+        reduce_tasks: list[ReduceTaskExecution],
+        schedule,
+    ) -> None:
+        """Emit simulated-time spans and task histograms for one schedule.
+
+        Everything recorded here lives on the *simulated* clock, so the
+        trace of a seeded run is deterministic (the property tests rely
+        on that).
+        """
+        map_hist = registry.histogram(
+            "hadoop_engine_map_task_seconds",
+            "simulated map task durations",
+            buckets=SIM_SECONDS_BUCKETS,
+        )
+        for task in map_tasks:
+            map_hist.observe(task.duration)
+        reduce_hist = registry.histogram(
+            "hadoop_engine_reduce_task_seconds",
+            "simulated reduce task durations",
+            buckets=SIM_SECONDS_BUCKETS,
+        )
+        for task in reduce_tasks:
+            reduce_hist.observe(task.duration)
+        registry.counter(
+            "hadoop_engine_map_tasks_total", "map tasks simulated"
+        ).inc(len(map_tasks))
+        registry.counter(
+            "hadoop_engine_reduce_tasks_total", "reduce tasks simulated"
+        ).inc(len(reduce_tasks))
+
+        if not tracer.enabled:
+            return
+        for task, finish in zip(map_tasks, schedule.map_finish_times):
+            tracer.record_span(
+                "hadoop.map_task",
+                start=max(0.0, finish - task.duration),
+                end=finish,
+                attrs={"task_id": task.task_id, "node_id": task.node_id},
+            )
+        for task, finish in zip(reduce_tasks, schedule.reduce_finish_times):
+            tracer.record_span(
+                "hadoop.reduce_task",
+                start=max(0.0, finish - task.duration),
+                end=finish,
+                attrs={"task_id": task.task_id, "partition": task.partition},
+            )
+        if map_tasks:
+            tracer.record_span(
+                "hadoop.phase.map", start=0.0, end=schedule.map_makespan,
+                attrs={"tasks": len(map_tasks)},
+            )
+        if reduce_tasks:
+            # The shuffle window: reducers start pulling at slowstart and
+            # cannot finish before the last map output exists.
+            tracer.record_span(
+                "hadoop.phase.shuffle",
+                start=schedule.slowstart_time,
+                end=max(schedule.map_makespan, schedule.slowstart_time),
+                attrs={"tasks": len(reduce_tasks)},
+            )
+            tracer.record_span(
+                "hadoop.phase.reduce",
+                start=schedule.slowstart_time,
+                end=schedule.runtime_seconds,
+                attrs={"tasks": len(reduce_tasks)},
+            )
 
     def _apply_locality_penalty(
         self,
@@ -290,31 +429,63 @@ class HadoopEngine:
 
         if fault_model is None:
             fault_model = FaultModel()
-        execution = self.run_job(job, dataset, config, seed=seed)
-        rng = np.random.default_rng((seed, 0xFA17))
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
+        with tracer.span(
+            "hadoop.run_job_with_faults", job=job.name, dataset=dataset.name
+        ):
+            execution = self.run_job(job, dataset, config, seed=seed)
+            rng = np.random.default_rng((seed, 0xFA17))
 
-        map_durations = [t.duration for t in execution.map_tasks]
-        map_slots = self.cluster.total_map_slots
-        faulty_map = schedule_with_faults(map_durations, map_slots, fault_model, rng)
-        base_map = max(_list_schedule(map_durations, map_slots), default=0.0)
-        delay = faulty_map.makespan - base_map
-
-        faulty_reduce = None
-        if execution.reduce_tasks:
-            reduce_durations = [t.duration for t in execution.reduce_tasks]
-            reduce_slots = self.cluster.total_reduce_slots
-            faulty_reduce = schedule_with_faults(
-                reduce_durations, reduce_slots, fault_model, rng
+            map_durations = [t.duration for t in execution.map_tasks]
+            map_slots = self.cluster.total_map_slots
+            faulty_map = schedule_with_faults(
+                map_durations, map_slots, fault_model, rng
             )
-            base_reduce = max(
-                _list_schedule(reduce_durations, reduce_slots), default=0.0
-            )
-            delay += faulty_reduce.makespan - base_reduce
+            base_map = max(_list_schedule(map_durations, map_slots), default=0.0)
+            delay = faulty_map.makespan - base_map
 
-        execution.runtime_seconds += max(0.0, delay)
+            faulty_reduce = None
+            if execution.reduce_tasks:
+                reduce_durations = [t.duration for t in execution.reduce_tasks]
+                reduce_slots = self.cluster.total_reduce_slots
+                faulty_reduce = schedule_with_faults(
+                    reduce_durations, reduce_slots, fault_model, rng
+                )
+                base_reduce = max(
+                    _list_schedule(reduce_durations, reduce_slots), default=0.0
+                )
+                delay += faulty_reduce.makespan - base_reduce
+
+            execution.runtime_seconds += max(0.0, delay)
+
+        registry.counter(
+            "hadoop_engine_faulty_jobs_total", "jobs run under the fault model"
+        ).inc()
+        failures = faulty_map.failures + (
+            faulty_reduce.failures if faulty_reduce else 0
+        )
+        speculative = faulty_map.speculative_attempts + (
+            faulty_reduce.speculative_attempts if faulty_reduce else 0
+        )
+        registry.counter(
+            "hadoop_engine_task_failures_total", "injected task failures"
+        ).inc(failures)
+        registry.counter(
+            "hadoop_engine_speculative_attempts_total",
+            "speculative task attempts launched",
+        ).inc(speculative)
+        registry.histogram(
+            "hadoop_engine_fault_delay_seconds",
+            "serial delay added by failures and speculation",
+            buckets=SIM_SECONDS_BUCKETS,
+        ).observe(max(0.0, delay))
         return execution, faulty_map, faulty_reduce
 
     def clear_caches(self) -> None:
         """Drop all cached measurements (e.g. after dataset mutation)."""
+        get_registry(self.registry).counter(
+            "hadoop_engine_cache_clears_total", "measurement-cache invalidations"
+        ).inc()
         self._map_cache.clear()
         self._reduce_cache.clear()

@@ -12,8 +12,10 @@ before the last map output they depend on exists.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 
+from ..observability import MetricsRegistry, get_registry
 from .config import JobConfiguration
 from .tasks import MapTaskExecution, ReduceTaskExecution
 
@@ -46,12 +48,50 @@ def _list_schedule(durations: list[float], num_slots: int, start: float = 0.0) -
     return finishes
 
 
+def _record_schedule_metrics(
+    registry: MetricsRegistry | None,
+    result: ScheduleResult,
+    map_tasks: list[MapTaskExecution],
+    reduce_tasks: list[ReduceTaskExecution],
+    map_slots: int,
+    reduce_slots: int,
+) -> None:
+    """Wave-count and slot-occupancy gauges for one scheduled job.
+
+    Occupancy is busy-slot-time over available-slot-time within the phase
+    window, i.e. how well the wave structure packs the slots.
+    """
+    registry = get_registry(registry)
+    registry.gauge(
+        "hadoop_scheduler_map_waves", "map waves of the last scheduled job"
+    ).set(math.ceil(len(map_tasks) / map_slots) if map_tasks else 0)
+    registry.gauge(
+        "hadoop_scheduler_reduce_waves",
+        "reduce waves of the last scheduled job",
+    ).set(math.ceil(len(reduce_tasks) / reduce_slots) if reduce_tasks else 0)
+
+    map_busy = sum(t.duration for t in map_tasks)
+    map_window = map_slots * result.map_makespan
+    registry.gauge(
+        "hadoop_scheduler_map_slot_occupancy",
+        "busy map-slot time / available map-slot time, last job",
+    ).set(map_busy / map_window if map_window > 0 else 0.0)
+
+    reduce_busy = sum(t.duration for t in reduce_tasks)
+    reduce_window = reduce_slots * (result.runtime_seconds - result.slowstart_time)
+    registry.gauge(
+        "hadoop_scheduler_reduce_slot_occupancy",
+        "busy reduce-slot time / available reduce-slot time, last job",
+    ).set(reduce_busy / reduce_window if reduce_window > 0 else 0.0)
+
+
 def schedule_job(
     map_tasks: list[MapTaskExecution],
     reduce_tasks: list[ReduceTaskExecution],
     map_slots: int,
     reduce_slots: int,
     config: JobConfiguration,
+    registry: MetricsRegistry | None = None,
 ) -> ScheduleResult:
     """Compute the job timeline from per-task phase durations.
 
@@ -64,13 +104,17 @@ def schedule_job(
     map_makespan = max(map_finishes, default=0.0)
 
     if not reduce_tasks:
-        return ScheduleResult(
+        result = ScheduleResult(
             map_finish_times=tuple(map_finishes),
             reduce_finish_times=(),
             map_makespan=map_makespan,
             runtime_seconds=map_makespan,
             slowstart_time=map_makespan,
         )
+        _record_schedule_metrics(
+            registry, result, map_tasks, reduce_tasks, map_slots, reduce_slots
+        )
+        return result
 
     # Time when the slowstart fraction of maps has completed.
     ordered = sorted(map_finishes)
@@ -99,10 +143,14 @@ def schedule_job(
         heapq.heappush(slots, finish)
 
     runtime = max(max(reduce_finishes), map_makespan)
-    return ScheduleResult(
+    result = ScheduleResult(
         map_finish_times=tuple(map_finishes),
         reduce_finish_times=tuple(reduce_finishes),
         map_makespan=map_makespan,
         runtime_seconds=runtime,
         slowstart_time=slowstart_time,
     )
+    _record_schedule_metrics(
+        registry, result, map_tasks, reduce_tasks, map_slots, reduce_slots
+    )
+    return result

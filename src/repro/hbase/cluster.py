@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ..observability import MetricsRegistry, Tracer
 from .catalog import MetaCatalog
 from .errors import TableExistsError, TableNotFoundError
 from .region import Region
@@ -29,11 +30,18 @@ class HBaseCluster:
         self,
         num_region_servers: int = 1,
         split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if num_region_servers < 1:
             raise ValueError("need at least one region server")
+        #: Observability sinks; None falls back to the module defaults.
+        #: Handed to every region server and table of this cluster.
+        self.registry = registry
+        self.tracer = tracer
         self.servers: dict[int, RegionServer] = {
-            i: RegionServer(i) for i in range(num_region_servers)
+            i: RegionServer(i, registry=registry)
+            for i in range(num_region_servers)
         }
         self.catalog = MetaCatalog()
         self.split_threshold = split_threshold
@@ -76,6 +84,8 @@ class HBaseCluster:
             self.servers,
             self.split_threshold,
             self._handle_split,
+            registry=self.registry,
+            tracer=self.tracer,
         )
         self._tables[name] = table
         return table

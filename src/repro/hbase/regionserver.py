@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
+from ..observability import MetricsRegistry, get_registry
 from .filters import Filter, deserialize_filter
 from .region import Region
 
@@ -48,10 +49,14 @@ class ServerMetrics:
 class RegionServer:
     """One HRegionServer hosting a set of regions."""
 
-    def __init__(self, server_id: int) -> None:
+    def __init__(
+        self, server_id: int, registry: MetricsRegistry | None = None
+    ) -> None:
         self.server_id = server_id
         self._regions: list[Region] = []
         self.metrics = ServerMetrics()
+        #: Observability sink; None falls back to the module default.
+        self.registry = registry
 
     # ------------------------------------------------------------------
     def assign(self, region: Region) -> None:
@@ -88,14 +93,32 @@ class RegionServer:
         """
         if region not in self._regions:
             raise ValueError(f"region {region!r} not hosted by server {self.server_id}")
+        registry = get_registry(self.registry)
+        scanned_counter = registry.counter(
+            "hbase_rows_scanned_total", "rows read by region-server scans"
+        )
+        shipped_counter = registry.counter(
+            "hbase_rows_shipped_total", "rows shipped to clients by scans"
+        )
+        filter_counter = registry.counter(
+            "hbase_filter_evaluations_total",
+            "pushed-down filter evaluations on region servers",
+        )
+        registry.counter(
+            "hbase_scans_served_total", "scans served by region servers"
+        ).inc()
         self.metrics.scans_served += 1
         filt: Filter | None = None
         if filter_payload is not None:
             filt = deserialize_filter(filter_payload)
         for row_key, row in region.scan(start, stop):
             self.metrics.rows_scanned += 1
-            if filt is not None and not filt.matches(row_key, row):
-                continue
+            scanned_counter.inc()
+            if filt is not None:
+                filter_counter.inc()
+                if not filt.matches(row_key, row):
+                    continue
             self.metrics.rows_shipped += 1
             self.metrics.bytes_shipped += _approx_row_bytes(row)
+            shipped_counter.inc()
             yield row_key, row

@@ -8,8 +8,16 @@ client after shipping every row (the baseline the paper argues against).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Iterator, Mapping
 
+from ..observability import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 from .catalog import MetaCatalog
 from .filters import Filter, serialize_filter
 from .regionserver import RegionServer
@@ -28,6 +36,8 @@ class HTable:
         servers: Mapping[int, RegionServer],
         split_threshold: int,
         on_split: Any,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.name = name
         self.families = families
@@ -35,14 +45,29 @@ class HTable:
         self._servers = servers
         self._split_threshold = split_threshold
         self._on_split = on_split
+        #: Observability sinks; None falls back to the module defaults.
+        self.registry = registry
+        self.tracer = tracer
+
+    def _observe_latency(self, op: str, seconds: float) -> None:
+        get_registry(self.registry).histogram(
+            f"hbase_{op}_seconds",
+            f"client-observed {op} latency",
+            labels={"table": self.name},
+            buckets=LATENCY_BUCKETS,
+        ).observe(seconds)
 
     # ------------------------------------------------------------------
     def put(self, row_key: str, family: str, qualifier: str, value: Any) -> None:
         """Write one cell."""
+        registry = get_registry(self.registry)
+        start = perf_counter() if registry.enabled else 0.0
         region, __ = self._catalog.locate(self.name, row_key)
         region.put(row_key, family, qualifier, value)
         if region.num_rows > self._split_threshold:
             self._on_split(self.name, region)
+        if registry.enabled:
+            self._observe_latency("put", perf_counter() - start)
 
     def put_row(self, row_key: str, family: str, columns: Mapping[str, Any]) -> None:
         """Write several cells of one row in one family."""
@@ -56,8 +81,13 @@ class HTable:
     # ------------------------------------------------------------------
     def get(self, row_key: str) -> dict[str, dict[str, Any]] | None:
         """Latest version of one row, or None."""
+        registry = get_registry(self.registry)
+        start = perf_counter() if registry.enabled else 0.0
         region, __ = self._catalog.locate(self.name, row_key)
-        return region.get(row_key)
+        row = region.get(row_key)
+        if registry.enabled:
+            self._observe_latency("get", perf_counter() - start)
+        return row
 
     def scan(
         self,
@@ -74,16 +104,40 @@ class HTable:
                 applied by the region servers; if False, every row in range
                 is shipped and the filter is applied client-side.
         """
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
         payload = None
         if scan_filter is not None and pushdown:
             payload = serialize_filter(scan_filter)
-        for region, server_id in self._catalog.regions_of(self.name):
-            server = self._servers[server_id]
-            for row_key, row in server.scan_region(region, start, stop, payload):
-                if scan_filter is not None and not pushdown:
-                    if not scan_filter.matches(row_key, row):
-                        continue
-                yield row_key, row
+        shipped = 0
+        began = perf_counter() if (registry.enabled or tracer.enabled) else 0.0
+        try:
+            for region, server_id in self._catalog.regions_of(self.name):
+                server = self._servers[server_id]
+                for row_key, row in server.scan_region(region, start, stop, payload):
+                    if scan_filter is not None and not pushdown:
+                        if not scan_filter.matches(row_key, row):
+                            continue
+                    shipped += 1
+                    yield row_key, row
+        finally:
+            # Generators may be abandoned mid-scan; record on the way out
+            # either way so every scan leaves a completed span.
+            if registry.enabled or tracer.enabled:
+                ended = perf_counter()
+                if registry.enabled:
+                    self._observe_latency("scan", ended - began)
+                tracer.record_span(
+                    "hbase.scan",
+                    start=began,
+                    end=ended,
+                    attrs={
+                        "table": self.name,
+                        "rows": shipped,
+                        "pushdown": bool(payload is not None),
+                    },
+                    clock="wall",
+                )
 
     # ------------------------------------------------------------------
     def num_rows(self) -> int:

@@ -1,0 +1,91 @@
+"""Observability: metrics and span tracing across the simulated stack.
+
+Every instrumented class (``HadoopEngine``, the HBase substrate, the
+profile store, the matchers, the PStorM daemon) accepts optional
+``registry=`` / ``tracer=`` arguments; when omitted (``None``) it records
+into the module-level defaults below, so existing call sites collect
+metrics with zero changes.  Injecting :data:`DISABLED_REGISTRY` /
+:data:`DISABLED_TRACER` (or any registry/tracer constructed with
+``enabled=False``) turns a component's instrumentation into no-ops.
+
+See ``docs/observability.md`` for the metric-name catalogue and export
+formats.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    SIM_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracing import SIMULATED_CLOCK, WALL_CLOCK, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "COUNT_BUCKETS",
+    "SIM_SECONDS_BUCKETS",
+    "WALL_CLOCK",
+    "SIMULATED_CLOCK",
+    "DISABLED_REGISTRY",
+    "DISABLED_TRACER",
+    "default_registry",
+    "default_tracer",
+    "set_default_registry",
+    "set_default_tracer",
+    "get_registry",
+    "get_tracer",
+]
+
+#: Shared always-off instances; inject to silence one component.
+DISABLED_REGISTRY = MetricsRegistry(enabled=False)
+DISABLED_TRACER = Tracer(enabled=False)
+
+_default_registry = MetricsRegistry()
+_default_tracer = Tracer()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry components fall back to."""
+    return _default_registry
+
+
+def default_tracer() -> Tracer:
+    """The process-wide tracer components fall back to."""
+    return _default_tracer
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the module default; returns the previous registry."""
+    global _default_registry
+    previous, _default_registry = _default_registry, registry
+    return previous
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Swap the module default; returns the previous tracer."""
+    global _default_tracer
+    previous, _default_tracer = _default_tracer, tracer
+    return previous
+
+
+def get_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Dependency-injection helper: explicit registry or the default."""
+    return registry if registry is not None else _default_registry
+
+
+def get_tracer(tracer: Tracer | None) -> Tracer:
+    """Dependency-injection helper: explicit tracer or the default."""
+    return tracer if tracer is not None else _default_tracer

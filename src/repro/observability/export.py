@@ -1,0 +1,116 @@
+"""Render a registry and/or tracer to dict, JSON, or Prometheus text.
+
+The dict form is the canonical snapshot (``SubmissionResult.metrics`` and
+the CLI's ``--emit-metrics`` use it); JSON is ``json.dumps`` of that dict;
+the Prometheus text format follows the exposition format closely enough to
+be scraped (``# HELP``/``# TYPE`` comments, cumulative ``_bucket{le=...}``
+series, ``_sum``/``_count``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = [
+    "registry_to_dict",
+    "tracer_to_dict",
+    "snapshot",
+    "to_json",
+    "to_prometheus",
+]
+
+
+def _label_suffix(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _le_text(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else format(bound, "g")
+
+
+def registry_to_dict(registry: MetricsRegistry) -> dict[str, Any]:
+    """Snapshot every instrument into plain dicts (JSON-safe)."""
+    counters: dict[str, Any] = {}
+    gauges: dict[str, Any] = {}
+    histograms: dict[str, Any] = {}
+    for instrument in registry.collect():
+        key = instrument.name + _label_suffix(instrument.labels)
+        if instrument.kind == "counter":
+            counters[key] = instrument.value
+        elif instrument.kind == "gauge":
+            gauges[key] = instrument.value
+        elif instrument.kind == "histogram":
+            summary = instrument.summary()
+            histograms[key] = {
+                "buckets": [
+                    {"le": _le_text(bound), "count": count}
+                    for bound, count in instrument.bucket_counts()
+                ],
+                **summary,
+            }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def tracer_to_dict(tracer: Tracer) -> dict[str, Any]:
+    """Snapshot the tracer's ring buffer of completed spans."""
+    return {
+        "capacity": tracer.capacity,
+        "dropped": tracer.dropped,
+        "spans": [span.to_dict() for span in tracer.spans()],
+    }
+
+
+def snapshot(
+    registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+) -> dict[str, Any]:
+    """One combined snapshot (defaults to the module-level registry/tracer)."""
+    from . import default_registry, default_tracer
+
+    registry = registry if registry is not None else default_registry()
+    tracer = tracer if tracer is not None else default_tracer()
+    return {
+        "metrics": registry_to_dict(registry),
+        "trace": tracer_to_dict(tracer),
+    }
+
+
+def to_json(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    indent: int | None = 2,
+) -> str:
+    return json.dumps(snapshot(registry, tracer), indent=indent, sort_keys=True)
+
+
+def to_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Prometheus exposition-format text for one registry."""
+    from . import default_registry
+
+    registry = registry if registry is not None else default_registry()
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for instrument in registry.collect():
+        name, labels = instrument.name, instrument.labels
+        if name not in seen_headers:
+            seen_headers.add(name)
+            if instrument.description:
+                lines.append(f"# HELP {name} {instrument.description}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+        if instrument.kind in ("counter", "gauge"):
+            lines.append(f"{name}{_label_suffix(labels)} {instrument.value:g}")
+        else:  # histogram
+            for bound, count in instrument.bucket_counts():
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _le_text(bound)
+                lines.append(f"{name}_bucket{_label_suffix(bucket_labels)} {count}")
+            suffix = _label_suffix(labels)
+            lines.append(f"{name}_sum{suffix} {instrument.sum:g}")
+            lines.append(f"{name}_count{suffix} {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,192 @@
+"""Span tracing with a bounded buffer of completed spans.
+
+Two ways to produce spans:
+
+- ``with tracer.span("name", key=value):`` — wall-clock span around real
+  work (store probes, HBase scans, a whole ``run_job`` call).  Nesting is
+  tracked per thread, so child spans carry their parent's id.
+- ``tracer.record_span("name", start, end, attrs)`` — a span whose
+  endpoints live on another clock, used for *simulated* time: the engine
+  records per-task and per-phase spans at the timestamps the scheduler
+  computed, which makes traces deterministic under a fixed seed.
+
+Completed spans land in a ring buffer (``capacity`` newest spans are
+kept; older ones are evicted and counted in ``dropped``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+__all__ = ["Span", "Tracer", "WALL_CLOCK", "SIMULATED_CLOCK"]
+
+WALL_CLOCK = "wall"
+SIMULATED_CLOCK = "simulated"
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) span."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float | None = None
+    clock: str = WALL_CLOCK
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "clock": self.clock,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Do-nothing span handed out by a disabled tracer."""
+
+    span_id = 0
+    parent_id = None
+    name = ""
+    start = 0.0
+    end = 0.0
+    clock = WALL_CLOCK
+    attrs: dict[str, Any] = {}
+    duration = 0.0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces spans and retains the newest ``capacity`` completed ones."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        enabled: bool = True,
+        clock=time.perf_counter,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._clock = clock
+        self._completed: deque[Span] = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span(self) -> Span | None:
+        """Innermost active (wall-clock) span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            if len(self._completed) == self._completed.maxlen:
+                self.dropped += 1
+            self._completed.append(span)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a wall-clock span around a block of real work."""
+        if not self.enabled:
+            yield _NULL_SPAN
+            return
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent,
+            name=name,
+            start=self._clock(),
+            clock=WALL_CLOCK,
+            attrs=dict(attrs),
+        )
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self._clock()
+            stack.pop()
+            self._finish(span)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attrs: Mapping[str, Any] | None = None,
+        clock: str = SIMULATED_CLOCK,
+    ) -> Span | None:
+        """Record an already-timed span (e.g. on the simulated clock)."""
+        if not self.enabled:
+            return None
+        parent = self.current_span()
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            name=name,
+            start=float(start),
+            end=float(end),
+            clock=clock,
+            attrs=dict(attrs or {}),
+        )
+        self._finish(span)
+        return span
+
+    # ------------------------------------------------------------------
+    def spans(self, name: str | None = None, clock: str | None = None) -> list[Span]:
+        """Completed spans, oldest first, optionally filtered."""
+        with self._lock:
+            result = list(self._completed)
+        if name is not None:
+            result = [s for s in result if s.name == name]
+        if clock is not None:
+            result = [s for s in result if s.clock == clock]
+        return result
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def reset(self) -> None:
+        """Drop all completed spans and the eviction count."""
+        with self._lock:
+            self._completed.clear()
+            self.dropped = 0

@@ -99,3 +99,30 @@ class TestEngineIntegration:
             maponly_job, small_text, seed=1
         )
         assert faulty_reduce is None
+
+    def test_faulty_run_does_not_perturb_later_clean_runs(
+        self, cluster, wordcount, small_text
+    ):
+        """Regression: run_job_with_faults inflates its own execution's
+        runtime in place; that must never leak into the engine's
+        measurement caches and taint subsequent clean runs."""
+        from repro.hadoop import FaultModel, HadoopEngine
+
+        cold = HadoopEngine(cluster).run_job(wordcount, small_text, seed=3)
+
+        engine = HadoopEngine(cluster)
+        faulty, __, __ = engine.run_job_with_faults(
+            wordcount, small_text,
+            fault_model=FaultModel(task_failure_probability=0.2), seed=3,
+        )
+        assert faulty.runtime_seconds >= cold.runtime_seconds
+        warm = engine.run_job(wordcount, small_text, seed=3)
+
+        assert warm.runtime_seconds == cold.runtime_seconds
+        assert warm.counters == cold.counters
+        assert [t.duration for t in warm.map_tasks] == [
+            t.duration for t in cold.map_tasks
+        ]
+        assert [t.duration for t in warm.reduce_tasks] == [
+            t.duration for t in cold.reduce_tasks
+        ]

@@ -1,0 +1,197 @@
+"""End-to-end observability: real runs produce the expected telemetry.
+
+A fresh registry/tracer pair is injected into each instrumented
+component, a wordcount runs through ``HadoopEngine`` and a full
+``PStorM.submit`` cycle, and the tests assert the metric names from
+``docs/observability.md`` show up with plausible values.
+"""
+
+import math
+
+import pytest
+
+from repro.core import PStorM, ProfileStore
+from repro.hadoop import HadoopEngine
+from repro.observability import SIMULATED_CLOCK, WALL_CLOCK, MetricsRegistry, Tracer
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer()
+
+
+class TestEngineInstrumentation:
+    def test_one_span_per_task_and_phase(
+        self, cluster, wordcount, small_text, registry, tracer
+    ):
+        engine = HadoopEngine(cluster, registry=registry, tracer=tracer)
+        execution = engine.run_job(wordcount, small_text, seed=1)
+
+        run_spans = tracer.spans("hadoop.run_job")
+        assert len(run_spans) == 1
+        assert run_spans[0].clock == WALL_CLOCK
+        assert run_spans[0].attrs["job"] == wordcount.name
+
+        map_spans = tracer.spans("hadoop.map_task")
+        assert len(map_spans) == len(execution.map_tasks)
+        reduce_spans = tracer.spans("hadoop.reduce_task")
+        assert len(reduce_spans) == len(execution.reduce_tasks)
+        # Task spans live on the simulated clock, inside the run_job span,
+        # within the job's simulated timeline.
+        for span in map_spans + reduce_spans:
+            assert span.clock == SIMULATED_CLOCK
+            assert span.parent_id == run_spans[0].span_id
+            assert 0.0 <= span.start <= span.end <= execution.runtime_seconds + 1e-9
+
+        (map_phase,) = tracer.spans("hadoop.phase.map")
+        assert map_phase.start == 0.0
+        assert map_phase.end == pytest.approx(max(s.end for s in map_spans))
+        (reduce_phase,) = tracer.spans("hadoop.phase.reduce")
+        assert reduce_phase.end == pytest.approx(execution.runtime_seconds)
+        (shuffle_phase,) = tracer.spans("hadoop.phase.shuffle")
+        assert shuffle_phase.start <= map_phase.end
+
+    def test_engine_counters_and_histograms(
+        self, cluster, wordcount, small_text, registry
+    ):
+        engine = HadoopEngine(cluster, registry=registry)
+        execution = engine.run_job(wordcount, small_text, seed=1)
+
+        assert registry.get("hadoop_engine_jobs_total").value == 1
+        assert (
+            registry.get("hadoop_engine_map_tasks_total").value
+            == len(execution.map_tasks)
+        )
+        assert (
+            registry.get("hadoop_engine_reduce_tasks_total").value
+            == len(execution.reduce_tasks)
+        )
+
+        runtime_hist = registry.get("hadoop_engine_job_runtime_seconds")
+        assert runtime_hist.count == 1
+        assert runtime_hist.sum == pytest.approx(execution.runtime_seconds)
+
+        map_hist = registry.get("hadoop_engine_map_task_seconds")
+        assert map_hist.count == len(execution.map_tasks)
+        assert map_hist.sum == pytest.approx(
+            sum(t.duration for t in execution.map_tasks)
+        )
+
+    def test_scheduler_gauges(self, cluster, wordcount, small_text, registry):
+        engine = HadoopEngine(cluster, registry=registry)
+        execution = engine.run_job(wordcount, small_text, seed=1)
+
+        waves = registry.get("hadoop_scheduler_map_waves")
+        expected = math.ceil(len(execution.map_tasks) / cluster.total_map_slots)
+        assert waves.value == expected
+        occupancy = registry.get("hadoop_scheduler_map_slot_occupancy")
+        assert 0.0 < occupancy.value <= 1.0 + 1e-9
+
+    def test_measurement_cache_counters(
+        self, cluster, wordcount, small_text, registry
+    ):
+        engine = HadoopEngine(cluster, registry=registry)
+        engine.run_job(wordcount, small_text, seed=1)
+        misses = registry.get("hadoop_engine_map_cache_misses_total").value
+        assert misses == len(engine.representative_indices(small_text))
+        assert registry.get("hadoop_engine_reduce_cache_misses_total").value == 1
+
+        hits_before = registry.get("hadoop_engine_map_cache_hits_total").value
+        engine.run_job(wordcount, small_text, seed=1)
+        # The second run is served entirely from cache.
+        assert registry.get("hadoop_engine_map_cache_misses_total").value == misses
+        assert registry.get("hadoop_engine_map_cache_hits_total").value > hits_before
+        assert registry.get("hadoop_engine_reduce_cache_hits_total").value == 1
+
+    def test_disabled_observability_records_nothing(
+        self, cluster, wordcount, small_text
+    ):
+        registry = MetricsRegistry(enabled=False)
+        tracer = Tracer(enabled=False)
+        engine = HadoopEngine(cluster, registry=registry, tracer=tracer)
+        engine.run_job(wordcount, small_text, seed=1)
+        assert len(registry) == 0
+        assert len(tracer) == 0
+
+
+class TestPStorMInstrumentation:
+    @pytest.fixture()
+    def pstorm(self, cluster, registry, tracer):
+        engine = HadoopEngine(cluster, registry=registry, tracer=tracer)
+        store = ProfileStore(registry=registry, tracer=tracer)
+        return PStorM(engine, store=store, registry=registry, tracer=tracer)
+
+    def test_submit_cycle_metrics(
+        self, pstorm, wordcount, small_text, registry, tracer
+    ):
+        pstorm.remember(wordcount, small_text, seed=1)
+        result = pstorm.submit(wordcount, small_text, seed=1)
+        assert result.matched
+
+        # One store write from remember; the submit hit stores nothing.
+        assert registry.get("pstorm_store_puts_total").value == 1
+        assert registry.get("pstorm_remembers_total").value == 1
+        # The matcher probes the store exactly once per submission.
+        assert registry.get("pstorm_matcher_jobs_total").value == 1
+        assert registry.get("pstorm_matcher_matches_total").value == 1
+        assert registry.get("pstorm_submissions_total").value == 1
+        assert registry.get("pstorm_submission_hits_total").value == 1
+        assert registry.get("pstorm_submission_misses_total") is None
+
+        sampling = registry.get("pstorm_sampling_seconds")
+        assert sampling.count == 1
+        assert sampling.sum == pytest.approx(result.sampling_seconds)
+
+        assert len(tracer.spans("pstorm.remember")) == 1
+        assert len(tracer.spans("pstorm.submit")) == 1
+        assert tracer.spans("pstorm.submit")[0].attrs["matched"] is True
+        assert len(tracer.spans("pstorm.match_job")) == 1
+        assert tracer.spans("pstorm.store.probe")
+        assert tracer.spans("pstorm.store.put")
+
+    def test_miss_path_metrics(self, pstorm, wordcount, small_text, registry):
+        result = pstorm.submit(wordcount, small_text, seed=1)
+        assert not result.matched
+        assert registry.get("pstorm_submission_misses_total").value == 1
+        assert registry.get("pstorm_matcher_no_match_total").value == 1
+        # The miss path stores the collected profile.
+        assert registry.get("pstorm_store_puts_total").value == 1
+
+    def test_submission_result_carries_metrics_snapshot(
+        self, pstorm, wordcount, small_text
+    ):
+        pstorm.remember(wordcount, small_text, seed=1)
+        result = pstorm.submit(wordcount, small_text, seed=1)
+        assert result.metrics is not None
+        counters = result.metrics["counters"]
+        assert counters["pstorm_submissions_total"] == 1.0
+        assert counters["hadoop_engine_jobs_total"] >= 1.0
+        assert "hadoop_engine_job_runtime_seconds" in result.metrics["histograms"]
+
+    def test_hbase_substrate_metrics(
+        self, pstorm, wordcount, small_text, registry, tracer
+    ):
+        pstorm.remember(wordcount, small_text, seed=1)
+        pstorm.submit(wordcount, small_text, seed=1)
+
+        assert registry.get("hbase_scans_served_total").value > 0
+        scanned = registry.get("hbase_rows_scanned_total").value
+        shipped = registry.get("hbase_rows_shipped_total").value
+        assert scanned >= shipped > 0
+
+        put_hist = registry.get("hbase_put_seconds", labels={"table": "Jobs"})
+        assert put_hist is not None and put_hist.count > 0
+        get_hist = registry.get("hbase_get_seconds", labels={"table": "Jobs"})
+        assert get_hist is not None and get_hist.count > 0
+
+        scan_spans = tracer.spans("hbase.scan")
+        assert scan_spans
+        for span in scan_spans:
+            assert span.clock == WALL_CLOCK
+            assert span.attrs["table"] == "Jobs"
+            assert span.end is not None

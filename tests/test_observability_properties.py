@@ -1,0 +1,141 @@
+"""Property-based tests: observability must never change behaviour.
+
+Instrumentation is only trustworthy if it is invisible to the system it
+watches.  Hypothesis drives random configurations through a shared
+warm-cache engine and asserts (a) turning observability on or off leaves
+the execution bit-identical, and (b) because every engine metric lives
+on the *simulated* clock, two instrumented runs under the same seed
+produce identical metric snapshots and identical simulated span traces.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hadoop import (
+    Dataset,
+    FunctionRecordSource,
+    HadoopEngine,
+    JobConfiguration,
+    MapReduceJob,
+    ec2_cluster,
+)
+from repro.observability import SIMULATED_CLOCK, MetricsRegistry, Tracer
+from repro.observability.export import registry_to_dict
+
+MB = 1 << 20
+
+
+def _lines(split_index, rng):
+    words = [f"w{i}" for i in range(25)]
+    return [
+        (i, " ".join(words[int(rng.integers(0, 25))] for __ in range(6)))
+        for i in range(60)
+    ]
+
+
+def _wc_map(key, line, ctx):
+    for word in line.split():
+        ctx.emit(word, 1)
+
+
+def _wc_reduce(word, counts, ctx):
+    total = 0
+    for count in counts:
+        total += count
+        ctx.report_ops(1)
+    ctx.emit(word, total)
+
+
+_ENGINE = HadoopEngine(ec2_cluster())
+_DATASET = Dataset("obs-prop-text", nominal_bytes=192 * MB,
+                   source=FunctionRecordSource(_lines), seed=11)
+_JOB = MapReduceJob(
+    name="obs-prop-wordcount", mapper=_wc_map, reducer=_wc_reduce,
+    combiner=_wc_reduce,
+)
+
+configurations = st.builds(
+    JobConfiguration,
+    io_sort_mb=st.integers(min_value=16, max_value=1024),
+    io_sort_spill_percent=st.floats(min_value=0.2, max_value=0.95),
+    use_combiner=st.booleans(),
+    compress_map_output=st.booleans(),
+    num_reduce_tasks=st.integers(min_value=1, max_value=64),
+    reduce_slowstart=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+def _run(config, registry, tracer, seed=1):
+    _ENGINE.registry = registry
+    _ENGINE.tracer = tracer
+    try:
+        return _ENGINE.run_job(_JOB, _DATASET, config, seed=seed)
+    finally:
+        _ENGINE.registry = None
+        _ENGINE.tracer = None
+
+
+def _fingerprint(execution):
+    """Every numeric outcome of a run, exact (no tolerances)."""
+    return (
+        execution.runtime_seconds,
+        execution.input_bytes,
+        tuple(
+            (t.task_id, t.node_id, t.duration,
+             t.map_output_bytes, t.map_output_records,
+             tuple(float(b) for b in t.partition_bytes))
+            for t in execution.map_tasks
+        ),
+        tuple(
+            (t.task_id, t.partition, t.duration,
+             t.shuffle_bytes, t.shuffle_records)
+            for t in execution.reduce_tasks
+        ),
+        execution.counters.to_dict(),
+    )
+
+
+def _simulated_trace(tracer):
+    return [
+        (s.name, s.start, s.end, tuple(sorted(s.attrs.items())))
+        for s in tracer.spans(clock=SIMULATED_CLOCK)
+    ]
+
+
+@given(config=configurations)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_results_identical_with_observability_on_or_off(config):
+    off = _run(config, MetricsRegistry(enabled=False), Tracer(enabled=False))
+    on = _run(config, MetricsRegistry(), Tracer())
+    assert _fingerprint(off) == _fingerprint(on)
+
+
+@given(config=configurations)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_metrics_deterministic_under_fixed_seed(config):
+    # Warm the measurement caches for this config's (combined) variant so
+    # both instrumented runs see identical cache hit/miss counts.
+    _run(config, MetricsRegistry(enabled=False), Tracer(enabled=False))
+
+    first_registry, first_tracer = MetricsRegistry(), Tracer()
+    _run(config, first_registry, first_tracer)
+    second_registry, second_tracer = MetricsRegistry(), Tracer()
+    _run(config, second_registry, second_tracer)
+
+    assert registry_to_dict(first_registry) == registry_to_dict(second_registry)
+    trace = _simulated_trace(first_tracer)
+    assert trace == _simulated_trace(second_tracer)
+    assert trace  # the engine actually emitted simulated spans
+
+
+@given(config=configurations)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_disabled_observability_allocates_nothing(config):
+    registry = MetricsRegistry(enabled=False)
+    tracer = Tracer(enabled=False)
+    _run(config, registry, tracer)
+    assert len(registry) == 0
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
