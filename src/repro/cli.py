@@ -79,7 +79,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"available: {', '.join(registry)}", file=sys.stderr)
         return 2
 
-    ctx = ExperimentContext.create(args.seed)
+    ctx = ExperimentContext.create(args.seed, workers=getattr(args, "workers", 1))
     needs_suite = {"fig6_1", "fig6_2", "fig6_3", "pushdown",
                    "store-models", "thresholds", "gbrt-weights", "filter-order",
                    "store-scalability", "cfg-cost"}
@@ -235,6 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate the paper's tables and figures"
     )
     experiments.add_argument("names", nargs="*", help="experiment names (default: all)")
+    experiments.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="threads for independent (job, dataset) cells (default: 1)",
+    )
     add_emit_metrics(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
 

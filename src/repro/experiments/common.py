@@ -16,7 +16,11 @@ store builders for the three content states of §6 —
 
 from __future__ import annotations
 
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, Mapping, TypeVar
 
 from ..analysis.static_features import StaticFeatures
 from ..core.features import JobFeatures, extract_job_features
@@ -31,16 +35,116 @@ from ..starfish.profiler import StarfishProfiler
 from ..starfish.rbo import RuleBasedOptimizer
 from ..starfish.sampler import Sampler
 from ..starfish.whatif import WhatIfEngine
+from ..observability import LATENCY_BUCKETS, MetricsRegistry, get_registry
 from ..workloads.benchmark import BenchmarkEntry, standard_benchmark
 
 __all__ = [
+    "CellExecutionError",
     "ExperimentContext",
     "SuiteRecord",
     "collect_suite",
     "build_store",
+    "parallel_cells",
     "twin_of",
     "format_table",
 ]
+
+_T = TypeVar("_T")
+
+
+class CellExecutionError(RuntimeError):
+    """One experiment cell failed; carries the cell key for diagnosis."""
+
+    def __init__(self, key: str, cause: BaseException) -> None:
+        super().__init__(
+            f"experiment cell {key!r} failed: {type(cause).__name__}: {cause}"
+        )
+        self.key = key
+        self.cause = cause
+
+
+def parallel_cells(
+    tasks: Mapping[str, Callable[[], _T]],
+    workers: int = 1,
+    registry: MetricsRegistry | None = None,
+) -> dict[str, _T]:
+    """Run independent experiment cells, optionally fanned over threads.
+
+    Args:
+        tasks: one zero-argument callable per cell, keyed by cell key
+            (e.g. ``"word-count@wikipedia-35gb"``).  Cells must be
+            independent of each other.
+        workers: thread count; ``<= 1`` runs inline with no executor.
+        registry: metrics sink; None falls back to the module default.
+
+    Returns:
+        ``{key: result}`` merged **deterministically by sorted cell key**,
+        regardless of worker count or completion order — so a suite
+        collected with ``--workers 4`` is indistinguishable from one
+        collected sequentially.
+
+    Raises:
+        CellExecutionError: a cell raised; the error names the cell and
+            chains the original exception, and remaining unstarted cells
+            are cancelled rather than left to hang.
+    """
+    registry = get_registry(registry)
+    worker_seconds: dict[int, float] = {}
+    accounting = threading.Lock()
+
+    def run_cell(key: str, fn: Callable[[], _T]) -> _T:
+        started = time.perf_counter()
+        try:
+            result = fn()
+        except BaseException as exc:
+            registry.counter(
+                "experiment_cell_failures_total", "experiment cells that raised"
+            ).inc()
+            raise CellExecutionError(key, exc) from exc
+        finally:
+            elapsed = time.perf_counter() - started
+            registry.counter(
+                "experiment_cells_total", "experiment cells executed"
+            ).inc()
+            registry.histogram(
+                "experiment_cell_seconds",
+                "wall time of one experiment cell",
+                buckets=LATENCY_BUCKETS,
+            ).observe(elapsed)
+            with accounting:
+                ident = threading.get_ident()
+                worker_seconds[ident] = worker_seconds.get(ident, 0.0) + elapsed
+        return result
+
+    ordered = sorted(tasks)
+    results: dict[str, _T] = {}
+    try:
+        if workers <= 1:
+            for key in ordered:
+                results[key] = run_cell(key, tasks[key])
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, max(1, len(ordered))),
+                thread_name_prefix="experiment-cell",
+            ) as pool:
+                futures = {
+                    key: pool.submit(run_cell, key, tasks[key]) for key in ordered
+                }
+                try:
+                    for key in ordered:
+                        results[key] = futures[key].result()
+                except BaseException:
+                    for future in futures.values():
+                        future.cancel()
+                    raise
+    finally:
+        for seconds in worker_seconds.values():
+            registry.histogram(
+                "experiment_worker_seconds",
+                "busy wall time per worker thread over one parallel_cells call",
+                buckets=LATENCY_BUCKETS,
+            ).observe(seconds)
+    return results
 
 
 @dataclass
@@ -53,11 +157,14 @@ class ExperimentContext:
     sampler: Sampler
     whatif: WhatIfEngine
     seed: int = 0
+    #: Worker threads used by drivers that fan out independent cells
+    #: (``collect_suite``, ``table6_1``); 1 means fully sequential.
+    workers: int = 1
 
     @classmethod
-    def create(cls, seed: int = 0) -> "ExperimentContext":
+    def create(cls, seed: int = 0, workers: int = 1) -> "ExperimentContext":
         cluster = ec2_cluster()
-        engine = HadoopEngine(cluster)
+        engine = HadoopEngine(cluster, measurement_workers=workers)
         profiler = StarfishProfiler(engine)
         return cls(
             cluster=cluster,
@@ -66,6 +173,7 @@ class ExperimentContext:
             sampler=Sampler(profiler),
             whatif=WhatIfEngine(cluster),
             seed=seed,
+            workers=max(1, workers),
         )
 
     def make_cbo(self, seed: int | None = None) -> CostBasedOptimizer:
@@ -101,29 +209,47 @@ def collect_suite(
     ctx: ExperimentContext,
     entries: list[BenchmarkEntry] | None = None,
     seed: int = 0,
+    workers: int | None = None,
 ) -> dict[str, SuiteRecord]:
-    """Profile the whole suite: full profile + 1-task sample + features."""
+    """Profile the whole suite: full profile + 1-task sample + features.
+
+    Each (job, dataset) entry is an independent cell — its seeds derive
+    from the entry's position, never from execution order — so cells fan
+    out over ``workers`` threads (default: ``ctx.workers``) and the
+    returned mapping is identical for any worker count.
+    """
     if entries is None:
         entries = standard_benchmark()
-    records: dict[str, SuiteRecord] = {}
-    for index, entry in enumerate(entries):
+    if workers is None:
+        workers = ctx.workers
+
+    def make_task(index: int, entry: BenchmarkEntry) -> Callable[[], SuiteRecord]:
         run_seed = seed + index
-        full_profile, __ = ctx.profiler.profile_job(
-            entry.job, entry.dataset, seed=run_seed
-        )
-        sample = ctx.sampler.collect(
-            entry.job, entry.dataset, count=1, seed=run_seed + 1
-        )
-        features = extract_job_features(
-            entry.job, entry.dataset, sample.profile, ctx.engine
-        )
-        records[entry.key] = SuiteRecord(
-            entry=entry,
-            full_profile=full_profile,
-            sample_profile=sample.profile,
-            features=features,
-        )
-    return records
+
+        def task() -> SuiteRecord:
+            full_profile, __ = ctx.profiler.profile_job(
+                entry.job, entry.dataset, seed=run_seed
+            )
+            sample = ctx.sampler.collect(
+                entry.job, entry.dataset, count=1, seed=run_seed + 1
+            )
+            features = extract_job_features(
+                entry.job, entry.dataset, sample.profile, ctx.engine
+            )
+            return SuiteRecord(
+                entry=entry,
+                full_profile=full_profile,
+                sample_profile=sample.profile,
+                features=features,
+            )
+
+        return task
+
+    tasks = {
+        entry.key: make_task(index, entry) for index, entry in enumerate(entries)
+    }
+    results = parallel_cells(tasks, workers=workers)
+    return {entry.key: results[entry.key] for entry in entries}
 
 
 def build_store(

@@ -7,8 +7,8 @@ that every benchmark member actually runs on the simulator.
 
 from __future__ import annotations
 
-from ..workloads.benchmark import standard_benchmark
-from .common import ExperimentContext
+from ..workloads.benchmark import BenchmarkEntry, standard_benchmark
+from .common import ExperimentContext, parallel_cells
 from .result import ExperimentResult
 
 __all__ = ["run"]
@@ -19,12 +19,13 @@ def run(ctx: ExperimentContext | None = None, seed: int = 0) -> ExperimentResult
     if ctx is None:
         ctx = ExperimentContext.create(seed)
 
-    rows = []
-    for entry in standard_benchmark():
-        profile, __ = ctx.profiler.profile_job(entry.job, entry.dataset, seed=seed)
-        mp = profile.map_profile
-        rows.append(
-            [
+    def make_task(entry: BenchmarkEntry):
+        def task() -> list[object]:
+            profile, __ = ctx.profiler.profile_job(
+                entry.job, entry.dataset, seed=seed
+            )
+            mp = profile.map_profile
+            return [
                 entry.job.name,
                 entry.domain,
                 entry.dataset.name,
@@ -33,7 +34,14 @@ def run(ctx: ExperimentContext | None = None, seed: int = 0) -> ExperimentResult
                 round(mp.data_flow["MAP_PAIRS_SEL"], 3),
                 "yes" if profile.has_reduce else "no",
             ]
-        )
+
+        return task
+
+    entries = standard_benchmark()
+    cells = parallel_cells(
+        {entry.key: make_task(entry) for entry in entries}, workers=ctx.workers
+    )
+    rows = [cells[entry.key] for entry in entries]
     return ExperimentResult(
         name="Table 6.1",
         title="Benchmark of Hadoop MapReduce jobs",

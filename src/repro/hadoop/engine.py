@@ -11,6 +11,7 @@ like re-submitting a job to a real cluster re-uses the same input data.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Iterable, Sequence
 
 import numpy as np
@@ -70,9 +71,13 @@ class HadoopEngine:
         locality_aware: bool = False,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        measurement_workers: int = 1,
     ) -> None:
         self.cluster = cluster
         self.representative_splits = max(1, representative_splits)
+        #: Threads used to measure uncached representative splits in
+        #: parallel; 1 keeps measurement fully sequential.
+        self.measurement_workers = max(1, measurement_workers)
         #: When True, HDFS block placement is modelled and map tasks that
         #: the locality-aware scheduler could not run node-local pay the
         #: remote-read penalty on their READ phase.
@@ -118,9 +123,32 @@ class HadoopEngine:
     def map_measurements(
         self, job: MapReduceJob, dataset: Dataset
     ) -> list[MapSampleMeasurement]:
+        """Measurements of all representative splits, in index order.
+
+        When ``measurement_workers > 1`` and several splits are not yet
+        cached, the uncached splits are measured concurrently; results are
+        per-split deterministic, so the list is identical either way.
+        """
+        indices = self.representative_indices(dataset)
+        if self.measurement_workers > 1:
+            uncached = [
+                index
+                for index in indices
+                if (*_job_key(job, dataset), index) not in self._map_cache
+            ]
+            if len(uncached) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.measurement_workers, len(uncached)),
+                    thread_name_prefix="split-measure",
+                ) as pool:
+                    list(
+                        pool.map(
+                            lambda index: self.measure_split(job, dataset, index),
+                            uncached,
+                        )
+                    )
         return [
-            self.measure_split(job, dataset, index)
-            for index in self.representative_indices(dataset)
+            self.measure_split(job, dataset, index) for index in indices
         ]
 
     def reduce_measurement(

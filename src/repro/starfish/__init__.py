@@ -22,9 +22,10 @@ from .profiler import StarfishProfiler, build_profile
 from .rbo import RboDecision, RuleBasedOptimizer
 from .sampler import Sampler, SampleResult
 from .visualizer import compare_phase_breakdowns, phase_breakdown, task_timeline
-from .whatif import WhatIfEngine, WhatIfPrediction
+from .whatif import BatchPrediction, WhatIfEngine, WhatIfPrediction
 
 __all__ = [
+    "BatchPrediction",
     "Bottleneck",
     "analyze_profile",
     "CostBasedOptimizer",

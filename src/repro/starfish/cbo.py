@@ -7,16 +7,36 @@ configurations, always scoring candidates with the What-If engine.  The
 recommendation is the best-predicted configuration found — so the quality
 of the recommendation is bounded by the quality of the profile given to
 the WIF engine, which is exactly what PStorM's matcher competes on.
+
+The search is columnar end to end: candidate generations are drawn as
+``(n, 14)`` NumPy matrices (one vectorized RNG call per parameter instead
+of one scalar call per parameter *per candidate*) and priced through
+:meth:`WhatIfEngine.predict_matrix`, with a memo cache (keyed on the
+quantized parameter vector) so duplicate candidates are never re-priced,
+and a bounded top-K pool instead of an ever-growing re-sorted list.
+:meth:`CostBasedOptimizer.optimize_sequential` scores the *same* candidate
+stream one scalar ``predict()`` at a time; because the batched predictions
+are bit-identical to the scalar path and ties break on insertion order
+exactly like the original stable sort, both paths return byte-identical
+recommendations for any fixed seed.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..hadoop.config import CONFIGURATION_SPACE, JobConfiguration, ParameterSpec
+from ..observability import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
 from .profile import JobProfile
 from .whatif import WhatIfEngine
 
@@ -31,6 +51,9 @@ class OptimizationResult:
     predicted_runtime: float
     evaluations: int
     default_predicted_runtime: float
+    #: Candidates answered from the memo cache instead of the WIF engine
+    #: (0 on the sequential reference path, which keeps no memo).
+    memo_hits: int = 0
 
     @property
     def predicted_speedup(self) -> float:
@@ -40,27 +63,160 @@ class OptimizationResult:
         return self.default_predicted_runtime / self.predicted_runtime
 
 
-def _sample_value(spec: ParameterSpec, rng: np.random.Generator):
-    """Draw one random legal value for a parameter."""
-    if spec.kind == "bool":
-        return bool(rng.integers(0, 2))
-    low, high = float(spec.low), float(spec.high)
-    if spec.log_scale:
-        value = math.exp(rng.uniform(math.log(max(low, 1e-9)), math.log(high)))
-    else:
-        value = rng.uniform(low, high)
-    return spec.clamp(value)
+#: Column index of every parameter in the candidate matrix (Table 2.1 order).
+_COLUMN_INDEX: dict[str, int] = {
+    spec.attribute: j for j, spec in enumerate(CONFIGURATION_SPACE)
+}
+_FLOAT_COLUMNS: tuple[int, ...] = tuple(
+    j for j, spec in enumerate(CONFIGURATION_SPACE) if spec.kind == "float"
+)
+_DEFAULT_ROW: np.ndarray = np.array(
+    [float(spec.default) for spec in CONFIGURATION_SPACE]
+)
+#: Relative width of a local (non-log) perturbation move.
+_PERTURB_SPAN = 0.15
+#: Sigma of the multiplicative log-space perturbation move.
+_PERTURB_SIGMA = 0.35
+#: Probability that a refinement move touches any given parameter.
+_PERTURB_PROBABILITY = 0.4
 
 
-def _perturb_value(spec: ParameterSpec, current, rng: np.random.Generator):
-    """Locally perturb a value (refinement move)."""
+def _clamp_column(
+    spec: ParameterSpec, values: np.ndarray, reducer_cap: int | None
+) -> np.ndarray:
+    """Vectorized :meth:`ParameterSpec.clamp` over one candidate column."""
     if spec.kind == "bool":
-        return not current
-    factor = math.exp(rng.normal(0.0, 0.35))
-    if spec.log_scale:
-        return spec.clamp(current * factor)
-    span = (float(spec.high) - float(spec.low)) * 0.15
-    return spec.clamp(current + rng.normal(0.0, span))
+        return values
+    high = float(spec.high)
+    if reducer_cap is not None and spec.attribute == "num_reduce_tasks":
+        high = min(high, float(reducer_cap))
+    values = np.clip(values, float(spec.low), high)
+    if spec.kind == "int":
+        values = np.rint(values)
+    return values
+
+
+def _random_matrix(
+    rng: np.random.Generator, n: int, reducer_cap: int | None
+) -> np.ndarray:
+    """Draw *n* random legal configurations as an ``(n, 14)`` matrix.
+
+    One vectorized RNG call per parameter — booleans as a Bernoulli column,
+    log-scale parameters as ``exp(uniform(log low, log high))``, the rest
+    uniform over their legal range — in Table 2.1 order, so the draw is
+    fully determined by the generator state.
+    """
+    matrix = np.empty((n, len(CONFIGURATION_SPACE)))
+    for j, spec in enumerate(CONFIGURATION_SPACE):
+        if spec.kind == "bool":
+            column = rng.integers(0, 2, size=n).astype(np.float64)
+        elif spec.log_scale:
+            low = math.log(max(float(spec.low), 1e-9))
+            column = np.exp(rng.uniform(low, math.log(float(spec.high)), size=n))
+        else:
+            column = rng.uniform(float(spec.low), float(spec.high), size=n)
+        matrix[:, j] = _clamp_column(spec, column, reducer_cap)
+    return matrix
+
+
+def _perturb_matrix(
+    rng: np.random.Generator,
+    elite_matrix: np.ndarray,
+    per_elite: int,
+    reducer_cap: int | None,
+) -> np.ndarray:
+    """Generate ``per_elite`` local neighbours of every elite row.
+
+    Each parameter of each neighbour is perturbed independently with
+    probability ``_PERTURB_PROBABILITY``: booleans flip, log-scale values
+    move by a log-normal factor, linear values by a Gaussian step sized to
+    the parameter's range.  Unperturbed entries are copied bit-exactly,
+    which is what makes the memo cache's duplicate detection effective.
+    """
+    base = np.repeat(elite_matrix, per_elite, axis=0)
+    out = base.copy()
+    n = len(base)
+    for j, spec in enumerate(CONFIGURATION_SPACE):
+        perturb = rng.random(n) < _PERTURB_PROBABILITY
+        current = base[:, j]
+        if spec.kind == "bool":
+            out[:, j] = np.where(perturb, 1.0 - current, current)
+            continue
+        if spec.log_scale:
+            moved = current * np.exp(rng.normal(0.0, _PERTURB_SIGMA, size=n))
+        else:
+            span = (float(spec.high) - float(spec.low)) * _PERTURB_SPAN
+            moved = current + rng.normal(0.0, span, size=n)
+        out[:, j] = np.where(
+            perturb, _clamp_column(spec, moved, reducer_cap), current
+        )
+    return out
+
+
+def _quantize_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Round float columns to 12 significant digits (memo-key resolution).
+
+    Integer and boolean columns are already exact by construction.  Twelve
+    significant digits keeps the chance of two *distinct* random draws
+    colliding far below anything a search could produce, while candidates
+    copied bit-exactly (unperturbed elite entries) and values clamped onto
+    a range boundary land on identical keys.
+    """
+    quantized = matrix.copy()
+    for j in _FLOAT_COLUMNS:
+        column = quantized[:, j]
+        nonzero = column != 0.0
+        safe = np.where(nonzero, np.abs(column), 1.0)
+        scale = np.power(10.0, 11.0 - np.floor(np.log10(safe)))
+        quantized[:, j] = np.where(
+            nonzero, np.round(column * scale) / scale, 0.0
+        )
+    return quantized
+
+
+def _config_from_row(row: np.ndarray) -> JobConfiguration:
+    """Materialize one candidate-matrix row as a :class:`JobConfiguration`."""
+    attrs: dict[str, object] = {}
+    for j, spec in enumerate(CONFIGURATION_SPACE):
+        value = row[j]
+        if spec.kind == "bool":
+            attrs[spec.attribute] = bool(value)
+        elif spec.kind == "int":
+            attrs[spec.attribute] = int(value)
+        else:
+            attrs[spec.attribute] = float(value)
+    return JobConfiguration(**attrs)
+
+
+class _TopK:
+    """Bounded best-K pool ranked by (runtime, insertion index).
+
+    Replaces the unbounded ``scored`` list + full re-sort per refine round:
+    a size-K max-heap keeps exactly the K candidates a stable
+    sort-by-runtime would rank first, because ties fall back to insertion
+    order just like Python's stable ``list.sort``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(1, capacity)
+        self._heap: list[tuple[float, int, np.ndarray]] = []
+        self._inserted = 0
+
+    def push(self, runtime: float, row: np.ndarray) -> None:
+        entry = (-runtime, -self._inserted, row)
+        self._inserted += 1
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+        else:
+            heapq.heappushpop(self._heap, entry)
+
+    def ranked(self) -> list[tuple[float, np.ndarray]]:
+        """Contents as (runtime, row), best first; ties by insertion."""
+        ordered = sorted(
+            ((-r, -i, row) for r, i, row in self._heap),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+        return [(runtime, row) for runtime, __, row in ordered]
 
 
 @dataclass
@@ -77,6 +233,7 @@ class CostBasedOptimizer:
             search; defaults to the parameter's full range, since huge
             shuffles genuinely profit from many reducer waves.
         seed: RNG seed; the search is fully deterministic.
+        registry: metrics sink; None falls back to the module default.
     """
 
     whatif: WhatIfEngine
@@ -86,65 +243,168 @@ class CostBasedOptimizer:
     perturbations_per_elite: int = 6
     max_reducers: int | None = None
     seed: int = 0
+    registry: MetricsRegistry | None = None
 
-    _REDUCER_SPEC_HIGH = 512
-
+    # ------------------------------------------------------------------
     def optimize(
         self,
         profile: JobProfile,
         data_bytes: int | None = None,
     ) -> OptimizationResult:
-        """Search for the configuration with the lowest predicted runtime."""
-        rng = np.random.default_rng(self.seed)
-        reducer_cap = self.max_reducers
-        if reducer_cap is None:
-            reducer_cap = self._REDUCER_SPEC_HIGH
+        """Search for the configuration with the lowest predicted runtime.
 
-        def evaluate(config: JobConfiguration) -> float:
+        Candidate generations are scored through the batched What-If path;
+        the recommendation is byte-identical to the scalar reference
+        (:meth:`optimize_sequential`) for the same seed.
+        """
+        registry = get_registry(self.registry)
+        started = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+
+        memo: dict[bytes, float] = {}
+        stats = {"evaluations": 0, "memo_hits": 0}
+        pool = _TopK(self.elite)
+
+        matrix = np.vstack(
+            [
+                _DEFAULT_ROW[None, :],
+                _random_matrix(rng, self.num_samples, self.max_reducers),
+            ]
+        )
+        runtimes = self._score_matrix(
+            profile, matrix, data_bytes, memo, stats, registry
+        )
+        default_runtime = runtimes[0]
+        for runtime, row in zip(runtimes, matrix):
+            pool.push(runtime, row)
+
+        for __ in range(self.refine_rounds):
+            elites = pool.ranked()[: self.elite]
+            elite_matrix = np.array([row for __, row in elites])
+            matrix = _perturb_matrix(
+                rng, elite_matrix, self.perturbations_per_elite, self.max_reducers
+            )
+            runtimes = self._score_matrix(
+                profile, matrix, data_bytes, memo, stats, registry
+            )
+            for runtime, row in zip(runtimes, matrix):
+                pool.push(runtime, row)
+
+        best_runtime, best_row = pool.ranked()[0]
+        registry.counter(
+            "cbo_optimizations_total", "CBO searches completed"
+        ).inc()
+        registry.histogram(
+            "cbo_optimize_seconds",
+            "wall time of one CBO search",
+            buckets=LATENCY_BUCKETS,
+        ).observe(time.perf_counter() - started)
+        return OptimizationResult(
+            best_config=_config_from_row(best_row),
+            predicted_runtime=best_runtime,
+            evaluations=stats["evaluations"],
+            default_predicted_runtime=default_runtime,
+            memo_hits=stats["memo_hits"],
+        )
+
+    # ------------------------------------------------------------------
+    def _score_matrix(
+        self,
+        profile: JobProfile,
+        matrix: np.ndarray,
+        data_bytes: int | None,
+        memo: dict[bytes, float],
+        stats: dict[str, int],
+        registry: MetricsRegistry,
+    ) -> list[float]:
+        """Price one generation: dedupe, batch-predict the misses, memoize.
+
+        ``evaluations`` counts every candidate considered — including memo
+        hits — matching the sequential path's accounting, while
+        ``memo_hits`` tracks how many never reached the WIF engine.
+        """
+        n = len(matrix)
+        if n == 0:
+            return []
+        quantized = _quantize_matrix(matrix)
+        keys = [quantized[i].tobytes() for i in range(n)]
+        pending_slots: dict[bytes, int] = {}
+        pending_rows: list[int] = []
+        for i, key in enumerate(keys):
+            if key not in memo and key not in pending_slots:
+                pending_slots[key] = len(pending_rows)
+                pending_rows.append(i)
+        if pending_rows:
+            batch = self.whatif.predict_matrix(
+                profile, matrix[pending_rows], data_bytes
+            )
+            runtimes = batch.runtime_seconds
+            for key, slot in pending_slots.items():
+                memo[key] = float(runtimes[slot])
+        hits = n - len(pending_rows)
+        stats["evaluations"] += n
+        stats["memo_hits"] += hits
+        registry.counter(
+            "cbo_memo_hits_total", "CBO candidates answered from the memo cache"
+        ).inc(hits)
+        registry.counter(
+            "cbo_memo_misses_total", "CBO candidates priced by the WIF engine"
+        ).inc(len(pending_rows))
+        registry.histogram(
+            "cbo_generation_size",
+            "candidates per scored generation (before dedupe)",
+            buckets=COUNT_BUCKETS,
+        ).observe(n)
+        return [memo[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    def optimize_sequential(
+        self,
+        profile: JobProfile,
+        data_bytes: int | None = None,
+    ) -> OptimizationResult:
+        """The scalar reference search: one ``predict()`` per candidate.
+
+        Walks the *same* candidate stream as :meth:`optimize` (the
+        generation helpers share the RNG call sequence) but prices every
+        candidate with a scalar ``predict()`` call and keeps the original
+        unbounded scored list with a full re-sort per refinement round.
+        This is the ground truth the batched path is verified against
+        (property tests) and benchmarked against
+        (``benchmarks/test_cbo_throughput.py``).
+        """
+        rng = np.random.default_rng(self.seed)
+
+        def evaluate(row: np.ndarray) -> float:
+            config = _config_from_row(row)
             return self.whatif.predict(profile, config, data_bytes).runtime_seconds
 
-        def random_config() -> JobConfiguration:
-            attrs = {}
-            for spec in CONFIGURATION_SPACE:
-                value = _sample_value(spec, rng)
-                if spec.attribute == "num_reduce_tasks":
-                    value = min(value, reducer_cap)
-                attrs[spec.attribute] = value
-            return JobConfiguration(**attrs)
-
-        default = JobConfiguration()
-        default_runtime = evaluate(default)
-
-        scored: list[tuple[float, JobConfiguration]] = [(default_runtime, default)]
-        evaluations = 1
-        for __ in range(self.num_samples):
-            config = random_config()
-            scored.append((evaluate(config), config))
-            evaluations += 1
+        matrix = np.vstack(
+            [
+                _DEFAULT_ROW[None, :],
+                _random_matrix(rng, self.num_samples, self.max_reducers),
+            ]
+        )
+        scored: list[tuple[float, np.ndarray]] = [
+            (evaluate(row), row) for row in matrix
+        ]
+        evaluations = len(scored)
+        default_runtime = scored[0][0]
 
         for __ in range(self.refine_rounds):
             scored.sort(key=lambda pair: pair[0])
-            elites = scored[: self.elite]
-            for __, elite_config in elites:
-                for __ in range(self.perturbations_per_elite):
-                    attrs = {}
-                    for spec in CONFIGURATION_SPACE:
-                        current = getattr(elite_config, spec.attribute)
-                        if rng.random() < 0.4:
-                            value = _perturb_value(spec, current, rng)
-                        else:
-                            value = current
-                        if spec.attribute == "num_reduce_tasks":
-                            value = min(value, reducer_cap)
-                        attrs[spec.attribute] = value
-                    candidate = JobConfiguration(**attrs)
-                    scored.append((evaluate(candidate), candidate))
-                    evaluations += 1
+            elite_matrix = np.array([row for __, row in scored[: self.elite]])
+            candidates = _perturb_matrix(
+                rng, elite_matrix, self.perturbations_per_elite, self.max_reducers
+            )
+            for row in candidates:
+                scored.append((evaluate(row), row))
+                evaluations += 1
 
         scored.sort(key=lambda pair: pair[0])
-        best_runtime, best_config = scored[0]
+        best_runtime, best_row = scored[0]
         return OptimizationResult(
-            best_config=best_config,
+            best_config=_config_from_row(best_row),
             predicted_runtime=best_runtime,
             evaluations=evaluations,
             default_predicted_runtime=default_runtime,
