@@ -1,0 +1,88 @@
+"""Deterministic fault injection and resilience for the serving path.
+
+Three pieces:
+
+- :mod:`plan` — seeded, schedulable fault plans (:class:`FaultPlan`)
+  with probabilistic per-operation faults, region-server crash windows,
+  a JSON codec, and the CLI's preset vocabulary.
+- :mod:`injector` — :class:`FaultInjector`, a plan's runtime, consulted
+  by the HBase substrate at operation boundaries.
+- :mod:`retry` — :class:`RetryPolicy` budgets, virtual-clock exponential
+  backoff, and :class:`StoreUnavailableError`, the signal that lets
+  ``PStorM.submit`` degrade gracefully instead of crashing.
+
+Like the observability module's registry/tracer, a process-wide default
+injector can be installed (:func:`set_default_injector`) so every
+substrate built afterwards — including the stores experiments create
+internally — runs under the same chaos; the CLI's ``--chaos`` flag does
+exactly that.  The default is ``None``: no chaos unless asked for.
+
+See ``docs/resilience.md`` for the plan format and degradation ladder.
+"""
+
+from __future__ import annotations
+
+from .injector import FaultInjector
+from .plan import (
+    PRESETS,
+    FaultPlan,
+    FaultSpec,
+    ServerCrash,
+    flaky_plan,
+    outage_plan,
+    plan_from_spec,
+    rolling_restart_plan,
+    slow_plan,
+)
+from .retry import (
+    RetryPolicy,
+    StoreUnavailableError,
+    VirtualClock,
+    call_with_retry,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "ServerCrash",
+    "PRESETS",
+    "flaky_plan",
+    "outage_plan",
+    "slow_plan",
+    "rolling_restart_plan",
+    "plan_from_spec",
+    "RetryPolicy",
+    "StoreUnavailableError",
+    "VirtualClock",
+    "call_with_retry",
+    "default_injector",
+    "set_default_injector",
+    "get_injector",
+]
+
+_default_injector: FaultInjector | None = None
+
+
+def default_injector() -> FaultInjector | None:
+    """The process-wide injector substrates fall back to (None = no chaos)."""
+    return _default_injector
+
+
+def set_default_injector(
+    injector: FaultInjector | None,
+) -> FaultInjector | None:
+    """Install the process default; returns the previous one.
+
+    Only substrates constructed *after* this call pick the injector up
+    (resolution happens at ``HBaseCluster`` construction, keeping the
+    per-operation cost of the no-chaos case at one attribute check).
+    """
+    global _default_injector
+    previous, _default_injector = _default_injector, injector
+    return previous
+
+
+def get_injector(injector: FaultInjector | None) -> FaultInjector | None:
+    """Dependency-injection helper: explicit injector or the default."""
+    return injector if injector is not None else _default_injector

@@ -1,0 +1,122 @@
+"""The fault injector: a plan's runtime, consulted at op boundaries.
+
+The HBase substrate calls :meth:`FaultInjector.on_operation` once per
+client-visible operation (``put``/``get`` per cell, ``scan`` per region
+scan).  The injector walks the plan deterministically — crash windows
+first (pure op-index arithmetic), then probabilistic specs in plan order
+against a seeded RNG — and either returns, advances its virtual clock
+(slow responses), or raises one of the retryable substrate errors.
+
+Every consult and every injected fault is counted through the
+observability registry, so a chaos run's blast radius shows up in the
+same export as the retries and fallbacks it provoked.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..hbase.errors import ServerUnavailableError, TransientError
+from ..observability import LATENCY_BUCKETS, MetricsRegistry, get_registry
+from .plan import FaultPlan
+from .retry import VirtualClock
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Runtime for one :class:`~repro.chaos.plan.FaultPlan`.
+
+    Attributes:
+        plan: the schedule being executed.
+        clock: virtual clock advanced by injected slow responses; share
+            it with a retry layer so slowness consumes deadline budget.
+        injected: ``{(op, kind): count}`` of faults injected so far.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.plan = plan
+        #: Observability sink; None falls back to the module default.
+        self.registry = registry
+        self.clock = VirtualClock()
+        self.injected: dict[tuple[str, str], int] = {}
+        self._rng = random.Random(plan.seed)
+        self._op_index = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def operations_seen(self) -> int:
+        return self._op_index
+
+    def reset(self) -> None:
+        """Rewind to the plan's initial state (same seed, op 0)."""
+        self._rng = random.Random(self.plan.seed)
+        self._op_index = 0
+        self.clock = VirtualClock()
+        self.injected.clear()
+
+    def summary(self) -> dict[str, int]:
+        """Injected fault counts as ``{"op/kind": count}``, sorted."""
+        return {
+            f"{op}/{kind}": count
+            for (op, kind), count in sorted(self.injected.items())
+        }
+
+    def _record(self, op: str, kind: str) -> None:
+        self.injected[(op, kind)] = self.injected.get((op, kind), 0) + 1
+        get_registry(self.registry).counter(
+            "chaos_faults_injected_total",
+            "faults injected into the HBase substrate",
+            labels={"op": op, "kind": kind},
+        ).inc()
+
+    # ------------------------------------------------------------------
+    def on_operation(self, op: str, server_id: int | None = None) -> None:
+        """Consult the plan for one substrate operation.
+
+        Raises:
+            TransientError: a ``transient`` spec fired.
+            ServerUnavailableError: an ``unavailable`` spec fired or the
+                target server is inside a crash window.
+        """
+        index = self._op_index
+        self._op_index += 1
+        registry = get_registry(self.registry)
+        registry.counter(
+            "chaos_operations_total",
+            "substrate operations checked by the fault injector",
+            labels={"op": op},
+        ).inc()
+
+        for crash in self.plan.crashes:
+            if crash.covers(server_id, index):
+                self._record(op, "crash")
+                raise ServerUnavailableError(
+                    f"region server {crash.server_id} is down "
+                    f"(crash window at op #{index})"
+                )
+
+        for spec in self.plan.faults:
+            if not spec.applies(op, server_id, index):
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            if spec.kind == "slow":
+                self.clock.advance(spec.delay_seconds)
+                self._record(op, "slow")
+                registry.histogram(
+                    "chaos_injected_delay_seconds",
+                    "virtual latency added by injected slow responses",
+                    buckets=LATENCY_BUCKETS,
+                ).observe(spec.delay_seconds)
+                continue
+            self._record(op, spec.kind)
+            if spec.kind == "transient":
+                raise TransientError(
+                    f"injected transient {op} failure (op #{index})"
+                )
+            raise ServerUnavailableError(
+                f"injected {op} unavailability (op #{index})"
+            )

@@ -1,0 +1,257 @@
+"""Seeded, schedulable fault plans for the HBase substrate.
+
+A :class:`FaultPlan` is a declarative description of the faults one
+experiment run should suffer: probabilistic per-operation faults
+(:class:`FaultSpec`) and deterministic region-server crash windows
+(:class:`ServerCrash`).  Plans are plain values with a JSON codec, so a
+chaos experiment is reproducible from a seed plus a small document — the
+same philosophy as the scheduler-side :class:`repro.hadoop.faults.FaultModel`,
+lifted to the serving path.
+
+Time is *logical*: specs are scheduled against the injector's operation
+counter (one tick per substrate ``put``/``get``/``scan``), never against
+wall clocks, which is what makes a seeded plan bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "FaultSpec",
+    "ServerCrash",
+    "FaultPlan",
+    "OPS",
+    "KINDS",
+    "flaky_plan",
+    "outage_plan",
+    "slow_plan",
+    "rolling_restart_plan",
+    "PRESETS",
+    "plan_from_spec",
+]
+
+#: Substrate operations the injector is consulted for. ``*`` matches all.
+OPS = ("put", "get", "scan", "*")
+#: Fault kinds: raise-and-retryable, server-down, or added latency.
+KINDS = ("transient", "unavailable", "slow")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One probabilistic fault source.
+
+    Attributes:
+        op: which substrate operation to afflict (``put``/``get``/``scan``
+            or ``*`` for all).
+        kind: ``transient`` raises :class:`~repro.hbase.errors.TransientError`,
+            ``unavailable`` raises
+            :class:`~repro.hbase.errors.ServerUnavailableError`, ``slow``
+            advances the injector's virtual clock by ``delay_seconds``
+            (a modelled slow response — it eats retry deadline budget
+            without failing the call).
+        probability: chance one matching operation is afflicted.
+        delay_seconds: virtual latency added by ``slow`` faults.
+        start_after: first operation index (inclusive) the spec covers.
+        stop_after: operation index (exclusive) the spec stops at;
+            ``None`` means never stops.
+        server_id: restrict to one region server (``None`` = any).
+    """
+
+    op: str = "*"
+    kind: str = "transient"
+    probability: float = 1.0
+    delay_seconds: float = 0.05
+    start_after: int = 0
+    stop_after: int | None = None
+    server_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown op {self.op!r}; expected one of {OPS}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown kind {self.kind!r}; expected one of {KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be >= 0")
+        if self.start_after < 0:
+            raise ValueError("start_after must be >= 0")
+        if self.stop_after is not None and self.stop_after <= self.start_after:
+            raise ValueError("stop_after must exceed start_after")
+
+    def applies(self, op: str, server_id: int | None, index: int) -> bool:
+        """Whether this spec covers operation *index* of kind *op*."""
+        if self.op != "*" and self.op != op:
+            return False
+        if self.server_id is not None and server_id != self.server_id:
+            return False
+        if index < self.start_after:
+            return False
+        if self.stop_after is not None and index >= self.stop_after:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """A deterministic crash/recovery window for one region server.
+
+    Operations routed to ``server_id`` whose index falls inside
+    ``[crash_at, crash_at + downtime)`` raise
+    :class:`~repro.hbase.errors.ServerUnavailableError`; the server
+    recovers when the window ends (``downtime=None`` never recovers).
+    """
+
+    server_id: int
+    crash_at: int
+    downtime: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.server_id < 0:
+            raise ValueError("server_id must be >= 0")
+        if self.crash_at < 0:
+            raise ValueError("crash_at must be >= 0")
+        if self.downtime is not None and self.downtime <= 0:
+            raise ValueError("downtime must be positive (or None for forever)")
+
+    def covers(self, server_id: int | None, index: int) -> bool:
+        if server_id != self.server_id:
+            return False
+        if index < self.crash_at:
+            return False
+        return self.downtime is None or index < self.crash_at + self.downtime
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of faults for one run.
+
+    The seed fixes the injector's RNG, so a plan plus an identical
+    operation sequence yields an identical fault sequence — the property
+    ``tests/test_chaos.py`` asserts with Hypothesis.
+    """
+
+    seed: int = 0
+    faults: tuple[FaultSpec, ...] = ()
+    crashes: tuple[ServerCrash, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Tolerate lists in hand-written plans; store tuples for hashing.
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # -- JSON codec ----------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": [asdict(spec) for spec in self.faults],
+            "crashes": [asdict(crash) for crash in self.crashes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            faults=tuple(
+                FaultSpec(**spec) for spec in payload.get("faults", ())
+            ),
+            crashes=tuple(
+                ServerCrash(**crash) for crash in payload.get("crashes", ())
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Presets (the CLI's --chaos vocabulary)
+# ----------------------------------------------------------------------
+def flaky_plan(seed: int = 0, probability: float = 0.2) -> FaultPlan:
+    """Every operation fails transiently with *probability*."""
+    return FaultPlan(
+        seed=seed,
+        faults=(FaultSpec(op="*", kind="transient", probability=probability),),
+    )
+
+
+def outage_plan(seed: int = 0) -> FaultPlan:
+    """Total store-probe outage: every scan fails, puts/gets survive."""
+    return FaultPlan(
+        seed=seed,
+        faults=(FaultSpec(op="scan", kind="unavailable", probability=1.0),),
+    )
+
+
+def slow_plan(seed: int = 0, delay_seconds: float = 0.05) -> FaultPlan:
+    """Every scan responds slowly (virtual latency, eats deadline budget)."""
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            FaultSpec(
+                op="scan", kind="slow", probability=1.0,
+                delay_seconds=delay_seconds,
+            ),
+        ),
+    )
+
+
+def rolling_restart_plan(
+    seed: int = 0,
+    period: int = 50,
+    downtime: int = 10,
+    restarts: int = 5,
+    server_id: int = 0,
+) -> FaultPlan:
+    """Server *server_id* crashes every *period* ops for *downtime* ops."""
+    crashes = tuple(
+        ServerCrash(
+            server_id=server_id, crash_at=period * (k + 1), downtime=downtime
+        )
+        for k in range(restarts)
+    )
+    return FaultPlan(seed=seed, crashes=crashes)
+
+
+#: name -> factory taking (seed, optional numeric argument).
+PRESETS = {
+    "flaky": lambda seed, arg: flaky_plan(
+        seed, probability=0.2 if arg is None else arg
+    ),
+    "outage": lambda seed, arg: outage_plan(seed),
+    "slow": lambda seed, arg: slow_plan(
+        seed, delay_seconds=0.05 if arg is None else arg
+    ),
+    "rolling-restart": lambda seed, arg: rolling_restart_plan(
+        seed, period=50 if arg is None else int(arg)
+    ),
+}
+
+
+def plan_from_spec(spec: str, seed: int = 0) -> FaultPlan:
+    """Resolve a CLI ``--chaos`` spec to a plan.
+
+    *spec* is either a path to a JSON plan document (anything containing
+    a path separator or ending in ``.json``) or a preset name with an
+    optional numeric argument: ``flaky``, ``flaky:0.5``, ``outage``,
+    ``slow:0.2``, ``rolling-restart:100``.
+    """
+    if spec.endswith(".json") or "/" in spec:
+        return FaultPlan.from_json(Path(spec).read_text())
+    name, __, arg_text = spec.partition(":")
+    factory = PRESETS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown chaos preset {name!r}; "
+            f"available: {', '.join(sorted(PRESETS))} (or a JSON plan path)"
+        )
+    arg = float(arg_text) if arg_text else None
+    return factory(seed, arg)

@@ -1,0 +1,187 @@
+"""Retry with exponential backoff and deadline budgets.
+
+The serving-path counterpart of the scheduler's re-execution machinery:
+a store operation that hits a retryable substrate error
+(:data:`repro.hbase.errors.RETRYABLE_ERRORS`) is retried under a
+:class:`RetryPolicy` until it succeeds, the attempt budget runs out, or
+the deadline budget would be exceeded — at which point
+:class:`StoreUnavailableError` surfaces so callers can degrade instead
+of crash.
+
+Backoff time lives on a :class:`VirtualClock` by default: delays are
+*modelled*, not slept, which keeps chaos tests fast and — because the
+schedule is deterministic (no jitter) — bit-reproducible.  A wall-clock
+deployment would pass ``clock=time.monotonic`` and ``sleep=time.sleep``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from ..hbase.errors import RETRYABLE_ERRORS, HBaseError
+from ..observability import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = [
+    "VirtualClock",
+    "RetryPolicy",
+    "StoreUnavailableError",
+    "call_with_retry",
+]
+
+_T = TypeVar("_T")
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clocks only move forward")
+        self._now += seconds
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt, backoff, and deadline budgets for one logical operation.
+
+    Attributes:
+        max_attempts: total tries (first call included).
+        base_delay: backoff before the second attempt (seconds).
+        multiplier: exponential growth factor per retry.
+        max_delay: per-retry backoff ceiling.
+        deadline_seconds: total budget (elapsed clock time plus the next
+            backoff may never exceed it); the last line of defence
+            against retry storms under long outages.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    deadline_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.deadline_seconds <= 0:
+            raise ValueError("deadline must be positive")
+
+    def backoff(self, retry_index: int) -> float:
+        """Delay before retry number *retry_index* (0-based).
+
+        Deterministic (no jitter) so seeded chaos runs reproduce; a
+        multi-client deployment would add jitter here.
+        """
+        if retry_index < 0:
+            raise ValueError("retry_index must be >= 0")
+        return min(self.max_delay, self.base_delay * self.multiplier ** retry_index)
+
+
+class StoreUnavailableError(HBaseError):
+    """A store operation exhausted its retry/deadline budget.
+
+    Carries the failed operation, how many attempts were made, the clock
+    time burned, and the last substrate error (also chained as
+    ``__cause__``).  Deliberately *not* in :data:`RETRYABLE_ERRORS`:
+    when this surfaces, the caller's next move is degradation, not
+    another retry loop.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        attempts: int,
+        elapsed_seconds: float,
+        last_error: BaseException | None = None,
+    ) -> None:
+        super().__init__(
+            f"store operation {op!r} failed after {attempts} attempt(s) "
+            f"({elapsed_seconds:.3f}s of budget): {last_error}"
+        )
+        self.op = op
+        self.attempts = attempts
+        self.elapsed_seconds = elapsed_seconds
+        self.last_error = last_error
+
+
+def call_with_retry(
+    fn: Callable[[], _T],
+    policy: RetryPolicy,
+    clock: VirtualClock | Any,
+    op: str = "call",
+    registry: MetricsRegistry | None = None,
+    sleep: Callable[[float], None] | None = None,
+) -> _T:
+    """Run *fn* under *policy*, retrying retryable substrate errors.
+
+    Args:
+        clock: anything with ``now() -> float``; the deadline is charged
+            against it (share the injector's clock so injected slow
+            responses consume budget).
+        sleep: how to wait out a backoff; defaults to ``clock.advance``
+            (virtual time) when available, else a no-op.
+
+    Raises:
+        StoreUnavailableError: budgets exhausted; the last error chains.
+    """
+    registry = get_registry(registry)
+    if sleep is None:
+        advance = getattr(clock, "advance", None)
+        sleep = advance if callable(advance) else (lambda seconds: None)
+    started = clock.now()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except RETRYABLE_ERRORS as exc:
+            attempt += 1
+            registry.counter(
+                "pstorm_store_retryable_errors_total",
+                "retryable substrate errors seen by the resilient client",
+                labels={"op": op},
+            ).inc()
+            delay = policy.backoff(attempt - 1)
+            elapsed = clock.now() - started
+            if attempt >= policy.max_attempts or (
+                elapsed + delay > policy.deadline_seconds
+            ):
+                registry.counter(
+                    "pstorm_store_giveups_total",
+                    "store operations that exhausted their retry budget",
+                    labels={"op": op},
+                ).inc()
+                raise StoreUnavailableError(
+                    op=op,
+                    attempts=attempt,
+                    elapsed_seconds=elapsed,
+                    last_error=exc,
+                ) from exc
+            registry.counter(
+                "pstorm_store_retries_total",
+                "retries issued by the resilient store client",
+                labels={"op": op},
+            ).inc()
+            registry.histogram(
+                "pstorm_store_retry_backoff_seconds",
+                "backoff delays scheduled between store retries",
+                buckets=LATENCY_BUCKETS,
+            ).observe(delay)
+            sleep(delay)

@@ -13,7 +13,10 @@ Commands:
 
 ``demo``, ``experiments``, and ``metrics`` accept ``--emit-metrics PATH``
 to dump the collected metrics and completed spans as JSON (see
-``docs/observability.md``).
+``docs/observability.md``), and ``--chaos SPEC`` to run the whole
+workload under injected store faults — a preset (``flaky[:p]``,
+``outage``, ``slow[:delay]``, ``rolling-restart[:period]``) or a JSON
+fault-plan path (see ``docs/resilience.md``).
 """
 
 from __future__ import annotations
@@ -55,6 +58,43 @@ def _experiment_registry() -> dict[str, Callable]:
     }
 
 
+def _maybe_enable_chaos(args: argparse.Namespace):
+    """Install the process-default fault injector when --chaos is set.
+
+    Every HBase substrate built afterwards — including the stores the
+    experiment drivers create internally — consults the injector, so one
+    flag puts a whole suite under faults.  Returns the injector or None.
+    """
+    spec = getattr(args, "chaos", None)
+    if not spec:
+        return None
+    from .chaos import FaultInjector, plan_from_spec, set_default_injector
+
+    injector = FaultInjector(plan_from_spec(spec, seed=args.seed))
+    set_default_injector(injector)
+    print(f"chaos enabled: {spec} (seed {args.seed})", file=sys.stderr)
+    return injector
+
+
+def _report_chaos(injector) -> None:
+    """Print the injected-fault tally after a chaos run."""
+    if injector is None:
+        return
+    summary = injector.summary()
+    if not summary:
+        print(
+            f"chaos: no faults injected over "
+            f"{injector.operations_seen} operations",
+            file=sys.stderr,
+        )
+        return
+    tally = ", ".join(f"{key} x{count}" for key, count in summary.items())
+    print(
+        f"chaos: injected {tally} over {injector.operations_seen} operations",
+        file=sys.stderr,
+    )
+
+
 def _maybe_emit_metrics(args: argparse.Namespace) -> None:
     """Dump the default registry/tracer snapshot when --emit-metrics is set."""
     path = getattr(args, "emit_metrics", None)
@@ -79,6 +119,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"available: {', '.join(registry)}", file=sys.stderr)
         return 2
 
+    injector = _maybe_enable_chaos(args)
     ctx = ExperimentContext.create(args.seed, workers=getattr(args, "workers", 1))
     needs_suite = {"fig6_1", "fig6_2", "fig6_3", "pushdown",
                    "store-models", "thresholds", "gbrt-weights", "filter-order",
@@ -95,6 +136,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             result = run(ctx, seed=args.seed)
         print(result)
         print()
+    _report_chaos(injector)
     _maybe_emit_metrics(args)
     return 0
 
@@ -111,6 +153,7 @@ def _cmd_list_jobs(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    from .chaos import StoreUnavailableError
     from .core import PStorM
     from .hadoop import HadoopEngine, JobConfiguration, ec2_cluster
     from .workloads import (
@@ -119,27 +162,36 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         wikipedia_35gb,
     )
 
+    injector = _maybe_enable_chaos(args)
     engine = HadoopEngine(ec2_cluster())
     pstorm = PStorM(engine)
     wiki = wikipedia_35gb()
 
     print("storing the bigram relative frequency job's profile...")
-    pstorm.remember(bigram_relative_frequency_job(), wiki, seed=args.seed)
+    try:
+        pstorm.remember(bigram_relative_frequency_job(), wiki, seed=args.seed)
+    except StoreUnavailableError as exc:
+        print(f"store write failed under chaos, continuing: {exc}", file=sys.stderr)
 
     unseen = cooccurrence_pairs_job()
     print(f"submitting never-seen job {unseen.name!r}...")
     result = pstorm.submit(unseen, wiki, seed=args.seed)
     default = engine.run_job(unseen, wiki, JobConfiguration(), seed=args.seed)
     print(f"matched: {result.matched} via {result.outcome.map_match.stage}")
+    if result.degraded:
+        print(f"degraded: {result.degradation_reason} "
+              f"-> fallback {result.fallback_path}")
     print(f"default:      {default.runtime_seconds / 60:7.1f} min")
     print(f"PStorM-tuned: {result.runtime_seconds / 60:7.1f} min "
           f"({default.runtime_seconds / result.runtime_seconds:.2f}x)")
+    _report_chaos(injector)
     _maybe_emit_metrics(args)
     return 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Exercise every instrumented layer once, then render the metrics."""
+    from .chaos import StoreUnavailableError
     from .core import PStorM
     from .hadoop import (
         Dataset,
@@ -178,12 +230,17 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         name="metrics-wordcount", mapper=wc_map, reducer=wc_reduce,
         combiner=wc_reduce,
     )
+    injector = _maybe_enable_chaos(args)
     engine = HadoopEngine(ec2_cluster())
     pstorm = PStorM(engine, seed=args.seed)
     print("running the smoke workload...", file=sys.stderr)
-    pstorm.remember(job, dataset, seed=args.seed)
+    try:
+        pstorm.remember(job, dataset, seed=args.seed)
+    except StoreUnavailableError as exc:
+        print(f"store write failed under chaos, continuing: {exc}", file=sys.stderr)
     pstorm.submit(job, dataset, seed=args.seed)
     print(export.to_prometheus(), end="")
+    _report_chaos(injector)
     _maybe_emit_metrics(args)
     return 0
 
@@ -231,6 +288,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="write collected metrics and spans to PATH as JSON",
         )
 
+    def add_chaos(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--chaos",
+            metavar="SPEC",
+            default=None,
+            help=(
+                "inject store faults: a preset (flaky[:p], outage, "
+                "slow[:delay], rolling-restart[:period]) or a JSON "
+                "fault-plan path"
+            ),
+        )
+
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
     )
@@ -242,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="threads for independent (job, dataset) cells (default: 1)",
     )
     add_emit_metrics(experiments)
+    add_chaos(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
 
     list_jobs = commands.add_parser("list-jobs", help="the Table 6.1 inventory")
@@ -249,12 +319,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = commands.add_parser("demo", help="tune a never-seen job via PStorM")
     add_emit_metrics(demo)
+    add_chaos(demo)
     demo.set_defaults(handler=_cmd_demo)
 
     metrics = commands.add_parser(
         "metrics", help="run a smoke workload and print Prometheus-format metrics"
     )
     add_emit_metrics(metrics)
+    add_chaos(metrics)
     metrics.set_defaults(handler=_cmd_metrics)
 
     explain = commands.add_parser("explain", help="PerfXplain a job pair")

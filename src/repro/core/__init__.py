@@ -33,6 +33,7 @@ from .matcher import (
     explain_match,
 )
 from .pstorm import PStorM, SubmissionResult
+from .resilient import ResilientProfileStore
 from .similarity import (
     DEFAULT_JACCARD_THRESHOLD,
     MinMaxNormalizer,
@@ -75,6 +76,7 @@ __all__ = [
     "explain_match",
     "PStorM",
     "SubmissionResult",
+    "ResilientProfileStore",
     "DEFAULT_JACCARD_THRESHOLD",
     "MinMaxNormalizer",
     "default_euclidean_threshold",

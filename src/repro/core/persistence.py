@@ -16,7 +16,9 @@ from pathlib import Path
 from typing import Any
 
 from ..analysis.static_features import StaticFeatures
+from ..chaos.retry import RetryPolicy
 from ..starfish.profile import JobProfile
+from .resilient import ResilientProfileStore
 from .store import ProfileStore
 
 __all__ = ["dump_store", "load_store", "store_to_dict", "store_from_dict"]
@@ -36,22 +38,31 @@ def store_to_dict(store: ProfileStore) -> dict[str, Any]:
 
 
 def store_from_dict(
-    payload: dict[str, Any], store: ProfileStore | None = None
+    payload: dict[str, Any],
+    store: ProfileStore | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> ProfileStore:
     """Rebuild a store from a snapshot dict.
 
     Normalizer bounds are reconstructed by replaying the inserts, so a
-    restored store matches exactly like the original did.
+    restored store matches exactly like the original did.  Replay writes
+    go through the resilient client, so a restore survives transient
+    substrate faults; *retry_policy* overrides its default budgets.
     """
     version = payload.get("version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported store snapshot version: {version!r}")
     if store is None:
         store = ProfileStore()
+    writer = (
+        store
+        if isinstance(store, ResilientProfileStore)
+        else ResilientProfileStore(store, policy=retry_policy)
+    )
     for job_id, entry in sorted(payload["entries"].items()):
         profile = JobProfile.from_dict(entry["profile"])
         static = StaticFeatures.from_dict(entry["static"])
-        store.put(profile, static, job_id=job_id)
+        writer.put(profile, static, job_id=job_id)
     return store
 
 
@@ -61,7 +72,11 @@ def dump_store(store: ProfileStore, path: str | Path) -> None:
     path.write_text(json.dumps(store_to_dict(store), indent=1, sort_keys=True))
 
 
-def load_store(path: str | Path, store: ProfileStore | None = None) -> ProfileStore:
+def load_store(
+    path: str | Path,
+    store: ProfileStore | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> ProfileStore:
     """Load a store snapshot from *path*."""
     payload = json.loads(Path(path).read_text())
-    return store_from_dict(payload, store=store)
+    return store_from_dict(payload, store=store, retry_policy=retry_policy)

@@ -6,6 +6,14 @@ On a hit, hand the matched (possibly composite) profile to the Starfish
 CBO and run the job with the recommended configuration, profiler off.  On
 a miss, run the job with its submitted configuration, profiler *on*, and
 store the collected profile for future matching.
+
+The store probe rides on a :class:`ResilientProfileStore` (retry +
+backoff + deadline budgets), and when even that gives up the daemon
+*degrades* instead of dying: the Appendix-B rule-based optimizer tunes
+the job from the 1-task sample profile alone, falling back to the
+submitted configuration if the RBO itself fails.  The downgrade is
+recorded on the :class:`SubmissionResult` and in the metrics, never
+raised — a long-lived tuning service must survive its store.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..chaos.retry import RetryPolicy, StoreUnavailableError
 from ..hadoop.cluster import ClusterSpec
 from ..hadoop.config import JobConfiguration
 from ..hadoop.dataset import Dataset
@@ -30,10 +39,12 @@ from ..observability.export import registry_to_dict
 from ..starfish.cbo import CostBasedOptimizer
 from ..starfish.profile import JobProfile
 from ..starfish.profiler import StarfishProfiler
+from ..starfish.rbo import RuleBasedOptimizer
 from ..starfish.sampler import Sampler
 from ..starfish.whatif import WhatIfEngine
 from .features import JobFeatures, extract_job_features
-from .matcher import MatchOutcome, ProfileMatcher
+from .matcher import MatchOutcome, ProfileMatcher, SideMatch
+from .resilient import ResilientProfileStore
 from .store import ProfileStore
 
 __all__ = ["PStorM", "SubmissionResult"]
@@ -54,6 +65,16 @@ class SubmissionResult:
     #: Snapshot of the daemon's metrics registry taken when the
     #: submission finished (``export.registry_to_dict`` form).
     metrics: Mapping[str, Any] | None = None
+    #: Whether the submission was served through the graceful-degradation
+    #: path (store budget exhausted) rather than the Fig 1.2 workflow.
+    degraded: bool = False
+    #: Why the downgrade happened: "store-probe" (the match probe gave
+    #: up) or "store-put" (the miss path's profile write gave up).
+    degradation_reason: str | None = None
+    #: Which rung of the degradation ladder produced the configuration:
+    #: "rbo" (Appendix-B rules over the 1-task sample) or "default"
+    #: (the submitted configuration, when even the RBO failed).
+    fallback_path: str | None = None
 
     @property
     def runtime_seconds(self) -> float:
@@ -82,6 +103,9 @@ class PStorM:
     #: daemon owns (but never into an externally shared engine).
     registry: MetricsRegistry | None = None
     tracer: Tracer | None = None
+    #: Retry/backoff/deadline budgets for store operations; None uses
+    #: the RetryPolicy defaults.
+    retry_policy: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.registry is not None and self.store.registry is None:
@@ -92,8 +116,15 @@ class PStorM:
         self.sampler = Sampler(self.profiler)
         self.whatif = WhatIfEngine(self.engine.cluster)
         self.cbo = CostBasedOptimizer(self.whatif, seed=self.seed)
+        self.rbo = RuleBasedOptimizer(self.engine.cluster)
+        if isinstance(self.store, ResilientProfileStore):
+            self.resilient_store = self.store
+        else:
+            self.resilient_store = ResilientProfileStore(
+                self.store, policy=self.retry_policy, registry=self.registry
+            )
         self.matcher = ProfileMatcher(
-            self.store, registry=self.registry, tracer=self.tracer
+            self.resilient_store, registry=self.registry, tracer=self.tracer
         )
 
     # ------------------------------------------------------------------
@@ -104,9 +135,20 @@ class PStorM:
 
         Returns the features and the sampling run's wall-clock cost.
         """
+        __, features, overhead_seconds = self._sample(job, dataset, seed=seed)
+        return features, overhead_seconds
+
+    def _sample(
+        self, job: MapReduceJob, dataset: Dataset, seed: int = 0
+    ) -> tuple[JobProfile, JobFeatures, float]:
+        """1-task sample: the sample profile, features, and its cost.
+
+        The sample profile is kept because it is all the degraded path
+        has to tune with when the store is unreachable.
+        """
         sample = self.sampler.collect(job, dataset, count=1, seed=seed)
         features = extract_job_features(job, dataset, sample.profile, self.engine)
-        return features, sample.overhead_seconds
+        return sample.profile, features, sample.overhead_seconds
 
     # ------------------------------------------------------------------
     def remember(
@@ -126,7 +168,10 @@ class PStorM:
         ):
             profile, __ = self.profiler.profile_job(job, dataset, config, seed=seed)
             features, __, = self.extract_features(job, dataset, seed=seed)
-            job_id = self.store.put(profile, features.static)
+            # Retried under the store budgets; remember() is an explicit
+            # write API, so an exhausted budget propagates as
+            # StoreUnavailableError rather than degrading silently.
+            job_id = self.resilient_store.put(profile, features.static)
         get_registry(self.registry).counter(
             "pstorm_remembers_total", "profiles stored via the remember path"
         ).inc()
@@ -150,6 +195,7 @@ class PStorM:
         ) as span:
             result = self._submit_inner(job, dataset, config, seed)
             span.set_attr("matched", result.matched)
+            span.set_attr("degraded", result.degraded)
 
         registry.counter(
             "pstorm_submissions_total", "jobs submitted to the daemon"
@@ -162,6 +208,18 @@ class PStorM:
             registry.counter(
                 "pstorm_submission_misses_total",
                 "submissions that ran instrumented and stored a profile",
+            ).inc()
+        if result.degraded:
+            registry.counter(
+                "pstorm_degraded_submissions_total",
+                "submissions served through the graceful-degradation path",
+                labels={"reason": result.degradation_reason or "unknown"},
+            ).inc()
+        if result.fallback_path is not None:
+            registry.counter(
+                "pstorm_fallback_total",
+                "degraded submissions by the ladder rung that configured them",
+                labels={"path": result.fallback_path},
             ).inc()
         registry.histogram(
             "pstorm_sampling_seconds",
@@ -181,8 +239,21 @@ class PStorM:
         config: JobConfiguration,
         seed: int,
     ) -> SubmissionResult:
-        features, sampling_seconds = self.extract_features(job, dataset, seed=seed)
-        outcome = self.matcher.match_job(features)
+        sample_profile, features, sampling_seconds = self._sample(
+            job, dataset, seed=seed
+        )
+        try:
+            outcome = self.matcher.match_job(features)
+        except StoreUnavailableError:
+            # The probe exhausted its retry/deadline budget: degrade to
+            # sample-profile tuning rather than fail the submission.
+            return self._submit_degraded(
+                job, dataset, config, seed,
+                sample_profile=sample_profile,
+                features=features,
+                sampling_seconds=sampling_seconds,
+                reason="store-probe",
+            )
 
         if outcome.matched:
             result = self.cbo.optimize(
@@ -205,7 +276,23 @@ class PStorM:
         # Miss: run with the submitted configuration, profiler on, and
         # store the collected profile for the future.
         profile, execution = self.profiler.profile_job(job, dataset, config, seed=seed)
-        job_id = self.store.put(profile, features.static)
+        try:
+            job_id = self.resilient_store.put(profile, features.static)
+        except StoreUnavailableError:
+            # The job already ran; losing the profile write costs future
+            # matches, not this submission.  Record the downgrade.
+            return SubmissionResult(
+                job_name=job.name,
+                dataset_name=dataset.name,
+                matched=False,
+                outcome=outcome,
+                config=config,
+                execution=execution,
+                sampling_seconds=sampling_seconds,
+                profile_stored_as=None,
+                degraded=True,
+                degradation_reason="store-put",
+            )
         return SubmissionResult(
             job_name=job.name,
             dataset_name=dataset.name,
@@ -215,4 +302,43 @@ class PStorM:
             execution=execution,
             sampling_seconds=sampling_seconds,
             profile_stored_as=job_id,
+        )
+
+    def _submit_degraded(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        config: JobConfiguration,
+        seed: int,
+        sample_profile: JobProfile,
+        features: JobFeatures,
+        sampling_seconds: float,
+        reason: str,
+    ) -> SubmissionResult:
+        """The degradation ladder: RBO on the sample, else the submitted
+        configuration — but always a completed submission."""
+        try:
+            decision = self.rbo.recommend(sample_profile)
+            run_config, fallback_path = decision.config, "rbo"
+        except Exception:
+            run_config, fallback_path = config, "default"
+        execution = self.engine.run_job(job, dataset, run_config, seed=seed)
+        map_match = SideMatch("map", None, "store-unavailable", {})
+        reduce_match = (
+            SideMatch("reduce", None, "store-unavailable", {})
+            if features.has_reduce
+            else None
+        )
+        return SubmissionResult(
+            job_name=job.name,
+            dataset_name=dataset.name,
+            matched=False,
+            outcome=MatchOutcome(None, map_match, reduce_match),
+            config=run_config,
+            execution=execution,
+            sampling_seconds=sampling_seconds,
+            profile_stored_as=None,
+            degraded=True,
+            degradation_reason=reason,
+            fallback_path=fallback_path,
         )

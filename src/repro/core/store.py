@@ -23,7 +23,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, ClassVar, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, ClassVar, Iterator, Mapping
+
+if TYPE_CHECKING:
+    from ..chaos import FaultInjector
 
 from ..analysis.cfg import ControlFlowGraph
 from ..analysis.cfg_match import cfg_match
@@ -242,6 +245,9 @@ class ProfileStore:
             omitted (the paper's deployment, §6).
         pushdown: whether scans push filters to the region servers
             (§5.3); turn off to measure the client-side baseline.
+        chaos: fault injector handed to a freshly created substrate
+            (ignored when *hbase* is supplied — an injected cluster
+            keeps the injector it was built with).
     """
 
     def __init__(
@@ -250,6 +256,7 @@ class ProfileStore:
         pushdown: bool = True,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        chaos: "FaultInjector | None" = None,
     ) -> None:
         #: Observability sinks; None falls back to the module defaults.
         #: A freshly created substrate inherits them; an injected one
@@ -259,7 +266,7 @@ class ProfileStore:
         self.hbase = (
             hbase
             if hbase is not None
-            else HBaseCluster(registry=registry, tracer=tracer)
+            else HBaseCluster(registry=registry, tracer=tracer, chaos=chaos)
         )
         self.pushdown = pushdown
         self.table = self.hbase.create_table(TABLE_NAME, (FAMILY,))

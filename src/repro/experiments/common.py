@@ -24,6 +24,7 @@ from typing import Callable, Mapping, TypeVar
 
 from ..analysis.static_features import StaticFeatures
 from ..core.features import JobFeatures, extract_job_features
+from ..core.resilient import ResilientProfileStore
 from ..core.store import ProfileStore
 from ..hadoop.cluster import ClusterSpec
 from ..hadoop.config import JobConfiguration
@@ -256,14 +257,19 @@ def build_store(
     records: dict[str, SuiteRecord],
     exclude_keys: set[str] | None = None,
     exclude_jobs: set[str] | None = None,
-) -> ProfileStore:
+) -> ResilientProfileStore:
     """A fresh profile store holding the suite, minus exclusions.
+
+    The returned store is wrapped in the resilient client (a passthrough
+    when no fault injector is active), so whole experiment suites keep
+    running under ``--chaos``: prepopulation writes and every matcher
+    probe retry transient faults instead of aborting the driver.
 
     Args:
         exclude_keys: exact (job, dataset) keys to omit (the DD state).
         exclude_jobs: job names to omit on *all* datasets (the NJ state).
     """
-    store = ProfileStore()
+    store = ResilientProfileStore(ProfileStore())
     for key, record in records.items():
         if exclude_keys and key in exclude_keys:
             continue

@@ -48,8 +48,12 @@ class FaultModel:
     def __post_init__(self) -> None:
         if not 0 <= self.task_failure_probability < 1:
             raise ValueError("failure probability must be in [0, 1)")
+        if not 0 <= self.wasted_fraction <= 1:
+            raise ValueError("wasted_fraction must be in [0, 1]")
         if self.max_attempts < 1:
             raise ValueError("need at least one attempt")
+        if self.speculation_threshold <= 0:
+            raise ValueError("speculation_threshold must be positive")
 
 
 @dataclass(frozen=True)

@@ -9,9 +9,12 @@ serializable filters applied server-side.
 from .catalog import CatalogEntry, MetaCatalog
 from .cluster import HBaseCluster
 from .errors import (
+    RETRYABLE_ERRORS,
     HBaseError,
+    ServerUnavailableError,
     TableExistsError,
     TableNotFoundError,
+    TransientError,
     UnknownColumnFamilyError,
     UnknownFilterError,
 )
@@ -39,6 +42,9 @@ __all__ = [
     "TableNotFoundError",
     "UnknownColumnFamilyError",
     "UnknownFilterError",
+    "TransientError",
+    "ServerUnavailableError",
+    "RETRYABLE_ERRORS",
     "ColumnValueFilter",
     "Filter",
     "FilterList",

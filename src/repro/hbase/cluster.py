@@ -9,7 +9,7 @@ the data-locality and load arguments of §5.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..observability import MetricsRegistry, Tracer
 from .catalog import MetaCatalog
@@ -17,6 +17,9 @@ from .errors import TableExistsError, TableNotFoundError
 from .region import Region
 from .regionserver import RegionServer
 from .table import HTable
+
+if TYPE_CHECKING:
+    from ..chaos import FaultInjector
 
 __all__ = ["HBaseCluster"]
 
@@ -32,6 +35,7 @@ class HBaseCluster:
         split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        chaos: "FaultInjector | None" = None,
     ) -> None:
         if num_region_servers < 1:
             raise ValueError("need at least one region server")
@@ -39,8 +43,17 @@ class HBaseCluster:
         #: Handed to every region server and table of this cluster.
         self.registry = registry
         self.tracer = tracer
+        if chaos is None:
+            # Lazy import breaks the repro.chaos <-> repro.hbase cycle;
+            # resolving once at construction keeps the no-chaos fast
+            # path at a single attribute check per operation.
+            from ..chaos import default_injector
+
+            chaos = default_injector()
+        #: Fault injector consulted at operation boundaries (None = off).
+        self.chaos = chaos
         self.servers: dict[int, RegionServer] = {
-            i: RegionServer(i, registry=registry)
+            i: RegionServer(i, registry=registry, chaos=chaos)
             for i in range(num_region_servers)
         }
         self.catalog = MetaCatalog()
@@ -86,6 +99,7 @@ class HBaseCluster:
             self._handle_split,
             registry=self.registry,
             tracer=self.tracer,
+            chaos=self.chaos,
         )
         self._tables[name] = table
         return table

@@ -8,6 +8,9 @@ __all__ = [
     "TableNotFoundError",
     "UnknownColumnFamilyError",
     "UnknownFilterError",
+    "TransientError",
+    "ServerUnavailableError",
+    "RETRYABLE_ERRORS",
 ]
 
 
@@ -34,3 +37,26 @@ class UnknownColumnFamilyError(HBaseError):
 
 class UnknownFilterError(HBaseError):
     """Raised when deserializing a filter whose type is not registered."""
+
+
+class TransientError(HBaseError):
+    """A momentary substrate failure (RPC blip, region moving, GC pause).
+
+    Retryable: the same operation is expected to succeed shortly, so
+    clients should retry with backoff rather than propagate.
+    """
+
+
+class ServerUnavailableError(HBaseError):
+    """A region server is down (crash window, restart, network partition).
+
+    Retryable, but typically for longer than a :class:`TransientError`;
+    recovery happens when the server's crash window ends.
+    """
+
+
+#: Error types a well-behaved store client retries instead of propagating.
+RETRYABLE_ERRORS: tuple[type[HBaseError], ...] = (
+    TransientError,
+    ServerUnavailableError,
+)

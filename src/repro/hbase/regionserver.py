@@ -11,11 +11,14 @@ argument against the table-per-feature-type model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from ..observability import MetricsRegistry, get_registry
 from .filters import Filter, deserialize_filter
 from .region import Region
+
+if TYPE_CHECKING:
+    from ..chaos import FaultInjector
 
 __all__ = ["RegionServer", "ServerMetrics"]
 
@@ -50,13 +53,18 @@ class RegionServer:
     """One HRegionServer hosting a set of regions."""
 
     def __init__(
-        self, server_id: int, registry: MetricsRegistry | None = None
+        self,
+        server_id: int,
+        registry: MetricsRegistry | None = None,
+        chaos: "FaultInjector | None" = None,
     ) -> None:
         self.server_id = server_id
         self._regions: list[Region] = []
         self.metrics = ServerMetrics()
         #: Observability sink; None falls back to the module default.
         self.registry = registry
+        #: Fault injector (resolved by the owning cluster; None = off).
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     def assign(self, region: Region) -> None:
@@ -93,6 +101,8 @@ class RegionServer:
         """
         if region not in self._regions:
             raise ValueError(f"region {region!r} not hosted by server {self.server_id}")
+        if self.chaos is not None:
+            self.chaos.on_operation("scan", server_id=self.server_id)
         registry = get_registry(self.registry)
         scanned_counter = registry.counter(
             "hbase_rows_scanned_total", "rows read by region-server scans"

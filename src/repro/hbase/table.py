@@ -9,7 +9,7 @@ client after shipping every row (the baseline the paper argues against).
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from ..observability import (
     LATENCY_BUCKETS,
@@ -21,6 +21,9 @@ from ..observability import (
 from .catalog import MetaCatalog
 from .filters import Filter, serialize_filter
 from .regionserver import RegionServer
+
+if TYPE_CHECKING:
+    from ..chaos import FaultInjector
 
 __all__ = ["HTable"]
 
@@ -38,6 +41,7 @@ class HTable:
         on_split: Any,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        chaos: "FaultInjector | None" = None,
     ) -> None:
         self.name = name
         self.families = families
@@ -48,6 +52,8 @@ class HTable:
         #: Observability sinks; None falls back to the module defaults.
         self.registry = registry
         self.tracer = tracer
+        #: Fault injector (resolved by the owning cluster; None = off).
+        self.chaos = chaos
 
     def _observe_latency(self, op: str, seconds: float) -> None:
         get_registry(self.registry).histogram(
@@ -62,7 +68,9 @@ class HTable:
         """Write one cell."""
         registry = get_registry(self.registry)
         start = perf_counter() if registry.enabled else 0.0
-        region, __ = self._catalog.locate(self.name, row_key)
+        region, server_id = self._catalog.locate(self.name, row_key)
+        if self.chaos is not None:
+            self.chaos.on_operation("put", server_id=server_id)
         region.put(row_key, family, qualifier, value)
         if region.num_rows > self._split_threshold:
             self._on_split(self.name, region)
@@ -83,7 +91,9 @@ class HTable:
         """Latest version of one row, or None."""
         registry = get_registry(self.registry)
         start = perf_counter() if registry.enabled else 0.0
-        region, __ = self._catalog.locate(self.name, row_key)
+        region, server_id = self._catalog.locate(self.name, row_key)
+        if self.chaos is not None:
+            self.chaos.on_operation("get", server_id=server_id)
         row = region.get(row_key)
         if registry.enabled:
             self._observe_latency("get", perf_counter() - start)

@@ -22,6 +22,21 @@ class TestFaultModel:
         with pytest.raises(ValueError):
             FaultModel(max_attempts=0)
 
+    def test_wasted_fraction_validated(self):
+        with pytest.raises(ValueError):
+            FaultModel(wasted_fraction=-0.1)
+        with pytest.raises(ValueError):
+            FaultModel(wasted_fraction=1.1)
+        # Both endpoints are legal: free failures and total loss.
+        FaultModel(wasted_fraction=0.0)
+        FaultModel(wasted_fraction=1.0)
+
+    def test_speculation_threshold_validated(self):
+        with pytest.raises(ValueError):
+            FaultModel(speculation_threshold=0.0)
+        with pytest.raises(ValueError):
+            FaultModel(speculation_threshold=-1.5)
+
 
 class TestScheduleWithFaults:
     def test_no_failures_matches_list_schedule(self, rng):
@@ -80,6 +95,70 @@ class TestScheduleWithFaults:
         a = schedule_with_faults([3.0] * 10, 2, model, np.random.default_rng(7))
         b = schedule_with_faults([3.0] * 10, 2, model, np.random.default_rng(7))
         assert a == b
+
+
+class TestScheduleRegressions:
+    """Fixed-seed golden values and structural invariants.
+
+    The golden numbers pin the exact schedule a seed produces; any change
+    to the failure/speculation arithmetic shows up as a diff here rather
+    than as a silent drift in every experiment built on top.
+    """
+
+    def test_golden_schedule_with_failures(self):
+        model = FaultModel(
+            task_failure_probability=0.25, wasted_fraction=0.5,
+            speculative_execution=False,
+        )
+        result = schedule_with_faults(
+            [4.0, 2.0, 6.0, 3.0, 5.0], 2, model, np.random.default_rng(42)
+        )
+        assert result.finish_times == pytest.approx((4.0, 2.0, 8.0, 7.0, 14.5))
+        assert result.makespan == pytest.approx(14.5)
+        assert result.failures == 1
+        assert result.speculative_attempts == 0
+        assert result.wasted_seconds == pytest.approx(2.5)
+
+    def test_golden_schedule_with_speculation(self):
+        model = FaultModel(
+            task_failure_probability=0.1, wasted_fraction=0.25,
+            speculative_execution=True, speculation_threshold=1.5,
+        )
+        result = schedule_with_faults(
+            [1.0] * 8 + [9.0], 3, model, np.random.default_rng(7)
+        )
+        assert result.finish_times == pytest.approx(
+            (1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.25, 3.0, 3.0)
+        )
+        assert result.makespan == pytest.approx(3.25)
+        assert result.failures == 1
+        assert result.speculative_attempts == 1
+        assert result.wasted_seconds == pytest.approx(1.25)
+
+    @pytest.mark.parametrize("seed", [0, 1, 17])
+    def test_structural_invariants(self, seed):
+        durations = [float(d) for d in range(1, 13)]
+        model = FaultModel(task_failure_probability=0.3)
+        result = schedule_with_faults(
+            durations, 4, model, np.random.default_rng(seed)
+        )
+        # One finish time per task, and the makespan is their maximum.
+        assert len(result.finish_times) == len(durations)
+        assert result.makespan == pytest.approx(max(result.finish_times))
+        assert all(t > 0 for t in result.finish_times)
+        assert result.failures >= 0
+        assert result.wasted_seconds >= 0
+
+    def test_no_failures_no_speculation_wastes_nothing(self, rng):
+        # Speculation wastes backup time even at p=0 (the backup runs and
+        # loses the race), so the zero-waste invariant needs it off.
+        model = FaultModel(
+            task_failure_probability=0.0, speculative_execution=False
+        )
+        result = schedule_with_faults([2.0, 4.0, 8.0], 2, model, rng)
+        assert result.wasted_seconds == 0.0
+        assert result.failures == 0
+        assert result.speculative_attempts == 0
 
 
 class TestEngineIntegration:

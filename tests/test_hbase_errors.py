@@ -1,0 +1,120 @@
+"""The HBase substrate's error hierarchy and the paths that raise it."""
+
+import pytest
+
+from repro.hbase import (
+    HBaseCluster,
+    PrefixFilter,
+    RowRangeFilter,
+    deserialize_filter,
+    serialize_filter,
+)
+from repro.hbase.errors import (
+    RETRYABLE_ERRORS,
+    HBaseError,
+    ServerUnavailableError,
+    TableExistsError,
+    TableNotFoundError,
+    TransientError,
+    UnknownColumnFamilyError,
+    UnknownFilterError,
+)
+from repro.hbase.filters import FilterList
+from repro.observability import MetricsRegistry
+
+
+@pytest.fixture()
+def cluster():
+    return HBaseCluster(registry=MetricsRegistry())
+
+
+class TestHierarchy:
+    def test_every_substrate_error_is_an_hbase_error(self):
+        for exc_type in (
+            TableExistsError,
+            TableNotFoundError,
+            UnknownColumnFamilyError,
+            UnknownFilterError,
+            TransientError,
+            ServerUnavailableError,
+        ):
+            assert issubclass(exc_type, HBaseError)
+            assert issubclass(exc_type, Exception)
+
+    def test_one_except_clause_catches_the_substrate(self):
+        with pytest.raises(HBaseError):
+            raise TransientError("blip")
+        with pytest.raises(HBaseError):
+            raise UnknownFilterError("nope")
+
+    def test_retryable_set_is_exactly_the_transient_pair(self):
+        assert RETRYABLE_ERRORS == (TransientError, ServerUnavailableError)
+        # The permanent errors must never be retried.
+        for exc_type in (TableExistsError, TableNotFoundError,
+                         UnknownColumnFamilyError, UnknownFilterError):
+            assert not issubclass(exc_type, RETRYABLE_ERRORS)
+
+    def test_retryable_errors_work_in_except_clauses(self):
+        caught = []
+        for exc in (TransientError("a"), ServerUnavailableError("b")):
+            try:
+                raise exc
+            except RETRYABLE_ERRORS as err:
+                caught.append(err)
+        assert len(caught) == 2
+
+
+class TestTableLifecycleErrors:
+    def test_duplicate_create_raises_table_exists(self, cluster):
+        cluster.create_table("profiles", ("f",))
+        with pytest.raises(TableExistsError, match="profiles"):
+            cluster.create_table("profiles", ("f",))
+
+    def test_missing_table_raises_table_not_found(self, cluster):
+        with pytest.raises(TableNotFoundError):
+            cluster.table("ghost")
+        with pytest.raises(TableNotFoundError):
+            cluster.drop_table("ghost")
+
+    def test_undeclared_family_rejected_on_write(self, cluster):
+        # Fixed-at-creation column families: the §5.1 constraint.
+        table = cluster.create_table("t", ("declared",))
+        with pytest.raises(UnknownColumnFamilyError, match="undeclared"):
+            table.put("row", "undeclared", "q", 1)
+        table.put("row", "declared", "q", 1)  # the declared one is fine
+
+
+class TestFilterDeserialization:
+    def test_unregistered_type_raises_unknown_filter(self):
+        with pytest.raises(UnknownFilterError, match="bloom"):
+            deserialize_filter({"type": "bloom", "bits": 64})
+
+    def test_missing_type_key_raises_unknown_filter(self):
+        with pytest.raises(UnknownFilterError, match="None"):
+            deserialize_filter({"prefix": "map!"})
+
+    def test_registered_filter_roundtrips(self):
+        filt = PrefixFilter(prefix="map!flow!")
+        restored = deserialize_filter(serialize_filter(filt))
+        assert isinstance(restored, PrefixFilter)
+        assert restored.matches("map!flow!job-1", {})
+        assert not restored.matches("reduce!flow!job-1", {})
+
+    def test_filter_list_roundtrips_members(self):
+        filt = FilterList(
+            [PrefixFilter(prefix="map!"), RowRangeFilter(start="a", stop="z")],
+            mode="AND",
+        )
+        restored = deserialize_filter(serialize_filter(filt))
+        assert isinstance(restored, FilterList)
+        assert restored.mode == "AND"
+        assert len(restored.filters) == 2
+
+    def test_bad_member_inside_filter_list_surfaces(self):
+        payload = {
+            "type": "filter-list",
+            "mode": "OR",
+            "filters": [{"type": "not-a-filter"}],
+        }
+        with pytest.raises(UnknownFilterError):
+            deserialize_filter(payload)
