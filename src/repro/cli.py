@@ -10,6 +10,11 @@ Commands:
 - ``list-jobs`` — the Table 6.1 benchmark inventory.
 - ``metrics`` — run a small smoke workload through the whole stack and
   print the collected metrics in Prometheus text format.
+- ``loadgen`` — replay seeded synthetic tenant traffic against the
+  tuning service as a discrete-event simulation; the summary JSON on
+  stdout is byte-identical for the same seed (see ``docs/serving.md``).
+- ``serve`` — drive the real thread-pool frontend end to end (queues,
+  futures, clean shutdown); exits nonzero if a worker hangs.
 
 ``demo``, ``experiments``, and ``metrics`` accept ``--emit-metrics PATH``
 to dump the collected metrics and completed spans as JSON (see
@@ -22,6 +27,7 @@ fault-plan path (see ``docs/resilience.md``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Sequence
 
@@ -245,6 +251,118 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Replay a seeded load run; the summary JSON on stdout is the
+    deliverable (status chatter goes to stderr) so CI can compare two
+    same-seed runs byte for byte."""
+    from .serving import LoadConfig, run_load
+
+    injector = _maybe_enable_chaos(args)
+    config = LoadConfig(
+        requests=args.requests,
+        workers=args.workers,
+        seed=args.seed,
+        mode=args.mode,
+        arrival_rate=args.arrival_rate,
+        clients=args.clients,
+        think_seconds=args.think_seconds,
+        remember_every=args.remember_every,
+        queue_capacity=args.queue_capacity,
+        shed_watermark=args.shed_watermark,
+        cache_capacity=args.cache_capacity,
+        store_capacity=args.store_capacity,
+    )
+    print(
+        f"replaying {config.requests} requests "
+        f"({config.mode} loop, {config.workers} workers, seed {config.seed})...",
+        file=sys.stderr,
+    )
+    report = run_load(config)
+    print(report.to_json())
+    _report_chaos(injector)
+    _maybe_emit_metrics(args)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the thread-pool frontend end to end: start the worker pool,
+    drive seeded traffic through real queues, stop cleanly.
+
+    Unlike ``loadgen`` (a simulation, byte-deterministic), this exercises
+    true concurrency — the summary counts are stable but latencies are
+    wall-clock.  Exits nonzero if any worker fails to join.
+    """
+    import random as _random
+
+    from .serving import (
+        ServiceConfig,
+        ServiceOverloadError,
+        TuningService,
+        default_tenants,
+    )
+    from .serving.loadgen import loadgen_zoo
+
+    injector = _maybe_enable_chaos(args)
+    tenants = default_tenants()
+    service = TuningService(
+        config=ServiceConfig(
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            shed_watermark=args.shed_watermark,
+            tenant_policies={t.name: t.policy for t in tenants},
+        ),
+        seed=args.seed,
+    )
+    rng = _random.Random(args.seed)
+    zoo = loadgen_zoo()
+    names = [t.name for t in tenants]
+    weights = [t.weight for t in tenants]
+    service.start()
+    print(
+        f"serving {args.requests} requests on {args.workers} workers...",
+        file=sys.stderr,
+    )
+    futures = []
+    shed = 0
+    for __ in range(args.requests):
+        job, dataset = zoo[rng.randrange(len(zoo))]
+        tenant = rng.choices(names, weights=weights)[0]
+        try:
+            futures.append(
+                service.submit_request(job, dataset, tenant=tenant, seed=args.seed)
+            )
+        except ServiceOverloadError as exc:
+            shed += 1
+            print(
+                f"shed ({exc.reason}): retry after {exc.retry_after_seconds:.2f}s",
+                file=sys.stderr,
+            )
+    responses = [f.result(timeout=args.timeout) for f in futures]
+    clean = service.stop(timeout=args.timeout)
+    ok = sum(1 for r in responses if r.ok)
+    hits = sum(1 for r in responses if r.cache_hit)
+    degraded = sum(1 for r in responses if r.degraded)
+    summary = {
+        "cache_hits": hits,
+        "degraded": degraded,
+        "hung_workers": service.hung_workers,
+        "ok": ok,
+        "requests": args.requests,
+        "served": len(responses),
+        "shed": shed,
+    }
+    print(json.dumps(summary, sort_keys=True, indent=2))
+    _report_chaos(injector)
+    _maybe_emit_metrics(args)
+    if not clean:
+        print(
+            f"ERROR: {service.hung_workers} worker(s) failed to join",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from .experiments.common import ExperimentContext
     from .perfxplain import ExecutionLog, PerfQuery, PerfXplain
@@ -288,6 +406,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="write collected metrics and spans to PATH as JSON",
         )
 
+    def add_seed(subparser: argparse.ArgumentParser) -> None:
+        # Also accepted after the verb (``repro loadgen --seed 7``);
+        # SUPPRESS keeps the global default when the verb omits it.
+        subparser.add_argument(
+            "--seed", type=int, default=argparse.SUPPRESS, help="RNG seed"
+        )
+
     def add_chaos(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
             "--chaos",
@@ -328,6 +453,59 @@ def build_parser() -> argparse.ArgumentParser:
     add_emit_metrics(metrics)
     add_chaos(metrics)
     metrics.set_defaults(handler=_cmd_metrics)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="replay deterministic synthetic load against the tuning service",
+    )
+    loadgen.add_argument("--requests", type=int, default=200)
+    loadgen.add_argument("--workers", type=int, default=4)
+    loadgen.add_argument("--mode", choices=("open", "closed"), default="open")
+    loadgen.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=1.0,
+        help="open-loop arrivals per simulated second",
+    )
+    loadgen.add_argument("--clients", type=int, default=8)
+    loadgen.add_argument("--think-seconds", type=float, default=20.0)
+    loadgen.add_argument(
+        "--remember-every",
+        type=int,
+        default=25,
+        help="every Nth arrival is a remember() write (0 disables)",
+    )
+    loadgen.add_argument("--queue-capacity", type=int, default=16)
+    loadgen.add_argument("--shed-watermark", type=int, default=12)
+    loadgen.add_argument("--cache-capacity", type=int, default=64)
+    loadgen.add_argument(
+        "--store-capacity",
+        type=int,
+        default=None,
+        help="bound the shared store (MaintainedStore) to N profiles",
+    )
+    add_seed(loadgen)
+    add_emit_metrics(loadgen)
+    add_chaos(loadgen)
+    loadgen.set_defaults(handler=_cmd_loadgen)
+
+    serve = commands.add_parser(
+        "serve", help="run the thread-pool tuning service end to end"
+    )
+    serve.add_argument("--requests", type=int, default=40)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--queue-capacity", type=int, default=32)
+    serve.add_argument("--shed-watermark", type=int, default=None, dest="shed_watermark")
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-future and shutdown timeout (wall seconds)",
+    )
+    add_seed(serve)
+    add_emit_metrics(serve)
+    add_chaos(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     explain = commands.add_parser("explain", help="PerfXplain a job pair")
     explain.add_argument("job_a", help="reference job key, e.g. word-count@wikipedia-35gb")

@@ -6,14 +6,30 @@ space".  This module provides that deletion half: capacity-bound eviction
 policies over the store, tracking per-profile usage so that the matcher's
 hits refresh recency — profiles that keep serving submissions survive,
 one-off experiments age out.
+
+:class:`MaintainedStore` is *composable* with the rest of the store
+stack: it delegates everything it does not intercept (the matcher's
+filtered-scan stages, ``get_profile``, the ``hbase`` substrate handle,
+observability sinks, ...) to the wrapped store, so it can sit either
+side of :class:`~repro.core.resilient.ResilientProfileStore` —
+
+- ``ResilientProfileStore(MaintainedStore(ProfileStore(), capacity))``
+  retries each logical maintained operation (put + eviction) as a unit;
+- ``MaintainedStore(ResilientProfileStore(store), capacity)`` retries the
+  individual substrate operations inside one eviction pass.
+
+Both shapes serve the tuning-service path (``repro.serving``); the first
+is what :func:`repro.experiments.common.build_store` produces when given
+a capacity.  Policy bookkeeping is lock-protected so concurrent serving
+workers cannot double-evict.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
-
-from .store import ProfileStore
+from typing import Any
 
 __all__ = ["EvictionPolicy", "LruEviction", "FifoEviction", "MaintainedStore"]
 
@@ -79,11 +95,16 @@ class MaintainedStore:
     """A capacity-bound wrapper over the profile store.
 
     Inserts beyond *capacity* evict a victim chosen by *policy*.  Use
-    :meth:`record_hit` from the submission path (PStorM does) so usage
-    informs the LRU policy.
+    :meth:`record_hit` from the submission path (``PStorM`` does, for any
+    store that exposes it) so usage informs the LRU policy.
+
+    The wrapped *store* may be a bare :class:`ProfileStore` or any
+    duck-compatible wrapper (e.g. the resilient retry client); unknown
+    attributes delegate to it, keeping the matcher and the serving layer
+    oblivious to the maintenance shim.
     """
 
-    store: ProfileStore
+    store: Any
     capacity: int
     policy: EvictionPolicy = field(default_factory=LruEviction)
     evicted: list[str] = field(default_factory=list)
@@ -91,26 +112,50 @@ class MaintainedStore:
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError("capacity must be at least 1")
+        self._lock = threading.RLock()
         for job_id in self.store.job_ids():
             self.policy.on_insert(job_id)
 
     def put(self, profile, static, job_id: str | None = None) -> str:
         """Store a profile, evicting as needed to stay within capacity."""
-        stored_id = self.store.put(profile, static, job_id=job_id)
-        self.policy.on_insert(stored_id)
-        while len(self.store) > self.capacity:
-            candidates = [j for j in self.store.job_ids() if j != stored_id]
-            if not candidates:
-                break
-            victim = self.policy.victim(candidates)
-            self.store.delete(victim)
-            self.policy.on_evict(victim)
-            self.evicted.append(victim)
-        return stored_id
+        with self._lock:
+            stored_id = self.store.put(profile, static, job_id=job_id)
+            self.policy.on_insert(stored_id)
+            while len(self.store) > self.capacity:
+                candidates = [j for j in self.store.job_ids() if j != stored_id]
+                if not candidates:
+                    break
+                victim = self.policy.victim(candidates)
+                self.store.delete(victim)
+                self.policy.on_evict(victim)
+                self.evicted.append(victim)
+            return stored_id
+
+    def delete(self, job_id: str) -> None:
+        """Remove a profile, keeping the policy's books in sync."""
+        with self._lock:
+            self.store.delete(job_id)
+            self.policy.on_evict(job_id)
 
     def record_hit(self, job_id: str) -> None:
         """Tell the policy a stored profile just served a match."""
-        self.policy.on_hit(job_id)
+        with self._lock:
+            self.policy.on_hit(job_id)
+
+    # -- delegation (duck-compatibility with ProfileStore) --------------
+    def job_ids(self) -> list[str]:
+        return self.store.job_ids()
+
+    def __contains__(self, job_id: str) -> bool:
+        return self.store.__contains__(job_id)
 
     def __len__(self) -> int:
         return len(self.store)
+
+    def __getattr__(self, name: str) -> Any:
+        # Dataclass fields live in __dict__, so this only fires for the
+        # wrapped store's surface (scan stages, get_profile, hbase,
+        # registry, ...).  Guard against recursion during unpickling.
+        if name == "store":
+            raise AttributeError(name)
+        return getattr(self.store, name)

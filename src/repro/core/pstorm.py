@@ -47,7 +47,28 @@ from .matcher import MatchOutcome, ProfileMatcher, SideMatch
 from .resilient import ResilientProfileStore
 from .store import ProfileStore
 
-__all__ = ["PStorM", "SubmissionResult"]
+__all__ = ["PStorM", "SubmissionResult", "WireExecution"]
+
+
+@dataclass(frozen=True)
+class WireExecution:
+    """Execution summary carried on the wire instead of a full
+    :class:`~repro.hadoop.tasks.JobExecution`.
+
+    Deserialized submission results cannot resurrect per-task records
+    (those never leave the process), so ``SubmissionResult.from_dict``
+    rebuilds this summary view.  It is duck-compatible with the fields
+    the serving layer and the result's own properties read:
+    ``runtime_seconds``, task counts, input size, and the sampled flag.
+    """
+
+    job_name: str
+    dataset_name: str
+    input_bytes: int
+    runtime_seconds: float
+    num_map_tasks: int
+    num_reduce_tasks: int
+    sampled: bool = False
 
 
 @dataclass(frozen=True)
@@ -84,6 +105,101 @@ class SubmissionResult:
     def total_seconds(self) -> float:
         """Job runtime plus the 1-task sampling cost PStorM paid."""
         return self.execution.runtime_seconds + self.sampling_seconds
+
+    # -- wire codec ----------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable wire form of this result.
+
+        The tuning service returns these over its request/response
+        boundary.  The matched profile and the metrics snapshot are
+        deliberately *not* serialized (profiles stay server-side; metrics
+        travel through the export endpoints), and the execution collapses
+        to its :class:`WireExecution` summary — everything else round
+        trips exactly through :meth:`from_dict`.
+        """
+
+        def side(match: SideMatch | None) -> dict[str, Any] | None:
+            if match is None:
+                return None
+            return {
+                "side": match.side,
+                "job_id": match.job_id,
+                "stage": match.stage,
+                "funnel": {name: int(count) for name, count in match.funnel.items()},
+            }
+
+        execution = self.execution
+        return {
+            "job_name": self.job_name,
+            "dataset_name": self.dataset_name,
+            "matched": bool(self.matched),
+            "outcome": {
+                "map_match": side(self.outcome.map_match),
+                "reduce_match": side(self.outcome.reduce_match),
+            },
+            "config": self.config.to_dict(),
+            "execution": {
+                "job_name": execution.job_name,
+                "dataset_name": execution.dataset_name,
+                "input_bytes": int(execution.input_bytes),
+                "runtime_seconds": float(execution.runtime_seconds),
+                "num_map_tasks": int(execution.num_map_tasks),
+                "num_reduce_tasks": int(execution.num_reduce_tasks),
+                "sampled": bool(execution.sampled),
+            },
+            "sampling_seconds": float(self.sampling_seconds),
+            "profile_stored_as": self.profile_stored_as,
+            "degraded": bool(self.degraded),
+            "degradation_reason": self.degradation_reason,
+            "fallback_path": self.fallback_path,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SubmissionResult":
+        """Rebuild a result from its :meth:`to_dict` wire form.
+
+        The execution comes back as a :class:`WireExecution` summary and
+        ``outcome.profile`` is ``None`` (see :meth:`to_dict`); the
+        round-trip law is ``from_dict(d).to_dict() == d``.
+        """
+
+        def side(data: Mapping[str, Any] | None) -> SideMatch | None:
+            if data is None:
+                return None
+            return SideMatch(
+                side=data["side"],
+                job_id=data["job_id"],
+                stage=data["stage"],
+                funnel={name: int(count) for name, count in data["funnel"].items()},
+            )
+
+        run = payload["execution"]
+        execution = WireExecution(
+            job_name=run["job_name"],
+            dataset_name=run["dataset_name"],
+            input_bytes=int(run["input_bytes"]),
+            runtime_seconds=float(run["runtime_seconds"]),
+            num_map_tasks=int(run["num_map_tasks"]),
+            num_reduce_tasks=int(run["num_reduce_tasks"]),
+            sampled=bool(run["sampled"]),
+        )
+        outcome = payload["outcome"]
+        map_match = side(outcome["map_match"])
+        if map_match is None:
+            raise ValueError("wire payload is missing the map-side match")
+        return cls(
+            job_name=payload["job_name"],
+            dataset_name=payload["dataset_name"],
+            matched=bool(payload["matched"]),
+            outcome=MatchOutcome(None, map_match, side(outcome["reduce_match"])),
+            config=JobConfiguration.from_dict(payload["config"]),
+            execution=execution,
+            sampling_seconds=float(payload["sampling_seconds"]),
+            profile_stored_as=payload["profile_stored_as"],
+            degraded=bool(payload["degraded"]),
+            degradation_reason=payload["degradation_reason"],
+            fallback_path=payload["fallback_path"],
+        )
 
 
 @dataclass
@@ -256,6 +372,13 @@ class PStorM:
             )
 
         if outcome.matched:
+            # A capacity-maintained store tracks usage: hits refresh the
+            # matched profiles' recency so they outlive one-off entries.
+            record_hit = getattr(self.resilient_store, "record_hit", None)
+            if callable(record_hit):
+                for side in (outcome.map_match, outcome.reduce_match):
+                    if side is not None and side.job_id is not None:
+                        record_hit(side.job_id)
             result = self.cbo.optimize(
                 outcome.profile, data_bytes=dataset.nominal_bytes
             )

@@ -21,6 +21,7 @@ the region servers (§5.3 pushdown).
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, ClassVar, Iterator, Mapping
@@ -270,6 +271,13 @@ class ProfileStore:
         )
         self.pushdown = pushdown
         self.table = self.hbase.create_table(TABLE_NAME, (FAMILY,))
+        #: Coarse store-level lock: one writer *or* one multi-row read at
+        #: a time, the atomicity a real HBase deployment gets from
+        #: row-level locks plus the matcher's single-probe discipline.
+        #: Reentrant so composed stage scans stay deadlock-free, and held
+        #: across a put's three rows + normalizer read-modify-write so
+        #: concurrent serving workers never interleave half-written jobs.
+        self._lock = threading.RLock()
         self._normalizers: dict[tuple[str, str], MinMaxNormalizer] = {
             key: MinMaxNormalizer()
             for key in (
@@ -293,7 +301,8 @@ class ProfileStore:
         registry = get_registry(self.registry)
         tracer = get_tracer(self.tracer)
         with tracer.span("pstorm.store.put", job=profile.job_name):
-            job_id = self._put_inner(profile, static, job_id)
+            with self._lock:
+                job_id = self._put_inner(profile, static, job_id)
         registry.counter(
             "pstorm_store_puts_total", "profiles written to the store"
         ).inc()
@@ -351,41 +360,47 @@ class ProfileStore:
 
     def delete(self, job_id: str) -> None:
         """Remove one job's rows (min/max bounds are kept; they only grow)."""
-        for prefix in (DYNAMIC_PREFIX, STATIC_PREFIX, PROFILE_PREFIX):
-            self.table.delete_row(prefix + job_id)
+        with self._lock:
+            for prefix in (DYNAMIC_PREFIX, STATIC_PREFIX, PROFILE_PREFIX):
+                self.table.delete_row(prefix + job_id)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def job_ids(self) -> list[str]:
         """All stored job ids, in key order."""
-        ids = []
-        for row_key, __ in self.table.scan(
-            scan_filter=PrefixFilter(PROFILE_PREFIX), pushdown=self.pushdown
-        ):
-            ids.append(row_key[len(PROFILE_PREFIX):])
-        return ids
+        with self._lock:
+            ids = []
+            for row_key, __ in self.table.scan(
+                scan_filter=PrefixFilter(PROFILE_PREFIX), pushdown=self.pushdown
+            ):
+                ids.append(row_key[len(PROFILE_PREFIX):])
+            return ids
 
     def __len__(self) -> int:
         return len(self.job_ids())
 
     def __contains__(self, job_id: str) -> bool:
-        return self.table.get(PROFILE_PREFIX + job_id) is not None
+        with self._lock:
+            return self.table.get(PROFILE_PREFIX + job_id) is not None
 
     def get_profile(self, job_id: str) -> JobProfile:
-        row = self.table.get(PROFILE_PREFIX + job_id)
+        with self._lock:
+            row = self.table.get(PROFILE_PREFIX + job_id)
         if row is None:
             raise KeyError(f"no profile stored for {job_id!r}")
         return JobProfile.from_dict(row[FAMILY]["payload"])
 
     def get_static(self, job_id: str) -> StaticFeatures:
-        row = self.table.get(STATIC_PREFIX + job_id)
+        with self._lock:
+            row = self.table.get(STATIC_PREFIX + job_id)
         if row is None:
             raise KeyError(f"no static features stored for {job_id!r}")
         return StaticFeatures.from_dict(row[FAMILY])
 
     def get_dynamic(self, job_id: str) -> dict[str, Any]:
-        row = self.table.get(DYNAMIC_PREFIX + job_id)
+        with self._lock:
+            row = self.table.get(DYNAMIC_PREFIX + job_id)
         if row is None:
             raise KeyError(f"no dynamic features stored for {job_id!r}")
         return dict(row[FAMILY])
@@ -412,10 +427,11 @@ class ProfileStore:
             if extra_filter is not None:
                 filters.append(extra_filter)
             result = []
-            for row_key, __ in self.table.scan(
-                scan_filter=FilterList(filters), pushdown=self.pushdown
-            ):
-                result.append(row_key[len(prefix):])
+            with self._lock:
+                for row_key, __ in self.table.scan(
+                    scan_filter=FilterList(filters), pushdown=self.pushdown
+                ):
+                    result.append(row_key[len(prefix):])
         registry.counter(
             "pstorm_store_probe_scans_total",
             "filtered scans issued by matcher stages",
@@ -445,16 +461,17 @@ class ProfileStore:
     ) -> list[str]:
         """Run one normalized-Euclidean filter stage server-side."""
         columns = list(_columns_for(side, kind))
-        normalizer = self._normalizers[(side, kind)]
-        if normalizer.num_features == 0:
-            return []
-        stage = NormalizedEuclideanFilter(
-            columns=columns,
-            probe=list(probe),
-            minimums=normalizer.minimums,
-            maximums=normalizer.maximums,
-            threshold=threshold,
-        )
+        with self._lock:
+            normalizer = self._normalizers[(side, kind)]
+            if normalizer.num_features == 0:
+                return []
+            stage = NormalizedEuclideanFilter(
+                columns=columns,
+                probe=list(probe),
+                minimums=list(normalizer.minimums),
+                maximums=list(normalizer.maximums),
+                threshold=threshold,
+            )
         extra: Filter = stage
         if candidates is not None:
             extra = FilterList([RowKeySetFilter(candidates), stage])

@@ -20,10 +20,11 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, TypeVar
+from typing import Any, Callable, Mapping, TypeVar
 
 from ..analysis.static_features import StaticFeatures
 from ..core.features import JobFeatures, extract_job_features
+from ..core.maintenance import EvictionPolicy, MaintainedStore
 from ..core.resilient import ResilientProfileStore
 from ..core.store import ProfileStore
 from ..hadoop.cluster import ClusterSpec
@@ -257,6 +258,8 @@ def build_store(
     records: dict[str, SuiteRecord],
     exclude_keys: set[str] | None = None,
     exclude_jobs: set[str] | None = None,
+    capacity: int | None = None,
+    eviction: EvictionPolicy | None = None,
 ) -> ResilientProfileStore:
     """A fresh profile store holding the suite, minus exclusions.
 
@@ -268,8 +271,20 @@ def build_store(
     Args:
         exclude_keys: exact (job, dataset) keys to omit (the DD state).
         exclude_jobs: job names to omit on *all* datasets (the NJ state).
+        capacity: when set, bound the store to this many profiles via a
+            :class:`~repro.core.maintenance.MaintainedStore` *inside* the
+            resilient client, so eviction passes are retried as one
+            logical operation — the shape the serving path uses.
+        eviction: eviction policy for a capacity-bound store (default
+            LRU, refreshed by matcher hits).
     """
-    store = ResilientProfileStore(ProfileStore())
+    inner: Any = ProfileStore()
+    if capacity is not None:
+        if eviction is not None:
+            inner = MaintainedStore(inner, capacity=capacity, policy=eviction)
+        else:
+            inner = MaintainedStore(inner, capacity=capacity)
+    store = ResilientProfileStore(inner)
     for key, record in records.items():
         if exclude_keys and key in exclude_keys:
             continue

@@ -1,0 +1,217 @@
+"""The keyed result cache of the tuning service.
+
+The pattern-matching line of work (arXiv:1301.4753) motivates reusing
+prior match decisions instead of recomputing them: two submissions of the
+same program over the same dataset on the same cluster will match the
+same stored profile and receive the same tuned configuration, so the
+service memoizes the whole :class:`~repro.core.pstorm.SubmissionResult`
+per ``(job signature, dataset, cluster)`` key.
+
+Entries age out two ways, both on the service's **simulated** clock:
+
+- **TTL** — a result older than ``ttl_seconds`` is stale (the store may
+  have learned better profiles since) and is dropped on access.
+- **LRU** — beyond ``capacity`` entries, the least-recently-used key is
+  evicted.
+
+Entries are also *invalidated* eagerly: when ``remember()`` (or a
+miss-path profile write) lands a new profile whose job signature matches
+a cached key, the stale tuned configurations are removed so the next
+request re-matches against the richer store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from ..hadoop.cluster import ClusterSpec
+from ..hadoop.dataset import Dataset
+from ..hadoop.job import MapReduceJob
+from ..observability import MetricsRegistry, get_registry
+
+__all__ = ["CacheKey", "ResultCache", "job_signature", "cache_key_for"]
+
+
+def job_signature(job: MapReduceJob) -> str:
+    """A stable digest identifying a job *program* (not a run).
+
+    Built from the job's name, its map/combine/reduce callables'
+    qualified names, the I/O formats, and the user parameters — the same
+    ingredients as the Table 4.3 static features, minus anything that
+    varies per submission.  ``hashlib`` keeps it stable across processes
+    (``hash()`` is salted per interpreter).
+    """
+    payload = {
+        "name": job.name,
+        "mapper": getattr(job.mapper, "__qualname__", repr(job.mapper)),
+        "reducer": getattr(job.reducer, "__qualname__", None)
+        if job.reducer is not None
+        else None,
+        "combiner": getattr(job.combiner, "__qualname__", None)
+        if job.combiner is not None
+        else None,
+        "input_format": job.input_format,
+        "output_format": job.output_format,
+        "params": {str(k): repr(v) for k, v in sorted(job.params.items())},
+    }
+    digest = hashlib.sha1(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return f"{job.name}#{digest[:12]}"
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """One cacheable tuning question: (program, data, hardware)."""
+
+    job_signature: str
+    dataset: str
+    cluster: str
+
+
+def cache_key_for(
+    job: MapReduceJob, dataset: Dataset, cluster: ClusterSpec
+) -> CacheKey:
+    return CacheKey(
+        job_signature=job_signature(job),
+        dataset=dataset.name,
+        cluster=f"{cluster.name}/{cluster.num_workers}",
+    )
+
+
+@dataclass
+class _Entry:
+    value: Any
+    expires_at: float
+
+
+class ResultCache:
+    """Thread-safe LRU + TTL cache over tuning results.
+
+    Args:
+        capacity: maximum live entries; beyond it the LRU entry goes.
+        ttl_seconds: lifetime of an entry on the caller-supplied clock.
+        registry: observability sink; None falls back to the module
+            default.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl_seconds: float = 6 * 3600.0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        if ttl_seconds <= 0:
+            raise ValueError("ttl must be positive")
+        self.capacity = capacity
+        self.ttl_seconds = float(ttl_seconds)
+        self.registry = registry
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._expired = 0
+        self._evicted = 0
+        self._invalidated = 0
+        self._fills = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey, now: float) -> Any | None:
+        """The cached value for *key*, or None (miss or expired)."""
+        registry = get_registry(self.registry)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.expires_at <= now:
+                del self._entries[key]
+                self._expired += 1
+                registry.counter(
+                    "serving_cache_evictions_total",
+                    "cache entries dropped, by cause",
+                    labels={"reason": "ttl"},
+                ).inc()
+                entry = None
+            if entry is None:
+                self._misses += 1
+                registry.counter(
+                    "serving_cache_misses_total", "result-cache misses"
+                ).inc()
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            registry.counter(
+                "serving_cache_hits_total", "result-cache hits"
+            ).inc()
+            return entry.value
+
+    def put(self, key: CacheKey, value: Any, now: float) -> None:
+        """Insert/refresh *key*, evicting LRU entries beyond capacity."""
+        registry = get_registry(self.registry)
+        with self._lock:
+            self._entries[key] = _Entry(value, now + self.ttl_seconds)
+            self._entries.move_to_end(key)
+            self._fills += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evicted += 1
+                registry.counter(
+                    "serving_cache_evictions_total",
+                    "cache entries dropped, by cause",
+                    labels={"reason": "lru"},
+                ).inc()
+            registry.gauge(
+                "serving_cache_size", "live result-cache entries"
+            ).set(len(self._entries))
+
+    def invalidate_job(self, signature: str, keep: CacheKey | None = None) -> int:
+        """Drop every entry whose job signature matches.
+
+        Called when a new profile for this program lands in the store: a
+        cached tuned configuration computed against the poorer store may
+        no longer be the best answer.  *keep* spares one key (the entry
+        the writer itself just cached).  Returns how many entries died.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key.job_signature == signature and key != keep
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._invalidated += len(stale)
+        if stale:
+            get_registry(self.registry).counter(
+                "serving_cache_invalidations_total",
+                "cache entries invalidated by profile writes",
+            ).inc(len(stale))
+        return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Deterministic counters snapshot (sorted keys)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "evicted": self._evicted,
+                "expired": self._expired,
+                "fills": self._fills,
+                "hits": self._hits,
+                "invalidated": self._invalidated,
+                "misses": self._misses,
+                "size": len(self._entries),
+            }

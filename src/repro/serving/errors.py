@@ -1,0 +1,40 @@
+"""Typed errors of the tuning service's admission boundary."""
+
+from __future__ import annotations
+
+__all__ = ["ServingError", "ServiceOverloadError", "ServiceClosedError"]
+
+
+class ServingError(RuntimeError):
+    """Base class of tuning-service errors."""
+
+
+class ServiceOverloadError(ServingError):
+    """The service refused a request at admission (load shedding).
+
+    Attributes:
+        reason: why the request was shed — ``"queue-full"`` (depth
+            crossed the shed watermark) or ``"rate-limited"`` (the
+            tenant's token bucket is empty).
+        retry_after_seconds: hint for when a retry is likely to be
+            admitted, on the service's clock.
+        tenant: the tenant whose request was refused.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        retry_after_seconds: float,
+        tenant: str = "default",
+    ) -> None:
+        super().__init__(
+            f"request from tenant {tenant!r} shed ({reason}); "
+            f"retry after {retry_after_seconds:.3f}s"
+        )
+        self.reason = reason
+        self.retry_after_seconds = float(retry_after_seconds)
+        self.tenant = tenant
+
+
+class ServiceClosedError(ServingError):
+    """A request arrived while the service was not accepting work."""

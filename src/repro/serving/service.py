@@ -1,0 +1,557 @@
+"""The tuning service: a concurrent multi-client frontend over PStorM.
+
+``PStorM.submit`` is a blocking single-caller library call; this module
+wraps it in the serving shape the ROADMAP's always-on deployment needs:
+
+- a **bounded request queue** fed through the admission gates of
+  :mod:`repro.serving.admission` (watermark shedding + per-tenant token
+  buckets), drained by a **pool of worker threads**;
+- each worker drives its **own PStorM pipeline** (engine, profiler,
+  sampler, CBO, RBO — none of which are shared-state safe) over the
+  **one shared profile store**, which *is* concurrency-safe
+  (store-level lock + the resilient retry client);
+- a keyed :class:`~repro.serving.cache.ResultCache` consulted before any
+  pipeline work and **invalidated** when ``remember()`` (or a miss-path
+  profile write) lands a new profile for a matching job signature;
+- graceful degradation under chaos: ``PStorM.submit`` already absorbs
+  store outages into degraded results, and ``remember()`` failures are
+  swallowed into a counted ``None`` — a worker never dies, a request
+  never hangs.
+
+Two frontends drive :meth:`TuningService.handle`:
+
+- the thread pool (:meth:`start` / :meth:`submit_request` / :meth:`stop`)
+  used by ``repro serve`` and the concurrency stress tests — real
+  parallelism, wall-clock waits;
+- the deterministic event loop of :mod:`repro.serving.loadgen`, which
+  calls ``handle`` inline at simulated timestamps — bit-reproducible
+  summaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..chaos.retry import RetryPolicy, StoreUnavailableError, VirtualClock
+from ..core.maintenance import MaintainedStore
+from ..core.pstorm import PStorM, SubmissionResult
+from ..core.resilient import ResilientProfileStore
+from ..core.store import ProfileStore
+from ..hadoop.cluster import ClusterSpec, ec2_cluster
+from ..hadoop.config import JobConfiguration
+from ..hadoop.dataset import Dataset
+from ..hadoop.engine import HadoopEngine
+from ..hadoop.job import MapReduceJob
+from ..observability import (
+    SIM_SECONDS_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
+from .admission import AdmissionController, TenantPolicy
+from .cache import ResultCache, cache_key_for, job_signature
+from .errors import ServiceClosedError, ServiceOverloadError
+
+__all__ = [
+    "ServiceConfig",
+    "TuningRequest",
+    "TuningResponse",
+    "TuningService",
+]
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one :class:`TuningService` deployment."""
+
+    #: Worker threads (thread frontend) / simulated servers (loadgen).
+    workers: int = 4
+    #: Hard bound of the request queue.
+    queue_capacity: int = 64
+    #: Depth at which admission starts shedding; None = queue_capacity.
+    shed_watermark: int | None = None
+    #: Result-cache entry bound (LRU beyond it).
+    cache_capacity: int = 256
+    #: Result-cache TTL on the service's simulated clock.
+    cache_ttl_seconds: float = 6 * 3600.0
+    #: Rate limits for tenants without an explicit policy.
+    default_tenant: TenantPolicy = field(default_factory=TenantPolicy)
+    #: Per-tenant rate-limit overrides.
+    tenant_policies: Mapping[str, TenantPolicy] = field(default_factory=dict)
+    #: Budget a request may spend waiting in the queue before it is shed
+    #: with reason "deadline" instead of started late.
+    deadline_seconds: float = 1800.0
+    #: Modelled cost of serving a cached result (simulated seconds).
+    cache_hit_cost_seconds: float = 0.01
+    #: Modelled matcher/CBO overhead on top of the 1-task sample cost.
+    match_overhead_seconds: float = 0.25
+    #: Modelled cost of one remember() write (full instrumented run).
+    remember_cost_seconds: float = 60.0
+    #: When set, bound the shared store to this many profiles
+    #: (MaintainedStore inside the resilient client).
+    store_capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if self.deadline_seconds <= 0:
+            raise ValueError("deadline must be positive")
+
+
+@dataclass(frozen=True)
+class TuningRequest:
+    """One tuning question from one tenant."""
+
+    request_id: int
+    tenant: str
+    job: MapReduceJob
+    dataset: Dataset
+    config: JobConfiguration | None = None
+    seed: int = 0
+    submitted_at: float = 0.0
+    deadline_seconds: float | None = None
+
+
+@dataclass
+class TuningResponse:
+    """What the service answered (wire-serializable via to_dict)."""
+
+    request_id: int
+    tenant: str
+    #: "ok" | "shed" | "failed"
+    status: str
+    cache_hit: bool = False
+    degraded: bool = False
+    shed_reason: str | None = None
+    retry_after_seconds: float | None = None
+    wait_seconds: float = 0.0
+    service_seconds: float = 0.0
+    result: SubmissionResult | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable wire form (result via its own codec)."""
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "degraded": self.degraded,
+            "shed_reason": self.shed_reason,
+            "retry_after_seconds": self.retry_after_seconds,
+            "wait_seconds": self.wait_seconds,
+            "service_seconds": self.service_seconds,
+            "result": None if self.result is None else self.result.to_dict(),
+            "error": self.error,
+        }
+
+
+class TuningService:
+    """A multi-tenant tuning frontend over one shared profile store.
+
+    Args:
+        cluster: the cluster every worker pipeline simulates against;
+            a fresh EC2-shaped one if omitted.
+        store: the shared profile store (bare, maintained, or already
+            resilient); built from ``config.store_capacity`` if omitted.
+        config: service knobs.
+        seed: seed handed to each worker's PStorM (CBO search etc.).
+        engine_factory: how a worker builds its private engine; defaults
+            to ``HadoopEngine(cluster)``.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | None = None,
+        store: Any = None,
+        config: ServiceConfig | None = None,
+        seed: int = 0,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        retry_policy: RetryPolicy | None = None,
+        engine_factory: Callable[[], HadoopEngine] | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.cluster = cluster if cluster is not None else ec2_cluster()
+        self.seed = seed
+        self.registry = registry
+        self.tracer = tracer
+        self._engine_factory = engine_factory
+
+        inner = store if store is not None else ProfileStore(registry=registry)
+        if self.config.store_capacity is not None and not isinstance(
+            inner, (MaintainedStore, ResilientProfileStore)
+        ):
+            inner = MaintainedStore(inner, capacity=self.config.store_capacity)
+        if isinstance(inner, ResilientProfileStore):
+            self.store = inner
+        else:
+            self.store = ResilientProfileStore(
+                inner, policy=retry_policy, registry=registry
+            )
+
+        #: Simulated clock: cache TTLs and service-time accounting live
+        #: here.  The thread frontend advances it by each response's
+        #: modelled cost; the load harness drives it directly.
+        self.clock = VirtualClock()
+        self.cache = ResultCache(
+            capacity=self.config.cache_capacity,
+            ttl_seconds=self.config.cache_ttl_seconds,
+            registry=registry,
+        )
+        self.admission = AdmissionController(
+            queue_capacity=self.config.queue_capacity,
+            shed_watermark=self.config.shed_watermark,
+            default_policy=self.config.default_tenant,
+            tenant_policies=dict(self.config.tenant_policies),
+            registry=registry,
+        )
+
+        self._lock = threading.RLock()
+        self._pipelines = threading.local()
+        self._seq = itertools.count(1)
+        self._queue: "queue.Queue[Any] | None" = None
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._hung_workers = 0
+        #: Rolling estimate of one request's modelled cost, for the
+        #: queue-full retry-after hint.
+        self._cost_estimate = self.config.match_overhead_seconds
+
+    # ------------------------------------------------------------------
+    # Pipeline management
+    # ------------------------------------------------------------------
+    def _pipeline(self) -> PStorM:
+        """This thread's private PStorM over the shared store."""
+        pipeline = getattr(self._pipelines, "pstorm", None)
+        if pipeline is None:
+            engine = (
+                self._engine_factory()
+                if self._engine_factory is not None
+                else HadoopEngine(self.cluster)
+            )
+            pipeline = PStorM(
+                engine,
+                store=self.store,
+                seed=self.seed,
+                registry=self.registry,
+                tracer=self.tracer,
+            )
+            self._pipelines.pstorm = pipeline
+        return pipeline
+
+    def next_request_id(self) -> int:
+        return next(self._seq)
+
+    # ------------------------------------------------------------------
+    # The core request pipeline (both frontends call this)
+    # ------------------------------------------------------------------
+    def handle(self, request: TuningRequest, now: float | None = None) -> TuningResponse:
+        """Serve one admitted request: cache probe, else full pipeline.
+
+        Never raises for store trouble: ``PStorM.submit`` degrades
+        internally and anything else is folded into a ``"failed"``
+        response — workers are unkillable by a bad request.
+        """
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
+        if now is None:
+            now = self.clock.now()
+        registry.counter(
+            "serving_requests_total",
+            "requests reaching the service pipeline",
+            labels={"tenant": request.tenant},
+        ).inc()
+
+        key = cache_key_for(request.job, request.dataset, self.cluster)
+        with tracer.span(
+            "serving.handle", tenant=request.tenant, job=request.job.name
+        ) as span:
+            cached = self.cache.get(key, now)
+            if cached is not None:
+                span.set_attr("cache_hit", True)
+                response = TuningResponse(
+                    request_id=request.request_id,
+                    tenant=request.tenant,
+                    status="ok",
+                    cache_hit=True,
+                    degraded=cached.degraded,
+                    service_seconds=self.config.cache_hit_cost_seconds,
+                    result=cached,
+                )
+            else:
+                span.set_attr("cache_hit", False)
+                response = self._handle_miss(request, key, now)
+        self._record_response(response)
+        return response
+
+    def _handle_miss(
+        self, request: TuningRequest, key: Any, now: float
+    ) -> TuningResponse:
+        try:
+            result = self._pipeline().submit(
+                request.job, request.dataset, request.config, seed=request.seed
+            )
+        except Exception as exc:  # noqa: BLE001 — worker must survive anything
+            get_registry(self.registry).counter(
+                "serving_pipeline_failures_total",
+                "requests that raised inside the tuning pipeline",
+            ).inc()
+            return TuningResponse(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                status="failed",
+                service_seconds=self.config.cache_hit_cost_seconds,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        service_seconds = (
+            result.sampling_seconds + self.config.match_overhead_seconds
+        )
+        if not result.degraded:
+            self.cache.put(key, result, now)
+            if result.profile_stored_as is not None:
+                # The miss path just enriched the store for this program:
+                # peers cached against the poorer store are stale.
+                self.cache.invalidate_job(key.job_signature, keep=key)
+        return TuningResponse(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            status="ok",
+            degraded=result.degraded,
+            service_seconds=service_seconds,
+            result=result,
+        )
+
+    def remember(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        config: JobConfiguration | None = None,
+        seed: int = 0,
+        now: float | None = None,
+    ) -> str | None:
+        """Store a fully instrumented profile and invalidate stale cache.
+
+        Returns the stored job id, or None when the store write gave up
+        under its retry budget (counted, never raised — the serving loop
+        must outlive its store).
+        """
+        registry = get_registry(self.registry)
+        try:
+            job_id = self._pipeline().remember(job, dataset, config, seed=seed)
+        except StoreUnavailableError:
+            registry.counter(
+                "serving_remember_failures_total",
+                "remember() writes that exhausted the store budget",
+            ).inc()
+            return None
+        invalidated = self.cache.invalidate_job(job_signature(job))
+        registry.counter(
+            "serving_remembers_total", "profiles stored via the service"
+        ).inc()
+        if now is None:
+            now = self.clock.now()
+        del now  # reserved for future freshness bookkeeping
+        del invalidated
+        return job_id
+
+    def _record_response(self, response: TuningResponse) -> None:
+        registry = get_registry(self.registry)
+        registry.counter(
+            "serving_responses_total",
+            "responses produced, by status",
+            labels={"status": response.status},
+        ).inc()
+        if response.degraded:
+            registry.counter(
+                "serving_degraded_responses_total",
+                "responses served through a degraded pipeline",
+            ).inc()
+        registry.histogram(
+            "serving_service_seconds",
+            "modelled service time per request",
+            buckets=SIM_SECONDS_BUCKETS,
+        ).observe(response.service_seconds)
+        with self._lock:
+            # EMA of request cost, feeding the queue-full retry hint.
+            self._cost_estimate = (
+                0.8 * self._cost_estimate + 0.2 * response.service_seconds
+            )
+
+    def backlog_hint(self, queue_depth: int) -> float:
+        """Estimated seconds for the current backlog to drain."""
+        with self._lock:
+            per_request = self._cost_estimate
+        return max(0.001, queue_depth * per_request / self.config.workers)
+
+    # ------------------------------------------------------------------
+    # Thread-pool frontend
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spin up the worker pool (idempotent)."""
+        with self._lock:
+            if self._running:
+                return
+            self._queue = queue.Queue(maxsize=self.config.queue_capacity)
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"tuning-worker-{index}",
+                    daemon=True,
+                )
+                for index in range(self.config.workers)
+            ]
+            self._running = True
+            self._hung_workers = 0
+        for thread in self._threads:
+            thread.start()
+
+    def submit_request(
+        self,
+        job: MapReduceJob,
+        dataset: Dataset,
+        tenant: str = "default",
+        config: JobConfiguration | None = None,
+        seed: int = 0,
+    ) -> "Future[TuningResponse]":
+        """Admit and enqueue one request; returns a future response.
+
+        Raises:
+            ServiceClosedError: the pool is not running.
+            ServiceOverloadError: shed at admission (queue watermark or
+                tenant rate limit); carries the retry-after hint.
+        """
+        with self._lock:
+            if not self._running or self._queue is None:
+                raise ServiceClosedError("service is not accepting requests")
+            work_queue = self._queue
+        depth = work_queue.qsize()
+        now = time.monotonic()
+        self.admission.admit(
+            tenant, depth, now=now, backlog_seconds_hint=self.backlog_hint(depth)
+        )
+        request = TuningRequest(
+            request_id=self.next_request_id(),
+            tenant=tenant,
+            job=job,
+            dataset=dataset,
+            config=config,
+            seed=seed,
+            submitted_at=now,
+        )
+        future: "Future[TuningResponse]" = Future()
+        try:
+            work_queue.put_nowait((request, future, now))
+        except queue.Full:
+            # Raced past the watermark check; shed like the gate would.
+            get_registry(self.registry).counter(
+                "serving_shed_total",
+                "requests refused at admission, by reason",
+                labels={"reason": "queue-full"},
+            ).inc()
+            raise ServiceOverloadError(
+                "queue-full",
+                retry_after_seconds=self.backlog_hint(depth),
+                tenant=tenant,
+            ) from None
+        get_registry(self.registry).gauge(
+            "serving_queue_depth", "requests waiting in the service queue"
+        ).set(work_queue.qsize())
+        return future
+
+    def _worker_loop(self) -> None:
+        registry = get_registry(self.registry)
+        assert self._queue is not None
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            request, future, enqueued_at = item
+            try:
+                wait = max(0.0, time.monotonic() - enqueued_at)
+                registry.histogram(
+                    "serving_queue_wait_seconds",
+                    "time requests spent queued before a worker took them",
+                ).observe(wait)
+                deadline = (
+                    request.deadline_seconds
+                    if request.deadline_seconds is not None
+                    else self.config.deadline_seconds
+                )
+                if wait > deadline:
+                    registry.counter(
+                        "serving_shed_total",
+                        "requests refused at admission, by reason",
+                        labels={"reason": "deadline"},
+                    ).inc()
+                    response = TuningResponse(
+                        request_id=request.request_id,
+                        tenant=request.tenant,
+                        status="shed",
+                        shed_reason="deadline",
+                        wait_seconds=wait,
+                    )
+                    self._record_response(response)
+                else:
+                    response = self.handle(request)
+                    response.wait_seconds = wait
+                    with self._lock:
+                        self.clock.advance(response.service_seconds)
+                future.set_result(response)
+            except BaseException as exc:  # pragma: no cover — belt and braces
+                if not future.done():
+                    future.set_exception(exc)
+
+    def stop(self, timeout: float = 30.0) -> bool:
+        """Drain and join the pool; True when every worker exited.
+
+        Queued work is completed first (sentinels queue behind it).  A
+        worker that fails to join within its slice of *timeout* is
+        counted on the ``serving_workers_hung`` gauge — the acceptance
+        bar for chaos runs is that this stays at zero.
+        """
+        with self._lock:
+            if not self._running or self._queue is None:
+                return True
+            work_queue = self._queue
+            threads = list(self._threads)
+            self._running = False
+        for __ in threads:
+            work_queue.put(_SENTINEL)
+        deadline = time.monotonic() + timeout
+        hung = 0
+        for thread in threads:
+            remaining = max(0.0, deadline - time.monotonic())
+            thread.join(timeout=remaining)
+            if thread.is_alive():
+                hung += 1
+        with self._lock:
+            self._hung_workers = hung
+            self._threads = []
+            self._queue = None
+        get_registry(self.registry).gauge(
+            "serving_workers_hung",
+            "workers that failed to join at shutdown",
+        ).set(hung)
+        return hung == 0
+
+    @property
+    def hung_workers(self) -> int:
+        return self._hung_workers
+
+    @property
+    def running(self) -> bool:
+        return self._running

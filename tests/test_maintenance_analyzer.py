@@ -67,6 +67,72 @@ class TestMaintainedStore:
         assert stored_id in maintained.store
 
 
+class TestMaintainedStoreComposition:
+    """Regression: MaintainedStore must compose with the resilient
+    client in either order (the serving layer uses resilient-outside)."""
+
+    def test_resilient_over_maintained(self, stored_items):
+        from repro.core.resilient import ResilientProfileStore
+
+        store = ResilientProfileStore(MaintainedStore(ProfileStore(), capacity=1))
+        store.put(*stored_items["wc"], job_id="first")
+        store.put(*stored_items["ident"], job_id="second")
+        assert len(store) == 1
+        assert "second" in store
+        assert "first" not in store
+        # Maintenance attributes remain reachable through the wrapper.
+        assert store.evicted == ["first"]
+        store.record_hit("second")
+        assert store.get_profile("second") is not None
+
+    def test_maintained_over_resilient(self, stored_items):
+        from repro.core.resilient import ResilientProfileStore
+
+        store = MaintainedStore(
+            ResilientProfileStore(ProfileStore()), capacity=1
+        )
+        store.put(*stored_items["wc"], job_id="first")
+        store.put(*stored_items["ident"], job_id="second")
+        assert len(store) == 1
+        assert "second" in store
+        assert store.evicted == ["first"]
+
+    def test_delete_keeps_policy_in_sync(self, stored_items):
+        maintained = MaintainedStore(ProfileStore(), capacity=2)
+        maintained.put(*stored_items["wc"], job_id="a")
+        maintained.put(*stored_items["ident"], job_id="b")
+        maintained.delete("a")
+        # Capacity slot freed: the next two puts must not evict "b"'s
+        # replacement prematurely.
+        maintained.put(*stored_items["wc"], job_id="c")
+        assert sorted(maintained.job_ids()) == ["b", "c"]
+        assert maintained.evicted == []
+
+    def test_build_store_capacity_bound(self, engine, profiler, sampler,
+                                        wordcount, maponly_job, small_text):
+        from repro.experiments.common import build_store
+        from repro.core.resilient import ResilientProfileStore
+        from repro.core.features import extract_job_features
+
+        def record_for(job):
+            profile, __ = profiler.profile_job(job, small_text)
+            sample = sampler.collect(job, small_text, count=1)
+            features = extract_job_features(job, small_text, sample.profile, engine)
+
+            class _Rec:
+                def __init__(self):
+                    self.full_profile = profile
+                    self.static = features.static
+                    self.job_name = job.name
+
+            return _Rec()
+
+        records = {"a@d": record_for(wordcount), "b@d": record_for(maponly_job)}
+        store = build_store(records, capacity=1)
+        assert isinstance(store, ResilientProfileStore)
+        assert len(store) == 1
+
+
 class TestAnalyzer:
     def test_single_reducer_job_surfaces_reduce_side(self, profiler, wordcount, small_text):
         profile, __ = profiler.profile_job(

@@ -1,8 +1,12 @@
 """Integration tests for the PStorM daemon workflow (Chapter 3)."""
 
-import pytest
+import json
 
-from repro.core.pstorm import PStorM
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matcher import MatchOutcome, SideMatch
+from repro.core.pstorm import PStorM, SubmissionResult, WireExecution
 from repro.hadoop.config import JobConfiguration
 
 
@@ -63,3 +67,130 @@ class TestSubmissionWorkflow:
         result = pstorm.submit(maponly_job, small_text)
         assert result.matched
         assert result.outcome.reduce_match is None
+
+
+# ----------------------------------------------------------------------
+# Wire codec (to_dict / from_dict) — the serving layer's response format
+# ----------------------------------------------------------------------
+_names = st.text(
+    alphabet="abcdefghij-@0123456789", min_size=1, max_size=16
+)
+_stages = st.sampled_from(
+    ["static", "cost-fallback", "no-match-dynamic", "no-match"]
+)
+_funnels = st.dictionaries(
+    st.sampled_from(["dynamic", "static", "euclidean", "cost"]),
+    st.integers(min_value=0, max_value=99),
+    max_size=4,
+)
+
+
+def _side(side: str):
+    return st.builds(
+        SideMatch,
+        side=st.just(side),
+        job_id=st.one_of(st.none(), _names),
+        stage=_stages,
+        funnel=_funnels,
+    )
+
+
+_results = st.builds(
+    SubmissionResult,
+    job_name=_names,
+    dataset_name=_names,
+    matched=st.booleans(),
+    outcome=st.builds(
+        MatchOutcome,
+        profile=st.none(),
+        map_match=_side("map"),
+        reduce_match=st.one_of(st.none(), _side("reduce")),
+    ),
+    config=st.builds(
+        JobConfiguration,
+        num_reduce_tasks=st.integers(min_value=1, max_value=64),
+        io_sort_mb=st.integers(min_value=32, max_value=512),
+    ),
+    execution=st.builds(
+        WireExecution,
+        job_name=_names,
+        dataset_name=_names,
+        input_bytes=st.integers(min_value=0, max_value=1 << 40),
+        runtime_seconds=st.floats(
+            min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        num_map_tasks=st.integers(min_value=0, max_value=2048),
+        num_reduce_tasks=st.integers(min_value=0, max_value=512),
+        sampled=st.booleans(),
+    ),
+    sampling_seconds=st.floats(
+        min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False
+    ),
+    profile_stored_as=st.one_of(st.none(), _names),
+    degraded=st.booleans(),
+    degradation_reason=st.one_of(
+        st.none(), st.sampled_from(["store-probe", "store-put"])
+    ),
+    fallback_path=st.one_of(st.none(), st.sampled_from(["rbo", "default"])),
+)
+
+
+class TestWireCodec:
+    @settings(max_examples=60, deadline=None)
+    @given(result=_results)
+    def test_round_trip_is_identity(self, result):
+        wire = result.to_dict()
+        assert SubmissionResult.from_dict(wire).to_dict() == wire
+
+    @settings(max_examples=25, deadline=None)
+    @given(result=_results)
+    def test_wire_form_survives_json(self, result):
+        wire = result.to_dict()
+        rehydrated = json.loads(json.dumps(wire))
+        assert SubmissionResult.from_dict(rehydrated).to_dict() == wire
+
+    def test_missing_map_match_rejected(self):
+        wire = SubmissionResult(
+            job_name="j",
+            dataset_name="d",
+            matched=False,
+            outcome=MatchOutcome(
+                None, SideMatch(side="map", job_id=None, stage="no-match"), None
+            ),
+            config=JobConfiguration(),
+            execution=WireExecution(
+                job_name="j",
+                dataset_name="d",
+                input_bytes=0,
+                runtime_seconds=1.0,
+                num_map_tasks=1,
+                num_reduce_tasks=0,
+            ),
+            sampling_seconds=0.0,
+            profile_stored_as=None,
+        ).to_dict()
+        wire["outcome"]["map_match"] = None
+        with pytest.raises(ValueError):
+            SubmissionResult.from_dict(wire)
+
+    def test_real_submission_round_trips(self, pstorm, wordcount, small_text):
+        result = pstorm.submit(wordcount, small_text)
+        wire = result.to_dict()
+        again = SubmissionResult.from_dict(json.loads(json.dumps(wire)))
+        assert again.to_dict() == wire
+        assert again.job_name == wordcount.name
+        assert again.config == result.config
+        assert again.runtime_seconds == pytest.approx(result.runtime_seconds)
+
+    def test_degraded_flags_round_trip(self, pstorm, wordcount, small_text):
+        result = pstorm.submit(wordcount, small_text)
+        wire = result.to_dict()
+        wire.update(
+            degraded=True,
+            degradation_reason="store-probe",
+            fallback_path="rbo",
+        )
+        again = SubmissionResult.from_dict(wire)
+        assert again.degraded
+        assert again.degradation_reason == "store-probe"
+        assert again.fallback_path == "rbo"

@@ -1,0 +1,164 @@
+"""Concurrency stress tests: many threads sharing one profile store.
+
+Satellite of the serving PR: the store-level lock added for the service
+must make interleaved submit/remember traffic safe — no lost updates, no
+duplicate job ids, and cache invalidation staying consistent with what
+the store actually holds.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.chaos import set_default_injector
+from repro.core.resilient import ResilientProfileStore
+from repro.core.store import ProfileStore
+from repro.observability import MetricsRegistry
+from repro.serving import ServiceConfig, TuningService, cache_key_for, job_signature
+
+THREADS = 8
+WRITES_PER_THREAD = 6
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos():
+    set_default_injector(None)
+    yield
+    set_default_injector(None)
+
+
+@pytest.fixture()
+def stored(engine, profiler, sampler, wordcount, small_text):
+    from repro.core.features import extract_job_features
+
+    profile, __ = profiler.profile_job(wordcount, small_text)
+    sample = sampler.collect(wordcount, small_text, count=1)
+    features = extract_job_features(wordcount, small_text, sample.profile, engine)
+    return profile, features.static
+
+
+class TestConcurrentStore:
+    def test_parallel_puts_lose_nothing(self, stored):
+        profile, static = stored
+        store = ResilientProfileStore(ProfileStore())
+        barrier = threading.Barrier(THREADS)
+
+        def writer(worker: int) -> list[str]:
+            barrier.wait()
+            return [
+                store.put(profile, static, job_id=f"w{worker}-j{i}")
+                for i in range(WRITES_PER_THREAD)
+            ]
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            batches = list(pool.map(writer, range(THREADS)))
+        ids = [job_id for batch in batches for job_id in batch]
+        assert len(ids) == THREADS * WRITES_PER_THREAD
+        assert len(set(ids)) == len(ids), "duplicate job ids"
+        assert sorted(store.job_ids()) == sorted(ids), "lost updates"
+
+    def test_interleaved_puts_and_scans(self, stored):
+        profile, static = stored
+        store = ResilientProfileStore(ProfileStore())
+        stop = threading.Event()
+        scan_errors: list[BaseException] = []
+
+        def scanner() -> None:
+            while not stop.is_set():
+                try:
+                    for job_id in store.job_ids():
+                        store.get_profile(job_id)
+                except BaseException as exc:  # noqa: BLE001
+                    scan_errors.append(exc)
+                    return
+
+        reader = threading.Thread(target=scanner)
+        reader.start()
+        try:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                list(
+                    pool.map(
+                        lambda i: store.put(profile, static, job_id=f"job-{i}"),
+                        range(24),
+                    )
+                )
+        finally:
+            stop.set()
+            reader.join(timeout=30.0)
+        assert not reader.is_alive()
+        assert not scan_errors
+        assert len(store) == 24
+
+
+class TestConcurrentService:
+    def test_submit_remember_interleaving(self, cluster, wordcount, small_text):
+        """N threads mixing submits and remembers: every future resolves,
+        nothing hangs, and the store's contents stay consistent."""
+        service = TuningService(
+            cluster=cluster,
+            config=ServiceConfig(workers=4, queue_capacity=64),
+            registry=MetricsRegistry(),
+        )
+        service.start()
+        errors: list[BaseException] = []
+        futures = []
+        futures_lock = threading.Lock()
+        barrier = threading.Barrier(THREADS)
+
+        def client(worker: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(4):
+                    if (worker + i) % 4 == 0:
+                        service.remember(
+                            wordcount.with_params(v=worker), small_text
+                        )
+                    else:
+                        future = service.submit_request(
+                            wordcount, small_text, tenant=f"t{worker}"
+                        )
+                        with futures_lock:
+                            futures.append(future)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(w,)) for w in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not any(t.is_alive() for t in threads)
+        assert not errors
+        responses = [f.result(timeout=120.0) for f in futures]
+        assert service.stop(timeout=60.0)
+        assert service.hung_workers == 0
+        assert all(r.status in ("ok", "failed") for r in responses)
+        assert all(r.status == "ok" for r in responses)
+        job_ids = service.store.job_ids()
+        assert len(job_ids) == len(set(job_ids)), "duplicate job ids"
+
+    def test_remember_then_handle_is_fresh(self, cluster, wordcount, small_text):
+        """Cache-invalidation consistency: after a remember() the next
+        lookup for that program must re-match against the store."""
+        from repro.serving import TuningRequest
+
+        service = TuningService(
+            cluster=cluster,
+            config=ServiceConfig(workers=2),
+            registry=MetricsRegistry(),
+        )
+        key = cache_key_for(wordcount, small_text, service.cluster)
+        service.handle(TuningRequest(1, "t", wordcount, small_text), now=0.0)
+        assert service.cache.get(key, now=1.0) is not None
+        service.remember(wordcount, small_text)
+        assert service.cache.get(key, now=2.0) is None
+        response = service.handle(
+            TuningRequest(2, "t", wordcount, small_text), now=3.0
+        )
+        assert not response.cache_hit
+        assert job_signature(wordcount) == key.job_signature
