@@ -3,10 +3,218 @@
 Not a paper figure — these measure the cost of PStorM's own machinery
 (one store lookup per submitted job), which the paper argues must stay
 negligible relative to the 1-task sampling run.
+
+The scan-vs-index section times ``ProfileMatcher.match_job`` over the
+columnar match index against the filtered-scan reference at store sizes
+{32, 256, 2048}, asserting identical outcomes before trusting either
+number.  Results land in ``BENCH_matcher.json`` at the repo root.
+``MATCHER_BENCH_QUICK=1`` shrinks the sizes for CI smoke runs; the ≥5x
+speedup floor is only enforced on the full benchmark's largest store.
 """
 
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.static_features import STATIC_FEATURE_NAMES, StaticFeatures
+from repro.core.features import JobFeatures
 from repro.core.matcher import ProfileMatcher
+from repro.core.store import ProfileStore
 from repro.experiments.common import build_store
+from repro.observability import MetricsRegistry
+from repro.starfish.profile import (
+    MAP_COST_FEATURES,
+    MAP_DATA_FLOW_FEATURES,
+    REDUCE_COST_FEATURES,
+    REDUCE_DATA_FLOW_FEATURES,
+    JobProfile,
+    SideProfile,
+)
+
+QUICK = os.environ.get("MATCHER_BENCH_QUICK", "") not in ("", "0")
+#: Acceptance floor: at the largest store the indexed probe must beat
+#: the scan path by at least this factor (full benchmark only).
+SPEEDUP_FLOOR = 5.0
+STORE_SIZES = (32, 64) if QUICK else (32, 256, 2048)
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_matcher.json"
+
+_ARCHETYPES = 16
+_CATEGORICAL = tuple(
+    name for name in STATIC_FEATURE_NAMES if name not in ("MAP_CFG", "RED_CFG")
+)
+
+
+def _cfg_a(x):
+    return x + 1
+
+
+def _cfg_b(x):
+    if x > 0:
+        return x
+    return -x
+
+
+def _cfg_c(x):
+    total = 0
+    for item in range(4):
+        total += item
+    return total
+
+
+def _cfg_d(x):
+    while x > 1:
+        x -= 2
+    return x
+
+
+_CFGS = tuple(
+    ControlFlowGraph.from_callable(fn) for fn in (_cfg_a, _cfg_b, _cfg_c, _cfg_d)
+)
+
+
+def _archetype_values(archetype: int, jitter: float) -> dict:
+    base = 0.05 * archetype
+    return {
+        "flow": tuple(base + jitter + 0.01 * k for k in range(4)),
+        "map_costs": tuple(base + jitter + 0.005 * k for k in range(5)),
+        "red_flow": (base + jitter, base + jitter + 0.01),
+        "red_costs": tuple(base + jitter + 0.002 * k for k in range(4)),
+        "statics": {name: f"{name}-{archetype}" for name in _CATEGORICAL},
+        "map_cfg": _CFGS[archetype % len(_CFGS)],
+        "red_cfg": _CFGS[(archetype + 1) % len(_CFGS)],
+    }
+
+
+def _synthetic_store(size: int, seed: int = 7) -> ProfileStore:
+    """A store of *size* profiles across 16 behavioural archetypes, so
+    the dynamic filter prunes roughly 15/16 of candidates — the funnel
+    shape the index is built for."""
+    rng = random.Random(seed)
+    store = ProfileStore(registry=MetricsRegistry())
+    for number in range(size):
+        values = _archetype_values(number % _ARCHETYPES, rng.random() * 0.004)
+        profile = JobProfile(
+            job_name=f"synthetic-{number}",
+            dataset_name=f"ds{number % 5}",
+            input_bytes=(number + 1) << 24,
+            split_bytes=128 << 20,
+            num_map_tasks=4,
+            num_reduce_tasks=2,
+            map_profile=SideProfile(
+                side="map",
+                data_flow=dict(zip(MAP_DATA_FLOW_FEATURES, values["flow"])),
+                cost_factors=dict(zip(MAP_COST_FEATURES, values["map_costs"])),
+                statistics={},
+                phase_times={},
+                num_tasks=4,
+            ),
+            reduce_profile=SideProfile(
+                side="reduce",
+                data_flow=dict(zip(REDUCE_DATA_FLOW_FEATURES, values["red_flow"])),
+                cost_factors=dict(zip(REDUCE_COST_FEATURES, values["red_costs"])),
+                statistics={},
+                phase_times={},
+                num_tasks=2,
+            ),
+        )
+        static = StaticFeatures(
+            categorical=values["statics"],
+            map_cfg=values["map_cfg"],
+            reduce_cfg=values["red_cfg"],
+        )
+        store.put(profile, static)
+    return store
+
+
+def _probe_features(archetype: int = 3) -> JobFeatures:
+    values = _archetype_values(archetype, 0.001)
+    return JobFeatures(
+        job_name="bench-probe",
+        static=StaticFeatures(
+            categorical=values["statics"],
+            map_cfg=values["map_cfg"],
+            reduce_cfg=values["red_cfg"],
+        ),
+        map_data_flow=values["flow"],
+        map_costs=values["map_costs"],
+        reduce_data_flow=values["red_flow"],
+        reduce_costs=values["red_costs"],
+        input_bytes=100 << 24,
+    )
+
+
+def _timeit(fn, repeats: int) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _merge_results(update: dict) -> dict:
+    payload = {}
+    if _RESULT_PATH.exists():
+        payload = json.loads(_RESULT_PATH.read_text())
+    payload.update(update)
+    payload["quick_mode"] = QUICK
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def test_scan_vs_index_speedup():
+    """Indexed probe vs filtered-scan reference across store sizes."""
+    probe = _probe_features()
+    rows = {}
+    for size in STORE_SIZES:
+        store = _synthetic_store(size)
+        indexed = ProfileMatcher(
+            store, euclidean_threshold=0.2, registry=MetricsRegistry()
+        )
+        scan = ProfileMatcher(
+            store,
+            euclidean_threshold=0.2,
+            registry=MetricsRegistry(),
+            use_index=False,
+        )
+        # Equivalence gate: never report a speedup for a wrong answer.
+        indexed_outcome = indexed.match_job(probe)  # also warms the index
+        scan_outcome = scan.match_job(probe)
+        assert indexed_outcome == scan_outcome
+        assert indexed_outcome.matched
+
+        repeats = 3 if size >= 1024 else 5
+        scan_seconds = _timeit(lambda: scan.match_job(probe), repeats)
+        index_seconds = _timeit(lambda: indexed.match_job(probe), repeats)
+        rows[str(size)] = {
+            "scan_seconds": scan_seconds,
+            "index_seconds": index_seconds,
+            "speedup": scan_seconds / index_seconds,
+        }
+
+    payload = _merge_results(
+        {
+            "match_job": {
+                "store_sizes": rows,
+                "speedup_floor": SPEEDUP_FLOOR,
+            }
+        }
+    )
+    print()
+    for size, row in rows.items():
+        print(
+            f"store={size:>5}  scan={row['scan_seconds'] * 1e3:8.2f} ms  "
+            f"index={row['index_seconds'] * 1e3:8.2f} ms  "
+            f"speedup={row['speedup']:6.1f}x"
+        )
+    if not QUICK:
+        largest = rows[str(max(STORE_SIZES))]
+        assert largest["speedup"] >= SPEEDUP_FLOOR, payload
 
 
 def test_match_job_latency(benchmark, records):

@@ -1,0 +1,509 @@
+"""Columnar match index: vectorized candidate pruning for the store probe.
+
+The matcher's scan path answers every stage with a filtered range scan —
+Python-level row iteration over the HBase substrate, O(store size) per
+stage, twice per submission (map + reduce).  This module keeps an
+in-memory *columnar* mirror of exactly the data those filters touch:
+
+- per-(side, kind) numpy matrices of the Table 4.1 dynamic feature
+  vectors, with a validity mask for rows missing the side's columns
+  (map-only jobs have no reduce vector);
+- parallel arrays of row keys (job ids), tie-break ``INPUT_BYTES``, and
+  liveness flags;
+- the Table 4.3 categorical features factorized into small integer
+  codes, one int64 column per feature name (``-1`` = column absent), so
+  the Jaccard stage is a handful of equality comparisons over the whole
+  candidate block;
+- per-side CFG *digests* plus a parsed-graph cache and a memo of
+  pairwise :func:`~repro.analysis.cfg_match.cfg_match` verdicts, so the
+  expensive synchronized-walk runs once per distinct (probe, stored)
+  graph pair, not once per row per probe.  Digests are memo keys only —
+  two distinct digests may still be ``cfg_match``-equal, which is fine
+  (the memo just misses); equal digests are byte-identical graphs.
+
+Coherence protocol
+------------------
+The store numbers its writes with a monotone ``generation`` (bumped
+under the store lock on every put/delete, alongside the
+``Meta/__normalizers__`` rewrite — so a normalizer update *is* a
+generation change).  Writers never mutate the index in place: ``on_put``
+/ ``on_delete`` (called under the store lock) append to a pending queue
+behind a small leaf lock.  ``ensure_fresh`` — called at the top of every
+probe — drains the queue and applies it incrementally (append a row /
+mark a row dead); an overwrite of an existing id, or a generation gap
+(writes that predate the index), escalates to a full rebuild from
+:meth:`ProfileStore.index_snapshot`, which is read under the store lock
+and therefore write-consistent.  If the rebuild scan faults (chaos), the
+index stays stale and the error propagates — the matcher treats that as
+a *poisoned* index and falls back to the retried scan path.
+
+Lock order: writers hold ``store._lock`` → ``index._pending_lock``
+(leaf); probes hold ``index._lock`` → ``store._lock`` (snapshot /
+normalizer load).  No path acquires them in the opposite order, so the
+two compose deadlock-free.
+
+Stage parity
+------------
+Every probe method reproduces its scan-path filter bit for bit: the
+normalized-Euclidean stage clips with the same min/max bounds and sums
+squares in the same float64 order (vectors are ≤6-wide, below numpy's
+pairwise-summation block, see :mod:`repro.core.similarity`); the
+Jaccard stage fails rows with a missing or ``None``-valued probe column
+exactly like :class:`~repro.core.store.JaccardThresholdFilter`; the
+tie-break reproduces the matcher's ``(same_program, |Δsize|,
+-similarity, job_id)`` sort key.  ``tests/test_match_index.py`` holds
+the Hypothesis proof.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..analysis.cfg import ControlFlowGraph
+from ..analysis.cfg_match import cfg_match
+from ..observability import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+)
+
+if TYPE_CHECKING:
+    from .store import ProfileStore
+
+__all__ = ["MatchIndex"]
+
+#: Code meaning "this row has no value for this static column".
+_MISSING = -1
+#: Probe-side sentinel for values never seen in the store; never equals
+#: any stored code (codes are >= -1).
+_UNSEEN = -9
+
+_CFG_COLUMNS = {"map": "MAP_CFG", "reduce": "RED_CFG"}
+
+
+def _cfg_digest(payload: Mapping[str, Any]) -> str:
+    """Stable content digest of a serialized CFG (memo key, not equality)."""
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.md5(canonical.encode("utf-8")).hexdigest()
+
+
+class MatchIndex:
+    """In-memory columnar index over one :class:`ProfileStore`.
+
+    One instance per store (handed out by ``store.match_index()``), so
+    every serving worker probing the shared store shares the same
+    matrices and memo tables.
+    """
+
+    def __init__(
+        self,
+        store: "ProfileStore",
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self._store = store
+        self.registry = registry
+        self.tracer = tracer
+        #: Guards every structure below except the pending queue.
+        self._lock = threading.RLock()
+        #: Leaf lock for the write-side queue: held by writers while they
+        #: already hold the store lock, so it must acquire nothing else.
+        self._pending_lock = threading.Lock()
+        self._pending: list[tuple[Any, ...]] = []
+        self._built_generation = -1
+        self._needs_rebuild = True
+        self._clear_columns()
+
+    # ------------------------------------------------------------------
+    # Column storage
+    # ------------------------------------------------------------------
+    def _clear_columns(self) -> None:
+        from .store import _columns_for  # local import: store imports us lazily
+
+        self._ids: list[str] = []
+        self._row_of: dict[str, int] = {}
+        self._active: list[bool] = []
+        self._has_static: list[bool] = []
+        self._input_bytes: list[int] = []
+        self._vector_columns = {
+            key: _columns_for(*key)
+            for key in (
+                ("map", "flow"),
+                ("map", "cost"),
+                ("reduce", "flow"),
+                ("reduce", "cost"),
+            )
+        }
+        self._vectors: dict[tuple[str, str], list[tuple[float, ...] | None]] = {
+            key: [] for key in self._vector_columns
+        }
+        self._static_vocab: dict[str, dict[Any, int]] = {}
+        self._static_codes: dict[str, list[int]] = {}
+        self._cfg_digests: dict[str, list[str | None]] = {"map": [], "reduce": []}
+        self._cfg_graphs: dict[str, ControlFlowGraph] = {}
+        self._cfg_memo: dict[tuple[str, str], bool] = {}
+        self._arrays_dirty = True
+        self._matrices: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        self._code_arrays: dict[str, np.ndarray] = {}
+        self._active_arr = np.zeros(0, dtype=bool)
+        self._static_arr = np.zeros(0, dtype=bool)
+        self._input_arr = np.zeros(0, dtype=np.int64)
+
+    def _ingest(
+        self,
+        job_id: str,
+        dynamic: Mapping[str, Any],
+        static_columns: Mapping[str, Any] | None,
+    ) -> None:
+        """Append one job as a new row (caller holds ``self._lock``)."""
+        rows_before = len(self._ids)
+        self._ids.append(job_id)
+        self._row_of[job_id] = rows_before
+        self._active.append(True)
+        self._input_bytes.append(int(dynamic.get("INPUT_BYTES", 0)))
+        for key, columns in self._vector_columns.items():
+            if all(name in dynamic for name in columns):
+                vector = tuple(float(dynamic[name]) for name in columns)
+            else:
+                vector = None
+            self._vectors[key].append(vector)
+
+        self._has_static.append(static_columns is not None)
+        seen: set[str] = set()
+        for side, cfg_column in _CFG_COLUMNS.items():
+            payload = None if static_columns is None else static_columns.get(cfg_column)
+            if payload:
+                digest = _cfg_digest(payload)
+                if digest not in self._cfg_graphs:
+                    self._cfg_graphs[digest] = ControlFlowGraph.from_dict(payload)
+                self._cfg_digests[side].append(digest)
+            else:
+                self._cfg_digests[side].append(None)
+        if static_columns is not None:
+            for name, value in static_columns.items():
+                if name in _CFG_COLUMNS.values():
+                    continue
+                codes = self._static_codes.get(name)
+                if codes is None:
+                    codes = [_MISSING] * rows_before
+                    self._static_codes[name] = codes
+                vocab = self._static_vocab.setdefault(name, {})
+                try:
+                    code = vocab.setdefault(value, len(vocab))
+                except TypeError:  # unhashable value: treat as missing
+                    code = _MISSING
+                codes.append(code)
+                seen.add(name)
+        for name, codes in self._static_codes.items():
+            if name not in seen:
+                codes.append(_MISSING)
+        self._arrays_dirty = True
+
+    def _materialize(self) -> None:
+        """Rebuild the numpy views of the column lists (probe-side lock)."""
+        if not self._arrays_dirty:
+            return
+        count = len(self._ids)
+        self._active_arr = np.asarray(self._active, dtype=bool)
+        self._static_arr = np.asarray(self._has_static, dtype=bool)
+        self._input_arr = np.asarray(self._input_bytes, dtype=np.int64)
+        self._matrices = {}
+        for key, columns in self._vector_columns.items():
+            matrix = np.zeros((count, len(columns)), dtype=np.float64)
+            valid = np.zeros(count, dtype=bool)
+            for row, vector in enumerate(self._vectors[key]):
+                if vector is not None:
+                    matrix[row] = vector
+                    valid[row] = True
+            self._matrices[key] = (matrix, valid)
+        self._code_arrays = {
+            name: np.asarray(codes, dtype=np.int64)
+            for name, codes in self._static_codes.items()
+        }
+        self._arrays_dirty = False
+
+    # ------------------------------------------------------------------
+    # Write-side hooks (called by the store, under the store lock)
+    # ------------------------------------------------------------------
+    def on_put(
+        self,
+        job_id: str,
+        dynamic: Mapping[str, Any],
+        static_columns: Mapping[str, Any],
+        generation: int,
+    ) -> None:
+        with self._pending_lock:
+            self._pending.append(("put", job_id, dynamic, static_columns, generation))
+
+    def on_delete(self, job_id: str, generation: int) -> None:
+        with self._pending_lock:
+            self._pending.append(("delete", job_id, None, None, generation))
+
+    def invalidate(self) -> None:
+        """Force a full rebuild on the next probe."""
+        with self._lock:
+            self._needs_rebuild = True
+
+    # ------------------------------------------------------------------
+    # Coherence
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Store generation this index currently reflects (-1 = cold)."""
+        with self._lock:
+            return self._built_generation
+
+    def ensure_fresh(self) -> None:
+        """Bring the index up to the store's current generation.
+
+        Applies queued writes incrementally when possible, escalates to
+        a full snapshot rebuild otherwise.  Raises whatever the snapshot
+        scan raises (e.g. an injected substrate fault) — callers treat
+        that as a poisoned index and fall back to the scan path; the
+        index itself stays stale-but-consistent and recovers on the next
+        successful call.
+        """
+        with self._lock:
+            with self._pending_lock:
+                pending = self._pending
+                self._pending = []
+            if not self._needs_rebuild and self._built_generation >= 0:
+                for op, job_id, dynamic, static_columns, generation in pending:
+                    if generation <= self._built_generation:
+                        continue  # already covered by a snapshot rebuild
+                    if op == "put":
+                        if job_id in self._row_of:
+                            # Overwrite: per-column history is not
+                            # replayable in place, rebuild instead.
+                            self._needs_rebuild = True
+                            break
+                        self._ingest(job_id, dynamic, static_columns)
+                    else:
+                        row = self._row_of.pop(job_id, None)
+                        if row is not None:
+                            self._active[row] = False
+                            self._arrays_dirty = True
+                    self._built_generation = generation
+            if (
+                self._needs_rebuild
+                or self._built_generation != self._store.generation
+            ):
+                self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Full rebuild from a write-consistent store snapshot."""
+        generation, dynamic_rows, static_rows = self._store.index_snapshot()
+        self._clear_columns()
+        for job_id in sorted(dynamic_rows):
+            self._ingest(job_id, dynamic_rows[job_id], static_rows.get(job_id))
+        self._built_generation = generation
+        self._needs_rebuild = False
+        with self._pending_lock:
+            self._pending = [
+                entry for entry in self._pending if entry[4] > generation
+            ]
+        get_registry(self.registry).counter(
+            "pstorm_matcher_index_rebuilds_total",
+            "full columnar-index rebuilds from a store snapshot",
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Probe stages (mirror the scan-path filters bit for bit)
+    # ------------------------------------------------------------------
+    def _candidate_rows(
+        self, candidates: Iterable[str], require_static: bool = False
+    ) -> tuple[list[str], np.ndarray]:
+        """Map candidate ids to live row indices, preserving input order."""
+        ids: list[str] = []
+        rows: list[int] = []
+        for job_id in candidates:
+            row = self._row_of.get(job_id)
+            if row is None or not self._active[row]:
+                continue
+            if require_static and not self._has_static[row]:
+                continue
+            ids.append(job_id)
+            rows.append(row)
+        return ids, np.asarray(rows, dtype=np.intp)
+
+    def euclidean_stage(
+        self,
+        side: str,
+        kind: str,
+        probe: list[float],
+        threshold: float,
+        candidates: list[str] | None = None,
+    ) -> list[str]:
+        """Vectorized twin of :meth:`ProfileStore.euclidean_stage`."""
+        with self._lock:
+            self._materialize()
+            normalizer = self._store.load_normalizer(side, kind)
+            if normalizer.num_features == 0:
+                return []
+            matrix, valid = self._matrices[(side, kind)]
+            if candidates is None:
+                ids = self._ids
+                rows = np.arange(len(ids), dtype=np.intp)
+            else:
+                ids, rows = self._candidate_rows(candidates)
+            if len(rows) == 0:
+                return []
+            keep = self._active_arr[rows] & valid[rows]
+            minimums = np.asarray(normalizer.minimums, dtype=np.float64)
+            spans = np.asarray(normalizer.maximums, dtype=np.float64) - minimums
+            safe = spans > 0
+            denominator = np.where(safe, spans, 1.0)
+            probe_arr = np.asarray(probe, dtype=np.float64)
+            if probe_arr.shape[0] != matrix.shape[1]:
+                raise ValueError("columns/probe/bounds must align")
+            normalized_probe = np.where(
+                safe, np.clip((probe_arr - minimums) / denominator, 0.0, 1.0), 0.0
+            )
+            block = matrix[rows]
+            normalized = np.where(
+                safe, np.clip((block - minimums) / denominator, 0.0, 1.0), 0.0
+            )
+            deltas = normalized - normalized_probe
+            distances = np.sqrt((deltas * deltas).sum(axis=1))
+            keep &= distances <= threshold
+            return sorted(
+                job_id for job_id, ok in zip(ids, keep.tolist()) if ok
+            )
+
+    def cfg_stage(
+        self, side: str, probe_cfg: ControlFlowGraph, candidates: list[str]
+    ) -> list[str]:
+        """Memoized twin of :meth:`ProfileStore.cfg_stage`."""
+        with self._lock:
+            probe_key = _cfg_digest(probe_cfg.to_dict())
+            digests = self._cfg_digests[side]
+            survivors = []
+            ids, rows = self._candidate_rows(candidates, require_static=True)
+            for job_id, row in zip(ids, rows.tolist()):
+                digest = digests[row]
+                if digest is None:
+                    continue
+                verdict = self._cfg_memo.get((probe_key, digest))
+                if verdict is None:
+                    verdict = cfg_match(probe_cfg, self._cfg_graphs[digest])
+                    self._cfg_memo[(probe_key, digest)] = verdict
+                if verdict:
+                    survivors.append(job_id)
+            return sorted(survivors)
+
+    def jaccard_stage(
+        self, probe: Mapping[str, str], threshold: float, candidates: list[str]
+    ) -> list[str]:
+        """Vectorized twin of :meth:`ProfileStore.jaccard_stage`."""
+        with self._lock:
+            self._materialize()
+            ids, rows = self._candidate_rows(candidates, require_static=True)
+            if len(rows) == 0:
+                return []
+            agreements = np.zeros(len(rows), dtype=np.int64)
+            failed = np.zeros(len(rows), dtype=bool)
+            for name, value in probe.items():
+                column = self._code_arrays.get(name)
+                if column is None:
+                    failed[:] = True
+                    break
+                codes = column[rows]
+                vocab = self._static_vocab.get(name, {})
+                # The scan filter fails any row whose stored value is
+                # absent *or* None for a probe column.
+                none_code = vocab.get(None, _UNSEEN)
+                failed |= (codes == _MISSING) | (codes == none_code)
+                try:
+                    probe_code = vocab.get(value, _UNSEEN)
+                except TypeError:
+                    probe_code = _UNSEEN
+                agreements += codes == probe_code
+            if probe:
+                scores = agreements / len(probe)
+            else:
+                scores = np.ones(len(rows), dtype=np.float64)
+            keep = (~failed) & (scores >= threshold)
+            return sorted(
+                job_id for job_id, ok in zip(ids, keep.tolist()) if ok
+            )
+
+    def tie_break(
+        self,
+        candidates: list[str],
+        input_bytes: int,
+        side_statics: Mapping[str, str],
+        side: str,
+        observe: Callable[[float], None] | None = None,
+    ) -> str:
+        """Vectorized twin of ``ProfileMatcher._tie_break``.
+
+        Computes every candidate's Jaccard similarity against the probe
+        statics column-wise, then applies the exact scan-path sort key
+        ``(same_program, |stored - input|, -similarity, job_id)``.
+        *observe* receives each candidate's similarity in sorted-id
+        order, matching the scan path's per-candidate histogram.
+        """
+        with self._lock:
+            self._materialize()
+            ordered = sorted(candidates)
+            ids, rows = self._candidate_rows(ordered)
+            if not ids:
+                raise KeyError(f"no indexed candidates among {candidates!r}")
+            agreements = np.zeros(len(rows), dtype=np.int64)
+            for name, value in side_statics.items():
+                column = self._code_arrays.get(name)
+                codes = (
+                    column[rows]
+                    if column is not None
+                    else np.full(len(rows), _MISSING, dtype=np.int64)
+                )
+                vocab = self._static_vocab.get(name, {})
+                try:
+                    probe_code = vocab.get(value, _UNSEEN)
+                except TypeError:
+                    probe_code = _UNSEEN
+                equal = codes == probe_code
+                if value == "":
+                    # The scan path reads missing stored values as "",
+                    # which agrees when the probe value is "" too.
+                    equal |= codes == _MISSING
+                agreements += equal
+            if side_statics:
+                similarities = agreements / len(side_statics)
+            else:
+                similarities = np.ones(len(rows), dtype=np.float64)
+            deltas = np.abs(self._input_arr[rows] - np.int64(input_bytes))
+            best: tuple[Any, ...] | None = None
+            winner = ids[0]
+            for position, job_id in enumerate(ids):
+                similarity = float(similarities[position])
+                if observe is not None:
+                    observe(similarity)
+                key = (
+                    0 if similarity >= 1.0 else 1,
+                    int(deltas[position]),
+                    -similarity,
+                    job_id,
+                )
+                if best is None or key < best:
+                    best = key
+                    winner = job_id
+            return winner
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Deterministic size snapshot (sorted keys)."""
+        with self._lock:
+            return {
+                "built_generation": self._built_generation,
+                "cfg_graphs": len(self._cfg_graphs),
+                "cfg_memo": len(self._cfg_memo),
+                "live_rows": sum(self._active),
+                "rows": len(self._ids),
+                "static_columns": len(self._static_codes),
+            }

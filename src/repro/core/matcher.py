@@ -29,10 +29,13 @@ profiles of *other* jobs that composition needs (§4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable
 
 from ..observability import (
     COUNT_BUCKETS,
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     MetricsRegistry,
     Tracer,
     get_registry,
@@ -45,7 +48,10 @@ from .similarity import (
     default_euclidean_threshold,
     jaccard_index,
 )
-from .store import ProfileStore
+from .store import DYNAMIC_PREFIX, STATIC_PREFIX, ProfileStore
+
+if TYPE_CHECKING:
+    from .match_index import MatchIndex
 
 __all__ = [
     "ProfileMatcher",
@@ -95,7 +101,26 @@ class MatchOutcome:
 
 
 class ProfileMatcher:
-    """Matches submitted jobs to stored profiles via the Fig 4.4 stages."""
+    """Matches submitted jobs to stored profiles via the Fig 4.4 stages.
+
+    Two execution paths answer the same workflow:
+
+    - **indexed** (default) — stages probe the store's columnar
+      :class:`~repro.core.match_index.MatchIndex`: one vectorized
+      normalized-Euclidean/Jaccard pass over the candidate block, with
+      memoized CFG verdicts.
+    - **scan** — the original filtered range scans; the property-tested
+      reference, and the fallback whenever the index is disabled
+      (``use_index=False`` or ``store.enable_index=False``), unavailable
+      (a store object without ``match_index()``), or poisoned (a fault
+      while refreshing it).  ``ResilientProfileStore`` retries the scan
+      stages, so faults degrade the probe to the slow path instead of
+      failing it.
+    """
+
+    #: Subclasses that override ``_match_side_inner`` with a different
+    #: stage order must opt out of the indexed dispatch.
+    _index_capable = True
 
     def __init__(
         self,
@@ -104,6 +129,7 @@ class ProfileMatcher:
         euclidean_threshold: float | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        use_index: bool = True,
     ) -> None:
         """Args:
             store: the profile store to match against.
@@ -112,12 +138,15 @@ class ProfileMatcher:
                 side as in §6.
             registry, tracer: observability sinks; None falls back to the
                 module defaults.
+            use_index: probe the columnar match index when the store
+                offers one; False forces the scan path.
         """
         self.store = store
         self.jaccard_threshold = jaccard_threshold
         self._euclidean_override = euclidean_threshold
         self.registry = registry
         self.tracer = tracer
+        self.use_index = use_index
 
     # ------------------------------------------------------------------
     def _record_side_match(self, match: SideMatch) -> None:
@@ -183,13 +212,181 @@ class ProfileMatcher:
         return min(candidates, key=sort_key)
 
     # ------------------------------------------------------------------
+    # Indexed-path plumbing
+    # ------------------------------------------------------------------
+    def _count_index_miss(self, reason: str) -> None:
+        get_registry(self.registry).counter(
+            "pstorm_matcher_index_misses_total",
+            "side probes that fell back to the scan path, by cause",
+            labels={"reason": reason},
+        ).inc()
+
+    def _probe_index(self) -> "MatchIndex | None":
+        """The store's match index, refreshed — or None with a miss reason.
+
+        The fallback ladder: *disabled* (matcher or store opted out) →
+        *unavailable* (store object has no index accessor — duck-typed
+        test doubles) → *poisoned* (refreshing it faulted; the scan path
+        behind ``ResilientProfileStore`` retries instead).
+        """
+        if not (self.use_index and self._index_capable):
+            self._count_index_miss("disabled")
+            return None
+        accessor = getattr(self.store, "match_index", None)
+        if not callable(accessor):
+            self._count_index_miss("unavailable")
+            return None
+        index = accessor()
+        if index is None:
+            self._count_index_miss("disabled")
+            return None
+        try:
+            index.ensure_fresh()
+        except Exception:
+            self._count_index_miss("poisoned")
+            return None
+        return index
+
+    def _index_stage(
+        self, stage: str, prefix: str, call: Callable[[], list[str]]
+    ) -> list[str]:
+        """Run one indexed stage with scan-path observability parity.
+
+        Emits the same ``pstorm.store.probe`` span and candidate-size
+        histogram the scan path's ``scan_job_ids`` does (tagged
+        ``via=index``), plus the index's own probe-latency histogram.
+        """
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
+        began = perf_counter()
+        with tracer.span(
+            "pstorm.store.probe", stage=stage, prefix=prefix, via="index"
+        ):
+            result = call()
+        registry.histogram(
+            "pstorm_matcher_index_probe_seconds",
+            "wall-clock latency of one indexed matcher stage",
+            labels={"stage": stage},
+            buckets=LATENCY_BUCKETS,
+        ).observe(perf_counter() - began)
+        registry.histogram(
+            "pstorm_store_candidates",
+            "candidate-set size surviving one store stage",
+            labels={"stage": stage},
+            buckets=COUNT_BUCKETS,
+        ).observe(len(result))
+        return result
+
+    def _match_side_indexed(
+        self, index: "MatchIndex", features: JobFeatures, side: str
+    ) -> SideMatch:
+        """The Fig 4.4 workflow over the columnar index.
+
+        Stage-for-stage mirror of :meth:`_match_side_inner` — same
+        thresholds, same funnel keys, same terminal stages — with the
+        store scans replaced by index probes.
+        """
+        flow, costs, statics, cfg = features.side_vectors(side)
+        funnel: dict[str, int] = {}
+
+        survivors = self._index_stage(
+            f"euclidean-{side}-flow",
+            DYNAMIC_PREFIX,
+            lambda: index.euclidean_stage(
+                side, "flow", list(flow), self._theta_eucl(len(flow))
+            ),
+        )
+        funnel["dynamic"] = len(survivors)
+        if not survivors:
+            return SideMatch(side, None, "no-match-dynamic", funnel)
+        stage1_survivors = survivors
+
+        if cfg is not None:
+            survivors = self._index_stage(
+                f"cfg-{side}",
+                STATIC_PREFIX,
+                lambda: index.cfg_stage(side, cfg, survivors),
+            )
+        funnel["cfg"] = len(survivors)
+
+        if survivors:
+            survivors = self._index_stage(
+                "jaccard",
+                STATIC_PREFIX,
+                lambda: index.jaccard_stage(
+                    statics, self.jaccard_threshold, survivors
+                ),
+            )
+        funnel["jaccard"] = len(survivors)
+
+        score_hist = get_registry(self.registry).histogram(
+            "pstorm_matcher_tiebreak_similarity",
+            "Jaccard similarity of tie-break candidates to the probe",
+            labels={"side": side},
+            buckets=DEFAULT_BUCKETS,
+        )
+        if survivors:
+            winner = index.tie_break(
+                survivors,
+                features.input_bytes,
+                statics,
+                side,
+                observe=score_hist.observe,
+            )
+            return SideMatch(side, winner, "static", funnel)
+
+        fallback = self._index_stage(
+            f"euclidean-{side}-cost",
+            DYNAMIC_PREFIX,
+            lambda: index.euclidean_stage(
+                side,
+                "cost",
+                list(costs),
+                self._theta_eucl(6),
+                candidates=stage1_survivors,
+            ),
+        )
+        funnel["cost-fallback"] = len(fallback)
+        if fallback:
+            winner = index.tie_break(
+                fallback,
+                features.input_bytes,
+                statics,
+                side,
+                observe=score_hist.observe,
+            )
+            return SideMatch(side, winner, "cost-fallback", funnel)
+        return SideMatch(side, None, "no-match", funnel)
+
+    # ------------------------------------------------------------------
     def match_side(self, features: JobFeatures, side: str) -> SideMatch:
-        """Run the Fig 4.4 workflow for one side."""
+        """Run the Fig 4.4 workflow for one side (indexed, else scan)."""
+        registry = get_registry(self.registry)
         tracer = get_tracer(self.tracer)
         with tracer.span(
             "pstorm.match_side", side=side, job=features.job_name
         ) as span:
-            match = self._match_side_inner(features, side)
+            index = self._probe_index()
+            match: SideMatch | None = None
+            if index is not None:
+                try:
+                    match = self._match_side_indexed(index, features, side)
+                except Exception:
+                    # A probe-time fault (e.g. the cached-normalizer read
+                    # hitting an injected outage) poisons this probe only;
+                    # the scan path below retries under the resilient
+                    # store wrapper.
+                    self._count_index_miss("poisoned")
+                    match = None
+            if match is not None:
+                registry.counter(
+                    "pstorm_matcher_index_hits_total",
+                    "side probes answered by the columnar index",
+                ).inc()
+                span.set_attr("via", "index")
+            else:
+                match = self._match_side_inner(features, side)
+                span.set_attr("via", "scan")
             span.set_attr("stage", match.stage)
             span.set_attr("matched", match.matched)
         self._record_side_match(match)
@@ -298,6 +495,10 @@ class StaticsFirstMatcher(ProfileMatcher):
     sails through the static filters, to be mis-served later.  This class
     exists for the ablation that *measures* that argument.
     """
+
+    #: Different stage order — the columnar index encodes the Fig 4.4
+    #: pipeline, so this ablation always takes the scan path.
+    _index_capable = False
 
     def _match_side_inner(self, features: JobFeatures, side: str) -> SideMatch:
         flow, costs, statics, cfg = features.side_vectors(side)

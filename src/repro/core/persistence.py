@@ -48,6 +48,11 @@ def store_from_dict(
     restored store matches exactly like the original did.  Replay writes
     go through the resilient client, so a restore survives transient
     substrate faults; *retry_policy* overrides its default budgets.
+
+    Replay keeps the columnar match index coherent for free: every
+    replayed ``put`` bumps the store generation and enqueues an index
+    update, and the explicit refresh at the end folds them in so a
+    restored store whose index was already hot probes warm immediately.
     """
     version = payload.get("version")
     if version != FORMAT_VERSION:
@@ -63,6 +68,14 @@ def store_from_dict(
         profile = JobProfile.from_dict(entry["profile"])
         static = StaticFeatures.from_dict(entry["static"])
         writer.put(profile, static, job_id=job_id)
+    refresh = getattr(writer, "refresh_match_index", None)
+    if callable(refresh):
+        try:
+            refresh()
+        except Exception:
+            # A restore must not fail because the warm-up scan did: the
+            # matcher falls back to the scan path until the index heals.
+            pass
     return store
 
 

@@ -104,6 +104,23 @@ class ResilientProfileStore:
     def get_dynamic(self, job_id: str) -> dict[str, Any]:
         return self._call("get_dynamic", self.store.get_dynamic, job_id)
 
+    def bulk_rows(self, prefix: str) -> dict[str, dict[str, Any]]:
+        return self._call("scan", self.store.bulk_rows, prefix)
+
+    def bulk_profiles(self) -> dict[str, JobProfile]:
+        return self._call("scan", self.store.bulk_profiles)
+
+    def bulk_statics(self) -> dict[str, StaticFeatures]:
+        return self._call("scan", self.store.bulk_statics)
+
+    # -- match index ---------------------------------------------------
+    def refresh_match_index(self) -> None:
+        # The refresh replays the snapshot scan on transient faults; a
+        # still-unavailable substrate surfaces StoreUnavailableError to
+        # the caller (the serving layer logs-and-continues — the matcher
+        # will fall back to the scan path until the index recovers).
+        return self._call("scan", self.store.refresh_match_index)
+
     # -- filtered scans (the matcher's stages) -------------------------
     def scan_job_ids(
         self,

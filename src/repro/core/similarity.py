@@ -13,12 +13,16 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 __all__ = [
     "jaccard_index",
     "euclidean_distance",
     "MinMaxNormalizer",
     "default_euclidean_threshold",
     "DEFAULT_JACCARD_THRESHOLD",
+    "normalize_block",
+    "normalized_euclidean_block",
 ]
 
 #: θ_Jacc from §6.
@@ -111,3 +115,52 @@ class MinMaxNormalizer:
             minimums=[float(v) for v in payload["minimums"]],
             maximums=[float(v) for v in payload["maximums"]],
         )
+
+
+# ----------------------------------------------------------------------
+# Vectorized counterparts, used by the columnar match index and the GBRT
+# batch feature extractor.  Bit-parity with the scalar forms matters:
+# the feature vectors here are at most six-dimensional, below numpy's
+# pairwise-summation block size, so ``(row ** 2).sum()`` accumulates in
+# the same left-to-right order as the scalar ``sum()`` in
+# :func:`euclidean_distance` and produces the identical float64.
+
+
+def normalize_block(
+    normalizer: MinMaxNormalizer, block: np.ndarray
+) -> np.ndarray:
+    """Min-max normalize every row of *block*, mirroring ``normalize``.
+
+    ``block`` is an (n, d) float array with d == ``num_features``.
+    Zero-span dimensions map to 0.0 and out-of-bounds values clip to
+    [0, 1], exactly like the scalar path.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2 or block.shape[1] != normalizer.num_features:
+        raise ValueError(
+            f"expected (n, {normalizer.num_features}) block, got {block.shape}"
+        )
+    minimums = np.asarray(normalizer.minimums, dtype=np.float64)
+    spans = np.asarray(normalizer.maximums, dtype=np.float64) - minimums
+    safe = spans > 0
+    denominator = np.where(safe, spans, 1.0)
+    scaled = np.clip((block - minimums) / denominator, 0.0, 1.0)
+    return np.where(safe, scaled, 0.0)
+
+
+def normalized_euclidean_block(
+    normalizer: MinMaxNormalizer,
+    block: np.ndarray,
+    probe: Sequence[float],
+) -> np.ndarray:
+    """Normalized Euclidean distance from *probe* to every row of *block*.
+
+    Returns an (n,) float64 array; each entry equals
+    ``euclidean_distance(normalize(row), normalize(probe))`` bit for bit.
+    """
+    normalized_rows = normalize_block(normalizer, block)
+    normalized_probe = np.asarray(
+        normalizer.normalize(list(probe)), dtype=np.float64
+    )
+    deltas = normalized_rows - normalized_probe
+    return np.sqrt((deltas * deltas).sum(axis=1))

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any, ClassVar, Iterator, Mapping
 
 if TYPE_CHECKING:
     from ..chaos import FaultInjector
+    from .match_index import MatchIndex
 
 from ..analysis.cfg import ControlFlowGraph
 from ..analysis.cfg_match import cfg_match
@@ -249,6 +250,10 @@ class ProfileStore:
         chaos: fault injector handed to a freshly created substrate
             (ignored when *hbase* is supplied — an injected cluster
             keeps the injector it was built with).
+        enable_index: whether :meth:`match_index` hands out the columnar
+            match index; off forces every matcher onto the scan path.
+        scan_batch: chunk size for multi-row scans (``Table.scan(...,
+            batch=N)``); 1 restores the one-call-per-row baseline.
     """
 
     def __init__(
@@ -258,6 +263,8 @@ class ProfileStore:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         chaos: "FaultInjector | None" = None,
+        enable_index: bool = True,
+        scan_batch: int = 64,
     ) -> None:
         #: Observability sinks; None falls back to the module defaults.
         #: A freshly created substrate inherits them; an injected one
@@ -287,6 +294,19 @@ class ProfileStore:
                 ("reduce", "cost"),
             )
         }
+        if scan_batch < 1:
+            raise ValueError("scan_batch must be at least 1")
+        self.scan_batch = scan_batch
+        self.enable_index = enable_index
+        #: Monotone write version: bumped under the lock on every
+        #: put/delete.  The match index and the normalizer cache compare
+        #: against it to decide whether their snapshots are still live.
+        self._generation = 0
+        self._match_index: "MatchIndex | None" = None
+        #: Per-generation snapshot of the persisted ``Meta/__normalizers__``
+        #: row, so a probe's four stage scans re-read it at most once per
+        #: store version instead of once per stage.
+        self._normalizer_cache: tuple[int, dict[str, MinMaxNormalizer]] | None = None
 
     # ------------------------------------------------------------------
     # Writes
@@ -337,6 +357,11 @@ class ProfileStore:
 
         self._update_normalizers(dynamic, rp is not None)
         self._persist_normalizers()
+        self._generation += 1
+        if self._match_index is not None:
+            self._match_index.on_put(
+                job_id, dict(dynamic), static.to_dict(), self._generation
+            )
         return job_id
 
     def _update_normalizers(self, dynamic: Mapping[str, Any], has_reduce: bool) -> None:
@@ -363,6 +388,9 @@ class ProfileStore:
         with self._lock:
             for prefix in (DYNAMIC_PREFIX, STATIC_PREFIX, PROFILE_PREFIX):
                 self.table.delete_row(prefix + job_id)
+            self._generation += 1
+            if self._match_index is not None:
+                self._match_index.on_delete(job_id, self._generation)
 
     # ------------------------------------------------------------------
     # Reads
@@ -372,7 +400,9 @@ class ProfileStore:
         with self._lock:
             ids = []
             for row_key, __ in self.table.scan(
-                scan_filter=PrefixFilter(PROFILE_PREFIX), pushdown=self.pushdown
+                scan_filter=PrefixFilter(PROFILE_PREFIX),
+                pushdown=self.pushdown,
+                batch=self.scan_batch,
             ):
                 ids.append(row_key[len(PROFILE_PREFIX):])
             return ids
@@ -410,6 +440,129 @@ class ProfileStore:
         return self._normalizers[(side, kind)]
 
     # ------------------------------------------------------------------
+    # Versioning, cached normalizer loads, and the columnar match index
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotone write version (puts + deletes), for cache coherence."""
+        with self._lock:
+            return self._generation
+
+    def load_normalizer(self, side: str, kind: str) -> MinMaxNormalizer:
+        """The *persisted* min/max bounds, cached per store generation.
+
+        Reads the ``Meta/__normalizers__`` row at most once per write
+        version: every matcher stage of every probe between two writes
+        shares one substrate ``get``.  A put rewrites the row *and* bumps
+        the generation, so an updated normalizer invalidates the cache
+        by construction.  Missing row/cell (nothing stored yet) yields an
+        empty normalizer, mirroring the in-memory default.
+        """
+        with self._lock:
+            cached = self._normalizer_cache
+            if cached is None or cached[0] != self._generation:
+                row = self.table.get(_META_ROW)
+                cells = {} if row is None else row[FAMILY]
+                loaded = {
+                    name: MinMaxNormalizer.from_dict(payload)
+                    for name, payload in cells.items()
+                }
+                self._normalizer_cache = (self._generation, loaded)
+                get_registry(self.registry).counter(
+                    "pstorm_store_normalizer_loads_total",
+                    "Meta/__normalizers__ row fetches (cache misses)",
+                ).inc()
+            return self._normalizer_cache[1].get(
+                f"{side}.{kind}", MinMaxNormalizer()
+            )
+
+    def match_index(self) -> "MatchIndex | None":
+        """The columnar match index (lazily built), or None if disabled.
+
+        One index per store: serving workers that share this store (via
+        ``ResilientProfileStore``/``MaintainedStore`` delegation) probe
+        the same structure.
+        """
+        if not self.enable_index:
+            return None
+        with self._lock:
+            if self._match_index is None:
+                from .match_index import MatchIndex
+
+                self._match_index = MatchIndex(
+                    self, registry=self.registry, tracer=self.tracer
+                )
+            return self._match_index
+
+    def refresh_match_index(self) -> None:
+        """Bring an already-created match index up to the current writes.
+
+        No-op when the index is disabled or has never been probed —
+        refreshing is for keeping a *hot* index hot (e.g. the serving
+        layer calls this alongside its result-cache invalidation on
+        ``remember()``), not for building one eagerly.
+        """
+        with self._lock:
+            index = self._match_index
+        if index is not None:
+            index.ensure_fresh()
+
+    def index_snapshot(
+        self,
+    ) -> tuple[int, dict[str, dict[str, Any]], dict[str, dict[str, Any]]]:
+        """A write-consistent snapshot for (re)building the match index.
+
+        Returns ``(generation, dynamic_rows, static_rows)`` keyed by job
+        id, read under the store lock so no put can interleave between
+        the two range scans.
+        """
+        with self._lock:
+            generation = self._generation
+            dynamic = {
+                row_key[len(DYNAMIC_PREFIX):]: dict(row[FAMILY])
+                for row_key, row in self.table.scan(
+                    scan_filter=PrefixFilter(DYNAMIC_PREFIX),
+                    pushdown=self.pushdown,
+                    batch=self.scan_batch,
+                )
+            }
+            static = {
+                row_key[len(STATIC_PREFIX):]: dict(row[FAMILY])
+                for row_key, row in self.table.scan(
+                    scan_filter=PrefixFilter(STATIC_PREFIX),
+                    pushdown=self.pushdown,
+                    batch=self.scan_batch,
+                )
+            }
+        return generation, dynamic, static
+
+    def bulk_rows(self, prefix: str) -> dict[str, dict[str, Any]]:
+        """All rows under *prefix* in one batched scan, keyed by job id."""
+        with self._lock:
+            return {
+                row_key[len(prefix):]: dict(row[FAMILY])
+                for row_key, row in self.table.scan(
+                    scan_filter=PrefixFilter(prefix),
+                    pushdown=self.pushdown,
+                    batch=self.scan_batch,
+                )
+            }
+
+    def bulk_profiles(self) -> dict[str, JobProfile]:
+        """Every stored profile, fetched in one batched scan."""
+        return {
+            job_id: JobProfile.from_dict(columns["payload"])
+            for job_id, columns in self.bulk_rows(PROFILE_PREFIX).items()
+        }
+
+    def bulk_statics(self) -> dict[str, StaticFeatures]:
+        """Every stored static-feature row, fetched in one batched scan."""
+        return {
+            job_id: StaticFeatures.from_dict(columns)
+            for job_id, columns in self.bulk_rows(STATIC_PREFIX).items()
+        }
+
+    # ------------------------------------------------------------------
     # Filtered scans (one per matcher stage)
     # ------------------------------------------------------------------
     def scan_job_ids(
@@ -429,7 +582,9 @@ class ProfileStore:
             result = []
             with self._lock:
                 for row_key, __ in self.table.scan(
-                    scan_filter=FilterList(filters), pushdown=self.pushdown
+                    scan_filter=FilterList(filters),
+                    pushdown=self.pushdown,
+                    batch=self.scan_batch,
                 ):
                     result.append(row_key[len(prefix):])
         registry.counter(
@@ -462,7 +617,7 @@ class ProfileStore:
         """Run one normalized-Euclidean filter stage server-side."""
         columns = list(_columns_for(side, kind))
         with self._lock:
-            normalizer = self._normalizers[(side, kind)]
+            normalizer = self.load_normalizer(side, kind)
             if normalizer.num_features == 0:
                 return []
             stage = NormalizedEuclideanFilter(

@@ -105,6 +105,7 @@ class HTable:
         stop: str | None = None,
         scan_filter: Filter | None = None,
         pushdown: bool = True,
+        batch: int | None = None,
     ) -> Iterator[tuple[str, dict[str, dict[str, Any]]]]:
         """Scan the table in row-key order.
 
@@ -113,6 +114,10 @@ class HTable:
             pushdown: if True (default), the filter is serialized and
                 applied by the region servers; if False, every row in range
                 is shipped and the filter is applied client-side.
+            batch: if set, fetch rows from each region server in chunks
+                of up to this many rows per round trip (HBase scanner
+                caching) instead of one call per row.  Yields the same
+                rows in the same order either way.
         """
         registry = get_registry(self.registry)
         tracer = get_tracer(self.tracer)
@@ -124,7 +129,17 @@ class HTable:
         try:
             for region, server_id in self._catalog.regions_of(self.name):
                 server = self._servers[server_id]
-                for row_key, row in server.scan_region(region, start, stop, payload):
+                if batch is not None:
+                    rows = (
+                        item
+                        for chunk in server.scan_region_batch(
+                            region, start, stop, payload, batch=batch
+                        )
+                        for item in chunk
+                    )
+                else:
+                    rows = server.scan_region(region, start, stop, payload)
+                for row_key, row in rows:
                     if scan_filter is not None and not pushdown:
                         if not scan_filter.matches(row_key, row):
                             continue

@@ -359,6 +359,19 @@ class TuningService:
             ).inc()
             return None
         invalidated = self.cache.invalidate_job(job_signature(job))
+        # The result cache and the store's columnar match index go stale
+        # together on a profile write, so they are refreshed together:
+        # peers re-match against the richer store, and they do it on the
+        # indexed path rather than paying a rebuild scan on first probe.
+        refresh = getattr(self.store, "refresh_match_index", None)
+        if callable(refresh):
+            try:
+                refresh()
+            except StoreUnavailableError:
+                registry.counter(
+                    "serving_index_refresh_failures_total",
+                    "match-index refreshes that exhausted the store budget",
+                ).inc()
         registry.counter(
             "serving_remembers_total", "profiles stored via the service"
         ).inc()

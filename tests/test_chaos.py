@@ -416,6 +416,52 @@ class TestResilientProfileStore:
         with pytest.raises(StoreUnavailableError):
             resilient.get_profile("missing")
 
+    def test_scan_job_ids_survives_mid_scan_faults(
+        self, engine, profiler, sampler, wordcount, maponly_job, small_text
+    ):
+        from repro.core.features import extract_job_features
+        from repro.core.store import DYNAMIC_PREFIX
+
+        def populate(store):
+            ids = []
+            for job in (wordcount, maponly_job):
+                profile, __ = profiler.profile_job(job, small_text)
+                sample = sampler.collect(job, small_text, count=1)
+                features = extract_job_features(
+                    job, small_text, sample.profile, engine
+                )
+                ids.append(store.put(profile, features.static))
+            return ids
+
+        # Rehearse the identical put sequence against an empty plan to
+        # learn the op index where the probe scan starts, then open a
+        # two-op transient window right there: the first two scan
+        # attempts die mid-probe and the third replays cleanly.
+        rehearsal = FaultInjector(FaultPlan(), registry=MetricsRegistry())
+        clean_store = ProfileStore(chaos=rehearsal, registry=MetricsRegistry())
+        expected = sorted(populate(clean_store))
+        fault_at = rehearsal.operations_seen
+        assert clean_store.scan_job_ids(DYNAMIC_PREFIX) == expected
+
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    op="scan",
+                    kind="transient",
+                    start_after=fault_at,
+                    stop_after=fault_at + 2,
+                ),
+            )
+        )
+        injector = FaultInjector(plan, registry=MetricsRegistry())
+        store = ProfileStore(chaos=injector, registry=MetricsRegistry())
+        populate(store)
+        resilient = ResilientProfileStore(
+            store, policy=RetryPolicy(max_attempts=6, deadline_seconds=100.0)
+        )
+        assert resilient.scan_job_ids(DYNAMIC_PREFIX) == expected
+        assert injector.summary() == {"scan/transient": 2}
+
 
 # ----------------------------------------------------------------------
 # PStorM degradation (the acceptance scenario)
@@ -445,7 +491,9 @@ class TestGracefulDegradation:
         assert not result.matched
         assert result.outcome.map_match.stage == "store-unavailable"
         assert result.runtime_seconds > 0
-        assert injector.summary() == {"scan/unavailable": 4}
+        # 1 poisoned match-index rebuild attempt (unretried) + the scan
+        # path's 4 retried attempts under the default budget.
+        assert injector.summary() == {"scan/unavailable": 5}
 
     def test_downgrade_visible_in_exported_metrics(
         self, engine, wordcount, small_text

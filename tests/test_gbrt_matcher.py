@@ -117,3 +117,30 @@ class TestGbrtMatcher:
             store.get_profile(wc_id), store.get_static(wc_id), candidates=[]
         )
         assert answer is None
+
+
+class TestBatchParity:
+    def test_batched_blocks_equal_scalar_reference(self, populated):
+        # match() scores donors through the vectorized block builders;
+        # pair_distances keeps the scalar ones.  They must agree bit for
+        # bit on every (probe, donor) combination in the store.
+        from repro.core.gbrt_matcher import _map_block, _reduce_block
+
+        store, probes = populated
+        matcher = GbrtMatcher(store=store, model=None)
+        job_ids = sorted(store.job_ids())
+        # match() only ever asks for reduce blocks of reduce-capable
+        # donors — same restriction here.
+        reduce_ids = [j for j in job_ids if matcher._cache.profiles[j].has_reduce]
+        assert reduce_ids  # the fixture stores at least wordcount
+        for probe_id, (profile, static) in probes.items():
+            map_batch = matcher._map_blocks_batch(profile, static, job_ids)
+            reduce_batch = matcher._reduce_blocks_batch(profile, static, reduce_ids)
+            for donor in job_ids:
+                assert map_batch[donor] == _map_block(
+                    matcher._cache, profile, static, donor
+                )
+            for donor in reduce_ids:
+                assert reduce_batch[donor] == _reduce_block(
+                    matcher._cache, profile, static, donor
+                )

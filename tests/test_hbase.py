@@ -130,6 +130,30 @@ class TestPutGetScan:
         assert table.get("key050") == {"f": {"c": -1}}
 
 
+class TestBatchedScan:
+    @pytest.mark.parametrize("batch", [1, 3, 64])
+    def test_batched_scan_equals_unbatched(self, cluster, table, batch):
+        for i in range(100):  # enough rows to force region splits
+            table.put(f"key{i:03d}", "f", "c", i)
+        assert len(cluster.catalog.regions_of("t")) > 1
+        unbatched = list(table.scan())
+        assert list(table.scan(batch=batch)) == unbatched
+
+    def test_batched_scan_with_range_and_filter(self, table):
+        for i in range(30):
+            table.put(f"key{i:03d}", "f", "c", i)
+        scan_filter = ColumnValueFilter("f", "c", "<=", 20)
+        unbatched = list(table.scan("key005", "key025", scan_filter))
+        batched = list(table.scan("key005", "key025", scan_filter, batch=4))
+        assert batched == unbatched
+        assert [k for k, __ in batched] == [f"key{i:03d}" for i in range(5, 21)]
+
+    def test_batch_must_be_positive(self, table):
+        table.put("r", "f", "c", 1)
+        with pytest.raises(ValueError):
+            list(table.scan(batch=0))
+
+
 class TestFilters:
     def test_prefix_filter(self, table):
         table.put("Static/j1", "f", "c", 1)

@@ -1,0 +1,433 @@
+"""Tests for the columnar match index.
+
+The heart of this module is the Hypothesis equivalence suite: for
+arbitrary synthetic stores and probes, ``ProfileMatcher`` must return the
+*same* ``MatchOutcome`` — survivor funnel, terminal stage, winning donor,
+composite picks — whether it probes the columnar index or runs the
+scan-path reference.  The remaining classes pin the coherence protocol
+(incremental put/delete, overwrite-triggered rebuild, generation
+tracking) and the fallback ladder (disabled / unavailable / poisoned).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.static_features import STATIC_FEATURE_NAMES, StaticFeatures
+from repro.chaos import FaultInjector, FaultPlan, FaultSpec
+from repro.core.features import JobFeatures
+from repro.core.matcher import ProfileMatcher, StaticsFirstMatcher
+from repro.core.store import ProfileStore
+from repro.observability import MetricsRegistry
+from repro.starfish.profile import (
+    MAP_COST_FEATURES,
+    MAP_DATA_FLOW_FEATURES,
+    REDUCE_COST_FEATURES,
+    REDUCE_DATA_FLOW_FEATURES,
+    JobProfile,
+    SideProfile,
+)
+
+CATEGORICAL_NAMES = tuple(
+    name for name in STATIC_FEATURE_NAMES if name not in ("MAP_CFG", "RED_CFG")
+)
+
+
+# Three distinct CFG shapes so the CFG stage actually discriminates.
+def _cfg_linear(x):
+    return x + 1
+
+
+def _cfg_branchy(x):
+    if x > 0:
+        return x
+    return -x
+
+
+def _cfg_loopy(x):
+    total = 0
+    for item in range(3):
+        total += item
+    return total
+
+
+CFGS = tuple(
+    ControlFlowGraph.from_callable(fn)
+    for fn in (_cfg_linear, _cfg_branchy, _cfg_loopy)
+)
+
+
+def make_profile(name, spec):
+    map_profile = SideProfile(
+        side="map",
+        data_flow=dict(zip(MAP_DATA_FLOW_FEATURES, spec["map_flow"])),
+        cost_factors=dict(zip(MAP_COST_FEATURES, spec["map_costs"])),
+        statistics={},
+        phase_times={},
+        num_tasks=1,
+    )
+    reduce_profile = None
+    if spec["has_reduce"]:
+        reduce_profile = SideProfile(
+            side="reduce",
+            data_flow=dict(zip(REDUCE_DATA_FLOW_FEATURES, spec["red_flow"])),
+            cost_factors=dict(zip(REDUCE_COST_FEATURES, spec["red_costs"])),
+            statistics={},
+            phase_times={},
+            num_tasks=1,
+        )
+    return JobProfile(
+        job_name=name,
+        dataset_name="synth",
+        input_bytes=spec["input_bytes"],
+        split_bytes=128 << 20,
+        num_map_tasks=2,
+        num_reduce_tasks=1 if reduce_profile else 0,
+        map_profile=map_profile,
+        reduce_profile=reduce_profile,
+    )
+
+
+def make_static(spec):
+    red_cfg = spec["red_cfg"]
+    return StaticFeatures(
+        categorical=dict(spec["statics"]),
+        map_cfg=CFGS[spec["map_cfg"]],
+        reduce_cfg=None if red_cfg is None else CFGS[red_cfg],
+    )
+
+
+def make_features(spec):
+    return JobFeatures(
+        job_name="probe",
+        static=make_static(spec),
+        map_data_flow=spec["map_flow"],
+        map_costs=spec["map_costs"],
+        reduce_data_flow=spec["red_flow"] if spec["has_reduce"] else None,
+        reduce_costs=spec["red_costs"] if spec["has_reduce"] else None,
+        input_bytes=spec["input_bytes"],
+    )
+
+
+def build_store(job_specs, delete_indices=(), **kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    store = ProfileStore(**kwargs)
+    job_ids = []
+    for number, spec in enumerate(job_specs):
+        job_ids.append(store.put(make_profile(f"job{number}", spec), make_static(spec)))
+    for index in delete_indices:
+        if index < len(job_ids):
+            store.delete(job_ids[index])
+    return store, job_ids
+
+
+# Values drawn from a small pool so distances collide and ties happen.
+_value = st.sampled_from([0.0, 0.25, 0.5, 0.9, 1.0, 2.0]) | st.floats(
+    min_value=0.0, max_value=4.0, allow_nan=False
+)
+_static_value = st.sampled_from(["alpha", "beta", "TextInputFormat", ""])
+
+job_spec = st.fixed_dictionaries(
+    {
+        "map_flow": st.tuples(*[_value] * len(MAP_DATA_FLOW_FEATURES)),
+        "map_costs": st.tuples(*[_value] * len(MAP_COST_FEATURES)),
+        "has_reduce": st.booleans(),
+        "red_flow": st.tuples(*[_value] * len(REDUCE_DATA_FLOW_FEATURES)),
+        "red_costs": st.tuples(*[_value] * len(REDUCE_COST_FEATURES)),
+        "input_bytes": st.integers(min_value=0, max_value=1 << 34),
+        "map_cfg": st.integers(min_value=0, max_value=len(CFGS) - 1),
+        "red_cfg": st.sampled_from([None, 0, 1, 2]),
+        "statics": st.fixed_dictionaries(
+            {name: _static_value for name in CATEGORICAL_NAMES}
+        ),
+    }
+)
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def assert_no_silent_fallback(registry, expected_hits):
+    """The equivalence proof is vacuous if the indexed path silently fell
+    back to the scan path — pin that it really answered the probes."""
+    assert registry.counter("pstorm_matcher_index_hits_total").value == expected_hits
+    for reason in ("disabled", "unavailable", "poisoned"):
+        misses = registry.counter(
+            "pstorm_matcher_index_misses_total", labels={"reason": reason}
+        )
+        assert misses.value == 0
+
+
+class TestEquivalence:
+    """Indexed matching ≡ scan matching, for arbitrary stores."""
+
+    @_settings
+    @given(
+        jobs=st.lists(job_spec, max_size=6),
+        deletes=st.lists(st.integers(min_value=0, max_value=5), max_size=2),
+        probe=job_spec,
+        jaccard=st.sampled_from([0.0, 0.4, 0.8, 1.0]),
+        euclidean=st.sampled_from([None, 0.0, 0.3, 1.0, 3.0]),
+    )
+    def test_outcome_identical(self, jobs, deletes, probe, jaccard, euclidean):
+        store, __ = build_store(jobs, deletes)
+        features = make_features(probe)
+        indexed_registry = MetricsRegistry()
+        indexed = ProfileMatcher(
+            store,
+            jaccard_threshold=jaccard,
+            euclidean_threshold=euclidean,
+            registry=indexed_registry,
+        )
+        scan = ProfileMatcher(
+            store,
+            jaccard_threshold=jaccard,
+            euclidean_threshold=euclidean,
+            registry=MetricsRegistry(),
+            use_index=False,
+        )
+        indexed_outcome = indexed.match_job(features)
+        scan_outcome = scan.match_job(features)
+        assert indexed_outcome == scan_outcome
+        sides = 2 if features.has_reduce else 1
+        assert_no_silent_fallback(indexed_registry, expected_hits=sides)
+
+    @_settings
+    @given(
+        first=st.lists(job_spec, max_size=4),
+        second=st.lists(job_spec, max_size=3),
+        delete=st.integers(min_value=0, max_value=3),
+        probe=job_spec,
+    )
+    def test_outcome_identical_across_incremental_writes(
+        self, first, second, delete, probe
+    ):
+        # One long-lived indexed matcher sees puts and deletes land
+        # between probes (the incremental ensure_fresh path); a fresh
+        # scan matcher is consulted at each step as ground truth.
+        store, job_ids = build_store(first)
+        features = make_features(probe)
+        registry = MetricsRegistry()
+        indexed = ProfileMatcher(store, registry=registry)
+        scan = ProfileMatcher(store, registry=MetricsRegistry(), use_index=False)
+
+        assert indexed.match_job(features) == scan.match_job(features)
+        for number, spec in enumerate(second):
+            store.put(make_profile(f"late{number}", spec), make_static(spec))
+        if delete < len(job_ids):
+            store.delete(job_ids[delete])
+        assert indexed.match_job(features) == scan.match_job(features)
+        sides = 2 if features.has_reduce else 1
+        assert_no_silent_fallback(registry, expected_hits=2 * sides)
+
+
+def _spec(**overrides):
+    """A deterministic baseline job spec for the unit tests."""
+    spec = {
+        "map_flow": (0.5, 0.5, 1.0, 1.0),
+        "map_costs": (1.0, 1.0, 1.0, 1.0, 1.0),
+        "has_reduce": True,
+        "red_flow": (0.7, 0.7),
+        "red_costs": (1.0, 1.0, 1.0, 1.0),
+        "input_bytes": 1 << 30,
+        "map_cfg": 0,
+        "red_cfg": 1,
+        "statics": {name: "alpha" for name in CATEGORICAL_NAMES},
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestCoherence:
+    def test_incremental_put_is_visible_without_rebuild(self):
+        registry = MetricsRegistry()
+        store, __ = build_store([_spec()], registry=registry)
+        index = store.match_index()
+        index.ensure_fresh()
+        rebuilds = registry.counter("pstorm_matcher_index_rebuilds_total")
+        assert rebuilds.value == 1
+
+        late = _spec(input_bytes=2 << 30)
+        new_id = store.put(make_profile("late", late), make_static(late))
+        index.ensure_fresh()
+        assert rebuilds.value == 1  # applied incrementally, no snapshot scan
+        assert index.generation == store.generation
+        survivors = index.euclidean_stage("map", "flow", [0.5, 0.5, 1.0, 1.0], 10.0)
+        assert new_id in survivors
+
+    def test_delete_marks_row_dead_without_rebuild(self):
+        registry = MetricsRegistry()
+        store, job_ids = build_store([_spec(), _spec(input_bytes=42)], registry=registry)
+        index = store.match_index()
+        index.ensure_fresh()
+        rebuilds = registry.counter("pstorm_matcher_index_rebuilds_total")
+        store.delete(job_ids[0])
+        index.ensure_fresh()
+        assert rebuilds.value == 1
+        survivors = index.euclidean_stage("map", "flow", [0.5, 0.5, 1.0, 1.0], 10.0)
+        assert job_ids[0] not in survivors
+        assert job_ids[1] in survivors
+
+    def test_overwrite_escalates_to_rebuild(self):
+        registry = MetricsRegistry()
+        store, job_ids = build_store([_spec()], registry=registry)
+        index = store.match_index()
+        index.ensure_fresh()
+        rebuilds = registry.counter("pstorm_matcher_index_rebuilds_total")
+        updated = _spec(input_bytes=7)
+        store.put(make_profile("job0", updated), make_static(updated), job_id=job_ids[0])
+        index.ensure_fresh()
+        assert rebuilds.value == 2  # in-place history is not replayable
+        assert index.generation == store.generation
+        tie = index.tie_break(job_ids, 7, {}, "map")
+        assert tie == job_ids[0]
+
+    def test_generation_tracks_every_write(self):
+        store, job_ids = build_store([_spec(), _spec()])
+        index = store.match_index()
+        index.ensure_fresh()
+        before = index.generation
+        store.delete(job_ids[1])
+        assert store.generation == before + 1
+        index.ensure_fresh()
+        assert index.generation == store.generation
+
+    def test_cold_index_builds_on_first_probe(self):
+        registry = MetricsRegistry()
+        store, __ = build_store([_spec()], registry=registry)
+        matcher = ProfileMatcher(store, registry=registry)
+        outcome = matcher.match_job(make_features(_spec()))
+        assert outcome.matched
+        assert registry.counter("pstorm_matcher_index_rebuilds_total").value == 1
+        assert store.match_index().stats()["live_rows"] == 1
+
+
+class TestFallbackLadder:
+    def test_matcher_opt_out_counts_disabled_miss(self):
+        store, __ = build_store([_spec()])
+        registry = MetricsRegistry()
+        matcher = ProfileMatcher(store, registry=registry, use_index=False)
+        assert matcher.match_job(make_features(_spec())).matched
+        assert registry.counter("pstorm_matcher_index_hits_total").value == 0
+        disabled = registry.counter(
+            "pstorm_matcher_index_misses_total", labels={"reason": "disabled"}
+        )
+        assert disabled.value == 2  # one miss per side
+
+    def test_store_opt_out_counts_disabled_miss(self):
+        store, __ = build_store([_spec()], enable_index=False)
+        assert store.match_index() is None
+        registry = MetricsRegistry()
+        matcher = ProfileMatcher(store, registry=registry)
+        assert matcher.match_job(make_features(_spec())).matched
+        disabled = registry.counter(
+            "pstorm_matcher_index_misses_total", labels={"reason": "disabled"}
+        )
+        assert disabled.value == 2
+
+    def test_duck_typed_store_without_accessor_is_unavailable(self):
+        store, __ = build_store([_spec()])
+
+        class ScanOnly:
+            """A store double exposing only the scan-path surface."""
+
+            def __init__(self, inner):
+                for name in (
+                    "euclidean_stage",
+                    "cfg_stage",
+                    "jaccard_stage",
+                    "get_dynamic",
+                    "get_static",
+                    "get_profile",
+                    "job_ids",
+                ):
+                    setattr(self, name, getattr(inner, name))
+
+        registry = MetricsRegistry()
+        matcher = ProfileMatcher(ScanOnly(store), registry=registry)
+        assert matcher.match_job(make_features(_spec())).matched
+        unavailable = registry.counter(
+            "pstorm_matcher_index_misses_total", labels={"reason": "unavailable"}
+        )
+        assert unavailable.value == 2
+        assert registry.counter("pstorm_matcher_index_hits_total").value == 0
+
+    def test_statics_first_ablation_never_probes_the_index(self):
+        store, __ = build_store([_spec()])
+        registry = MetricsRegistry()
+        matcher = StaticsFirstMatcher(store, registry=registry)
+        matcher.match_job(make_features(_spec()))
+        assert registry.counter("pstorm_matcher_index_hits_total").value == 0
+
+    def test_poisoned_rebuild_falls_back_then_recovers(self):
+        # Replay the population against an empty plan to learn the op
+        # index of the first probe-time substrate operation, then poison
+        # exactly that operation: the index rebuild's snapshot scan.
+        specs = [_spec(), _spec(input_bytes=123)]
+        rehearsal = FaultInjector(FaultPlan(), registry=MetricsRegistry())
+        build_store(specs, chaos=rehearsal)
+        fault_at = rehearsal.operations_seen
+
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    op="scan",
+                    kind="transient",
+                    start_after=fault_at,
+                    stop_after=fault_at + 1,
+                ),
+            )
+        )
+        injector = FaultInjector(plan, registry=MetricsRegistry())
+        store, __ = build_store(specs, chaos=injector)
+        registry = MetricsRegistry()
+        matcher = ProfileMatcher(store, registry=registry)
+        features = make_features(_spec())
+
+        # Probe 1: the rebuild scan faults -> poisoned -> scan fallback.
+        assert matcher.match_side(features, "map").matched
+        poisoned = registry.counter(
+            "pstorm_matcher_index_misses_total", labels={"reason": "poisoned"}
+        )
+        assert poisoned.value == 1
+        assert injector.summary() == {"scan/transient": 1}
+
+        # Probe 2: the fault window has passed; the index heals and
+        # answers, no further misses.
+        assert matcher.match_side(features, "map").matched
+        assert poisoned.value == 1
+        assert registry.counter("pstorm_matcher_index_hits_total").value == 1
+
+
+class TestStageParityEdges:
+    """Deterministic pins for the trickiest scan-path corner cases."""
+
+    def test_probe_column_missing_from_store_fails_jaccard(self):
+        spec = _spec()
+        store, job_ids = build_store([spec])
+        index = store.match_index()
+        index.ensure_fresh()
+        probe = dict(spec["statics"])
+        probe["PARAM_window"] = "10"  # never stored -> row must fail
+        assert index.jaccard_stage(probe, 0.0, job_ids) == []
+        assert store.jaccard_stage(probe, 0.0, job_ids) == []
+
+    def test_empty_probe_statics_passes_everyone(self):
+        store, job_ids = build_store([_spec()])
+        index = store.match_index()
+        index.ensure_fresh()
+        assert index.jaccard_stage({}, 1.0, job_ids) == sorted(job_ids)
+
+    def test_tie_break_empty_value_reads_missing_as_agreement(self):
+        spec = _spec()
+        store, job_ids = build_store([spec])
+        index = store.match_index()
+        index.ensure_fresh()
+        # A probe key the store never saw, with value "": the scan path
+        # reads the missing stored value as "" and calls that agreement.
+        statics = {"PARAM_window": ""}
+        matcher = ProfileMatcher(store, use_index=False, registry=MetricsRegistry())
+        scan_winner = matcher._tie_break(job_ids, 0, statics, "map")
+        assert index.tie_break(job_ids, 0, statics, "map") == scan_winner

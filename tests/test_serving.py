@@ -213,6 +213,46 @@ class TestTuningServiceInline:
         )
         assert not after.cache_hit
 
+    def test_post_remember_submission_sees_profile_via_index(
+        self, service, wordcount, maponly_job, small_text
+    ):
+        registry = service.registry
+        hits = registry.counter("pstorm_matcher_index_hits_total")
+        rebuilds = registry.counter("pstorm_matcher_index_rebuilds_total")
+
+        stored = service.remember(wordcount, small_text, now=0.0)
+        assert stored is not None
+
+        response = service.handle(
+            TuningRequest(1, "t", wordcount, small_text), now=1.0
+        )
+        assert response.ok and response.result.matched
+        assert response.result.outcome.map_match.job_id == stored
+        assert hits.value >= 1  # the probe ran on the indexed path
+        assert rebuilds.value == 1  # first probe built the cold index
+
+        # With the index now hot, remember() must refresh it alongside
+        # the result cache: the next submission sees the new profile on
+        # the indexed path without paying another rebuild scan.
+        stored_late = service.remember(maponly_job, small_text, now=10.0)
+        assert stored_late is not None
+        hits_before = hits.value
+        late = service.handle(
+            TuningRequest(2, "t", maponly_job, small_text), now=20.0
+        )
+        assert late.ok and not late.cache_hit
+        assert late.result.matched
+        assert late.result.outcome.map_match.job_id == stored_late
+        assert hits.value > hits_before
+        assert rebuilds.value == 1  # the remember-time refresh was incremental
+        for reason in ("disabled", "unavailable", "poisoned"):
+            assert (
+                registry.counter(
+                    "pstorm_matcher_index_misses_total", labels={"reason": reason}
+                ).value
+                == 0
+            )
+
     def test_degraded_results_are_not_cached(self, cluster, wordcount, small_text):
         set_default_injector(FaultInjector(outage_plan(seed=3)))
         try:

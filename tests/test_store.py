@@ -107,6 +107,35 @@ class TestNormalizers:
         store.put(profile, features.static)
         assert store.normalizer("reduce", "flow").num_features == 0
 
+    def test_persisted_bounds_cached_per_generation(
+        self, engine, profiler, sampler, wordcount, small_text
+    ):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = ProfileStore(registry=registry)
+        profile, __ = profiler.profile_job(wordcount, small_text)
+        sample = sampler.collect(wordcount, small_text, count=1)
+        features = extract_job_features(wordcount, small_text, sample.profile, engine)
+        store.put(profile, features.static)
+
+        loads = registry.counter("pstorm_store_normalizer_loads_total")
+        first = store.load_normalizer("map", "flow")
+        assert loads.value == 1
+        for __ in range(5):  # every (side, kind) shares the one cached row read
+            store.load_normalizer("map", "flow")
+            store.load_normalizer("reduce", "cost")
+        assert loads.value == 1
+        assert first.minimums == store.normalizer("map", "flow").minimums
+
+        # A put rewrites Meta/__normalizers__ *and* bumps the generation,
+        # so the next load must refetch and see the updated bounds.
+        store.put(profile, features.static, job_id="wordcount-copy@small-text")
+        updated = store.load_normalizer("map", "flow")
+        assert loads.value == 2
+        assert updated.minimums == store.normalizer("map", "flow").minimums
+        assert updated.maximums == store.normalizer("map", "flow").maximums
+
 
 class TestStages:
     def test_euclidean_stage_finds_self(self, populated):
