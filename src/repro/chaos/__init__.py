@@ -28,6 +28,7 @@ from .plan import (
     FaultPlan,
     FaultSpec,
     ServerCrash,
+    crash_point_plan,
     flaky_plan,
     outage_plan,
     plan_from_spec,
@@ -50,6 +51,7 @@ __all__ = [
     "flaky_plan",
     "outage_plan",
     "slow_plan",
+    "crash_point_plan",
     "rolling_restart_plan",
     "plan_from_spec",
     "RetryPolicy",

@@ -16,7 +16,11 @@ from __future__ import annotations
 
 import random
 
-from ..hbase.errors import ServerUnavailableError, TransientError
+from ..hbase.errors import (
+    ServerUnavailableError,
+    SimulatedCrashError,
+    TransientError,
+)
 from ..observability import LATENCY_BUCKETS, MetricsRegistry, get_registry
 from .plan import FaultPlan
 from .retry import VirtualClock
@@ -80,6 +84,8 @@ class FaultInjector:
             TransientError: a ``transient`` spec fired.
             ServerUnavailableError: an ``unavailable`` spec fired or the
                 target server is inside a crash window.
+            SimulatedCrashError: a ``crash`` spec fired — a process
+                kill, deliberately not retryable.
         """
         index = self._op_index
         self._op_index += 1
@@ -113,6 +119,13 @@ class FaultInjector:
                 ).observe(spec.delay_seconds)
                 continue
             self._record(op, spec.kind)
+            if spec.kind == "crash":
+                # A process kill, not a request failure: the retry layer
+                # must NOT swallow this — recovery means reopening the
+                # store from its on-disk state.
+                raise SimulatedCrashError(
+                    f"simulated process kill at {op} (op #{index})"
+                )
             if spec.kind == "transient":
                 raise TransientError(
                     f"injected transient {op} failure (op #{index})"

@@ -29,15 +29,22 @@ __all__ = [
     "flaky_plan",
     "outage_plan",
     "slow_plan",
+    "crash_point_plan",
     "rolling_restart_plan",
     "PRESETS",
     "plan_from_spec",
 ]
 
 #: Substrate operations the injector is consulted for. ``*`` matches all.
-OPS = ("put", "get", "scan", "*")
-#: Fault kinds: raise-and-retryable, server-down, or added latency.
-KINDS = ("transient", "unavailable", "slow")
+#: The ``lsm-*`` and ``snapshot`` points fire on *durable* storage
+#: internals (WAL append, SSTable flush, compaction, checkpoint write)
+#: and exist so ``crash`` faults can kill the process at any persistence
+#: boundary; in-memory stores never consult them.
+OPS = ("put", "get", "scan", "lsm-put", "lsm-flush", "lsm-compact", "snapshot", "*")
+#: Fault kinds: raise-and-retryable, server-down, added latency, or a
+#: simulated process kill (``crash`` — NOT retryable; recovery means
+#: reopening the store from disk).
+KINDS = ("transient", "unavailable", "slow", "crash")
 
 
 @dataclass(frozen=True)
@@ -52,7 +59,10 @@ class FaultSpec:
             :class:`~repro.hbase.errors.ServerUnavailableError`, ``slow``
             advances the injector's virtual clock by ``delay_seconds``
             (a modelled slow response — it eats retry deadline budget
-            without failing the call).
+            without failing the call), and ``crash`` raises
+            :class:`~repro.hbase.errors.SimulatedCrashError` — a
+            non-retryable process kill used by the crash-recovery
+            harness to stop a run dead at a persistence boundary.
         probability: chance one matching operation is afflicted.
         delay_seconds: virtual latency added by ``slow`` faults.
         start_after: first operation index (inclusive) the spec covers.
@@ -204,6 +214,24 @@ def slow_plan(seed: int = 0, delay_seconds: float = 0.05) -> FaultPlan:
     )
 
 
+def crash_point_plan(at: int, seed: int = 0) -> FaultPlan:
+    """Kill the process at exactly operation index *at*.
+
+    The crash-recovery harness sweeps *at* across a run's whole
+    operation count: one plan per index, each killing the run at a
+    different persistence boundary.
+    """
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            FaultSpec(
+                op="*", kind="crash", probability=1.0,
+                start_after=at, stop_after=at + 1,
+            ),
+        ),
+    )
+
+
 def rolling_restart_plan(
     seed: int = 0,
     period: int = 50,
@@ -233,6 +261,9 @@ PRESETS = {
     "rolling-restart": lambda seed, arg: rolling_restart_plan(
         seed, period=50 if arg is None else int(arg)
     ),
+    "crash-point": lambda seed, arg: crash_point_plan(
+        at=0 if arg is None else int(arg), seed=seed
+    ),
 }
 
 
@@ -242,7 +273,7 @@ def plan_from_spec(spec: str, seed: int = 0) -> FaultPlan:
     *spec* is either a path to a JSON plan document (anything containing
     a path separator or ending in ``.json``) or a preset name with an
     optional numeric argument: ``flaky``, ``flaky:0.5``, ``outage``,
-    ``slow:0.2``, ``rolling-restart:100``.
+    ``slow:0.2``, ``rolling-restart:100``, ``crash-point:37``.
     """
     if spec.endswith(".json") or "/" in spec:
         return FaultPlan.from_json(Path(spec).read_text())

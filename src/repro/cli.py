@@ -15,6 +15,16 @@ Commands:
   stdout is byte-identical for the same seed (see ``docs/serving.md``).
 - ``serve`` — drive the real thread-pool frontend end to end (queues,
   futures, clean shutdown); exits nonzero if a worker hangs.
+- ``snapshot --data-dir DIR`` — open (or restore) a durable profile
+  store rooted at DIR and checkpoint it: flush every region's memstore
+  to SSTables and write ``index_checkpoint.json`` so the next restore
+  serves its first probe without an index rebuild (see
+  ``docs/durability.md``).  ``--populate N`` writes N synthetic
+  profiles first, making a create→snapshot→restore round trip
+  self-contained.
+
+``demo`` and ``serve`` accept ``--data-dir DIR`` to run over a durable
+(restorable) profile store instead of the in-memory default.
 
 ``demo``, ``experiments``, and ``metrics`` accept ``--emit-metrics PATH``
 to dump the collected metrics and completed spans as JSON (see
@@ -170,7 +180,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     injector = _maybe_enable_chaos(args)
     engine = HadoopEngine(ec2_cluster())
-    pstorm = PStorM(engine)
+    if getattr(args, "data_dir", None):
+        from .core.store import ProfileStore
+
+        pstorm = PStorM(engine, store=ProfileStore(data_dir=args.data_dir))
+    else:
+        pstorm = PStorM(engine)
     wiki = wikipedia_35gb()
 
     print("storing the bigram relative frequency job's profile...")
@@ -312,6 +327,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tenant_policies={t.name: t.policy for t in tenants},
         ),
         seed=args.seed,
+        data_dir=getattr(args, "data_dir", None) or None,
     )
     rng = _random.Random(args.seed)
     zoo = loadgen_zoo()
@@ -360,6 +376,111 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _synthetic_job(index: int):
+    """One synthetic (profile, static-features) pair for ``snapshot
+    --populate`` — self-contained store contents without running jobs."""
+    from .analysis.cfg import ControlFlowGraph
+    from .analysis.static_features import STATIC_FEATURE_NAMES, StaticFeatures
+    from .starfish.profile import (
+        MAP_COST_FEATURES,
+        MAP_DATA_FLOW_FEATURES,
+        REDUCE_COST_FEATURES,
+        REDUCE_DATA_FLOW_FEATURES,
+        JobProfile,
+        SideProfile,
+    )
+
+    def body(x):
+        return x + 1
+
+    map_profile = SideProfile(
+        side="map",
+        data_flow={
+            name: 0.1 * (index + 1) + 0.01 * pos
+            for pos, name in enumerate(MAP_DATA_FLOW_FEATURES)
+        },
+        cost_factors={
+            name: float(pos + 1) for pos, name in enumerate(MAP_COST_FEATURES)
+        },
+        statistics={},
+        phase_times={},
+        num_tasks=2,
+    )
+    reduce_profile = SideProfile(
+        side="reduce",
+        data_flow={
+            name: 0.5 + 0.1 * pos
+            for pos, name in enumerate(REDUCE_DATA_FLOW_FEATURES)
+        },
+        cost_factors={
+            name: float(pos + 1) for pos, name in enumerate(REDUCE_COST_FEATURES)
+        },
+        statistics={},
+        phase_times={},
+        num_tasks=1,
+    )
+    profile = JobProfile(
+        job_name=f"synthetic{index}",
+        dataset_name="synthetic",
+        input_bytes=(index + 1) << 20,
+        split_bytes=128 << 20,
+        num_map_tasks=2,
+        num_reduce_tasks=1,
+        map_profile=map_profile,
+        reduce_profile=reduce_profile,
+    )
+    cfg = ControlFlowGraph.from_callable(body)
+    categorical = {
+        name: f"v{index % 2}"
+        for name in STATIC_FEATURE_NAMES
+        if name not in ("MAP_CFG", "RED_CFG")
+    }
+    static = StaticFeatures(categorical=categorical, map_cfg=cfg, reduce_cfg=cfg)
+    return profile, static
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Open-or-restore a durable store, optionally populate, checkpoint.
+
+    The summary JSON on stdout reports how many jobs were *restored*
+    from disk and whether the index came back from the checkpoint
+    without a rebuild, so running this twice on the same directory is a
+    complete durability round-trip check.
+    """
+    from .core.store import ProfileStore
+    from .observability import MetricsRegistry
+
+    registry = MetricsRegistry()
+    store = ProfileStore(data_dir=args.data_dir, registry=registry)
+    restored_jobs = len(store)
+    for offset in range(args.populate):
+        number = restored_jobs + offset
+        profile, static = _synthetic_job(number)
+        store.put(profile, static, job_id=f"synthetic-{number}@cli")
+    index = store.match_index()
+    if index is not None:
+        index.ensure_fresh()
+    path = store.snapshot()
+
+    def metric(name: str) -> int:
+        instrument = registry.get(name)
+        return 0 if instrument is None else int(instrument.value)
+
+    summary = {
+        "checkpoint": str(path),
+        "generation": store.generation,
+        "index_checkpoint_loads": metric(
+            "pstorm_match_index_checkpoint_loads_total"
+        ),
+        "index_rebuilds": metric("pstorm_matcher_index_rebuilds_total"),
+        "jobs": len(store),
+        "restored_jobs": restored_jobs,
+        "restores": metric("snapshot_restores_total"),
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 
@@ -442,10 +563,34 @@ def build_parser() -> argparse.ArgumentParser:
     list_jobs = commands.add_parser("list-jobs", help="the Table 6.1 inventory")
     list_jobs.set_defaults(handler=_cmd_list_jobs)
 
+    def add_data_dir(subparser: argparse.ArgumentParser, required: bool = False) -> None:
+        subparser.add_argument(
+            "--data-dir",
+            metavar="DIR",
+            default=None,
+            required=required,
+            help="durable profile-store root (restored if it has state)",
+        )
+
     demo = commands.add_parser("demo", help="tune a never-seen job via PStorM")
     add_emit_metrics(demo)
     add_chaos(demo)
+    add_data_dir(demo)
     demo.set_defaults(handler=_cmd_demo)
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="checkpoint (and optionally populate) a durable profile store",
+    )
+    add_data_dir(snapshot, required=True)
+    snapshot.add_argument(
+        "--populate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write N synthetic profiles before checkpointing",
+    )
+    snapshot.set_defaults(handler=_cmd_snapshot)
 
     metrics = commands.add_parser(
         "metrics", help="run a smoke workload and print Prometheus-format metrics"
@@ -505,6 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_seed(serve)
     add_emit_metrics(serve)
     add_chaos(serve)
+    add_data_dir(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     explain = commands.add_parser("explain", help="PerfXplain a job pair")

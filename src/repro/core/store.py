@@ -20,9 +20,13 @@ the region servers (§5.3 pushdown).
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import threading
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, ClassVar, Iterator, Mapping
 
@@ -38,6 +42,7 @@ from ..hbase import (
     FilterList,
     HBaseCluster,
     PrefixFilter,
+    TableExistsError,
     register_filter,
 )
 from ..observability import (
@@ -254,6 +259,15 @@ class ProfileStore:
             match index; off forces every matcher onto the scan path.
         scan_batch: chunk size for multi-row scans (``Table.scan(...,
             batch=N)``); 1 restores the one-call-per-row baseline.
+        data_dir: make the store durable.  A fresh directory gets a
+            durable HBase substrate under ``data_dir/hbase`` (per-region
+            WAL + SSTables); a directory with existing state is
+            *restored* — rows, normalizers, and the write generation
+            come back from disk, and an ``index_checkpoint.json``
+            written by :meth:`snapshot` warms the match index without a
+            rebuild.  Ignored when *hbase* is supplied.
+        group_commit: WAL group-commit batch size for a freshly created
+            durable substrate (1 = sync every record).
     """
 
     def __init__(
@@ -265,19 +279,37 @@ class ProfileStore:
         chaos: "FaultInjector | None" = None,
         enable_index: bool = True,
         scan_batch: int = 64,
+        data_dir: Path | str | None = None,
+        group_commit: int = 1,
     ) -> None:
         #: Observability sinks; None falls back to the module defaults.
         #: A freshly created substrate inherits them; an injected one
         #: keeps whatever it was built with.
         self.registry = registry
         self.tracer = tracer
+        self.data_dir = Path(data_dir) if data_dir is not None else None
         self.hbase = (
             hbase
             if hbase is not None
-            else HBaseCluster(registry=registry, tracer=tracer, chaos=chaos)
+            else HBaseCluster(
+                registry=registry,
+                tracer=tracer,
+                chaos=chaos,
+                data_dir=None if self.data_dir is None else self.data_dir / "hbase",
+                group_commit=group_commit,
+            )
         )
+        #: Whether writes persist (the substrate owns the actual files).
+        self._durable = self.hbase.data_dir is not None
         self.pushdown = pushdown
-        self.table = self.hbase.create_table(TABLE_NAME, (FAMILY,))
+        restored = False
+        try:
+            self.table = self.hbase.create_table(TABLE_NAME, (FAMILY,))
+        except TableExistsError:
+            # A restored substrate already carries the table: this is a
+            # reopen, so recover generation/normalizers/index below.
+            self.table = self.hbase.table(TABLE_NAME)
+            restored = True
         #: Coarse store-level lock: one writer *or* one multi-row read at
         #: a time, the atomicity a real HBase deployment gets from
         #: row-level locks plus the matcher's single-probe discipline.
@@ -307,6 +339,8 @@ class ProfileStore:
         #: row, so a probe's four stage scans re-read it at most once per
         #: store version instead of once per stage.
         self._normalizer_cache: tuple[int, dict[str, MinMaxNormalizer]] | None = None
+        if restored:
+            self._recover_state()
 
     # ------------------------------------------------------------------
     # Writes
@@ -321,12 +355,33 @@ class ProfileStore:
         registry = get_registry(self.registry)
         tracer = get_tracer(self.tracer)
         with tracer.span("pstorm.store.put", job=profile.job_name):
-            with self._lock:
+            with self._lock, self._write_batch():
                 job_id = self._put_inner(profile, static, job_id)
         registry.counter(
             "pstorm_store_puts_total", "profiles written to the store"
         ).inc()
         return job_id
+
+    @contextmanager
+    def _write_batch(self) -> Iterator[None]:
+        """Commit one logical write at a single WAL fsync point.
+
+        A put touches three data rows plus the Meta row — dozens of
+        substrate cell writes.  In durable mode this defers every
+        region store's WAL sync (and any threshold flush) to scope
+        exit, so the whole multi-row write becomes one group-committed
+        batch: after a crash it is either entirely present or entirely
+        absent.  The atomicity unit is per region store; the paper's
+        single-region deployment (§6) makes that the whole table — a
+        store split across regions commits per region instead.
+        """
+        if not self._durable:
+            yield
+            return
+        with ExitStack() as stack:
+            for region, __ in self.hbase.catalog.regions_of(TABLE_NAME):
+                stack.enter_context(region.store.deferred())
+            yield
 
     def _put_inner(
         self,
@@ -358,6 +413,7 @@ class ProfileStore:
         self._update_normalizers(dynamic, rp is not None)
         self._persist_normalizers()
         self._generation += 1
+        self._persist_generation()
         if self._match_index is not None:
             self._match_index.on_put(
                 job_id, dict(dynamic), static.to_dict(), self._generation
@@ -383,12 +439,23 @@ class ProfileStore:
         for (side, kind), normalizer in self._normalizers.items():
             self.table.put(_META_ROW, FAMILY, f"{side}.{kind}", normalizer.to_dict())
 
+    def _persist_generation(self) -> None:
+        """Record the write generation in the Meta row (durable mode only).
+
+        Restores read it back so cache-coherence generations keep
+        counting from where the crashed process stopped instead of
+        restarting at zero (which would alias old snapshots as fresh).
+        """
+        if self._durable:
+            self.table.put(_META_ROW, FAMILY, "__generation__", self._generation)
+
     def delete(self, job_id: str) -> None:
         """Remove one job's rows (min/max bounds are kept; they only grow)."""
-        with self._lock:
+        with self._lock, self._write_batch():
             for prefix in (DYNAMIC_PREFIX, STATIC_PREFIX, PROFILE_PREFIX):
                 self.table.delete_row(prefix + job_id)
             self._generation += 1
+            self._persist_generation()
             if self._match_index is not None:
                 self._match_index.on_delete(job_id, self._generation)
 
@@ -466,6 +533,7 @@ class ProfileStore:
                 loaded = {
                     name: MinMaxNormalizer.from_dict(payload)
                     for name, payload in cells.items()
+                    if not name.startswith("__")  # bookkeeping cells
                 }
                 self._normalizer_cache = (self._generation, loaded)
                 get_registry(self.registry).counter(
@@ -535,6 +603,172 @@ class ProfileStore:
                 )
             }
         return generation, dynamic, static
+
+    # ------------------------------------------------------------------
+    # Durability: snapshots and restore
+    # ------------------------------------------------------------------
+    @property
+    def _checkpoint_path(self) -> Path | None:
+        if self.data_dir is None:
+            return None
+        return self.data_dir / "index_checkpoint.json"
+
+    def _region_flush_counts(self) -> dict[str, int]:
+        """Per-region flush counters, keyed by region directory name.
+
+        A snapshot records them; a restore compares.  Equality means no
+        region flushed since the checkpoint, so the WAL tails are
+        exactly the post-checkpoint writes — the condition under which
+        the restore can warm the index from tails instead of rebuilding.
+        """
+        counts: dict[str, int] = {}
+        for region, __ in self.hbase.catalog.regions_of(TABLE_NAME):
+            store = region.store
+            name = "mem" if store.data_dir is None else store.data_dir.name
+            counts[name] = store.flushes
+        return counts
+
+    def snapshot(self) -> Path:
+        """Checkpoint the store: flush every region, persist the index.
+
+        Flushes all memstores (SSTables + manifests hit disk, WALs
+        truncate), then atomically writes ``index_checkpoint.json`` — a
+        write-consistent ``(generation, dynamic, static)`` image of
+        exactly the rows the match index mirrors, plus the per-region
+        flush counters.  A restore replays only the WAL tail written
+        after this point, so restart cost stays flat in store size.
+        """
+        path = self._checkpoint_path
+        if path is None:
+            raise ValueError("snapshot() requires a data_dir-backed store")
+        with self._lock:
+            self.hbase.flush_all()
+            chaos = self.hbase.chaos
+            if chaos is not None:
+                # The mid-snapshot kill point: flushed but not yet
+                # checkpointed — a restore must survive that tear.
+                chaos.on_operation("snapshot")
+            generation, dynamic, static = self.index_snapshot()
+            payload = {
+                "version": 1,
+                "generation": generation,
+                "flushes": self._region_flush_counts(),
+                "dynamic": dynamic,
+                "static": static,
+            }
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def restore(cls, data_dir: Path | str, **kwargs: Any) -> "ProfileStore":
+        """Reopen a durable store from *data_dir* (explicit-intent alias
+        for ``ProfileStore(data_dir=...)`` on an existing directory)."""
+        return cls(data_dir=data_dir, **kwargs)
+
+    @staticmethod
+    def _latest_columns(row: Mapping[str, Any]) -> dict[str, Any]:
+        """Latest-version column view of one raw region-store row."""
+        columns = row.get(FAMILY, {})
+        return {qual: cells[-1].value for qual, cells in columns.items()}
+
+    def _recover_state(self) -> None:
+        """Rebuild in-memory state from a restored substrate.
+
+        Recovers the write generation and normalizer bounds from the
+        Meta row, then warms the match index from the snapshot
+        checkpoint (if one exists) plus the WAL tails — the first probe
+        after a restart should serve without a full rebuild.
+        """
+        row = self.table.get(_META_ROW)
+        cells: Mapping[str, Any] = {} if row is None else row[FAMILY]
+        self._generation = int(cells.get("__generation__", 0))
+        for key in self._normalizers:
+            payload = cells.get(f"{key[0]}.{key[1]}")
+            if payload:
+                self._normalizers[key] = MinMaxNormalizer.from_dict(payload)
+        if self.enable_index and self._checkpoint_path is not None:
+            checkpoint = None
+            try:
+                checkpoint = json.loads(self._checkpoint_path.read_text())
+            except FileNotFoundError:
+                pass
+            except (OSError, json.JSONDecodeError):
+                checkpoint = None  # torn checkpoint: fall back to rebuild
+            if checkpoint is not None:
+                index = self.match_index()
+                assert index is not None
+                index.load_checkpoint(
+                    int(checkpoint.get("generation", 0)),
+                    checkpoint.get("dynamic", {}),
+                    checkpoint.get("static", {}),
+                )
+                self._warm_index_tail(index, checkpoint)
+        get_registry(self.registry).counter(
+            "snapshot_restores_total", "durable profile-store restores from disk"
+        ).inc()
+
+    def _warm_index_tail(
+        self, index: "MatchIndex", checkpoint: Mapping[str, Any]
+    ) -> None:
+        """Feed post-checkpoint WAL-tail writes to the index as pending ops.
+
+        Sound only when the tails are *complete* — no region flushed
+        since the checkpoint (flush counters equal) and the tail op
+        count equals the generation gap.  Anything else invalidates the
+        index so the first probe rebuilds from a store snapshot.
+        """
+        checkpoint_generation = int(checkpoint.get("generation", 0))
+        if checkpoint_generation > self._generation:
+            index.invalidate()  # checkpoint from the future: distrust it
+            return
+        if checkpoint.get("flushes") != self._region_flush_counts():
+            index.invalidate()
+            return
+        gap = self._generation - checkpoint_generation
+        if gap == 0:
+            return  # checkpoint is already current
+        puts: dict[str, dict[str, Any]] = {}
+        statics: dict[str, dict[str, Any]] = {}
+        kind: dict[str, str] = {}
+        order: dict[str, tuple[int, int]] = {}
+        for position, (region, __) in enumerate(
+            self.hbase.catalog.regions_of(TABLE_NAME)
+        ):
+            for record in region.store.wal:
+                if record.key.startswith(STATIC_PREFIX):
+                    if record.op == "put":
+                        job_id = record.key[len(STATIC_PREFIX):]
+                        statics[job_id] = self._latest_columns(record.value)
+                    continue
+                if not record.key.startswith(DYNAMIC_PREFIX):
+                    continue
+                job_id = record.key[len(DYNAMIC_PREFIX):]
+                if record.op == "put":
+                    # One logical put is many per-cell records on the
+                    # same row; the last carries the complete row.
+                    puts[job_id] = self._latest_columns(record.value)
+                    if kind.get(job_id) != "put":
+                        order[job_id] = (position, record.sequence)
+                    kind[job_id] = "put"
+                else:
+                    kind[job_id] = "delete"
+                    order[job_id] = (position, record.sequence)
+        if len(kind) != gap:
+            # Coalesced ops (e.g. put-then-delete of one id): the tail
+            # can't be mapped one-op-per-generation, so don't pretend.
+            index.invalidate()
+            return
+        generation = checkpoint_generation
+        for job_id in sorted(kind, key=lambda name: order[name]):
+            generation += 1
+            if kind[job_id] == "put":
+                index.on_put(
+                    job_id, puts.get(job_id, {}), statics.get(job_id), generation
+                )
+            else:
+                index.on_delete(job_id, generation)
 
     def bulk_rows(self, prefix: str) -> dict[str, dict[str, Any]]:
         """All rows under *prefix* in one batched scan, keyed by job id."""

@@ -8,10 +8,13 @@ serializable filters applied server-side.
 
 from .catalog import CatalogEntry, MetaCatalog
 from .cluster import HBaseCluster
+from .bloom import BloomFilter
 from .errors import (
     RETRYABLE_ERRORS,
+    CorruptWalError,
     HBaseError,
     ServerUnavailableError,
+    SimulatedCrashError,
     TableExistsError,
     TableNotFoundError,
     TransientError,
@@ -28,10 +31,11 @@ from .filters import (
     register_filter,
     serialize_filter,
 )
-from .region import Cell, Region
+from .region import Cell, Region, decode_cells, encode_cells
 from .regionserver import RegionServer, ServerMetrics
-from .storage import HFile, LsmStore, WalEntry
+from .storage import TOMBSTONE, HFile, LsmStore, SSTable, WalEntry
 from .table import HTable
+from .wal import WalRecord, WriteAheadLog, decode_frames, encode_frame
 
 __all__ = [
     "CatalogEntry",
@@ -44,6 +48,8 @@ __all__ = [
     "UnknownFilterError",
     "TransientError",
     "ServerUnavailableError",
+    "CorruptWalError",
+    "SimulatedCrashError",
     "RETRYABLE_ERRORS",
     "ColumnValueFilter",
     "Filter",
@@ -55,10 +61,19 @@ __all__ = [
     "serialize_filter",
     "Cell",
     "Region",
+    "encode_cells",
+    "decode_cells",
     "RegionServer",
     "ServerMetrics",
+    "BloomFilter",
     "HFile",
+    "SSTable",
+    "TOMBSTONE",
     "LsmStore",
     "WalEntry",
+    "WalRecord",
+    "WriteAheadLog",
+    "encode_frame",
+    "decode_frames",
     "HTable",
 ]

@@ -1,21 +1,39 @@
-"""HBaseCluster: table lifecycle, region assignment, and splits.
+"""HBaseCluster: table lifecycle, region assignment, splits, durability.
 
 The paper's deployment runs one HMaster and one HRegionServer on the
 Hadoop master node; a cluster here defaults to a single region server but
 supports several, with round-robin assignment of new regions and automatic
 median splits once a region exceeds the split threshold — enough to observe
 the data-locality and load arguments of §5.
+
+With ``data_dir`` set, the cluster is durable: every region's LSM store
+gets its own directory (WAL + SSTables + manifest) under
+``data_dir/regions/``, and a ``cluster.json`` document — rewritten
+atomically on every topology change (table create, split) and on
+:meth:`flush_all` — records the table → region → directory mapping.
+Constructing a cluster on a directory that already holds ``cluster.json``
+*restores* it: regions re-attach to their directories (SSTables load
+lazily, WAL tails replay), so recovery cost is manifest-sized, not
+store-sized.  Splits commit crash-safely: daughters are written
+durably, then ``cluster.json`` swaps to them atomically, then the parent
+directory is removed — a crash between any two steps recovers either
+the parent or the daughters, never half of each.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
-from ..observability import MetricsRegistry, Tracer
+from ..observability import MetricsRegistry, Tracer, get_registry
 from .catalog import MetaCatalog
 from .errors import TableExistsError, TableNotFoundError
-from .region import Region
+from .region import Region, decode_cells, encode_cells
 from .regionserver import RegionServer
+from .storage import LsmStore
 from .table import HTable
 
 if TYPE_CHECKING:
@@ -24,6 +42,7 @@ if TYPE_CHECKING:
 __all__ = ["HBaseCluster"]
 
 DEFAULT_SPLIT_THRESHOLD = 1024
+CLUSTER_META_NAME = "cluster.json"
 
 
 class HBaseCluster:
@@ -36,9 +55,21 @@ class HBaseCluster:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         chaos: "FaultInjector | None" = None,
+        data_dir: Path | str | None = None,
+        group_commit: int = 1,
     ) -> None:
         if num_region_servers < 1:
             raise ValueError("need at least one region server")
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.group_commit = group_commit
+        meta = None
+        if self.data_dir is not None:
+            self.data_dir.mkdir(parents=True, exist_ok=True)
+            meta_path = self.data_dir / CLUSTER_META_NAME
+            if meta_path.exists():
+                meta = json.loads(meta_path.read_text())
+                num_region_servers = int(meta["num_region_servers"])
+                split_threshold = int(meta["split_threshold"])
         #: Observability sinks; None falls back to the module defaults.
         #: Handed to every region server and table of this cluster.
         self.registry = registry
@@ -60,6 +91,105 @@ class HBaseCluster:
         self.split_threshold = split_threshold
         self._tables: dict[str, HTable] = {}
         self._assign_cursor = 0
+        self._next_region_dir = 0
+        if meta is not None:
+            self._restore_from_meta(meta)
+
+    # ------------------------------------------------------------------
+    # Durable region stores and the cluster meta document
+    # ------------------------------------------------------------------
+    def _open_region_store(self, path: Path) -> LsmStore:
+        return LsmStore(
+            data_dir=path,
+            group_commit=self.group_commit,
+            value_encoder=encode_cells,
+            value_decoder=decode_cells,
+            chaos=self.chaos,
+            registry=self.registry,
+        )
+
+    def _region_store(self) -> LsmStore | None:
+        """A backing store for one new region: durable when the cluster
+        is, in-memory (``None`` → Region default) otherwise."""
+        if self.data_dir is None:
+            return None
+        path = self.data_dir / "regions" / f"r{self._next_region_dir:05d}"
+        self._next_region_dir += 1
+        return self._open_region_store(path)
+
+    def _write_meta(self) -> None:
+        """Atomically rewrite ``cluster.json`` from the live topology."""
+        if self.data_dir is None:
+            return
+        tables = {}
+        for name, table in self._tables.items():
+            regions = []
+            for region, server_id in self.catalog.regions_of(name):
+                store_dir = region.store.data_dir
+                assert store_dir is not None
+                regions.append(
+                    {
+                        "start": region.start_key,
+                        "end": region.end_key,
+                        "dir": str(store_dir.relative_to(self.data_dir)),
+                        "server_id": server_id,
+                    }
+                )
+            tables[name] = {"families": list(table.families), "regions": regions}
+        payload = {
+            "version": 1,
+            "num_region_servers": len(self.servers),
+            "split_threshold": self.split_threshold,
+            "next_region_dir": self._next_region_dir,
+            "tables": tables,
+        }
+        tmp = self.data_dir / (CLUSTER_META_NAME + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, self.data_dir / CLUSTER_META_NAME)
+
+    def _restore_from_meta(self, meta: dict) -> None:
+        assert self.data_dir is not None
+        self._next_region_dir = int(meta.get("next_region_dir", 0))
+        for name, spec in meta["tables"].items():
+            families = tuple(spec["families"])
+            for region_spec in spec["regions"]:
+                store = self._open_region_store(self.data_dir / region_spec["dir"])
+                region = Region(
+                    name,
+                    families,
+                    start_key=region_spec["start"],
+                    end_key=region_spec["end"],
+                    store=store,
+                )
+                server = self.servers[region_spec["server_id"] % len(self.servers)]
+                server.assign(region)
+                self.catalog.register(region, server.server_id)
+            self._tables[name] = HTable(
+                name,
+                families,
+                self.catalog,
+                self.servers,
+                self.split_threshold,
+                self._handle_split,
+                registry=self.registry,
+                tracer=self.tracer,
+                chaos=self.chaos,
+            )
+
+    def flush_all(self) -> int:
+        """Flush every region's memstore and refresh the meta document.
+
+        After this, every acked write is in an SSTable and the WALs are
+        empty — the store half of a snapshot.  Returns regions flushed.
+        """
+        flushed = sum(
+            server.flush_regions() for server in self.servers.values()
+        )
+        self._write_meta()
+        get_registry(self.registry).counter(
+            "snapshot_writes_total", "cluster-wide flush-and-checkpoint passes"
+        ).inc()
+        return flushed
 
     # ------------------------------------------------------------------
     def _next_server(self) -> RegionServer:
@@ -71,13 +201,24 @@ class HBaseCluster:
         """Split an oversized region and re-register its daughters."""
         del table_name  # identified by the region object itself
         region_id, server_id = self.catalog.find(region)
-        left, right = region.split()
+        make_store = self._region_store if self.data_dir is not None else None
+        left, right = region.split(make_store=make_store)
         self.catalog.unregister(region_id)
         self.servers[server_id].unassign(region)
         for daughter in (left, right):
             server = self._next_server()
             server.assign(daughter)
             self.catalog.register(daughter, server.server_id)
+        if self.data_dir is not None:
+            # Make the daughters durable, commit the topology swap
+            # atomically, and only then retire the parent's directory.
+            left.store.flush()
+            right.store.flush()
+            self._write_meta()
+            region.store.close()
+            parent_dir = region.store.data_dir
+            if parent_dir is not None:
+                shutil.rmtree(parent_dir, ignore_errors=True)
 
     # ------------------------------------------------------------------
     def create_table(self, name: str, families: tuple[str, ...]) -> HTable:
@@ -86,7 +227,7 @@ class HBaseCluster:
             raise TableExistsError(f"table {name!r} already exists")
         if not families:
             raise ValueError("a table needs at least one column family")
-        region = Region(name, tuple(families))
+        region = Region(name, tuple(families), store=self._region_store())
         server = self._next_server()
         server.assign(region)
         self.catalog.register(region, server.server_id)
@@ -102,6 +243,7 @@ class HBaseCluster:
             chaos=self.chaos,
         )
         self._tables[name] = table
+        self._write_meta()
         return table
 
     def table(self, name: str) -> HTable:
@@ -115,8 +257,12 @@ class HBaseCluster:
             raise TableNotFoundError(f"table {name!r} does not exist")
         for region, server_id in self.catalog.regions_of(name):
             self.servers[server_id].unassign(region)
+            if self.data_dir is not None and region.store.data_dir is not None:
+                region.store.close()
+                shutil.rmtree(region.store.data_dir, ignore_errors=True)
         self.catalog.drop_table(name)
         del self._tables[name]
+        self._write_meta()
 
     def tables(self) -> Iterator[str]:
         return iter(sorted(self._tables))

@@ -10,6 +10,8 @@ __all__ = [
     "UnknownFilterError",
     "TransientError",
     "ServerUnavailableError",
+    "CorruptWalError",
+    "SimulatedCrashError",
     "RETRYABLE_ERRORS",
 ]
 
@@ -52,6 +54,27 @@ class ServerUnavailableError(HBaseError):
 
     Retryable, but typically for longer than a :class:`TransientError`;
     recovery happens when the server's crash window ends.
+    """
+
+
+class CorruptWalError(HBaseError):
+    """A write-ahead-log record failed framing or checksum validation.
+
+    Raised (or recorded, in tolerant replay) when a WAL tail is torn by a
+    crash mid-write or corrupted on disk.  Recovery discards the tail and
+    keeps the intact prefix — this error is a *diagnosis*, never a panic,
+    and it is not retryable: the bytes will not get better.
+    """
+
+
+class SimulatedCrashError(HBaseError):
+    """A chaos-injected process kill at an operation boundary.
+
+    Unlike :class:`ServerUnavailableError` this models the *client*
+    process dying mid-operation, so it is deliberately not retryable:
+    the crash-recovery harness lets it propagate, abandons the store
+    object, and re-opens the on-disk state — exactly what a restarted
+    process would do.
     """
 
 

@@ -4,20 +4,46 @@ A region holds all rows of one table in a contiguous key range
 ``[start_key, end_key)``.  Rows map column families to qualifier->cell
 maps; cells are versioned with a logical timestamp, and reads return the
 latest version, mirroring HBase semantics.
+
+Each region owns one :class:`~repro.hbase.storage.LsmStore` — the row
+maps are its values — so every row write takes the full HBase write
+path (WAL append, memstore, flush, leveled compaction), and a region
+built on a ``data_dir``-backed store is durable: the cluster hands
+restored regions a recovered store and the rows come back from
+SSTables plus the WAL tail.
 """
 
 from __future__ import annotations
 
 import bisect
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Iterator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
 
 from .errors import UnknownColumnFamilyError
+from .storage import LsmStore
 
-__all__ = ["Cell", "Region"]
+__all__ = ["Cell", "Region", "encode_cells", "decode_cells"]
 
-_timestamp_counter = itertools.count(1)
+
+class _TimestampOracle:
+    """Process-wide logical cell clock; replayed cells push it forward
+    so timestamps stay monotone across a restore."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def __next__(self) -> int:
+        self._value += 1
+        return self._value
+
+    def ensure_above(self, timestamp: int) -> None:
+        if timestamp > self._value:
+            self._value = timestamp
+
+
+_timestamp_counter = _TimestampOracle()
 
 
 @dataclass(frozen=True)
@@ -28,6 +54,32 @@ class Cell:
     timestamp: int
 
 
+def encode_cells(row: dict[str, dict[str, list[Cell]]]) -> dict[str, Any]:
+    """Serialize a row (family -> qualifier -> cell list) to JSON form."""
+    return {
+        family: {
+            qualifier: [[cell.value, cell.timestamp] for cell in cells]
+            for qualifier, cells in columns.items()
+        }
+        for family, columns in row.items()
+    }
+
+
+def decode_cells(payload: dict[str, Any]) -> dict[str, dict[str, list[Cell]]]:
+    """Rebuild a row from its JSON form, advancing the timestamp oracle
+    past every replayed cell so new writes stay newest."""
+    row: dict[str, dict[str, list[Cell]]] = {}
+    for family, columns in payload.items():
+        decoded: dict[str, list[Cell]] = {}
+        for qualifier, cells in columns.items():
+            rebuilt = [Cell(value=value, timestamp=int(ts)) for value, ts in cells]
+            for cell in rebuilt:
+                _timestamp_counter.ensure_above(cell.timestamp)
+            decoded[qualifier] = rebuilt
+        row[family] = decoded
+    return row
+
+
 class Region:
     """A sorted slice of a table's row space.
 
@@ -35,6 +87,8 @@ class Region:
         table_name: owning table.
         start_key: inclusive lower bound (``""`` = unbounded).
         end_key: exclusive upper bound (``None`` = unbounded).
+        store: the backing LSM store (an in-memory one is created when
+            not supplied; the cluster supplies durable ones).
     """
 
     def __init__(
@@ -43,14 +97,15 @@ class Region:
         families: tuple[str, ...],
         start_key: str = "",
         end_key: str | None = None,
+        store: LsmStore | None = None,
     ) -> None:
         self.table_name = table_name
         self.families = families
         self.start_key = start_key
         self.end_key = end_key
-        #: row_key -> family -> qualifier -> list[Cell] (newest last)
-        self._rows: dict[str, dict[str, dict[str, list[Cell]]]] = {}
-        self._sorted_keys: list[str] | None = []
+        if store is None:
+            store = LsmStore(value_encoder=encode_cells, value_decoder=decode_cells)
+        self.store = store
 
     # ------------------------------------------------------------------
     def contains_key(self, row_key: str) -> bool:
@@ -62,41 +117,35 @@ class Region:
 
     @property
     def num_rows(self) -> int:
-        return len(self._rows)
-
-    def _keys(self) -> list[str]:
-        if self._sorted_keys is None:
-            self._sorted_keys = sorted(self._rows)
-        return self._sorted_keys
+        return self.store.num_keys
 
     # ------------------------------------------------------------------
     def put(self, row_key: str, family: str, qualifier: str, value: Any) -> None:
-        """Write one cell (new version appended)."""
+        """Write one cell (new version appended) via the LSM write path."""
         if family not in self.families:
             raise UnknownColumnFamilyError(
                 f"table {self.table_name!r} has no column family {family!r}"
             )
-        row = self._rows.get(row_key)
-        if row is None:
+        found, row, __ = self.store.get(row_key)
+        if not found:
             row = {f: {} for f in self.families}
-            self._rows[row_key] = row
-            self._sorted_keys = None
         cells = row[family].setdefault(qualifier, [])
         cells.append(Cell(value=value, timestamp=next(_timestamp_counter)))
+        self.store.put(row_key, row)
 
     def delete_row(self, row_key: str) -> bool:
-        """Remove a whole row; returns whether it existed."""
-        if row_key in self._rows:
-            del self._rows[row_key]
-            self._sorted_keys = None
-            return True
-        return False
+        """Tombstone a whole row; returns whether it existed."""
+        found, __, __ = self.store.get(row_key)
+        if not found:
+            return False
+        self.store.delete(row_key)
+        return True
 
     # ------------------------------------------------------------------
     def get(self, row_key: str) -> dict[str, dict[str, Any]] | None:
         """Latest-version view of one row, or None."""
-        row = self._rows.get(row_key)
-        if row is None:
+        found, row, __ = self.store.get(row_key)
+        if not found:
             return None
         return self._latest_view(row)
 
@@ -114,26 +163,45 @@ class Region:
         self, start: str | None = None, stop: str | None = None
     ) -> Iterator[tuple[str, dict[str, dict[str, Any]]]]:
         """Yield ``(row_key, row)`` in key order within [start, stop)."""
-        keys = self._keys()
+        keys, rows = self.store.sorted_view()
         lo = bisect.bisect_left(keys, start) if start is not None else 0
         hi = bisect.bisect_left(keys, stop) if stop is not None else len(keys)
         for key in keys[lo:hi]:
-            yield key, self._latest_view(self._rows[key])
+            yield key, self._latest_view(rows[key])
 
     # ------------------------------------------------------------------
-    def split(self) -> tuple["Region", "Region"]:
-        """Split this region at its median key into two daughters."""
-        keys = self._keys()
+    def split(
+        self, make_store: Callable[[], LsmStore] | None = None
+    ) -> tuple["Region", "Region"]:
+        """Split this region at its median key into two daughters.
+
+        *make_store* supplies each daughter's backing store (the cluster
+        passes a durable factory); rows copy with their full cell
+        history, so timestamps — and therefore latest-version reads —
+        are preserved.
+        """
+        keys, rows = self.store.sorted_view()
         if len(keys) < 2:
             raise ValueError("cannot split a region with fewer than 2 rows")
         mid_key = keys[len(keys) // 2]
-        left = Region(self.table_name, self.families, self.start_key, mid_key)
-        right = Region(self.table_name, self.families, mid_key, self.end_key)
-        for key, row in self._rows.items():
-            target = left if key < mid_key else right
-            target._rows[key] = row
-        left._sorted_keys = None
-        right._sorted_keys = None
+        left = Region(
+            self.table_name,
+            self.families,
+            self.start_key,
+            mid_key,
+            store=make_store() if make_store is not None else None,
+        )
+        right = Region(
+            self.table_name,
+            self.families,
+            mid_key,
+            self.end_key,
+            store=make_store() if make_store is not None else None,
+        )
+        with left.store.deferred(), right.store.deferred():
+            for key in keys:
+                target = left if key < mid_key else right
+                target.store.put(key, rows[key])
         return left, right
 
     def __repr__(self) -> str:

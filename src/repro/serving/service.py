@@ -171,6 +171,10 @@ class TuningService:
         seed: seed handed to each worker's PStorM (CBO search etc.).
         engine_factory: how a worker builds its private engine; defaults
             to ``HadoopEngine(cluster)``.
+        data_dir: build the service over a *durable* profile store
+            rooted here (restored if the directory already holds
+            state, so a restarted service serves its first probe from
+            the snapshot checkpoint).  Ignored when *store* is given.
     """
 
     def __init__(
@@ -183,6 +187,7 @@ class TuningService:
         tracer: Tracer | None = None,
         retry_policy: RetryPolicy | None = None,
         engine_factory: Callable[[], HadoopEngine] | None = None,
+        data_dir: Any = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.cluster = cluster if cluster is not None else ec2_cluster()
@@ -191,7 +196,11 @@ class TuningService:
         self.tracer = tracer
         self._engine_factory = engine_factory
 
-        inner = store if store is not None else ProfileStore(registry=registry)
+        inner = (
+            store
+            if store is not None
+            else ProfileStore(registry=registry, data_dir=data_dir)
+        )
         if self.config.store_capacity is not None and not isinstance(
             inner, (MaintainedStore, ResilientProfileStore)
         ):

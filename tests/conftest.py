@@ -18,6 +18,17 @@ from repro.starfish import Sampler, StarfishProfiler, WhatIfEngine
 MB = 1 << 20
 
 
+def pytest_configure(config):
+    # Registered in pyproject.toml too; repeated here so the suite stays
+    # warning-free when invoked with an explicit -c/-o that bypasses it.
+    config.addinivalue_line(
+        "markers", "slow: exhaustive sweeps (full crash-point/byte matrices)"
+    )
+    config.addinivalue_line(
+        "markers", "soak: long-running endurance runs, never in default runs"
+    )
+
+
 def _text_lines(split_index, rng):
     words = [f"word{i:02d}" for i in range(40)]
     lines = []

@@ -1,0 +1,147 @@
+"""Property tests for the per-SSTable Bloom filters.
+
+The leveled read path is only as good as its filters: the measured
+false-positive rate must track the designed target (within the usual
+constant factor), serialization must round-trip bit-for-bit so a
+snapshot restore reopens filters without rereading key blocks, and a
+cold durable store must actually *skip* blocks on a point read.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hbase import BloomFilter, LsmStore
+from repro.observability import MetricsRegistry
+
+
+class TestFalsePositiveRate:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1337])
+    @pytest.mark.parametrize("target_fpr", [0.01, 0.05])
+    def test_measured_fpr_within_2x_target(self, seed, target_fpr):
+        capacity = 2000
+        bloom = BloomFilter(capacity, target_fpr=target_fpr, seed=seed)
+        for i in range(capacity):
+            bloom.add(f"member-{seed}-{i}")
+        trials = 20_000
+        false_positives = sum(
+            bloom.might_contain(f"absent-{seed}-{i}") for i in range(trials)
+        )
+        measured = false_positives / trials
+        assert measured <= 2.0 * target_fpr, (
+            f"seed={seed}: measured FPR {measured:.4f} exceeds "
+            f"2x target {target_fpr}"
+        )
+
+    def test_no_false_negatives_ever(self):
+        bloom = BloomFilter(500, target_fpr=0.01)
+        keys = [f"k{i}" for i in range(500)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    @given(st.lists(st.text(max_size=24), unique=True, max_size=64))
+    @settings(max_examples=50)
+    def test_membership_property(self, keys):
+        bloom = BloomFilter(max(len(keys), 1))
+        for key in keys:
+            bloom.add(key)
+        # The defining one-sided guarantee: members always pass.
+        assert all(bloom.might_contain(key) for key in keys)
+
+
+class TestSerialization:
+    @given(
+        st.lists(st.text(max_size=16), unique=True, max_size=40),
+        st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=50)
+    def test_round_trip_preserves_answers(self, keys, seed):
+        bloom = BloomFilter(max(len(keys), 1), seed=seed)
+        for key in keys:
+            bloom.add(key)
+        restored = BloomFilter.from_dict(bloom.to_dict())
+        probes = keys + [f"probe-{i}" for i in range(50)]
+        assert [restored.might_contain(p) for p in probes] == [
+            bloom.might_contain(p) for p in probes
+        ]
+        assert restored.added == bloom.added
+        assert restored.seed == bloom.seed
+
+    def test_shape_mismatch_is_rejected(self):
+        payload = BloomFilter(100).to_dict()
+        payload["capacity"] = 10_000  # declared shape no longer matches bits
+        with pytest.raises(ValueError, match="declared shape"):
+            BloomFilter.from_dict(payload)
+
+    def test_deterministic_across_instances(self):
+        # Same keys + same seed => identical serialized bits, so filters
+        # written by one process are valid in another.
+        one, two = BloomFilter(64, seed=3), BloomFilter(64, seed=3)
+        for key in ["a", "b", "c"]:
+            one.add(key)
+            two.add(key)
+        assert one.to_dict() == two.to_dict()
+
+
+class TestSaturation:
+    def test_saturation_grows_monotonically(self):
+        bloom = BloomFilter(100, target_fpr=0.01)
+        assert bloom.saturation() == 0.0
+        previous = 0.0
+        for i in range(100):
+            bloom.add(f"k{i}")
+            current = bloom.saturation()
+            assert current >= previous
+            previous = current
+        # At design capacity the textbook fill is ~50%; leave headroom.
+        assert 0.2 < bloom.saturation() < 0.7
+
+    def test_overfilled_filter_saturates(self):
+        bloom = BloomFilter(10, target_fpr=0.01)
+        for i in range(1000):
+            bloom.add(f"k{i}")
+        assert bloom.saturation() > 0.9
+
+
+class TestColdProbeSkipsBlocks:
+    @staticmethod
+    def _populate(tmp_path):
+        # Write in a strided order so every flush batch spans the whole
+        # keyspace: the SSTables' key ranges all overlap, which makes
+        # the Bloom filter (not min/max pruning) do the skipping.
+        store = LsmStore(flush_threshold=8, compaction_threshold=100,
+                         data_dir=tmp_path)
+        for i in range(32):
+            k = (i * 9) % 32
+            store.put(f"k{k:04d}", k)
+        assert len(store.hfiles) == 4
+        store.close()
+
+    def test_cold_restore_point_read_skips_non_matching_sstables(self, tmp_path):
+        self._populate(tmp_path)
+        registry = MetricsRegistry()
+        cold = LsmStore(flush_threshold=8, compaction_threshold=100,
+                        data_dir=tmp_path, registry=registry)
+        # k0009 lives in the oldest table but sits inside every newer
+        # table's key range, so only their Bloom filters can prune it.
+        found, value, probed = cold.get("k0009")
+        assert found and value == 9
+        # The Bloom filters pruned the other tables without reading them.
+        assert probed < len(cold.hfiles)
+        assert registry.get("bloom_skipped_blocks_total").value >= 1
+        assert registry.get("bloom_probes_total").value >= 1
+        cold.close()
+
+    def test_absent_key_in_range_is_skipped_by_filters(self, tmp_path):
+        self._populate(tmp_path)
+        registry = MetricsRegistry()
+        cold = LsmStore(flush_threshold=8, compaction_threshold=100,
+                        data_dir=tmp_path, registry=registry)
+        # Inside every table's [min, max] range, but never written:
+        # only the Bloom filters can rule it out without a block read.
+        found, __, probed = cold.get("k0005x")
+        assert not found
+        assert registry.get("bloom_probes_total").value == 4
+        skipped = registry.get("bloom_skipped_blocks_total").value
+        assert probed + skipped == 4 and skipped >= 1
+        cold.close()

@@ -24,6 +24,7 @@ from repro.chaos import (
     StoreUnavailableError,
     VirtualClock,
     call_with_retry,
+    crash_point_plan,
     default_injector,
     flaky_plan,
     outage_plan,
@@ -118,7 +119,10 @@ class TestFaultPlan:
         assert plan_from_spec("rolling-restart:25") == rolling_restart_plan(
             0, period=25
         )
-        assert set(PRESETS) == {"flaky", "outage", "slow", "rolling-restart"}
+        assert plan_from_spec("crash-point:37") == crash_point_plan(at=37)
+        assert set(PRESETS) == {
+            "flaky", "outage", "slow", "rolling-restart", "crash-point"
+        }
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(ValueError, match="unknown chaos preset"):

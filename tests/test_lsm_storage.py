@@ -57,8 +57,12 @@ class TestReadPath:
         for i in range(8):
             store.put(f"k{i}", i)
         assert store.read_amplification() == 4
-        __, __, probed = store.get("k0")  # oldest file: probes them all
-        assert probed == 4
+        # The worst case is every file, but the per-SSTable Bloom
+        # filters skip blocks that cannot hold the key — reaching the
+        # oldest file probes far fewer than all four.
+        found, value, probed = store.get("k0")
+        assert (found, value) == (True, 0)
+        assert 1 <= probed <= store.read_amplification()
 
     def test_missing_key(self):
         store = LsmStore(flush_threshold=2, compaction_threshold=100)
@@ -66,7 +70,31 @@ class TestReadPath:
         store.put("b", 2)
         found, value, probed = store.get("zzz")
         assert not found
-        assert probed == store.read_amplification()
+        # "zzz" is outside every table's key range: zero blocks probed.
+        assert probed == 0
+
+    def test_bloom_skips_are_counted(self):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = LsmStore(
+            flush_threshold=2, compaction_threshold=100, registry=registry
+        )
+        # The newer file's key range covers the probe key, so only its
+        # Bloom filter can rule it out.
+        store.put("b", 1)
+        store.put("y", 2)   # flush 1 covers [b, y]
+        store.put("a", 3)
+        store.put("z", 4)   # flush 2 covers [a, z]
+        found, value, probed = store.get("b")  # lives in the older file
+        assert (found, value) == (True, 1)
+
+        def metric(name):
+            instrument = registry.get(name)
+            return 0 if instrument is None else instrument.value
+
+        assert metric("bloom_probes_total") >= 1
+        assert probed + metric("bloom_skipped_blocks_total") >= 2
 
     def test_scan_merges_all_sources(self):
         store = LsmStore(flush_threshold=2, compaction_threshold=100)
