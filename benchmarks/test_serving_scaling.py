@@ -1,0 +1,244 @@
+"""Serving scaling: the process backend vs the GIL-bound thread ceiling.
+
+Sweeps the same seeded cold-path workload (tiny cache TTL: every request
+pays the full matcher + CBO pipeline) across worker counts on the load
+harness's simulated clock, for both backends:
+
+- ``processes`` — N independent lanes plus the per-dispatch IPC tax;
+- ``threads`` with ``gil_fraction=1.0`` — the matcher/CBO-bound worst
+  case, where every lane serializes behind the GIL and adding workers
+  buys nothing.
+
+The acceptance floor for the multi-process PR is asserted here: 4-process
+throughput ≥ 2.5x 1-process on the cold path, the GIL-bound thread sweep
+stays flat, and the warm (cache-hit) path — served parent-side without
+IPC — does not regress versus the thread backend.  Results merge into
+``BENCH_serving.json`` under ``scaling``; ``SERVING_BENCH_QUICK=1``
+shrinks the replay for CI.
+
+The shutdown-hygiene proof rides along because it needs a *real*
+process-backend frontend (everything above runs on the simulated cost
+model): after ``stop()``, every shared-memory segment the publisher ever
+created must be unlinked.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing.shared_memory as shared_memory
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.hadoop import (
+    Dataset,
+    FunctionRecordSource,
+    MapReduceJob,
+    ec2_cluster,
+)
+from repro.observability import MetricsRegistry
+from repro.serving import (
+    LoadConfig,
+    ServiceConfig,
+    TenantSpec,
+    TuningService,
+    run_load,
+    run_worker_sweep,
+)
+
+QUICK = os.environ.get("SERVING_BENCH_QUICK", "") not in ("", "0")
+#: Acceptance floor: 4-process vs 1-process cold-path throughput.
+SCALING_FLOOR = 2.5
+#: GIL-bound threads must stay flat: 4 workers buy at most this much.
+GIL_CEILING = 1.2
+WORKER_COUNTS = (1, 2, 4)
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+
+def _merge_results(update: dict) -> dict:
+    payload = {}
+    if _RESULT_PATH.exists():
+        payload = json.loads(_RESULT_PATH.read_text())
+    payload.update(update)
+    payload["quick_mode"] = QUICK
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def _config(backend: str, gil_fraction: float = 0.0) -> LoadConfig:
+    return LoadConfig(
+        requests=60 if QUICK else 200,
+        workers=4,
+        seed=7,
+        arrival_rate=50.0,
+        queue_capacity=512,
+        shed_watermark=512,
+        deadline_seconds=10_000.0,
+        remember_every=0,
+        # Cold path by construction: the TTL is far below the arrival
+        # gap, so every probe finds its entry expired and pays the full
+        # pipeline — the work that actually scales across processes.
+        cache_ttl_seconds=0.001,
+        tenants=[
+            TenantSpec("bench", weight=1.0, rate_per_second=1e6, burst=1e6)
+        ],
+        backend=backend,
+        gil_fraction=gil_fraction,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    processes = run_worker_sweep(
+        _config("processes"), WORKER_COUNTS, registry=MetricsRegistry()
+    )
+    threads = run_worker_sweep(
+        _config("threads", gil_fraction=1.0),
+        WORKER_COUNTS,
+        registry=MetricsRegistry(),
+    )
+    return processes, threads
+
+
+def test_four_processes_beat_the_scaling_floor(sweeps):
+    processes, threads = sweeps
+    rps = {
+        count: report.summary["throughput_rps"]
+        for count, report in processes.items()
+    }
+    gil_rps = {
+        count: report.summary["throughput_rps"]
+        for count, report in threads.items()
+    }
+    assert all(value > 0 for value in rps.values())
+    speedup = rps[4] / rps[1]
+    gil_speedup = gil_rps[4] / gil_rps[1]
+    payload = _merge_results(
+        {
+            "scaling": {
+                "requests": _config("processes").requests,
+                "seed": 7,
+                "processes": {
+                    str(count): {
+                        "throughput_rps": rps[count],
+                        "p99_total_s": processes[count].summary["latency"][
+                            "total_seconds"
+                        ]["p99"],
+                    }
+                    for count in WORKER_COUNTS
+                },
+                "threads_gil_bound": {
+                    str(count): {"throughput_rps": gil_rps[count]}
+                    for count in WORKER_COUNTS
+                },
+                "process_speedup_4x": round(speedup, 2),
+                "threads_gil_speedup_4x": round(gil_speedup, 2),
+            }
+        }
+    )
+    print()
+    print(json.dumps(payload["scaling"], indent=2, sort_keys=True))
+    assert speedup >= SCALING_FLOOR, (
+        f"4-process speedup {speedup:.2f}x below the {SCALING_FLOOR}x floor"
+    )
+    assert gil_speedup <= GIL_CEILING, (
+        f"GIL-bound thread sweep should be flat, got {gil_speedup:.2f}x"
+    )
+
+
+def test_cold_sweep_sheds_nothing(sweeps):
+    processes, threads = sweeps
+    for sweep in (processes, threads):
+        for report in sweep.values():
+            assert report.summary["counts"]["shed_total"] == 0
+            assert report.summary["counts"]["cache_hits"] == 0
+
+
+def test_warm_path_not_regressed_by_process_backend():
+    """Cache hits are served parent-side with zero IPC, so the warm
+    replay must not be slower than the thread backend's."""
+
+    def warm_rps(backend: str) -> float:
+        config = LoadConfig(
+            requests=60 if QUICK else 200,
+            workers=4,
+            seed=7,
+            arrival_rate=50.0,
+            queue_capacity=512,
+            shed_watermark=512,
+            deadline_seconds=10_000.0,
+            remember_every=0,
+            tenants=[
+                TenantSpec(
+                    "bench", weight=1.0, rate_per_second=1e6, burst=1e6
+                )
+            ],
+            backend=backend,
+        )
+        service = TuningService(
+            config=config.service_config(),
+            seed=config.seed,
+            registry=MetricsRegistry(),
+        )
+        run_load(config, service=service, registry=MetricsRegistry())  # fill
+        warm = run_load(config, service=service, registry=MetricsRegistry())
+        assert warm.summary["counts"]["cache_hits"] > 0
+        return warm.summary["throughput_rps"]
+
+    threads = warm_rps("threads")
+    processes = warm_rps("processes")
+    _merge_results(
+        {
+            "warm_parity": {
+                "threads_rps": threads,
+                "processes_rps": processes,
+            }
+        }
+    )
+    assert processes >= 0.95 * threads
+
+
+# Module-level so the job survives the pickle hop to worker processes.
+def _bench_lines(split_index, rng):
+    return [(i, f"alpha beta gamma delta {i % 7}") for i in range(100)]
+
+
+def _bench_map(key, line, ctx):
+    for word in line.split():
+        ctx.emit(word, 1)
+
+
+def _bench_reduce(word, counts, ctx):
+    ctx.emit(word, sum(counts))
+
+
+def test_real_frontend_unlinks_every_segment():
+    """Shutdown hygiene on the *real* process backend: no shm leaks."""
+    job = MapReduceJob(
+        name="scaling-bench", mapper=_bench_map, reducer=_bench_reduce
+    )
+    dataset = Dataset(
+        "scaling-bench-text",
+        nominal_bytes=64 << 20,
+        source=FunctionRecordSource(_bench_lines),
+        seed=5,
+    )
+    service = TuningService(
+        cluster=ec2_cluster(),
+        config=ServiceConfig(workers=2, backend="processes"),
+        seed=0,
+        registry=MetricsRegistry(),
+    )
+    service.start()
+    publisher = service._procpool._publisher
+    names = {publisher.ctrl_name, *publisher.segment_names()}
+    response = service.submit_request(
+        job, dataset, tenant="bench"
+    ).result(timeout=120.0)
+    assert response.ok
+    names.update(publisher.segment_names())
+    assert service.stop(timeout=60.0)
+    for name in sorted(names):
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

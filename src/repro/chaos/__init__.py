@@ -34,6 +34,7 @@ from .plan import (
     plan_from_spec,
     rolling_restart_plan,
     slow_plan,
+    worker_kill_plan,
 )
 from .retry import (
     RetryPolicy,
@@ -53,6 +54,7 @@ __all__ = [
     "slow_plan",
     "crash_point_plan",
     "rolling_restart_plan",
+    "worker_kill_plan",
     "plan_from_spec",
     "RetryPolicy",
     "StoreUnavailableError",

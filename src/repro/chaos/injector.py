@@ -20,6 +20,7 @@ from ..hbase.errors import (
     ServerUnavailableError,
     SimulatedCrashError,
     TransientError,
+    WorkerKilledError,
 )
 from ..observability import LATENCY_BUCKETS, MetricsRegistry, get_registry
 from .plan import FaultPlan
@@ -48,6 +49,7 @@ class FaultInjector:
         self.injected: dict[tuple[str, str], int] = {}
         self._rng = random.Random(plan.seed)
         self._op_index = 0
+        self._op_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -58,6 +60,7 @@ class FaultInjector:
         """Rewind to the plan's initial state (same seed, op 0)."""
         self._rng = random.Random(self.plan.seed)
         self._op_index = 0
+        self._op_counts = {}
         self.clock = VirtualClock()
         self.injected.clear()
 
@@ -86,9 +89,14 @@ class FaultInjector:
                 target server is inside a crash window.
             SimulatedCrashError: a ``crash`` spec fired — a process
                 kill, deliberately not retryable.
+            WorkerKilledError: a ``kill`` spec fired at a ``dispatch``
+                boundary — the process-pool frontend must SIGKILL and
+                respawn the target worker.
         """
         index = self._op_index
         self._op_index += 1
+        op_index = self._op_counts.get(op, 0)
+        self._op_counts[op] = op_index + 1
         registry = get_registry(self.registry)
         registry.counter(
             "chaos_operations_total",
@@ -105,7 +113,7 @@ class FaultInjector:
                 )
 
         for spec in self.plan.faults:
-            if not spec.applies(op, server_id, index):
+            if not spec.applies(op, server_id, index, op_index=op_index):
                 continue
             if spec.probability < 1.0 and self._rng.random() >= spec.probability:
                 continue
@@ -125,6 +133,12 @@ class FaultInjector:
                 # store from its on-disk state.
                 raise SimulatedCrashError(
                     f"simulated process kill at {op} (op #{index})"
+                )
+            if spec.kind == "kill":
+                # A serving-worker SIGKILL: the frontend respawns the
+                # worker and re-dispatches; nothing below retries this.
+                raise WorkerKilledError(
+                    f"injected worker kill at {op} (op #{index})"
                 )
             if spec.kind == "transient":
                 raise TransientError(

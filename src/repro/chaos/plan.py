@@ -30,6 +30,7 @@ __all__ = [
     "outage_plan",
     "slow_plan",
     "crash_point_plan",
+    "worker_kill_plan",
     "rolling_restart_plan",
     "PRESETS",
     "plan_from_spec",
@@ -40,11 +41,18 @@ __all__ = [
 #: internals (WAL append, SSTable flush, compaction, checkpoint write)
 #: and exist so ``crash`` faults can kill the process at any persistence
 #: boundary; in-memory stores never consult them.
-OPS = ("put", "get", "scan", "lsm-put", "lsm-flush", "lsm-compact", "snapshot", "*")
-#: Fault kinds: raise-and-retryable, server-down, added latency, or a
+#: ``dispatch`` fires on the process-pool frontend handing one request
+#: to a worker process; it exists for ``kill`` faults.
+OPS = (
+    "put", "get", "scan", "lsm-put", "lsm-flush", "lsm-compact",
+    "snapshot", "dispatch", "*",
+)
+#: Fault kinds: raise-and-retryable, server-down, added latency, a
 #: simulated process kill (``crash`` — NOT retryable; recovery means
-#: reopening the store from disk).
-KINDS = ("transient", "unavailable", "slow", "crash")
+#: reopening the store from disk), or a serving-worker SIGKILL
+#: (``kill`` — the process-pool frontend respawns the worker and
+#: re-dispatches its in-flight work).
+KINDS = ("transient", "unavailable", "slow", "crash", "kill")
 
 
 @dataclass(frozen=True)
@@ -69,6 +77,11 @@ class FaultSpec:
         stop_after: operation index (exclusive) the spec stops at;
             ``None`` means never stops.
         server_id: restrict to one region server (``None`` = any).
+        scope: what ``start_after``/``stop_after`` count — ``"global"``
+            (the injector's overall operation counter, the historical
+            behavior) or ``"op"`` (only operations matching this spec's
+            ``op`` name, so e.g. "the third *dispatch*" stays the third
+            dispatch no matter how much store traffic interleaves).
     """
 
     op: str = "*"
@@ -78,6 +91,7 @@ class FaultSpec:
     start_after: int = 0
     stop_after: int | None = None
     server_id: int | None = None
+    scope: str = "global"
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
@@ -92,16 +106,34 @@ class FaultSpec:
             raise ValueError("start_after must be >= 0")
         if self.stop_after is not None and self.stop_after <= self.start_after:
             raise ValueError("stop_after must exceed start_after")
+        if self.scope not in ("global", "op"):
+            raise ValueError(f"unknown scope {self.scope!r}")
 
-    def applies(self, op: str, server_id: int | None, index: int) -> bool:
-        """Whether this spec covers operation *index* of kind *op*."""
+    def applies(
+        self,
+        op: str,
+        server_id: int | None,
+        index: int,
+        op_index: int | None = None,
+    ) -> bool:
+        """Whether this spec covers operation *index* of kind *op*.
+
+        *op_index* is the per-op-name counter; ``scope="op"`` specs
+        schedule against it (falling back to *index* when the caller
+        does not track per-op counts).
+        """
         if self.op != "*" and self.op != op:
             return False
         if self.server_id is not None and server_id != self.server_id:
             return False
-        if index < self.start_after:
+        effective = (
+            op_index
+            if self.scope == "op" and op_index is not None
+            else index
+        )
+        if effective < self.start_after:
             return False
-        if self.stop_after is not None and index >= self.stop_after:
+        if self.stop_after is not None and effective >= self.stop_after:
             return False
         return True
 
@@ -232,6 +264,25 @@ def crash_point_plan(at: int, seed: int = 0) -> FaultPlan:
     )
 
 
+def worker_kill_plan(at: int = 3, seed: int = 0) -> FaultPlan:
+    """SIGKILL the serving worker handling dispatch index *at*.
+
+    Consulted only at the process-pool ``dispatch`` boundary: dispatch
+    *at* raises :class:`~repro.hbase.errors.WorkerKilledError`, the
+    frontend kills + respawns the target worker, and every request —
+    including the one that triggered the kill — must still complete.
+    """
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            FaultSpec(
+                op="dispatch", kind="kill", probability=1.0,
+                start_after=at, stop_after=at + 1, scope="op",
+            ),
+        ),
+    )
+
+
 def rolling_restart_plan(
     seed: int = 0,
     period: int = 50,
@@ -263,6 +314,9 @@ PRESETS = {
     ),
     "crash-point": lambda seed, arg: crash_point_plan(
         at=0 if arg is None else int(arg), seed=seed
+    ),
+    "worker-kill": lambda seed, arg: worker_kill_plan(
+        at=3 if arg is None else int(arg), seed=seed
     ),
 }
 

@@ -286,10 +286,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         shed_watermark=args.shed_watermark,
         cache_capacity=args.cache_capacity,
         store_capacity=args.store_capacity,
+        backend=args.backend,
+        gil_fraction=args.gil_fraction,
+        batch_window_seconds=args.batch_window,
+        batch_max=args.batch_max,
     )
     print(
         f"replaying {config.requests} requests "
-        f"({config.mode} loop, {config.workers} workers, seed {config.seed})...",
+        f"({config.mode} loop, {config.workers} {config.backend} workers, "
+        f"seed {config.seed})...",
         file=sys.stderr,
     )
     report = run_load(config)
@@ -325,6 +330,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             shed_watermark=args.shed_watermark,
             tenant_policies={t.name: t.policy for t in tenants},
+            backend=args.backend,
+            batch_window_seconds=args.batch_window,
+            batch_max=args.batch_max,
         ),
         seed=args.seed,
         data_dir=getattr(args, "data_dir", None) or None,
@@ -335,7 +343,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     weights = [t.weight for t in tenants]
     service.start()
     print(
-        f"serving {args.requests} requests on {args.workers} workers...",
+        f"serving {args.requests} requests on {args.workers} "
+        f"{args.backend} workers...",
         file=sys.stderr,
     )
     futures = []
@@ -359,6 +368,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     hits = sum(1 for r in responses if r.cache_hit)
     degraded = sum(1 for r in responses if r.degraded)
     summary = {
+        "backend": args.backend,
         "cache_hits": hits,
         "degraded": degraded,
         "hung_workers": service.hung_workers,
@@ -629,18 +639,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bound the shared store (MaintainedStore) to N profiles",
     )
+    loadgen.add_argument(
+        "--backend",
+        choices=("threads", "processes"),
+        default="threads",
+        help="simulated concurrency cost model",
+    )
+    loadgen.add_argument(
+        "--gil-fraction",
+        type=float,
+        default=0.0,
+        help="threads backend: fraction of service time serialized on the GIL",
+    )
+    loadgen.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        help="processes backend, open mode: coalescing window (sim seconds)",
+    )
+    loadgen.add_argument("--batch-max", type=int, default=8)
     add_seed(loadgen)
     add_emit_metrics(loadgen)
     add_chaos(loadgen)
     loadgen.set_defaults(handler=_cmd_loadgen)
 
     serve = commands.add_parser(
-        "serve", help="run the thread-pool tuning service end to end"
+        "serve", help="run the real tuning-service frontend end to end"
     )
     serve.add_argument("--requests", type=int, default=40)
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument("--queue-capacity", type=int, default=32)
     serve.add_argument("--shed-watermark", type=int, default=None, dest="shed_watermark")
+    serve.add_argument(
+        "--backend",
+        choices=("threads", "processes"),
+        default="threads",
+        help="worker threads, or worker processes over the shared-memory index",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        help="processes backend: dispatcher coalescing window (wall seconds)",
+    )
+    serve.add_argument("--batch-max", type=int, default=8)
     serve.add_argument(
         "--timeout",
         type=float,

@@ -53,6 +53,20 @@ exactly like :class:`~repro.core.store.JaccardThresholdFilter`; the
 tie-break reproduces the matcher's ``(same_program, |Δsize|,
 -similarity, job_id)`` sort key.  ``tests/test_match_index.py`` holds
 the Hypothesis proof.
+
+Frozen views
+------------
+:meth:`MatchIndex.export_view` snapshots the columns into a
+:class:`FrozenIndexView`: an immutable, store-free copy of the matrices,
+masks, codes, CFG payloads, and (critically) the min/max normalizer
+bounds *as of that generation*.  The view answers the same probe stages
+through the same kernels — plus :meth:`FrozenIndexView.euclidean_stage_batch`,
+which prices K probes against the matrix in one broadcast — and splits
+into a picklable meta blob plus named numpy arrays
+(:meth:`FrozenIndexView.export_meta` / :meth:`~FrozenIndexView.export_arrays`)
+so :mod:`repro.core.shm_index` can publish it over
+``multiprocessing.shared_memory`` and reattach zero-copy in a worker
+process.  ``tests/test_shm_index.py`` proves view == index == scan.
 """
 
 from __future__ import annotations
@@ -60,7 +74,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -71,11 +85,12 @@ from ..observability import (
     Tracer,
     get_registry,
 )
+from .similarity import MinMaxNormalizer
 
 if TYPE_CHECKING:
     from .store import ProfileStore
 
-__all__ = ["MatchIndex"]
+__all__ = ["MatchIndex", "FrozenIndexView"]
 
 #: Code meaning "this row has no value for this static column".
 _MISSING = -1
@@ -85,6 +100,14 @@ _UNSEEN = -9
 
 _CFG_COLUMNS = {"map": "MAP_CFG", "reduce": "RED_CFG"}
 
+#: The (side, kind) matrix keys every index materializes.
+_VECTOR_KEYS = (
+    ("map", "flow"),
+    ("map", "cost"),
+    ("reduce", "flow"),
+    ("reduce", "cost"),
+)
+
 
 def _cfg_digest(payload: Mapping[str, Any]) -> str:
     """Stable content digest of a serialized CFG (memo key, not equality)."""
@@ -92,7 +115,219 @@ def _cfg_digest(payload: Mapping[str, Any]) -> str:
     return hashlib.md5(canonical.encode("utf-8")).hexdigest()
 
 
-class MatchIndex:
+class _ProbeColumns:
+    """Shared probe-stage kernels over one set of column arrays.
+
+    Subclasses provide the columns (``_ids``, ``_row_of``, ``_active``,
+    ``_has_static``, ``_active_arr``, ``_input_arr``, ``_matrices``,
+    ``_code_arrays``, ``_static_vocab``, ``_cfg_digests``, ``_cfg_memo``)
+    plus three hooks: :meth:`_normalizer_for` (live store lookup vs
+    frozen bounds), :meth:`_graph_for` (eager cache vs lazy parse), and
+    :meth:`_materialize` (rebuild dirty arrays vs no-op).  The kernels
+    themselves are identical, which is what makes the frozen
+    shared-memory view bit-identical to the live index by construction.
+    """
+
+    _ids: Sequence[str]
+    _row_of: dict[str, int]
+    _active: Sequence[bool]
+    _has_static: Sequence[bool]
+    _active_arr: np.ndarray
+    _input_arr: np.ndarray
+    _matrices: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]]
+    _code_arrays: dict[str, np.ndarray]
+    _static_vocab: dict[str, dict[Any, int]]
+    _cfg_digests: dict[str, Sequence[str | None]]
+    _cfg_memo: dict[tuple[str, str], bool]
+
+    def _normalizer_for(self, side: str, kind: str) -> MinMaxNormalizer:
+        raise NotImplementedError
+
+    def _graph_for(self, digest: str) -> ControlFlowGraph:
+        raise NotImplementedError
+
+    def _materialize(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    # ------------------------------------------------------------------
+    def _candidate_rows(
+        self, candidates: Iterable[str], require_static: bool = False
+    ) -> tuple[list[str], np.ndarray]:
+        """Map candidate ids to live row indices, preserving input order."""
+        ids: list[str] = []
+        rows: list[int] = []
+        for job_id in candidates:
+            row = self._row_of.get(job_id)
+            if row is None or not self._active[row]:
+                continue
+            if require_static and not self._has_static[row]:
+                continue
+            ids.append(job_id)
+            rows.append(row)
+        return ids, np.asarray(rows, dtype=np.intp)
+
+    def _euclidean_impl(
+        self,
+        side: str,
+        kind: str,
+        probes: np.ndarray,
+        threshold: float,
+        candidates: list[str] | None,
+    ) -> list[list[str]]:
+        """Price a (K, F) block of probes; row k answers probe k.
+
+        The K == 1 path is the scan-parity reference; the batched path
+        broadcasts the same clipped normalization and the same float64
+        square-sum over the trailing axis (≤6-wide, below numpy's
+        pairwise-summation block), so every batch row is bit-identical
+        to its scalar twin — ``tests/test_shm_index.py`` holds the
+        Hypothesis proof.
+        """
+        normalizer = self._normalizer_for(side, kind)
+        if normalizer.num_features == 0:
+            return [[] for _ in range(probes.shape[0])]
+        matrix, valid = self._matrices[(side, kind)]
+        if candidates is None:
+            ids = list(self._ids)
+            rows = np.arange(len(ids), dtype=np.intp)
+        else:
+            ids, rows = self._candidate_rows(candidates)
+        if len(rows) == 0:
+            return [[] for _ in range(probes.shape[0])]
+        keep_base = self._active_arr[rows] & valid[rows]
+        minimums = np.asarray(normalizer.minimums, dtype=np.float64)
+        spans = np.asarray(normalizer.maximums, dtype=np.float64) - minimums
+        safe = spans > 0
+        denominator = np.where(safe, spans, 1.0)
+        if probes.shape[1] != matrix.shape[1]:
+            raise ValueError("columns/probe/bounds must align")
+        normalized_probes = np.where(
+            safe, np.clip((probes - minimums) / denominator, 0.0, 1.0), 0.0
+        )
+        block = matrix[rows]
+        normalized = np.where(
+            safe, np.clip((block - minimums) / denominator, 0.0, 1.0), 0.0
+        )
+        # (K, R, F) broadcast; the sum runs over the trailing ≤6-wide
+        # axis in the same order the scalar path uses.
+        deltas = normalized[np.newaxis, :, :] - normalized_probes[:, np.newaxis, :]
+        distances = np.sqrt((deltas * deltas).sum(axis=2))
+        survivors: list[list[str]] = []
+        for row_keep in keep_base & (distances <= threshold):
+            survivors.append(
+                sorted(
+                    job_id
+                    for job_id, ok in zip(ids, row_keep.tolist())
+                    if ok
+                )
+            )
+        return survivors
+
+    def _cfg_impl(
+        self, side: str, probe_cfg: ControlFlowGraph, candidates: list[str]
+    ) -> list[str]:
+        probe_key = _cfg_digest(probe_cfg.to_dict())
+        digests = self._cfg_digests[side]
+        survivors = []
+        ids, rows = self._candidate_rows(candidates, require_static=True)
+        for job_id, row in zip(ids, rows.tolist()):
+            digest = digests[row]
+            if digest is None:
+                continue
+            verdict = self._cfg_memo.get((probe_key, digest))
+            if verdict is None:
+                verdict = cfg_match(probe_cfg, self._graph_for(digest))
+                self._cfg_memo[(probe_key, digest)] = verdict
+            if verdict:
+                survivors.append(job_id)
+        return sorted(survivors)
+
+    def _jaccard_impl(
+        self, probe: Mapping[str, str], threshold: float, candidates: list[str]
+    ) -> list[str]:
+        ids, rows = self._candidate_rows(candidates, require_static=True)
+        if len(rows) == 0:
+            return []
+        agreements = np.zeros(len(rows), dtype=np.int64)
+        failed = np.zeros(len(rows), dtype=bool)
+        for name, value in probe.items():
+            column = self._code_arrays.get(name)
+            if column is None:
+                failed[:] = True
+                break
+            codes = column[rows]
+            vocab = self._static_vocab.get(name, {})
+            # The scan filter fails any row whose stored value is
+            # absent *or* None for a probe column.
+            none_code = vocab.get(None, _UNSEEN)
+            failed |= (codes == _MISSING) | (codes == none_code)
+            try:
+                probe_code = vocab.get(value, _UNSEEN)
+            except TypeError:
+                probe_code = _UNSEEN
+            agreements += codes == probe_code
+        if probe:
+            scores = agreements / len(probe)
+        else:
+            scores = np.ones(len(rows), dtype=np.float64)
+        keep = (~failed) & (scores >= threshold)
+        return sorted(job_id for job_id, ok in zip(ids, keep.tolist()) if ok)
+
+    def _tie_break_impl(
+        self,
+        candidates: list[str],
+        input_bytes: int,
+        side_statics: Mapping[str, str],
+        side: str,
+        observe: Callable[[float], None] | None,
+    ) -> str:
+        ordered = sorted(candidates)
+        ids, rows = self._candidate_rows(ordered)
+        if not ids:
+            raise KeyError(f"no indexed candidates among {candidates!r}")
+        agreements = np.zeros(len(rows), dtype=np.int64)
+        for name, value in side_statics.items():
+            column = self._code_arrays.get(name)
+            codes = (
+                column[rows]
+                if column is not None
+                else np.full(len(rows), _MISSING, dtype=np.int64)
+            )
+            vocab = self._static_vocab.get(name, {})
+            try:
+                probe_code = vocab.get(value, _UNSEEN)
+            except TypeError:
+                probe_code = _UNSEEN
+            equal = codes == probe_code
+            if value == "":
+                # The scan path reads missing stored values as "",
+                # which agrees when the probe value is "" too.
+                equal |= codes == _MISSING
+            agreements += equal
+        if side_statics:
+            similarities = agreements / len(side_statics)
+        else:
+            similarities = np.ones(len(rows), dtype=np.float64)
+        deltas = np.abs(self._input_arr[rows] - np.int64(input_bytes))
+        best: tuple[Any, ...] | None = None
+        winner = ids[0]
+        for position, job_id in enumerate(ids):
+            similarity = float(similarities[position])
+            if observe is not None:
+                observe(similarity)
+            key = (
+                0 if similarity >= 1.0 else 1,
+                int(deltas[position]),
+                -similarity,
+                job_id,
+            )
+            if best is None or key < best:
+                best = key
+                winner = job_id
+        return winner
+
+
+class MatchIndex(_ProbeColumns):
     """In-memory columnar index over one :class:`ProfileStore`.
 
     One instance per store (handed out by ``store.match_index()``), so
@@ -131,13 +366,7 @@ class MatchIndex:
         self._has_static: list[bool] = []
         self._input_bytes: list[int] = []
         self._vector_columns = {
-            key: _columns_for(*key)
-            for key in (
-                ("map", "flow"),
-                ("map", "cost"),
-                ("reduce", "flow"),
-                ("reduce", "cost"),
-            )
+            key: _columns_for(*key) for key in _VECTOR_KEYS
         }
         self._vectors: dict[tuple[str, str], list[tuple[float, ...] | None]] = {
             key: [] for key in self._vector_columns
@@ -146,6 +375,7 @@ class MatchIndex:
         self._static_codes: dict[str, list[int]] = {}
         self._cfg_digests: dict[str, list[str | None]] = {"map": [], "reduce": []}
         self._cfg_graphs: dict[str, ControlFlowGraph] = {}
+        self._cfg_payloads: dict[str, dict[str, Any]] = {}
         self._cfg_memo: dict[tuple[str, str], bool] = {}
         self._arrays_dirty = True
         self._matrices: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
@@ -181,6 +411,7 @@ class MatchIndex:
                 digest = _cfg_digest(payload)
                 if digest not in self._cfg_graphs:
                     self._cfg_graphs[digest] = ControlFlowGraph.from_dict(payload)
+                    self._cfg_payloads[digest] = dict(payload)
                 self._cfg_digests[side].append(digest)
             else:
                 self._cfg_digests[side].append(None)
@@ -226,6 +457,15 @@ class MatchIndex:
             for name, codes in self._static_codes.items()
         }
         self._arrays_dirty = False
+
+    # ------------------------------------------------------------------
+    # Hooks for the shared kernels
+    # ------------------------------------------------------------------
+    def _normalizer_for(self, side: str, kind: str) -> MinMaxNormalizer:
+        return self._store.load_normalizer(side, kind)
+
+    def _graph_for(self, digest: str) -> ControlFlowGraph:
+        return self._cfg_graphs[digest]
 
     # ------------------------------------------------------------------
     # Write-side hooks (called by the store, under the store lock)
@@ -346,22 +586,6 @@ class MatchIndex:
     # ------------------------------------------------------------------
     # Probe stages (mirror the scan-path filters bit for bit)
     # ------------------------------------------------------------------
-    def _candidate_rows(
-        self, candidates: Iterable[str], require_static: bool = False
-    ) -> tuple[list[str], np.ndarray]:
-        """Map candidate ids to live row indices, preserving input order."""
-        ids: list[str] = []
-        rows: list[int] = []
-        for job_id in candidates:
-            row = self._row_of.get(job_id)
-            if row is None or not self._active[row]:
-                continue
-            if require_static and not self._has_static[row]:
-                continue
-            ids.append(job_id)
-            rows.append(row)
-        return ids, np.asarray(rows, dtype=np.intp)
-
     def euclidean_stage(
         self,
         side: str,
@@ -373,59 +597,30 @@ class MatchIndex:
         """Vectorized twin of :meth:`ProfileStore.euclidean_stage`."""
         with self._lock:
             self._materialize()
-            normalizer = self._store.load_normalizer(side, kind)
-            if normalizer.num_features == 0:
-                return []
-            matrix, valid = self._matrices[(side, kind)]
-            if candidates is None:
-                ids = self._ids
-                rows = np.arange(len(ids), dtype=np.intp)
-            else:
-                ids, rows = self._candidate_rows(candidates)
-            if len(rows) == 0:
-                return []
-            keep = self._active_arr[rows] & valid[rows]
-            minimums = np.asarray(normalizer.minimums, dtype=np.float64)
-            spans = np.asarray(normalizer.maximums, dtype=np.float64) - minimums
-            safe = spans > 0
-            denominator = np.where(safe, spans, 1.0)
-            probe_arr = np.asarray(probe, dtype=np.float64)
-            if probe_arr.shape[0] != matrix.shape[1]:
-                raise ValueError("columns/probe/bounds must align")
-            normalized_probe = np.where(
-                safe, np.clip((probe_arr - minimums) / denominator, 0.0, 1.0), 0.0
-            )
-            block = matrix[rows]
-            normalized = np.where(
-                safe, np.clip((block - minimums) / denominator, 0.0, 1.0), 0.0
-            )
-            deltas = normalized - normalized_probe
-            distances = np.sqrt((deltas * deltas).sum(axis=1))
-            keep &= distances <= threshold
-            return sorted(
-                job_id for job_id, ok in zip(ids, keep.tolist()) if ok
-            )
+            probes = np.asarray([probe], dtype=np.float64)
+            return self._euclidean_impl(side, kind, probes, threshold, candidates)[0]
+
+    def euclidean_stage_batch(
+        self,
+        side: str,
+        kind: str,
+        probes: Sequence[Sequence[float]],
+        threshold: float,
+    ) -> list[list[str]]:
+        """One broadcast pricing K probes; row k == ``euclidean_stage`` of probe k."""
+        with self._lock:
+            self._materialize()
+            block = np.asarray(probes, dtype=np.float64)
+            if block.ndim != 2:
+                raise ValueError(f"expected a (K, F) probe block, got {block.shape}")
+            return self._euclidean_impl(side, kind, block, threshold, None)
 
     def cfg_stage(
         self, side: str, probe_cfg: ControlFlowGraph, candidates: list[str]
     ) -> list[str]:
         """Memoized twin of :meth:`ProfileStore.cfg_stage`."""
         with self._lock:
-            probe_key = _cfg_digest(probe_cfg.to_dict())
-            digests = self._cfg_digests[side]
-            survivors = []
-            ids, rows = self._candidate_rows(candidates, require_static=True)
-            for job_id, row in zip(ids, rows.tolist()):
-                digest = digests[row]
-                if digest is None:
-                    continue
-                verdict = self._cfg_memo.get((probe_key, digest))
-                if verdict is None:
-                    verdict = cfg_match(probe_cfg, self._cfg_graphs[digest])
-                    self._cfg_memo[(probe_key, digest)] = verdict
-                if verdict:
-                    survivors.append(job_id)
-            return sorted(survivors)
+            return self._cfg_impl(side, probe_cfg, candidates)
 
     def jaccard_stage(
         self, probe: Mapping[str, str], threshold: float, candidates: list[str]
@@ -433,35 +628,7 @@ class MatchIndex:
         """Vectorized twin of :meth:`ProfileStore.jaccard_stage`."""
         with self._lock:
             self._materialize()
-            ids, rows = self._candidate_rows(candidates, require_static=True)
-            if len(rows) == 0:
-                return []
-            agreements = np.zeros(len(rows), dtype=np.int64)
-            failed = np.zeros(len(rows), dtype=bool)
-            for name, value in probe.items():
-                column = self._code_arrays.get(name)
-                if column is None:
-                    failed[:] = True
-                    break
-                codes = column[rows]
-                vocab = self._static_vocab.get(name, {})
-                # The scan filter fails any row whose stored value is
-                # absent *or* None for a probe column.
-                none_code = vocab.get(None, _UNSEEN)
-                failed |= (codes == _MISSING) | (codes == none_code)
-                try:
-                    probe_code = vocab.get(value, _UNSEEN)
-                except TypeError:
-                    probe_code = _UNSEEN
-                agreements += codes == probe_code
-            if probe:
-                scores = agreements / len(probe)
-            else:
-                scores = np.ones(len(rows), dtype=np.float64)
-            keep = (~failed) & (scores >= threshold)
-            return sorted(
-                job_id for job_id, ok in zip(ids, keep.tolist()) if ok
-            )
+            return self._jaccard_impl(probe, threshold, candidates)
 
     def tie_break(
         self,
@@ -481,50 +648,64 @@ class MatchIndex:
         """
         with self._lock:
             self._materialize()
-            ordered = sorted(candidates)
-            ids, rows = self._candidate_rows(ordered)
-            if not ids:
-                raise KeyError(f"no indexed candidates among {candidates!r}")
-            agreements = np.zeros(len(rows), dtype=np.int64)
-            for name, value in side_statics.items():
-                column = self._code_arrays.get(name)
-                codes = (
-                    column[rows]
-                    if column is not None
-                    else np.full(len(rows), _MISSING, dtype=np.int64)
+            return self._tie_break_impl(
+                candidates, input_bytes, side_statics, side, observe
+            )
+
+    # ------------------------------------------------------------------
+    # Frozen export
+    # ------------------------------------------------------------------
+    def export_view(self) -> "FrozenIndexView":
+        """Snapshot the current generation into an immutable, store-free view.
+
+        Brings the index fresh first (raising whatever the rebuild scan
+        raises — an export during an outage fails loudly rather than
+        publishing a stale generation), then deep-copies every column
+        and freezes the store's current normalizer bounds into the view,
+        so later writes can never tear it.
+        """
+        with self._lock:
+            self.ensure_fresh()
+            self._materialize()
+            normalizers = {
+                key: MinMaxNormalizer.from_dict(
+                    self._store.load_normalizer(*key).to_dict()
                 )
-                vocab = self._static_vocab.get(name, {})
-                try:
-                    probe_code = vocab.get(value, _UNSEEN)
-                except TypeError:
-                    probe_code = _UNSEEN
-                equal = codes == probe_code
-                if value == "":
-                    # The scan path reads missing stored values as "",
-                    # which agrees when the probe value is "" too.
-                    equal |= codes == _MISSING
-                agreements += equal
-            if side_statics:
-                similarities = agreements / len(side_statics)
-            else:
-                similarities = np.ones(len(rows), dtype=np.float64)
-            deltas = np.abs(self._input_arr[rows] - np.int64(input_bytes))
-            best: tuple[Any, ...] | None = None
-            winner = ids[0]
-            for position, job_id in enumerate(ids):
-                similarity = float(similarities[position])
-                if observe is not None:
-                    observe(similarity)
-                key = (
-                    0 if similarity >= 1.0 else 1,
-                    int(deltas[position]),
-                    -similarity,
-                    job_id,
-                )
-                if best is None or key < best:
-                    best = key
-                    winner = job_id
-            return winner
+                for key in self._vector_columns
+            }
+            referenced = {
+                digest
+                for digests in self._cfg_digests.values()
+                for digest in digests
+                if digest is not None
+            }
+            return FrozenIndexView(
+                generation=self._built_generation,
+                ids=tuple(self._ids),
+                active=self._active_arr.copy(),
+                has_static=self._static_arr.copy(),
+                input_bytes=self._input_arr.copy(),
+                matrices={
+                    key: (matrix.copy(), valid.copy())
+                    for key, (matrix, valid) in self._matrices.items()
+                },
+                code_arrays={
+                    name: arr.copy() for name, arr in self._code_arrays.items()
+                },
+                static_vocab={
+                    name: dict(vocab)
+                    for name, vocab in self._static_vocab.items()
+                },
+                cfg_digests={
+                    side: tuple(digests)
+                    for side, digests in self._cfg_digests.items()
+                },
+                cfg_payloads={
+                    digest: dict(self._cfg_payloads[digest])
+                    for digest in sorted(referenced)
+                },
+                normalizers=normalizers,
+            )
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
@@ -538,3 +719,182 @@ class MatchIndex:
                 "rows": len(self._ids),
                 "static_columns": len(self._static_codes),
             }
+
+
+class FrozenIndexView(_ProbeColumns):
+    """An immutable snapshot of one :class:`MatchIndex` generation.
+
+    Carries everything a probe needs — matrices, masks, codes, vocab,
+    CFG payloads, and the normalizer bounds frozen at export time — so
+    it answers every stage without a store and therefore without locks,
+    from any process.  The arrays may be zero-copy views over
+    ``multiprocessing.shared_memory`` segments (see
+    :mod:`repro.core.shm_index`); the view never writes to them.
+    """
+
+    def __init__(
+        self,
+        generation: int,
+        ids: tuple[str, ...],
+        active: np.ndarray,
+        has_static: np.ndarray,
+        input_bytes: np.ndarray,
+        matrices: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]],
+        code_arrays: dict[str, np.ndarray],
+        static_vocab: dict[str, dict[Any, int]],
+        cfg_digests: dict[str, tuple[str | None, ...]],
+        cfg_payloads: dict[str, dict[str, Any]],
+        normalizers: dict[tuple[str, str], MinMaxNormalizer],
+    ) -> None:
+        self.generation = int(generation)
+        self._ids = ids
+        self._row_of = {job_id: row for row, job_id in enumerate(ids)}
+        self._active = active
+        self._active_arr = active
+        self._has_static = has_static
+        self._static_arr = has_static
+        self._input_arr = input_bytes
+        self._matrices = matrices
+        self._code_arrays = code_arrays
+        self._static_vocab = static_vocab
+        self._cfg_digests = cfg_digests
+        self._cfg_payloads = cfg_payloads
+        #: Lazily parsed graphs + per-view verdict memo (worker-local).
+        self._cfg_graphs: dict[str, ControlFlowGraph] = {}
+        self._cfg_memo: dict[tuple[str, str], bool] = {}
+        self._normalizers = normalizers
+
+    # -- kernel hooks ---------------------------------------------------
+    def _normalizer_for(self, side: str, kind: str) -> MinMaxNormalizer:
+        return self._normalizers[(side, kind)]
+
+    def _graph_for(self, digest: str) -> ControlFlowGraph:
+        graph = self._cfg_graphs.get(digest)
+        if graph is None:
+            graph = ControlFlowGraph.from_dict(self._cfg_payloads[digest])
+            self._cfg_graphs[digest] = graph
+        return graph
+
+    # -- probe stages (same signatures as MatchIndex) -------------------
+    def ensure_fresh(self) -> None:
+        """No-op: a frozen view is always internally consistent."""
+
+    def euclidean_stage(
+        self,
+        side: str,
+        kind: str,
+        probe: list[float],
+        threshold: float,
+        candidates: list[str] | None = None,
+    ) -> list[str]:
+        probes = np.asarray([probe], dtype=np.float64)
+        return self._euclidean_impl(side, kind, probes, threshold, candidates)[0]
+
+    def euclidean_stage_batch(
+        self,
+        side: str,
+        kind: str,
+        probes: Sequence[Sequence[float]],
+        threshold: float,
+    ) -> list[list[str]]:
+        block = np.asarray(probes, dtype=np.float64)
+        if block.ndim != 2:
+            raise ValueError(f"expected a (K, F) probe block, got {block.shape}")
+        return self._euclidean_impl(side, kind, block, threshold, None)
+
+    def cfg_stage(
+        self, side: str, probe_cfg: ControlFlowGraph, candidates: list[str]
+    ) -> list[str]:
+        return self._cfg_impl(side, probe_cfg, candidates)
+
+    def jaccard_stage(
+        self, probe: Mapping[str, str], threshold: float, candidates: list[str]
+    ) -> list[str]:
+        return self._jaccard_impl(probe, threshold, candidates)
+
+    def tie_break(
+        self,
+        candidates: list[str],
+        input_bytes: int,
+        side_statics: Mapping[str, str],
+        side: str,
+        observe: Callable[[float], None] | None = None,
+    ) -> str:
+        return self._tie_break_impl(
+            candidates, input_bytes, side_statics, side, observe
+        )
+
+    # -- split codec (meta blob + named arrays) -------------------------
+    _ARRAY_SCALARS = ("active", "has_static", "input_bytes")
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The big numeric columns, named for shared-memory packing."""
+        arrays: dict[str, np.ndarray] = {
+            "active": self._active_arr,
+            "has_static": self._static_arr,
+            "input_bytes": self._input_arr,
+        }
+        for (side, kind), (matrix, valid) in self._matrices.items():
+            arrays[f"mat:{side}:{kind}"] = matrix
+            arrays[f"valid:{side}:{kind}"] = valid
+        for name, column in self._code_arrays.items():
+            arrays[f"code:{name}"] = column
+        return arrays
+
+    def export_meta(self) -> dict[str, Any]:
+        """Everything that is not a big array, as one picklable blob."""
+        return {
+            "generation": self.generation,
+            "ids": self._ids,
+            "matrix_keys": sorted(self._matrices),
+            "code_names": sorted(self._code_arrays),
+            "static_vocab": self._static_vocab,
+            "cfg_digests": self._cfg_digests,
+            "cfg_payloads": self._cfg_payloads,
+            "normalizers": {
+                key: normalizer.to_dict()
+                for key, normalizer in self._normalizers.items()
+            },
+        }
+
+    @classmethod
+    def from_parts(
+        cls, meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> "FrozenIndexView":
+        """Rebuild a view from :meth:`export_meta` + :meth:`export_arrays`.
+
+        The arrays are referenced, not copied — hand in shared-memory
+        views for a zero-copy attach.
+        """
+        matrices = {
+            tuple(key): (arrays[f"mat:{key[0]}:{key[1]}"], arrays[f"valid:{key[0]}:{key[1]}"])
+            for key in meta["matrix_keys"]
+        }
+        return cls(
+            generation=meta["generation"],
+            ids=tuple(meta["ids"]),
+            active=arrays["active"],
+            has_static=arrays["has_static"],
+            input_bytes=arrays["input_bytes"],
+            matrices=matrices,
+            code_arrays={
+                name: arrays[f"code:{name}"] for name in meta["code_names"]
+            },
+            static_vocab=meta["static_vocab"],
+            cfg_digests=meta["cfg_digests"],
+            cfg_payloads=meta["cfg_payloads"],
+            normalizers={
+                tuple(key): MinMaxNormalizer.from_dict(payload)
+                for key, payload in meta["normalizers"].items()
+            },
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Deterministic size snapshot (sorted keys)."""
+        return {
+            "built_generation": self.generation,
+            "cfg_payloads": len(self._cfg_payloads),
+            "live_rows": int(self._active_arr.sum()),
+            "rows": len(self._ids),
+            "static_columns": len(self._code_arrays),
+        }

@@ -59,6 +59,7 @@ __all__ = [
     "ParamAwareMatcher",
     "SideMatch",
     "MatchOutcome",
+    "Stage1Batch",
     "explain_match",
 ]
 
@@ -98,6 +99,30 @@ class MatchOutcome:
         if not self.matched or self.reduce_match is None:
             return False
         return self.map_match.job_id != self.reduce_match.job_id
+
+
+class Stage1Batch:
+    """Survivors of one stage-1 broadcast, pinned to an index generation.
+
+    Produced by :meth:`ProfileMatcher.precompute_stage1`; consumed by
+    :meth:`ProfileMatcher.match_side`, which discards it the moment the
+    index generation no longer matches — a store write between the
+    broadcast and an item's match invalidates the whole batch, keeping
+    batched results byte-identical to sequential ones.
+    """
+
+    def __init__(
+        self,
+        generation: int | None,
+        by_probe: dict[int, dict[str, list[str]]],
+    ) -> None:
+        self.generation = generation
+        self._by_probe = by_probe
+
+    def survivors_for(
+        self, features: "JobFeatures", side: str
+    ) -> list[str] | None:
+        return self._by_probe.get(id(features), {}).get(side)
 
 
 class ProfileMatcher:
@@ -278,24 +303,35 @@ class ProfileMatcher:
         return result
 
     def _match_side_indexed(
-        self, index: "MatchIndex", features: JobFeatures, side: str
+        self,
+        index: "MatchIndex",
+        features: JobFeatures,
+        side: str,
+        stage1: list[str] | None = None,
     ) -> SideMatch:
         """The Fig 4.4 workflow over the columnar index.
 
         Stage-for-stage mirror of :meth:`_match_side_inner` — same
         thresholds, same funnel keys, same terminal stages — with the
-        store scans replaced by index probes.
+        store scans replaced by index probes.  *stage1* short-circuits
+        the dynamic filter with survivors a batched broadcast already
+        computed (:meth:`precompute_stage1`); the broadcast kernel is
+        bit-identical to the scalar stage, so the funnel and outcome are
+        byte-identical either way.
         """
         flow, costs, statics, cfg = features.side_vectors(side)
         funnel: dict[str, int] = {}
 
-        survivors = self._index_stage(
-            f"euclidean-{side}-flow",
-            DYNAMIC_PREFIX,
-            lambda: index.euclidean_stage(
-                side, "flow", list(flow), self._theta_eucl(len(flow))
-            ),
-        )
+        if stage1 is not None:
+            survivors = list(stage1)
+        else:
+            survivors = self._index_stage(
+                f"euclidean-{side}-flow",
+                DYNAMIC_PREFIX,
+                lambda: index.euclidean_stage(
+                    side, "flow", list(flow), self._theta_eucl(len(flow))
+                ),
+            )
         funnel["dynamic"] = len(survivors)
         if not survivors:
             return SideMatch(side, None, "no-match-dynamic", funnel)
@@ -359,7 +395,12 @@ class ProfileMatcher:
         return SideMatch(side, None, "no-match", funnel)
 
     # ------------------------------------------------------------------
-    def match_side(self, features: JobFeatures, side: str) -> SideMatch:
+    def match_side(
+        self,
+        features: JobFeatures,
+        side: str,
+        stage1: "Stage1Batch | None" = None,
+    ) -> SideMatch:
         """Run the Fig 4.4 workflow for one side (indexed, else scan)."""
         registry = get_registry(self.registry)
         tracer = get_tracer(self.tracer)
@@ -367,10 +408,22 @@ class ProfileMatcher:
             "pstorm.match_side", side=side, job=features.job_name
         ) as span:
             index = self._probe_index()
+            precomputed: list[str] | None = None
+            if index is not None and stage1 is not None:
+                # The broadcast survivors are only valid against the exact
+                # generation they were priced at; any write (or republish)
+                # since then re-runs the scalar stage instead.
+                if (
+                    stage1.generation is not None
+                    and getattr(index, "generation", None) == stage1.generation
+                ):
+                    precomputed = stage1.survivors_for(features, side)
             match: SideMatch | None = None
             if index is not None:
                 try:
-                    match = self._match_side_indexed(index, features, side)
+                    match = self._match_side_indexed(
+                        index, features, side, stage1=precomputed
+                    )
                 except Exception:
                     # A probe-time fault (e.g. the cached-normalizer read
                     # hitting an injected outage) poisons this probe only;
@@ -436,12 +489,85 @@ class ProfileMatcher:
         return SideMatch(side, None, "no-match", funnel)
 
     # ------------------------------------------------------------------
-    def match_job(self, features: JobFeatures) -> MatchOutcome:
+    # Batched stage-1 (the coalescing frontends' vectorized probe)
+    # ------------------------------------------------------------------
+    def precompute_stage1(
+        self, features_list: "list[JobFeatures]"
+    ) -> "Stage1Batch | None":
+        """Price every probe's dynamic filter in one broadcast per side.
+
+        Returns a :class:`Stage1Batch` the per-item :meth:`match_job`
+        calls consume, or ``None`` whenever the batched path cannot be
+        bit-identical to the scalar one — index disabled/unavailable/
+        poisoned, mixed probe widths, or an index without the batch
+        kernel — in which case callers simply match item by item.
+        """
+        if len(features_list) < 2:
+            return None
+        index = self._probe_index()
+        if index is None:
+            return None
+        batch_kernel = getattr(index, "euclidean_stage_batch", None)
+        if not callable(batch_kernel):
+            self._count_index_miss("unavailable")
+            return None
+        per_side: dict[str, list[tuple[JobFeatures, tuple[float, ...]]]] = {
+            "map": [],
+            "reduce": [],
+        }
+        for features in features_list:
+            per_side["map"].append((features, features.side_vectors("map")[0]))
+            if features.has_reduce:
+                per_side["reduce"].append(
+                    (features, features.side_vectors("reduce")[0])
+                )
+        by_probe: dict[int, dict[str, list[str]]] = {
+            id(features): {} for features in features_list
+        }
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
+        try:
+            for side, entries in per_side.items():
+                if not entries:
+                    continue
+                widths = {len(flow) for __, flow in entries}
+                if len(widths) != 1:
+                    return None
+                with tracer.span(
+                    "pstorm.store.probe",
+                    stage=f"euclidean-{side}-flow-batch",
+                    prefix=DYNAMIC_PREFIX,
+                    via="index",
+                ):
+                    survivors = batch_kernel(
+                        side,
+                        "flow",
+                        [list(flow) for __, flow in entries],
+                        self._theta_eucl(widths.pop()),
+                    )
+                for (features, __), row in zip(entries, survivors):
+                    by_probe[id(features)][side] = row
+        except Exception:
+            self._count_index_miss("poisoned")
+            return None
+        registry.histogram(
+            "pstorm_matcher_batch_size",
+            "probes coalesced into one stage-1 broadcast",
+            buckets=COUNT_BUCKETS,
+        ).observe(len(features_list))
+        return Stage1Batch(
+            generation=getattr(index, "generation", None), by_probe=by_probe
+        )
+
+    # ------------------------------------------------------------------
+    def match_job(
+        self, features: JobFeatures, stage1: "Stage1Batch | None" = None
+    ) -> MatchOutcome:
         """Match both sides and compose the returned profile."""
         registry = get_registry(self.registry)
         tracer = get_tracer(self.tracer)
         with tracer.span("pstorm.match_job", job=features.job_name) as span:
-            outcome = self._match_job_inner(features)
+            outcome = self._match_job_inner(features, stage1)
             span.set_attr("matched", outcome.matched)
             span.set_attr("composite", outcome.is_composite)
         registry.counter(
@@ -462,10 +588,14 @@ class ProfileMatcher:
             ).inc()
         return outcome
 
-    def _match_job_inner(self, features: JobFeatures) -> MatchOutcome:
-        map_match = self.match_side(features, "map")
+    def _match_job_inner(
+        self, features: JobFeatures, stage1: "Stage1Batch | None" = None
+    ) -> MatchOutcome:
+        map_match = self.match_side(features, "map", stage1=stage1)
         reduce_match = (
-            self.match_side(features, "reduce") if features.has_reduce else None
+            self.match_side(features, "reduce", stage1=stage1)
+            if features.has_reduce
+            else None
         )
 
         if not map_match.matched:

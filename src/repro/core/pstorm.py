@@ -43,7 +43,7 @@ from ..starfish.rbo import RuleBasedOptimizer
 from ..starfish.sampler import Sampler
 from ..starfish.whatif import WhatIfEngine
 from .features import JobFeatures, extract_job_features
-from .matcher import MatchOutcome, ProfileMatcher, SideMatch
+from .matcher import MatchOutcome, ProfileMatcher, SideMatch, Stage1Batch
 from .resilient import ResilientProfileStore
 from .store import ProfileStore
 
@@ -300,6 +300,8 @@ class PStorM:
         dataset: Dataset,
         config: JobConfiguration | None = None,
         seed: int = 0,
+        _presampled: "tuple[JobProfile, JobFeatures, float] | None" = None,
+        _stage1: "Stage1Batch | None" = None,
     ) -> SubmissionResult:
         """The Chapter 3 submission workflow."""
         if config is None:
@@ -309,7 +311,10 @@ class PStorM:
         with tracer.span(
             "pstorm.submit", job=job.name, dataset=dataset.name
         ) as span:
-            result = self._submit_inner(job, dataset, config, seed)
+            result = self._submit_inner(
+                job, dataset, config, seed,
+                presampled=_presampled, stage1=_stage1,
+            )
             span.set_attr("matched", result.matched)
             span.set_attr("degraded", result.degraded)
 
@@ -348,18 +353,83 @@ class PStorM:
             result = replace(result, metrics=registry_to_dict(registry))
         return result
 
+    def submit_batch(
+        self,
+        submissions: "list[tuple[MapReduceJob, Dataset, JobConfiguration | None, int]]",
+    ) -> list[SubmissionResult]:
+        """Serve several submissions with one vectorized stage-1 probe.
+
+        Samples every job first (sampling never touches the store), then
+        prices all dynamic filters in a single broadcast
+        (:meth:`ProfileMatcher.precompute_stage1`) and walks the
+        submissions *in order* through the same per-item workflow as
+        :meth:`submit`.  The broadcast is pinned to the index generation
+        it was priced at: the first miss-path store write invalidates it
+        and later items re-run the scalar stage — which is exactly what
+        sequential submission would have seen — so the results are
+        byte-identical to calling :meth:`submit` item by item.
+        """
+        normalized = [
+            (job, dataset, config if config is not None else JobConfiguration(), seed)
+            for job, dataset, config, seed in submissions
+        ]
+        presampled, stage1 = self.prepare_batch(normalized)
+        results = []
+        for (job, dataset, config, seed), sampled in zip(normalized, presampled):
+            if isinstance(sampled, Exception):
+                # Re-run the scalar path so the exception escapes with
+                # exactly the message sequential submission would raise.
+                results.append(self.submit(job, dataset, config, seed=seed))
+            else:
+                results.append(
+                    self.submit(
+                        job, dataset, config, seed=seed,
+                        _presampled=sampled, _stage1=stage1,
+                    )
+                )
+        return results
+
+    def prepare_batch(
+        self,
+        submissions: "list[tuple[MapReduceJob, Dataset, JobConfiguration | None, int]]",
+    ) -> "tuple[list[Any], Stage1Batch | None]":
+        """Presample a batch and price one stage-1 broadcast for it.
+
+        Returns ``(presampled, stage1)`` where ``presampled[i]`` is the
+        ``(profile, features, seconds)`` triple for submission *i*, or
+        the exception presampling raised — captured per item so one bad
+        submission cannot poison its batch-mates.  Healthy items feed a
+        single :meth:`ProfileMatcher.precompute_stage1` broadcast.
+        """
+        presampled: list[Any] = []
+        for job, dataset, __, seed in submissions:
+            try:
+                presampled.append(self._sample(job, dataset, seed=seed))
+            except Exception as exc:  # noqa: BLE001 — isolated per item
+                presampled.append(exc)
+        healthy = [
+            triple[1] for triple in presampled if not isinstance(triple, Exception)
+        ]
+        stage1 = self.matcher.precompute_stage1(healthy)
+        return presampled, stage1
+
     def _submit_inner(
         self,
         job: MapReduceJob,
         dataset: Dataset,
         config: JobConfiguration,
         seed: int,
+        presampled: "tuple[JobProfile, JobFeatures, float] | None" = None,
+        stage1: "Stage1Batch | None" = None,
     ) -> SubmissionResult:
-        sample_profile, features, sampling_seconds = self._sample(
-            job, dataset, seed=seed
-        )
+        if presampled is not None:
+            sample_profile, features, sampling_seconds = presampled
+        else:
+            sample_profile, features, sampling_seconds = self._sample(
+                job, dataset, seed=seed
+            )
         try:
-            outcome = self.matcher.match_job(features)
+            outcome = self.matcher.match_job(features, stage1=stage1)
         except StoreUnavailableError:
             # The probe exhausted its retry/deadline budget: degrade to
             # sample-profile tuning rather than fail the submission.

@@ -12,6 +12,7 @@ __all__ = [
     "ServerUnavailableError",
     "CorruptWalError",
     "SimulatedCrashError",
+    "WorkerKilledError",
     "RETRYABLE_ERRORS",
 ]
 
@@ -75,6 +76,17 @@ class SimulatedCrashError(HBaseError):
     the crash-recovery harness lets it propagate, abandons the store
     object, and re-opens the on-disk state — exactly what a restarted
     process would do.
+    """
+
+
+class WorkerKilledError(HBaseError):
+    """A chaos-injected SIGKILL of one serving worker process.
+
+    Raised by the fault injector at the process-pool ``dispatch``
+    boundary (``kind="kill"``): the frontend must kill the target
+    worker, respawn it, and re-dispatch the in-flight work — the request
+    itself must still complete.  Not retryable at the substrate level;
+    the recovery lives in :class:`repro.serving.procpool.ProcessPoolFrontend`.
     """
 
 

@@ -12,16 +12,31 @@ serving layer:
 - :mod:`~repro.serving.admission` — watermark load shedding and
   per-tenant token-bucket rate limiting;
 - :mod:`~repro.serving.loadgen` — the deterministic open/closed-loop
-  load harness behind ``repro loadgen``.
+  load harness behind ``repro loadgen``;
+- :mod:`~repro.serving.procpool` — the multi-process backend: worker
+  processes probing the shared-memory match index, a single-writer
+  parent publishing generations, chaos-killable and respawned.
 """
 
 from .admission import AdmissionController, TenantPolicy, TokenBucket
 from .cache import CacheKey, ResultCache, cache_key_for, job_signature
 from .errors import ServiceClosedError, ServiceOverloadError, ServingError
-from .loadgen import LoadConfig, LoadReport, TenantSpec, default_tenants, run_load
+from .loadgen import (
+    LoadConfig,
+    LoadReport,
+    TenantSpec,
+    default_tenants,
+    run_load,
+    run_worker_sweep,
+)
+from .procpool import ProcessPoolFrontend, SnapshotStoreProxy, WorkerRuntime
 from .service import ServiceConfig, TuningRequest, TuningResponse, TuningService
 
 __all__ = [
+    "ProcessPoolFrontend",
+    "SnapshotStoreProxy",
+    "WorkerRuntime",
+    "run_worker_sweep",
     "AdmissionController",
     "TenantPolicy",
     "TokenBucket",

@@ -27,7 +27,7 @@ from __future__ import annotations
 import heapq
 import json
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 from ..hadoop.cluster import ClusterSpec, ec2_cluster
@@ -45,7 +45,14 @@ from .admission import TenantPolicy
 from .errors import ServiceOverloadError
 from .service import ServiceConfig, TuningRequest, TuningResponse, TuningService
 
-__all__ = ["TenantSpec", "LoadConfig", "LoadReport", "run_load", "default_tenants"]
+__all__ = [
+    "TenantSpec",
+    "LoadConfig",
+    "LoadReport",
+    "run_load",
+    "run_worker_sweep",
+    "default_tenants",
+]
 
 MB = 1 << 20
 
@@ -103,12 +110,37 @@ class LoadConfig:
     cache_ttl_seconds: float = 6 * 3600.0
     deadline_seconds: float = 600.0
     store_capacity: int | None = None
+    #: Simulated concurrency backend: "threads" or "processes".  The
+    #: harness never starts a real frontend — it models each backend's
+    #: cost structure on the virtual clock so worker-count sweeps are
+    #: byte-deterministic even on a single-core CI box.
+    backend: str = "threads"
+    #: Threads backend: fraction of each request's service time that
+    #: holds the GIL and therefore serializes across workers (0 = the
+    #: pre-backend model where lanes are fully independent; 1 = the
+    #: matcher/CBO-bound worst case the process backend exists to fix).
+    gil_fraction: float = 0.0
+    #: Process backend: per-dispatch IPC tax on every non-cached request
+    #: (task pickle + result pickle + queue hop).  Charged per request —
+    #: not amortized across a coalesced batch — so batched and unbatched
+    #: runs of the same seed stay byte-comparable.
+    ipc_cost_seconds: float = 0.004
+    #: Process backend: shared-index republish cost added to remember().
+    publish_cost_seconds: float = 0.05
+    #: Process backend, open mode: coalesce arrivals within this window
+    #: of a group's first arrival into one handle_batch call (0 = off).
+    batch_window_seconds: float = 0.0
+    batch_max: int = 8
 
     def __post_init__(self) -> None:
         if self.mode not in ("open", "closed"):
             raise ValueError("mode must be 'open' or 'closed'")
         if self.requests < 1:
             raise ValueError("need at least one request")
+        if self.backend not in ("threads", "processes"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if not 0.0 <= self.gil_fraction <= 1.0:
+            raise ValueError("gil_fraction must be within [0, 1]")
 
     def service_config(self) -> ServiceConfig:
         return ServiceConfig(
@@ -120,6 +152,12 @@ class LoadConfig:
             tenant_policies={t.name: t.policy for t in self.tenants},
             deadline_seconds=self.deadline_seconds,
             store_capacity=self.store_capacity,
+            backend=self.backend,
+            batch_window_seconds=self.batch_window_seconds,
+            batch_max=self.batch_max,
+            # Off the 0.01 cache-hit grid: warm-path percentiles resolve
+            # to real values instead of clamping at one clock tick.
+            cache_lookup_cost_seconds=0.0003,
         )
 
 
@@ -204,6 +242,10 @@ class _LoadRun:
         #: Min-heap of worker free times — the "thread pool".
         self.worker_free = [0.0] * config.workers
         heapq.heapify(self.worker_free)
+        #: Threads backend: when the GIL is next free.  A request's
+        #: serialized slice (gil_fraction of its service time) pushes
+        #: this forward; later requests cannot start before it.
+        self.gil_free = 0.0
         #: Start times of assigned-but-not-yet-started requests; entries
         #: still in the future at an arrival are the queue.
         self.pending_starts: list[float] = []
@@ -233,9 +275,15 @@ class _LoadRun:
         return every > 0 and index % every == every - 1
 
     # ------------------------------------------------------------------
-    def arrive(self, index: int, now: float, tenant: str) -> float:
+    def arrive(
+        self,
+        index: int,
+        now: float,
+        tenant: str,
+        job: MapReduceJob,
+        dataset: Dataset,
+    ) -> float:
         """Process one arrival; returns when the work left the system."""
-        job, dataset = self.pick_work()
         tally = self.per_tenant[tenant]
         tally["requests"] += 1
         depth = self.queue_depth(now)
@@ -251,6 +299,8 @@ class _LoadRun:
             return now
         free_at = heapq.heappop(self.worker_free)
         start = max(now, free_at)
+        if self.config.backend == "threads" and self.config.gil_fraction > 0:
+            start = max(start, self.gil_free)
         wait = start - now
         deadline = self.config.deadline_seconds
         if wait > deadline:
@@ -277,6 +327,8 @@ class _LoadRun:
         heapq.heappush(self.worker_free, finish)
         self.pending_starts.append(start)
         self.makespan = max(self.makespan, finish)
+        if self.config.backend == "threads" and self.config.gil_fraction > 0:
+            self.gil_free = start + self.config.gil_fraction * (finish - start)
         return finish
 
     def _serve_submit(
@@ -298,6 +350,16 @@ class _LoadRun:
         )
         response = self.service.handle(request, now=start)
         response.wait_seconds = wait
+        return self._account_submit(response, tenant, start)
+
+    def _account_submit(
+        self, response: TuningResponse, tenant: str, start: float
+    ) -> float:
+        """Backend cost adjustment + tallies; returns the finish time."""
+        if self.config.backend == "processes" and not response.cache_hit:
+            # Cache hits are answered by the parent (no IPC); everything
+            # else crosses the task/result queues once.
+            response.service_seconds += self.config.ipc_cost_seconds
         self.responses.append(response)
         tally = self.per_tenant[tenant]
         if response.ok:
@@ -322,6 +384,9 @@ class _LoadRun:
         if job_id is None:
             self.remember_failures += 1
         cost = self.service.config.remember_cost_seconds
+        if self.config.backend == "processes":
+            # The single writer republishes the shared index after a put.
+            cost += self.config.publish_cost_seconds
         response = TuningResponse(
             request_id=index + 1,
             tenant=tenant,
@@ -352,19 +417,124 @@ class _LoadRun:
                 tenant=tenant,
                 status="shed",
                 shed_reason=reason,
-                retry_after_seconds=None
-                if retry_after is None
-                else round(retry_after, 6),
+                # Full resolution at record time; the summary rounds.
+                retry_after_seconds=retry_after,
                 wait_seconds=wait,
             )
         )
 
     # ------------------------------------------------------------------
     def run_open(self) -> None:
+        # Draw every arrival's attributes up front, in exactly the order
+        # the incremental loop drew them (gap, tenant, work, gap, ...) —
+        # so batched and unbatched replays of one seed share a workload.
+        plan: list[tuple[int, float, str, MapReduceJob, Dataset]] = []
         now = 0.0
         for index in range(self.config.requests):
             now += self.rng.expovariate(self.config.arrival_rate)
-            self.arrive(index, now, self.pick_tenant())
+            tenant = self.pick_tenant()
+            job, dataset = self.pick_work()
+            plan.append((index, now, tenant, job, dataset))
+        batching = (
+            self.config.backend == "processes"
+            and self.config.batch_window_seconds > 0
+            and self.config.batch_max > 1
+        )
+        if not batching:
+            for item in plan:
+                self.arrive(*item)
+            return
+        group: list[tuple[int, float, str, MapReduceJob, Dataset]] = []
+        for item in plan:
+            if group and self._joins_group(group, item):
+                group.append(item)
+                continue
+            self._flush_group(group)
+            group = [item]
+        self._flush_group(group)
+
+    def _joins_group(
+        self,
+        group: list[tuple[int, float, str, MapReduceJob, Dataset]],
+        item: tuple[int, float, str, MapReduceJob, Dataset],
+    ) -> bool:
+        """May *item* join the open coalescing group without changing any
+        member's start time from what sequential replay would pick?
+
+        Joining needs: neither end is a remember() write, the arrival is
+        within the window of the group's first arrival, the group has
+        room, and there are enough lanes already idle at the window start
+        that every member (plus this one) starts at its own arrival time
+        with zero wait — the condition that makes deferred finish-pushes
+        invisible to the worker heap.
+        """
+        index, now, __, __, __ = item
+        first_index, first_now = group[0][0], group[0][1]
+        if self.is_remember(index) or self.is_remember(first_index):
+            return False
+        if now - first_now > self.config.batch_window_seconds:
+            return False
+        if len(group) >= self.config.batch_max:
+            return False
+        idle = sum(1 for free_at in self.worker_free if free_at <= first_now)
+        return idle > len(group)
+
+    def _flush_group(
+        self, group: list[tuple[int, float, str, MapReduceJob, Dataset]]
+    ) -> None:
+        """Serve one coalesced group through a single handle_batch call."""
+        if not group:
+            return
+        if len(group) == 1:
+            self.arrive(*group[0])
+            return
+        members = []
+        for index, now, tenant, job, dataset in group:
+            self.per_tenant[tenant]["requests"] += 1
+            depth = self.queue_depth(now)
+            try:
+                self.service.admission.admit(
+                    tenant,
+                    depth,
+                    now=now,
+                    backlog_seconds_hint=self.service.backlog_hint(depth),
+                )
+            except ServiceOverloadError as exc:
+                self._shed(
+                    index, now, tenant, exc.reason, exc.retry_after_seconds
+                )
+                continue
+            free_at = heapq.heappop(self.worker_free)
+            start = max(now, free_at)  # == now: the group held an idle lane
+            wait = start - now
+            self.registry.histogram(
+                "serving_queue_wait_seconds",
+                "time requests spent queued before a worker took them",
+            ).observe(wait)
+            self.registry.gauge(
+                "serving_queue_depth", "requests waiting in the service queue"
+            ).set(depth)
+            request = TuningRequest(
+                request_id=index + 1,
+                tenant=tenant,
+                job=job,
+                dataset=dataset,
+                seed=self.config.seed,
+                submitted_at=start - wait,
+            )
+            members.append((tenant, start, wait, request))
+        if not members:
+            return
+        responses = self.service.handle_batch(
+            [request for __, __, __, request in members],
+            nows=[start for __, start, __, __ in members],
+        )
+        for (tenant, start, wait, __), response in zip(members, responses):
+            response.wait_seconds = wait
+            finish = self._account_submit(response, tenant, start)
+            heapq.heappush(self.worker_free, finish)
+            self.pending_starts.append(start)
+            self.makespan = max(self.makespan, finish)
 
     def run_closed(self) -> None:
         # Heap of (next submission time, client id); each client owns a
@@ -376,7 +546,8 @@ class _LoadRun:
         heapq.heapify(clients)
         for index in range(self.config.requests):
             now, client_id, tenant = heapq.heappop(clients)
-            done_at = self.arrive(index, now, tenant)
+            job, dataset = self.pick_work()
+            done_at = self.arrive(index, now, tenant, job, dataset)
             think = self.rng.expovariate(1.0 / self.config.think_seconds)
             heapq.heappush(clients, (done_at + think, client_id, tenant))
 
@@ -395,6 +566,7 @@ class _LoadRun:
         summary = {
             "config": {
                 "arrival_rate": self.config.arrival_rate,
+                "backend": self.config.backend,
                 "mode": self.config.mode,
                 "remember_every": self.config.remember_every,
                 "requests": self.config.requests,
@@ -462,3 +634,23 @@ def run_load(
     else:
         run.run_closed()
     return run.report()
+
+
+def run_worker_sweep(
+    config: LoadConfig,
+    worker_counts: Sequence[int],
+    cluster: ClusterSpec | None = None,
+    registry: MetricsRegistry | None = None,
+) -> dict[int, LoadReport]:
+    """Replay the same seeded workload at several worker counts.
+
+    Each count gets a fresh service (fresh store, cache, clock), so the
+    only variable across runs is parallelism — the scaling-benchmark
+    shape.  Returns ``{workers: report}`` in the given order.
+    """
+    sweep: dict[int, LoadReport] = {}
+    for count in worker_counts:
+        sweep[count] = run_load(
+            replace(config, workers=count), cluster=cluster, registry=registry
+        )
+    return sweep

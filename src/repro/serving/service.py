@@ -99,12 +99,32 @@ class ServiceConfig:
     #: When set, bound the shared store to this many profiles
     #: (MaintainedStore inside the resilient client).
     store_capacity: int | None = None
+    #: Concurrency backend of the real frontend: "threads" (worker
+    #: threads, GIL-bound) or "processes" (worker processes over the
+    #: shared-memory index, :mod:`repro.serving.procpool`).
+    backend: str = "threads"
+    #: Modelled cost of the cache probe itself (simulated seconds).
+    #: Deliberately off the 0.01 cache-hit grid so warm-path latency
+    #: percentiles resolve instead of clamping to one tick.
+    cache_lookup_cost_seconds: float = 0.0
+    #: Process backend: how long the dispatcher holds the first queued
+    #: request open to coalesce more into one vectorized probe (0 = no
+    #: batching, dispatch immediately).
+    batch_window_seconds: float = 0.0
+    #: Process backend: most submissions coalesced per dispatch.
+    batch_max: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("need at least one worker")
         if self.deadline_seconds <= 0:
             raise ValueError("deadline must be positive")
+        if self.backend not in ("threads", "processes"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be at least 1")
+        if self.batch_window_seconds < 0:
+            raise ValueError("batch window cannot be negative")
 
 
 @dataclass(frozen=True)
@@ -234,6 +254,7 @@ class TuningService:
         self._seq = itertools.count(1)
         self._queue: "queue.Queue[Any] | None" = None
         self._threads: list[threading.Thread] = []
+        self._procpool: Any = None
         self._running = False
         self._hung_workers = 0
         #: Rolling estimate of one request's modelled cost, for the
@@ -292,20 +313,170 @@ class TuningService:
             cached = self.cache.get(key, now)
             if cached is not None:
                 span.set_attr("cache_hit", True)
-                response = TuningResponse(
-                    request_id=request.request_id,
-                    tenant=request.tenant,
-                    status="ok",
-                    cache_hit=True,
-                    degraded=cached.degraded,
-                    service_seconds=self.config.cache_hit_cost_seconds,
-                    result=cached,
-                )
+                response = self._hit_response(request, cached)
             else:
                 span.set_attr("cache_hit", False)
                 response = self._handle_miss(request, key, now)
         self._record_response(response)
         return response
+
+    def handle_batch(
+        self,
+        requests: list[TuningRequest],
+        nows: list[float] | None = None,
+    ) -> list[TuningResponse]:
+        """Serve several admitted requests with one vectorized stage-1 probe.
+
+        The window is split into *segments* at signature barriers: a
+        request whose job signature is already claimed in the current
+        segment flushes the segment first.  Within a segment every
+        signature is pairwise distinct, so the cache probes and the
+        miss-path store writes commute with sequential order — the
+        responses (including cache-hit/miss accounting) are identical to
+        calling :meth:`handle` request by request, with the miss-path
+        stage-1 filters priced in one broadcast per segment.
+
+        The one documented caveat: equivalence needs the result cache to
+        stay under capacity across the window (LRU eviction pressure is
+        recency-order-sensitive and batch probing reorders recency
+        within a segment).  Size ``cache_capacity`` above the number of
+        distinct in-window keys — the load harness runs 64 vs 8.
+        """
+        if nows is None:
+            nows = [self.clock.now()] * len(requests)
+        responses: dict[int, TuningResponse] = {}
+        segment: list[tuple[int, TuningRequest, Any, float]] = []
+        claimed: set[str] = set()
+
+        def flush() -> None:
+            if segment:
+                self._handle_segment(segment, responses)
+            segment.clear()
+            claimed.clear()
+
+        for position, (request, now) in enumerate(zip(requests, nows)):
+            key = cache_key_for(request.job, request.dataset, self.cluster)
+            if key.job_signature in claimed:
+                flush()
+            claimed.add(key.job_signature)
+            segment.append((position, request, key, now))
+        flush()
+        ordered = [responses[position] for position in range(len(requests))]
+        for response in ordered:
+            self._record_response(response)
+        return ordered
+
+    def _handle_segment(
+        self,
+        segment: list[tuple[int, "TuningRequest", Any, float]],
+        responses: dict[int, TuningResponse],
+    ) -> None:
+        """One barrier-free slice of a batch: probe all, broadcast misses."""
+        registry = get_registry(self.registry)
+        tracer = get_tracer(self.tracer)
+        misses: list[tuple[int, TuningRequest, Any, float]] = []
+        for position, request, key, now in segment:
+            registry.counter(
+                "serving_requests_total",
+                "requests reaching the service pipeline",
+                labels={"tenant": request.tenant},
+            ).inc()
+            cached = self.cache.get(key, now)
+            with tracer.span(
+                "serving.handle", tenant=request.tenant, job=request.job.name
+            ) as span:
+                span.set_attr("cache_hit", cached is not None)
+                if cached is not None:
+                    responses[position] = self._hit_response(request, cached)
+                else:
+                    misses.append((position, request, key, now))
+        if not misses:
+            return
+        pipeline = self._pipeline()
+        presampled, stage1 = pipeline.prepare_batch(
+            [(r.job, r.dataset, r.config, r.seed) for __, r, __, __ in misses]
+        )
+        for (position, request, key, now), sampled in zip(misses, presampled):
+            try:
+                if isinstance(sampled, Exception):
+                    # Scalar re-run raises the identical message.
+                    result = pipeline.submit(
+                        request.job, request.dataset, request.config,
+                        seed=request.seed,
+                    )
+                else:
+                    result = pipeline.submit(
+                        request.job, request.dataset, request.config,
+                        seed=request.seed,
+                        _presampled=sampled, _stage1=stage1,
+                    )
+            except Exception as exc:  # noqa: BLE001 — per-item isolation
+                registry.counter(
+                    "serving_pipeline_failures_total",
+                    "requests that raised inside the tuning pipeline",
+                ).inc()
+                responses[position] = self._failure_response(
+                    request, f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            self._miss_bookkeeping(key, result, now)
+            responses[position] = self._miss_response(request, result)
+
+    def _hit_response(
+        self, request: TuningRequest, cached: SubmissionResult
+    ) -> TuningResponse:
+        return TuningResponse(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            status="ok",
+            cache_hit=True,
+            degraded=cached.degraded,
+            service_seconds=(
+                self.config.cache_hit_cost_seconds
+                + self.config.cache_lookup_cost_seconds
+            ),
+            result=cached,
+        )
+
+    def _failure_response(
+        self, request: TuningRequest, error: str
+    ) -> TuningResponse:
+        return TuningResponse(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            status="failed",
+            service_seconds=(
+                self.config.cache_hit_cost_seconds
+                + self.config.cache_lookup_cost_seconds
+            ),
+            error=error,
+        )
+
+    def _miss_bookkeeping(
+        self, key: Any, result: SubmissionResult, now: float
+    ) -> None:
+        if not result.degraded:
+            self.cache.put(key, result, now)
+            if result.profile_stored_as is not None:
+                # The miss path just enriched the store for this program:
+                # peers cached against the poorer store are stale.
+                self.cache.invalidate_job(key.job_signature, keep=key)
+
+    def _miss_response(
+        self, request: TuningRequest, result: SubmissionResult
+    ) -> TuningResponse:
+        return TuningResponse(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            status="ok",
+            degraded=result.degraded,
+            service_seconds=(
+                result.sampling_seconds
+                + self.config.match_overhead_seconds
+                + self.config.cache_lookup_cost_seconds
+            ),
+            result=result,
+        )
 
     def _handle_miss(
         self, request: TuningRequest, key: Any, now: float
@@ -319,30 +490,9 @@ class TuningService:
                 "serving_pipeline_failures_total",
                 "requests that raised inside the tuning pipeline",
             ).inc()
-            return TuningResponse(
-                request_id=request.request_id,
-                tenant=request.tenant,
-                status="failed",
-                service_seconds=self.config.cache_hit_cost_seconds,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-        service_seconds = (
-            result.sampling_seconds + self.config.match_overhead_seconds
-        )
-        if not result.degraded:
-            self.cache.put(key, result, now)
-            if result.profile_stored_as is not None:
-                # The miss path just enriched the store for this program:
-                # peers cached against the poorer store are stale.
-                self.cache.invalidate_job(key.job_signature, keep=key)
-        return TuningResponse(
-            request_id=request.request_id,
-            tenant=request.tenant,
-            status="ok",
-            degraded=result.degraded,
-            service_seconds=service_seconds,
-            result=result,
-        )
+            return self._failure_response(request, f"{type(exc).__name__}: {exc}")
+        self._miss_bookkeeping(key, result, now)
+        return self._miss_response(request, result)
 
     def remember(
         self,
@@ -384,6 +534,17 @@ class TuningService:
         registry.counter(
             "serving_remembers_total", "profiles stored via the service"
         ).inc()
+        with self._lock:
+            procpool = self._procpool
+        if procpool is not None:
+            # Worker processes only see the write once it is published.
+            try:
+                procpool.publish()
+            except Exception:  # noqa: BLE001 — workers keep the last good view
+                registry.counter(
+                    "serving_publish_failures_total",
+                    "shared-index republishes that failed after an outbox",
+                ).inc()
         if now is None:
             now = self.clock.now()
         del now  # reserved for future freshness bookkeeping
@@ -423,7 +584,23 @@ class TuningService:
     # Thread-pool frontend
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Spin up the worker pool (idempotent)."""
+        """Spin up the worker pool (idempotent).
+
+        ``config.backend`` picks the concurrency substrate: worker
+        threads over one in-process store, or worker processes over the
+        shared-memory match index (:mod:`repro.serving.procpool`).
+        """
+        if self.config.backend == "processes":
+            from .procpool import ProcessPoolFrontend
+
+            with self._lock:
+                if self._running:
+                    return
+                self._procpool = ProcessPoolFrontend(self)
+                self._running = True
+                self._hung_workers = 0
+            self._procpool.start()
+            return
         with self._lock:
             if self._running:
                 return
@@ -457,10 +634,13 @@ class TuningService:
                 tenant rate limit); carries the retry-after hint.
         """
         with self._lock:
-            if not self._running or self._queue is None:
+            if not self._running or (self._queue is None and self._procpool is None):
                 raise ServiceClosedError("service is not accepting requests")
             work_queue = self._queue
-        depth = work_queue.qsize()
+            procpool = self._procpool
+        depth = (
+            procpool.backlog() if procpool is not None else work_queue.qsize()
+        )
         now = time.monotonic()
         self.admission.admit(
             tenant, depth, now=now, backlog_seconds_hint=self.backlog_hint(depth)
@@ -475,6 +655,9 @@ class TuningService:
             submitted_at=now,
         )
         future: "Future[TuningResponse]" = Future()
+        if procpool is not None:
+            procpool.submit(request, future, now)
+            return future
         try:
             work_queue.put_nowait((request, future, now))
         except queue.Full:
@@ -546,7 +729,23 @@ class TuningService:
         bar for chaos runs is that this stays at zero.
         """
         with self._lock:
-            if not self._running or self._queue is None:
+            if not self._running:
+                return True
+            procpool = self._procpool
+            if procpool is not None:
+                self._procpool = None
+                self._running = False
+        if procpool is not None:
+            hung = procpool.stop(timeout)
+            with self._lock:
+                self._hung_workers = hung
+            get_registry(self.registry).gauge(
+                "serving_workers_hung",
+                "workers that failed to join at shutdown",
+            ).set(hung)
+            return hung == 0
+        with self._lock:
+            if self._queue is None:
                 return True
             work_queue = self._queue
             threads = list(self._threads)

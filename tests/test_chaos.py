@@ -32,6 +32,7 @@ from repro.chaos import (
     rolling_restart_plan,
     set_default_injector,
     slow_plan,
+    worker_kill_plan,
 )
 from repro.core import PStorM, ProfileStore, ResilientProfileStore, SubmissionResult
 from repro.hbase.errors import (
@@ -120,8 +121,10 @@ class TestFaultPlan:
             0, period=25
         )
         assert plan_from_spec("crash-point:37") == crash_point_plan(at=37)
+        assert plan_from_spec("worker-kill:2") == worker_kill_plan(at=2)
         assert set(PRESETS) == {
-            "flaky", "outage", "slow", "rolling-restart", "crash-point"
+            "flaky", "outage", "slow", "rolling-restart", "crash-point",
+            "worker-kill",
         }
 
     def test_unknown_preset_rejected(self):

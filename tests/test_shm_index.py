@@ -1,0 +1,316 @@
+"""Tests for the shared-memory match-index transport.
+
+The load-bearing property is three-way equivalence: for arbitrary
+synthetic stores, a matcher probing the *shared-memory* view (the worker
+stack: ``SharedIndexClient`` → ``SnapshotStoreProxy``) must return the
+same ``MatchOutcome`` as a matcher on the in-process ``MatchIndex`` and
+as the scan-path reference.  Around that sit the generation protocol
+(immutable segments, no torn views across a publish race, stale-view
+fallback) and the leak proof: every segment provably unlinked after
+close.
+"""
+
+import multiprocessing.shared_memory as shared_memory
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.matcher import ProfileMatcher
+from repro.core.shm_index import (
+    SharedIndexClient,
+    SharedIndexPublisher,
+    SharedIndexUnavailableError,
+)
+from repro.observability import MetricsRegistry
+from repro.serving.procpool import SnapshotStoreProxy
+from test_match_index import (
+    assert_no_silent_fallback,
+    build_store,
+    job_spec,
+    make_features,
+    make_profile,
+    make_static,
+)
+
+_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _segment_gone(name: str) -> bool:
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    segment.close()
+    return False
+
+
+class TestEquivalence:
+    """shm probe ≡ in-process index probe ≡ scan probe."""
+
+    @_settings
+    @given(
+        jobs=st.lists(job_spec, max_size=5),
+        deletes=st.lists(st.integers(min_value=0, max_value=4), max_size=2),
+        probe=job_spec,
+        jaccard=st.sampled_from([0.0, 0.4, 0.8, 1.0]),
+        euclidean=st.sampled_from([None, 0.0, 0.3, 3.0]),
+    )
+    def test_three_way_outcome_identical(
+        self, jobs, deletes, probe, jaccard, euclidean
+    ):
+        store, __ = build_store(jobs, deletes)
+        features = make_features(probe)
+        kwargs = dict(jaccard_threshold=jaccard, euclidean_threshold=euclidean)
+        with SharedIndexPublisher(store, registry=MetricsRegistry()) as publisher:
+            publisher.publish()
+            with SharedIndexClient(
+                publisher.ctrl_name, registry=MetricsRegistry()
+            ) as client:
+                proxy = SnapshotStoreProxy(client, registry=MetricsRegistry())
+                shm_registry = MetricsRegistry()
+                shm = ProfileMatcher(proxy, registry=shm_registry, **kwargs)
+                indexed = ProfileMatcher(
+                    store, registry=MetricsRegistry(), **kwargs
+                )
+                scan = ProfileMatcher(
+                    store, registry=MetricsRegistry(), use_index=False, **kwargs
+                )
+                shm_outcome = shm.match_job(features)
+                assert shm_outcome == indexed.match_job(features)
+                assert shm_outcome == scan.match_job(features)
+                # The proof is vacuous if the shm matcher silently fell
+                # back to its replica scan path.
+                sides = 2 if features.has_reduce else 1
+                assert_no_silent_fallback(shm_registry, expected_hits=sides)
+
+    @_settings
+    @given(
+        first=st.lists(job_spec, min_size=1, max_size=4),
+        second=st.lists(job_spec, min_size=1, max_size=3),
+        probe=job_spec,
+    )
+    def test_equivalence_across_republish(self, first, second, probe):
+        """A long-lived worker stack tracks generation bumps: writes land
+        in the parent store, the publisher flips, and the next probe
+        answers from the new generation — still scan-identical."""
+        store, __ = build_store(first)
+        features = make_features(probe)
+        with SharedIndexPublisher(store, registry=MetricsRegistry()) as publisher:
+            publisher.publish()
+            with SharedIndexClient(publisher.ctrl_name) as client:
+                proxy = SnapshotStoreProxy(client)
+                shm = ProfileMatcher(proxy, registry=MetricsRegistry())
+                scan = ProfileMatcher(
+                    store, registry=MetricsRegistry(), use_index=False
+                )
+                assert shm.match_job(features) == scan.match_job(features)
+                generation_before = proxy.view_generation
+                for number, spec in enumerate(second):
+                    store.put(
+                        make_profile(f"late{number}", spec), make_static(spec)
+                    )
+                publisher.publish()
+                assert shm.match_job(features) == scan.match_job(features)
+                assert proxy.view_generation > generation_before
+
+
+class TestGenerationProtocol:
+    def _store(self, count=3):
+        specs = []
+        for number in range(count):
+            spec = {
+                "map_flow": (0.5, 0.5, 1.0, float(number)),
+                "map_costs": (1.0, 1.0, 1.0, 1.0, 1.0),
+                "has_reduce": False,
+                "red_flow": (0.0,) * 4,
+                "red_costs": (0.0,) * 5,
+                "input_bytes": 1 << 30,
+                "map_cfg": number % 3,
+                "red_cfg": None,
+                "statics": {},
+            }
+            specs.append(spec)
+        # make_static needs every categorical name present.
+        from test_match_index import CATEGORICAL_NAMES
+
+        for spec in specs:
+            spec["statics"] = {name: "alpha" for name in CATEGORICAL_NAMES}
+        store, __ = build_store(specs)
+        return store, specs
+
+    def test_pinned_view_survives_publish_race(self):
+        """No torn view: a probe pinned to generation N keeps answering
+        from N's immutable arrays even while the publisher flips to N+1
+        and retires N's segments."""
+        store, specs = self._store()
+        with SharedIndexPublisher(
+            store, registry=MetricsRegistry(), keep_generations=1
+        ) as publisher:
+            publisher.publish()
+            with SharedIndexClient(publisher.ctrl_name) as client:
+                pinned = client.view()
+                rows_before = pinned.stats()
+                generation = pinned.generation
+                # A mid-probe write + republish (the race): old segments
+                # are unlinked, the ctrl block flips.
+                store.put(make_profile("raced", specs[0]), make_static(specs[0]))
+                publisher.publish()
+                assert publisher.published_generation > generation
+                # The pinned view is untouched — same generation, same
+                # rows, arrays still readable (the mapping survives the
+                # unlink until the last attach closes).
+                assert pinned.generation == generation
+                assert pinned.stats() == rows_before
+                fresh = client.view()
+                assert fresh.generation > generation
+                assert fresh.stats()["rows"] == rows_before["rows"] + 1
+
+    def test_publish_is_idempotent_per_generation(self):
+        store, __ = self._store()
+        registry = MetricsRegistry()
+        with SharedIndexPublisher(store, registry=registry) as publisher:
+            publisher.publish()
+            names = list(publisher.segment_names())
+            publisher.publish()  # same store generation: no-op
+            assert list(publisher.segment_names()) == names
+            assert (
+                registry.counter("shm_index_publishes_total").value == 1
+            )
+
+    def test_client_keeps_stale_view_when_segments_vanish(self):
+        store, specs = self._store()
+        publisher = SharedIndexPublisher(store, registry=MetricsRegistry())
+        publisher.publish()
+        registry = MetricsRegistry()
+        client = SharedIndexClient(
+            publisher.ctrl_name, registry=registry, attach_retries=2
+        )
+        stale = client.view()
+        # Bump the generation, then destroy the new segments before the
+        # client can attach: it must fall back to the stale view, counted.
+        store.put(make_profile("bump", specs[0]), make_static(specs[0]))
+        publisher.publish()
+        for name in publisher.segment_names():
+            if name != stale_segment_name(publisher, stale.generation):
+                seg = shared_memory.SharedMemory(name=name)
+                seg.close()
+                seg.unlink()
+        view = client.view()
+        assert view is stale
+        assert registry.counter("shm_index_stale_views_total").value >= 1
+        client.close()
+        publisher.close()
+
+    def test_unpublished_ctrl_raises_unavailable(self):
+        store, __ = self._store()
+        publisher = SharedIndexPublisher(store, registry=MetricsRegistry())
+        # ctrl exists but nothing was published yet.
+        with SharedIndexClient(publisher.ctrl_name, attach_retries=1) as client:
+            with pytest.raises(SharedIndexUnavailableError):
+                client.view()
+        publisher.close()
+
+
+def stale_segment_name(publisher, generation):
+    """The segment name belonging to *generation* (if still tracked)."""
+    for name in publisher.segment_names():
+        if f"g{generation}" in name:
+            return name
+    return None
+
+
+class TestLeakProof:
+    def test_all_segments_unlinked_on_close(self):
+        store, specs = TestGenerationProtocol()._store()
+        registry = MetricsRegistry()
+        publisher = SharedIndexPublisher(store, registry=registry)
+        names = set()
+        publisher.publish()
+        names.update(publisher.segment_names())
+        names.add(publisher.ctrl_name)
+        for round_number in range(3):
+            store.put(
+                make_profile(f"gen{round_number}", specs[0]),
+                make_static(specs[0]),
+            )
+            publisher.publish()
+            names.update(publisher.segment_names())
+        client = SharedIndexClient(publisher.ctrl_name)
+        client.view()
+        client.close()
+        publisher.close()
+        leaked = sorted(name for name in names if not _segment_gone(name))
+        assert leaked == []
+
+    def test_retired_generations_unlink_as_publishes_advance(self):
+        store, specs = TestGenerationProtocol()._store()
+        publisher = SharedIndexPublisher(
+            store, registry=MetricsRegistry(), keep_generations=1
+        )
+        publisher.publish()
+        first = set(publisher.segment_names())
+        store.put(make_profile("next", specs[0]), make_static(specs[0]))
+        publisher.publish()
+        current = set(publisher.segment_names())
+        retired = first - current
+        assert retired, "expected the old generation to retire"
+        for name in retired:
+            assert _segment_gone(name)
+        publisher.close()
+
+
+class TestReadYourWrites:
+    def test_pending_local_writes_poison_the_shared_index(self):
+        store, specs = TestGenerationProtocol()._store()
+        with SharedIndexPublisher(store, registry=MetricsRegistry()) as publisher:
+            publisher.publish()
+            with SharedIndexClient(publisher.ctrl_name) as client:
+                proxy = SnapshotStoreProxy(client)
+                registry = MetricsRegistry()
+                matcher = ProfileMatcher(proxy, registry=registry)
+                probe = make_features(specs[0])
+                matcher.match_job(probe)
+                assert registry.counter(
+                    "pstorm_matcher_index_hits_total"
+                ).value == 1
+                # A worker-local write: the shared view no longer covers
+                # this worker's store, so the indexed path must poison
+                # itself and the scan path (which sees the write) serves.
+                proxy.put(
+                    make_profile("local", specs[1]), make_static(specs[1])
+                )
+                assert proxy.has_pending_local()
+                outcome = matcher.match_job(probe)
+                scan = ProfileMatcher(
+                    proxy._replica, registry=MetricsRegistry(), use_index=False
+                )
+                assert outcome == scan.match_job(probe)
+                assert registry.counter(
+                    "pstorm_matcher_index_misses_total",
+                    labels={"reason": "poisoned"},
+                ).value >= 1
+                # Parent absorbs the write and republishes: pending
+                # clears, the indexed path resumes.
+                drained = proxy.drain_outbox()
+                assert [job_id for job_id, __, __ in drained] == [
+                    "local@synth"
+                ]
+                from repro.analysis.static_features import StaticFeatures
+                from repro.starfish.profile import JobProfile
+
+                for job_id, profile_dict, static_dict in drained:
+                    store.put(
+                        JobProfile.from_dict(profile_dict),
+                        StaticFeatures.from_dict(static_dict),
+                        job_id=job_id,
+                    )
+                publisher.publish()
+                matcher.match_job(probe)
+                assert not proxy.has_pending_local()
+                assert registry.counter(
+                    "pstorm_matcher_index_hits_total"
+                ).value == 2
