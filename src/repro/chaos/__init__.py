@@ -32,6 +32,7 @@ from .plan import (
     flaky_plan,
     outage_plan,
     plan_from_spec,
+    replica_kill_plan,
     rolling_restart_plan,
     slow_plan,
     worker_kill_plan,
@@ -55,6 +56,7 @@ __all__ = [
     "crash_point_plan",
     "rolling_restart_plan",
     "worker_kill_plan",
+    "replica_kill_plan",
     "plan_from_spec",
     "RetryPolicy",
     "StoreUnavailableError",

@@ -31,6 +31,7 @@ __all__ = [
     "slow_plan",
     "crash_point_plan",
     "worker_kill_plan",
+    "replica_kill_plan",
     "rolling_restart_plan",
     "PRESETS",
     "plan_from_spec",
@@ -43,9 +44,12 @@ __all__ = [
 #: boundary; in-memory stores never consult them.
 #: ``dispatch`` fires on the process-pool frontend handing one request
 #: to a worker process; it exists for ``kill`` faults.
+#: ``split``/``merge``/``rebalance`` fire at the head of the matching
+#: region-topology operation (before any mutation), so crash faults can
+#: kill a run at every region-maintenance boundary.
 OPS = (
     "put", "get", "scan", "lsm-put", "lsm-flush", "lsm-compact",
-    "snapshot", "dispatch", "*",
+    "snapshot", "dispatch", "split", "merge", "rebalance", "*",
 )
 #: Fault kinds: raise-and-retryable, server-down, added latency, a
 #: simulated process kill (``crash`` — NOT retryable; recovery means
@@ -283,6 +287,22 @@ def worker_kill_plan(at: int = 3, seed: int = 0) -> FaultPlan:
     )
 
 
+def replica_kill_plan(server_id: int = 1, at: int = 0, seed: int = 0) -> FaultPlan:
+    """Kill region server *server_id* permanently from operation *at* on.
+
+    Against a replicated cluster (``replication >= 2``) this takes one
+    *replica* of every region down for good; reads routed to it must
+    fail over to a surviving host with zero result drift — the property
+    the sharding chaos regression asserts via the
+    ``hbase_replica_read_fallbacks_total`` counter and
+    ``SubmissionResult.degraded`` staying false.
+    """
+    return FaultPlan(
+        seed=seed,
+        crashes=(ServerCrash(server_id=server_id, crash_at=at, downtime=None),),
+    )
+
+
 def rolling_restart_plan(
     seed: int = 0,
     period: int = 50,
@@ -317,6 +337,9 @@ PRESETS = {
     ),
     "worker-kill": lambda seed, arg: worker_kill_plan(
         at=3 if arg is None else int(arg), seed=seed
+    ),
+    "replica-kill": lambda seed, arg: replica_kill_plan(
+        server_id=1 if arg is None else int(arg), seed=seed
     ),
 }
 

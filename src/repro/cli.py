@@ -290,6 +290,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         gil_fraction=args.gil_fraction,
         batch_window_seconds=args.batch_window,
         batch_max=args.batch_max,
+        num_region_servers=args.region_servers,
+        replication=args.replication,
+        split_threshold=args.split_threshold,
+        shard_index=args.shard_index,
     )
     print(
         f"replaying {config.requests} requests "
@@ -333,6 +337,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             batch_window_seconds=args.batch_window,
             batch_max=args.batch_max,
+            num_region_servers=args.region_servers,
+            replication=args.replication,
+            split_threshold=args.split_threshold,
+            shard_index=args.shard_index,
         ),
         seed=args.seed,
         data_dir=getattr(args, "data_dir", None) or None,
@@ -544,6 +552,34 @@ def build_parser() -> argparse.ArgumentParser:
             "--seed", type=int, default=argparse.SUPPRESS, help="RNG seed"
         )
 
+    def add_sharding(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--region-servers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="region servers hosting the profile store (default: 1)",
+        )
+        subparser.add_argument(
+            "--replication",
+            type=int,
+            default=1,
+            metavar="R",
+            help="read replicas per region, clamped to the server count",
+        )
+        subparser.add_argument(
+            "--split-threshold",
+            type=int,
+            default=None,
+            metavar="ROWS",
+            help="rows per region before it splits (default: substrate)",
+        )
+        subparser.add_argument(
+            "--shard-index",
+            action="store_true",
+            help="probe per-region match-index partitions (scatter-gather)",
+        )
+
     def add_chaos(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
             "--chaos",
@@ -551,8 +587,8 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help=(
                 "inject store faults: a preset (flaky[:p], outage, "
-                "slow[:delay], rolling-restart[:period]) or a JSON "
-                "fault-plan path"
+                "slow[:delay], rolling-restart[:period], "
+                "replica-kill[:server]) or a JSON fault-plan path"
             ),
         )
 
@@ -658,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes backend, open mode: coalescing window (sim seconds)",
     )
     loadgen.add_argument("--batch-max", type=int, default=8)
+    add_sharding(loadgen)
     add_seed(loadgen)
     add_emit_metrics(loadgen)
     add_chaos(loadgen)
@@ -689,6 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=120.0,
         help="per-future and shutdown timeout (wall seconds)",
     )
+    add_sharding(serve)
     add_seed(serve)
     add_emit_metrics(serve)
     add_chaos(serve)

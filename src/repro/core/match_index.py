@@ -129,6 +129,7 @@ class _ProbeColumns:
     """
 
     _ids: Sequence[str]
+    _ids_arr: np.ndarray
     _row_of: dict[str, int]
     _active: Sequence[bool]
     _has_static: Sequence[bool]
@@ -139,6 +140,10 @@ class _ProbeColumns:
     _static_vocab: dict[str, dict[Any, int]]
     _cfg_digests: dict[str, Sequence[str | None]]
     _cfg_memo: dict[tuple[str, str], bool]
+    #: (side, kind) -> (normalizer, bounds, minimums, safe, denominator,
+    #: normalized whole matrix, live bounding box); invalidated by a
+    #: bounds change or a column rebuild.
+    _normalized_cache: dict[tuple[str, str], tuple[Any, ...]]
 
     def _normalizer_for(self, side: str, kind: str) -> MinMaxNormalizer:
         raise NotImplementedError
@@ -166,6 +171,67 @@ class _ProbeColumns:
             rows.append(row)
         return ids, np.asarray(rows, dtype=np.intp)
 
+    def _euclidean_prep(self, side: str, kind: str) -> tuple[Any, ...] | None:
+        """The cached normalization prep for one (side, kind) matrix.
+
+        The stored matrix's normalization (and all the prep arrays it
+        needs) only depends on the normalizer bounds, which change on
+        writes, not probes — cache the lot per (side, kind) so
+        repeated probes pay O(rows·features) once, not every call.
+        The store hands back the *same* normalizer object between
+        writes, so an identity check usually settles freshness
+        without even building the bounds tuples.  Normalization is
+        elementwise, so slicing the cached whole matrix is
+        bit-identical to normalizing a sliced block.
+
+        Returns ``None`` when the normalizer has no features yet
+        (nothing is priceable, every probe answers empty).
+        """
+        normalizer = self._normalizer_for(side, kind)
+        if normalizer.num_features == 0:
+            return None
+        cached = self._normalized_cache.get((side, kind))
+        if cached is not None and cached[0] is not normalizer:
+            bounds = (tuple(normalizer.minimums), tuple(normalizer.maximums))
+            if cached[1] == bounds:
+                cached = (normalizer,) + cached[1:]
+                self._normalized_cache[(side, kind)] = cached
+            else:
+                cached = None
+        if cached is None:
+            matrix, valid = self._matrices[(side, kind)]
+            bounds = (tuple(normalizer.minimums), tuple(normalizer.maximums))
+            minimums = np.asarray(normalizer.minimums, dtype=np.float64)
+            spans = np.asarray(normalizer.maximums, dtype=np.float64) - minimums
+            safe = spans > 0
+            denominator = np.where(safe, spans, 1.0)
+            normalized_all = np.where(
+                safe, np.clip((matrix - minimums) / denominator, 0.0, 1.0), 0.0
+            )
+            live = np.asarray(self._active_arr, dtype=bool) & valid
+            box = (
+                (normalized_all[live].min(axis=0), normalized_all[live].max(axis=0))
+                if live.any()
+                else None
+            )
+            cached = (
+                normalizer, bounds, minimums, safe, denominator,
+                normalized_all, box,
+            )
+            self._normalized_cache[(side, kind)] = cached
+        return cached
+
+    def euclidean_prune_prep(self, side: str, kind: str) -> tuple[Any, ...] | None:
+        """Current prep for the scatter-gather layer's stacked prune.
+
+        The sharded index prices every partition's bounding box in one
+        broadcast instead of calling into each partition's kernel; this
+        hands it the same cache entry :meth:`_euclidean_impl` would use,
+        refreshed against the live normalizer bounds.
+        """
+        self._materialize()
+        return self._euclidean_prep(side, kind)
+
     def _euclidean_impl(
         self,
         side: str,
@@ -183,43 +249,57 @@ class _ProbeColumns:
         to its scalar twin — ``tests/test_shm_index.py`` holds the
         Hypothesis proof.
         """
-        normalizer = self._normalizer_for(side, kind)
-        if normalizer.num_features == 0:
+        prep = self._euclidean_prep(side, kind)
+        if prep is None:
             return [[] for _ in range(probes.shape[0])]
         matrix, valid = self._matrices[(side, kind)]
-        if candidates is None:
-            ids = list(self._ids)
-            rows = np.arange(len(ids), dtype=np.intp)
-        else:
-            ids, rows = self._candidate_rows(candidates)
-        if len(rows) == 0:
-            return [[] for _ in range(probes.shape[0])]
-        keep_base = self._active_arr[rows] & valid[rows]
-        minimums = np.asarray(normalizer.minimums, dtype=np.float64)
-        spans = np.asarray(normalizer.maximums, dtype=np.float64) - minimums
-        safe = spans > 0
-        denominator = np.where(safe, spans, 1.0)
         if probes.shape[1] != matrix.shape[1]:
             raise ValueError("columns/probe/bounds must align")
+        __, __, minimums, safe, denominator, normalized_all, box = prep
         normalized_probes = np.where(
             safe, np.clip((probes - minimums) / denominator, 0.0, 1.0), 0.0
         )
-        block = matrix[rows]
-        normalized = np.where(
-            safe, np.clip((block - minimums) / denominator, 0.0, 1.0), 0.0
-        )
+        # Bounding-box prune: price the box point nearest each probe
+        # through the *same* kernel arithmetic as a real row.  Every
+        # per-feature |delta| of a live row is >= the nearest point's,
+        # and float64 subtract/square/add/sqrt are monotone in each
+        # argument, so the computed distance of every row is >= the
+        # computed nearest-point distance — if that misses the
+        # threshold, no row can pass, with zero false prunes.  This is
+        # what makes scatter-gather sublinear: partitions whose key
+        # range holds no nearby jobs cost O(features), not O(rows).
+        if box is not None:
+            nearest = np.clip(normalized_probes, box[0], box[1])
+            near_deltas = nearest - normalized_probes
+            floors = np.sqrt((near_deltas * near_deltas).sum(axis=1))
+            if bool((floors > threshold).all()):
+                return [[] for _ in range(probes.shape[0])]
+        if candidates is None:
+            ids_arr = self._ids_arr
+            if len(ids_arr) == 0:
+                return [[] for _ in range(probes.shape[0])]
+            keep_base = self._active_arr & valid
+            normalized = normalized_all
+        else:
+            ids, rows = self._candidate_rows(candidates)
+            ids_arr = np.asarray(ids, dtype=object)
+            if len(rows) == 0:
+                return [[] for _ in range(probes.shape[0])]
+            keep_base = self._active_arr[rows] & valid[rows]
+            normalized = normalized_all[rows]
         # (K, R, F) broadcast; the sum runs over the trailing ≤6-wide
         # axis in the same order the scalar path uses.
         deltas = normalized[np.newaxis, :, :] - normalized_probes[:, np.newaxis, :]
         distances = np.sqrt((deltas * deltas).sum(axis=2))
+        # Survivor extraction is fancy-indexed, not a per-row Python
+        # loop — the difference between O(survivors) and O(store size)
+        # per probe, which is what keeps the funnel's first stage flat
+        # as regions split (the BENCH_sharding drift criterion).  Same
+        # id set either way, so the sorted lists are bit-identical.
         survivors: list[list[str]] = []
         for row_keep in keep_base & (distances <= threshold):
             survivors.append(
-                sorted(
-                    job_id
-                    for job_id, ok in zip(ids, row_keep.tolist())
-                    if ok
-                )
+                sorted(ids_arr[np.flatnonzero(row_keep)].tolist())
             )
         return survivors
 
@@ -281,10 +361,34 @@ class _ProbeColumns:
         side: str,
         observe: Callable[[float], None] | None,
     ) -> str:
+        best = self._tie_break_scored_impl(
+            candidates, input_bytes, side_statics, side, observe
+        )
+        if best is None:
+            raise KeyError(f"no indexed candidates among {candidates!r}")
+        return best[3]
+
+    def _tie_break_scored_impl(
+        self,
+        candidates: list[str],
+        input_bytes: int,
+        side_statics: Mapping[str, str],
+        side: str,
+        observe: Callable[[float], None] | None,
+    ) -> tuple[int, int, float, str] | None:
+        """The winning scan-path sort key among *candidates*, or None.
+
+        The key is ``(same_program, |stored - input|, -similarity,
+        job_id)`` — the winner is its last element.  Returning the key
+        (not just the winner) lets a sharded caller take the global
+        ``min`` over per-partition winners and land on exactly the row a
+        flat tie-break would pick.  *observe* still fires once per live
+        candidate in sorted-id order.
+        """
         ordered = sorted(candidates)
         ids, rows = self._candidate_rows(ordered)
         if not ids:
-            raise KeyError(f"no indexed candidates among {candidates!r}")
+            return None
         agreements = np.zeros(len(rows), dtype=np.int64)
         for name, value in side_statics.items():
             column = self._code_arrays.get(name)
@@ -309,8 +413,7 @@ class _ProbeColumns:
         else:
             similarities = np.ones(len(rows), dtype=np.float64)
         deltas = np.abs(self._input_arr[rows] - np.int64(input_bytes))
-        best: tuple[Any, ...] | None = None
-        winner = ids[0]
+        best: tuple[int, int, float, str] | None = None
         for position, job_id in enumerate(ids):
             similarity = float(similarities[position])
             if observe is not None:
@@ -323,8 +426,7 @@ class _ProbeColumns:
             )
             if best is None or key < best:
                 best = key
-                winner = job_id
-        return winner
+        return best
 
 
 class MatchIndex(_ProbeColumns):
@@ -379,7 +481,9 @@ class MatchIndex(_ProbeColumns):
         self._cfg_memo: dict[tuple[str, str], bool] = {}
         self._arrays_dirty = True
         self._matrices: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        self._normalized_cache: dict[tuple[str, str], tuple[Any, np.ndarray]] = {}
         self._code_arrays: dict[str, np.ndarray] = {}
+        self._ids_arr = np.zeros(0, dtype=object)
         self._active_arr = np.zeros(0, dtype=bool)
         self._static_arr = np.zeros(0, dtype=bool)
         self._input_arr = np.zeros(0, dtype=np.int64)
@@ -440,10 +544,12 @@ class MatchIndex(_ProbeColumns):
         if not self._arrays_dirty:
             return
         count = len(self._ids)
+        self._ids_arr = np.asarray(self._ids, dtype=object)
         self._active_arr = np.asarray(self._active, dtype=bool)
         self._static_arr = np.asarray(self._has_static, dtype=bool)
         self._input_arr = np.asarray(self._input_bytes, dtype=np.int64)
         self._matrices = {}
+        self._normalized_cache = {}
         for key, columns in self._vector_columns.items():
             matrix = np.zeros((count, len(columns)), dtype=np.float64)
             valid = np.zeros(count, dtype=bool)
@@ -615,6 +721,13 @@ class MatchIndex(_ProbeColumns):
                 raise ValueError(f"expected a (K, F) probe block, got {block.shape}")
             return self._euclidean_impl(side, kind, block, threshold, None)
 
+    def euclidean_prune_prep(self, side: str, kind: str) -> tuple[Any, ...] | None:
+        """Locked twin of the base accessor (a live index can be written
+        to concurrently; a frozen view cannot)."""
+        with self._lock:
+            self._materialize()
+            return self._euclidean_prep(side, kind)
+
     def cfg_stage(
         self, side: str, probe_cfg: ControlFlowGraph, candidates: list[str]
     ) -> list[str]:
@@ -649,6 +762,26 @@ class MatchIndex(_ProbeColumns):
         with self._lock:
             self._materialize()
             return self._tie_break_impl(
+                candidates, input_bytes, side_statics, side, observe
+            )
+
+    def tie_break_scored(
+        self,
+        candidates: list[str],
+        input_bytes: int,
+        side_statics: Mapping[str, str],
+        side: str,
+        observe: Callable[[float], None] | None = None,
+    ) -> tuple[int, int, float, str] | None:
+        """The winning tie-break *sort key* (or None with no candidates).
+
+        Sharded scatter-gather: each partition returns its local winner
+        key and the global ``min`` is the flat-path winner, because the
+        key's last element is the job id itself.
+        """
+        with self._lock:
+            self._materialize()
+            return self._tie_break_scored_impl(
                 candidates, input_bytes, side_statics, side, observe
             )
 
@@ -748,6 +881,7 @@ class FrozenIndexView(_ProbeColumns):
     ) -> None:
         self.generation = int(generation)
         self._ids = ids
+        self._ids_arr = np.asarray(ids, dtype=object)
         self._row_of = {job_id: row for row, job_id in enumerate(ids)}
         self._active = active
         self._active_arr = active
@@ -755,6 +889,7 @@ class FrozenIndexView(_ProbeColumns):
         self._static_arr = has_static
         self._input_arr = input_bytes
         self._matrices = matrices
+        self._normalized_cache = {}
         self._code_arrays = code_arrays
         self._static_vocab = static_vocab
         self._cfg_digests = cfg_digests
@@ -821,6 +956,18 @@ class FrozenIndexView(_ProbeColumns):
         observe: Callable[[float], None] | None = None,
     ) -> str:
         return self._tie_break_impl(
+            candidates, input_bytes, side_statics, side, observe
+        )
+
+    def tie_break_scored(
+        self,
+        candidates: list[str],
+        input_bytes: int,
+        side_statics: Mapping[str, str],
+        side: str,
+        observe: Callable[[float], None] | None = None,
+    ) -> tuple[int, int, float, str] | None:
+        return self._tie_break_scored_impl(
             candidates, input_bytes, side_statics, side, observe
         )
 

@@ -437,6 +437,9 @@ class ProfileMatcher:
                     "side probes answered by the columnar index",
                 ).inc()
                 span.set_attr("via", "index")
+                partitions = getattr(index, "partition_count", None)
+                if partitions is not None:
+                    span.set_attr("partitions", partitions)
             else:
                 match = self._match_side_inner(features, side)
                 span.set_attr("via", "scan")

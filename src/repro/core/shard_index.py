@@ -1,0 +1,597 @@
+"""Sharded match index: per-region partitions probed scatter-gather.
+
+The flat :class:`~repro.core.match_index.MatchIndex` mirrors the whole
+store in one set of columns.  This module partitions that mirror by the
+substrate's *region topology*: one :class:`_PartitionIndex` per region
+whose key range intersects the ``Dynamic/`` row range, each a stock
+columnar index over just that region's jobs.  Probes scatter to the
+partitions and gather deterministically:
+
+- **Filter stages** (Euclidean, CFG, Jaccard): each partition returns
+  its survivors sorted; partition ranges are disjoint and ordered, so
+  the survivor sets are disjoint and a final ``sorted()`` merge equals
+  the flat result bit for bit.
+- **Tie-break**: each partition returns its local winner's full scan
+  sort key ``(same_program, |Δinput|, -similarity, job_id)`` via
+  ``tie_break_scored``; the global ``min`` over those keys is exactly
+  the flat winner (the key totally orders candidates and ends in the
+  job id).  Similarity observations fire partition-by-partition in
+  range order, each internally in sorted-id order — which *is* global
+  sorted-id order, so even the side-channel histogram matches.
+
+``tests/test_sharding.py`` holds the Hypothesis proof that the sharded
+``MatchOutcome`` is bit-identical to the flat scan path across arbitrary
+stores, split schedules, and probes.
+
+Coherence
+---------
+Writes enqueue through the same ``on_put``/``on_delete`` hooks as the
+flat index (called under the store lock, leaf-locked queue).
+``ensure_fresh`` drains the queue and *routes* each op to its partition
+by key range; an overwrite, a generation gap, or — the new case — a
+**topology change** (the store's ``topology_version`` moved because a
+region split, merged, or rebalanced) escalates to a repartition from
+:meth:`ProfileStore.sharded_index_snapshot`, which reads rows and the
+partition map under one store lock hold so they can never disagree.
+
+Frozen export
+-------------
+:meth:`ShardedMatchIndex.export_view` freezes every partition into a
+:class:`~repro.core.match_index.FrozenIndexView` and wraps them in a
+:class:`FrozenShardedView` — same scatter-gather, no store, no locks —
+which :mod:`repro.core.shm_index` publishes as one shared-memory segment
+per partition plus a root directory segment.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.cfg import ControlFlowGraph
+from ..observability import MetricsRegistry, Tracer, get_registry
+from .match_index import FrozenIndexView, MatchIndex
+
+if TYPE_CHECKING:
+    from .store import ProfileStore
+
+__all__ = ["ShardedMatchIndex", "FrozenShardedView"]
+
+
+class _PartitionIndex(MatchIndex):
+    """One region's slice of the mirror: a stock columnar index whose
+    freshness is owned by the enclosing :class:`ShardedMatchIndex`.
+
+    The stock ``ensure_fresh`` compares against the *store* generation,
+    which counts writes to every partition — a partition that consulted
+    it would see a permanent gap and rebuild on every probe.  The owner
+    routes writes and stamps ``_built_generation`` itself, so here it is
+    a no-op.
+    """
+
+    def __init__(
+        self,
+        store: "ProfileStore",
+        start_key: str,
+        stop_key: str,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__(store, registry=registry, tracer=tracer)
+        #: The Dynamic-range slice this partition mirrors.
+        self.start_key = start_key
+        self.stop_key = stop_key
+
+    def ensure_fresh(self) -> None:
+        """No-op: the owning sharded index drives freshness."""
+
+    def load_rows(
+        self,
+        generation: int,
+        dynamic_rows: Mapping[str, Mapping[str, Any]],
+        static_rows: Mapping[str, Mapping[str, Any]],
+    ) -> None:
+        """(Re)build this partition from its snapshot slice."""
+        with self._lock:
+            self._clear_columns()
+            for job_id in sorted(dynamic_rows):
+                self._ingest(job_id, dynamic_rows[job_id], static_rows.get(job_id))
+            self._built_generation = int(generation)
+            self._needs_rebuild = False
+
+    def ingest_put(
+        self,
+        job_id: str,
+        dynamic: Mapping[str, Any],
+        static_columns: Mapping[str, Any] | None,
+        generation: int,
+    ) -> None:
+        with self._lock:
+            self._ingest(job_id, dynamic, static_columns)
+            self._built_generation = int(generation)
+
+    def ingest_delete(self, job_id: str, generation: int) -> None:
+        with self._lock:
+            row = self._row_of.pop(job_id, None)
+            if row is not None:
+                self._active[row] = False
+                self._arrays_dirty = True
+            self._built_generation = int(generation)
+
+    def contains_id(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._row_of
+
+
+class _ScatterGather:
+    """Shared scatter-gather stage implementations.
+
+    Subclasses provide :meth:`_parts` returning the current
+    ``(partitions, start_keys)`` pair — a consistent snapshot of the
+    partition list (the live index swaps it under its lock on
+    repartition; the frozen view's never changes).
+    """
+
+    def _parts(self) -> tuple[Sequence[Any], Sequence[str]]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _grouped(
+        partitions: Sequence[Any],
+        starts: Sequence[str],
+        candidates: Sequence[str],
+    ):
+        """Route candidate job ids to partitions; yield ``(partition,
+        ids)`` in partition (= key range = sorted job id) order."""
+        from .store import DYNAMIC_PREFIX  # cycle-safe local import
+
+        buckets: list[list[str]] = [[] for _ in partitions]
+        for job_id in candidates:
+            position = bisect_right(starts, DYNAMIC_PREFIX + job_id) - 1
+            buckets[max(0, position)].append(job_id)
+        for partition, bucket in zip(partitions, buckets):
+            if bucket:
+                yield partition, bucket
+
+    def _pruned(
+        self,
+        partitions: Sequence[Any],
+        side: str,
+        kind: str,
+        probes: np.ndarray,
+        threshold: float,
+    ) -> Sequence[Any]:
+        """Drop partitions that provably hold no euclidean survivor.
+
+        One stacked broadcast prices every partition's live bounding
+        box against the probe block — elementwise the *same* clip /
+        subtract / square / trailing-axis-sum / sqrt arithmetic
+        ``_euclidean_impl`` runs inside each partition, so a partition
+        is dropped exactly when its own prune check would have answered
+        empty: zero false prunes, merged survivors unchanged bit for
+        bit.  This keeps the scatter-gather fan-out sublinear — a
+        partition whose key range holds no nearby jobs costs one row of
+        this broadcast instead of a Python descent into its kernels.
+        """
+        if len(partitions) <= 1:
+            return partitions
+        preps = [
+            partition.euclidean_prune_prep(side, kind)
+            for partition in partitions
+        ]
+        kept: list[int] = []
+        boxed: list[tuple[int, tuple[Any, ...]]] = []
+        for position, prep in enumerate(preps):
+            if prep is None:
+                # Unpriceable (no normalizer features): the partition
+                # answers empty itself in O(1), keep it for parity.
+                kept.append(position)
+            elif prep[6] is not None:
+                boxed.append((position, prep))
+            # box is None -> no live rows -> provably empty: drop.
+        if boxed:
+            __, __, minimums, safe, denominator, __, __ = boxed[0][1]
+            if probes.shape[1] != minimums.shape[0]:
+                # Malformed probe: let the partitions raise exactly as
+                # the flat index would.
+                return partitions
+            normalized = np.where(
+                safe, np.clip((probes - minimums) / denominator, 0.0, 1.0), 0.0
+            )
+            lows = np.stack([prep[6][0] for __, prep in boxed])
+            highs = np.stack([prep[6][1] for __, prep in boxed])
+            nearest = np.clip(
+                normalized[np.newaxis, :, :],
+                lows[:, np.newaxis, :],
+                highs[:, np.newaxis, :],
+            )
+            deltas = nearest - normalized[np.newaxis, :, :]
+            floors = np.sqrt((deltas * deltas).sum(axis=2))
+            survives = ~(floors > threshold).all(axis=1)
+            kept.extend(
+                position
+                for (position, __), keep in zip(boxed, survives)
+                if keep
+            )
+        return [partitions[position] for position in sorted(kept)]
+
+    # -- probe stages (same signatures as MatchIndex) -------------------
+    def euclidean_stage(
+        self,
+        side: str,
+        kind: str,
+        probe: list[float],
+        threshold: float,
+        candidates: list[str] | None = None,
+    ) -> list[str]:
+        partitions, starts = self._parts()
+        merged: list[str] = []
+        if candidates is None:
+            block = np.asarray([probe], dtype=np.float64)
+            for partition in self._pruned(
+                partitions, side, kind, block, threshold
+            ):
+                merged.extend(partition.euclidean_stage(side, kind, probe, threshold))
+        else:
+            for partition, subset in self._grouped(partitions, starts, candidates):
+                merged.extend(
+                    partition.euclidean_stage(side, kind, probe, threshold, subset)
+                )
+        # Disjoint unions of per-partition survivors: sorting yields the
+        # flat path's sorted list bit for bit.
+        return sorted(merged)
+
+    def euclidean_stage_batch(
+        self,
+        side: str,
+        kind: str,
+        probes: Sequence[Sequence[float]],
+        threshold: float,
+    ) -> list[list[str]]:
+        partitions, __ = self._parts()
+        block = np.asarray(probes, dtype=np.float64)
+        if block.ndim == 2:
+            partitions = self._pruned(partitions, side, kind, block, threshold)
+        per_partition = [
+            partition.euclidean_stage_batch(side, kind, probes, threshold)
+            for partition in partitions
+        ]
+        merged: list[list[str]] = []
+        for k in range(len(probes)):
+            row: list[str] = []
+            for block_rows in per_partition:
+                row.extend(block_rows[k])
+            merged.append(sorted(row))
+        return merged
+
+    def cfg_stage(
+        self, side: str, probe_cfg: ControlFlowGraph, candidates: list[str]
+    ) -> list[str]:
+        partitions, starts = self._parts()
+        merged: list[str] = []
+        for partition, subset in self._grouped(partitions, starts, candidates):
+            merged.extend(partition.cfg_stage(side, probe_cfg, subset))
+        return sorted(merged)
+
+    def jaccard_stage(
+        self, probe: Mapping[str, str], threshold: float, candidates: list[str]
+    ) -> list[str]:
+        partitions, starts = self._parts()
+        merged: list[str] = []
+        for partition, subset in self._grouped(partitions, starts, candidates):
+            merged.extend(partition.jaccard_stage(probe, threshold, subset))
+        return sorted(merged)
+
+    def tie_break_scored(
+        self,
+        candidates: list[str],
+        input_bytes: int,
+        side_statics: Mapping[str, str],
+        side: str,
+        observe: Callable[[float], None] | None = None,
+    ) -> tuple[int, int, float, str] | None:
+        partitions, starts = self._parts()
+        best: tuple[int, int, float, str] | None = None
+        for partition, subset in self._grouped(partitions, starts, candidates):
+            key = partition.tie_break_scored(
+                subset, input_bytes, side_statics, side, observe
+            )
+            if key is not None and (best is None or key < best):
+                best = key
+        return best
+
+    def tie_break(
+        self,
+        candidates: list[str],
+        input_bytes: int,
+        side_statics: Mapping[str, str],
+        side: str,
+        observe: Callable[[float], None] | None = None,
+    ) -> str:
+        best = self.tie_break_scored(
+            candidates, input_bytes, side_statics, side, observe
+        )
+        if best is None:
+            raise KeyError(f"no indexed candidates among {candidates!r}")
+        return best[3]
+
+    @property
+    def partition_count(self) -> int:
+        partitions, __ = self._parts()
+        return len(partitions)
+
+
+class ShardedMatchIndex(_ScatterGather):
+    """Region-partitioned columnar index over one :class:`ProfileStore`.
+
+    Drop-in for :class:`MatchIndex` at every probe call site (the
+    matcher duck-types the stage interface); ``store.match_index()``
+    hands one out when the store was built with ``shard_index=True``.
+    """
+
+    def __init__(
+        self,
+        store: "ProfileStore",
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self._store = store
+        self.registry = registry
+        self.tracer = tracer
+        #: Guards the partition list and freshness bookkeeping.  Lock
+        #: order matches the flat index: probe holds this → store lock
+        #: (snapshot); writers hold store lock → ``_pending_lock`` only.
+        self._lock = threading.RLock()
+        self._pending_lock = threading.Lock()
+        self._pending: list[tuple[Any, ...]] = []
+        self._partitions: list[_PartitionIndex] = []
+        self._starts: list[str] = []
+        self._built_generation = -1
+        self._built_topology = -1
+        self._needs_rebuild = True
+
+    # -- hooks for the shared stages ------------------------------------
+    def _parts(self) -> tuple[Sequence[_PartitionIndex], Sequence[str]]:
+        with self._lock:
+            return self._partitions, self._starts
+
+    # -- write-side hooks (same contract as MatchIndex) -----------------
+    def on_put(
+        self,
+        job_id: str,
+        dynamic: Mapping[str, Any],
+        static_columns: Mapping[str, Any],
+        generation: int,
+    ) -> None:
+        with self._pending_lock:
+            self._pending.append(("put", job_id, dynamic, static_columns, generation))
+
+    def on_delete(self, job_id: str, generation: int) -> None:
+        with self._pending_lock:
+            self._pending.append(("delete", job_id, None, None, generation))
+
+    def invalidate(self) -> None:
+        with self._lock:
+            self._needs_rebuild = True
+
+    # -- coherence ------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._built_generation
+
+    def ensure_fresh(self) -> None:
+        """Bring every partition up to the store's generation *and* the
+        partition map up to its region topology.
+
+        Queued writes route incrementally to their partition by key
+        range; an overwrite, a generation gap, or a topology bump
+        (split/merge/rebalance since the last build) escalates to a full
+        repartition.  Raises whatever the snapshot scan raises — the
+        matcher treats that as a poisoned index and falls back to the
+        scan path; the partition list is only ever swapped after a
+        *successful* snapshot, so the index stays stale-but-consistent.
+        """
+        from .store import DYNAMIC_PREFIX
+
+        with self._lock:
+            with self._pending_lock:
+                pending = self._pending
+                self._pending = []
+            if (
+                not self._needs_rebuild
+                and self._built_generation >= 0
+                and self._store.topology_version == self._built_topology
+            ):
+                for op, job_id, dynamic, static_columns, generation in pending:
+                    if generation <= self._built_generation:
+                        continue
+                    position = max(
+                        0,
+                        bisect_right(self._starts, DYNAMIC_PREFIX + job_id) - 1,
+                    )
+                    partition = self._partitions[position]
+                    if op == "put":
+                        if partition.contains_id(job_id):
+                            self._needs_rebuild = True
+                            break
+                        partition.ingest_put(
+                            job_id, dynamic, static_columns, generation
+                        )
+                    else:
+                        partition.ingest_delete(job_id, generation)
+                    self._built_generation = generation
+            if (
+                self._needs_rebuild
+                or self._built_generation != self._store.generation
+                or self._built_topology != self._store.topology_version
+            ):
+                self._rebuild()
+
+    def _install(
+        self,
+        generation: int,
+        topology_version: int,
+        partitions: list[_PartitionIndex],
+    ) -> None:
+        """Swap in a freshly built partition list (caller holds the lock)."""
+        self._partitions = partitions
+        self._starts = [partition.start_key for partition in partitions]
+        self._built_generation = int(generation)
+        self._built_topology = int(topology_version)
+        self._needs_rebuild = False
+        with self._pending_lock:
+            self._pending = [
+                entry for entry in self._pending if entry[4] > generation
+            ]
+        get_registry(self.registry).gauge(
+            "pstorm_shard_index_partitions",
+            "match-index partitions (one per Dynamic-range region)",
+        ).set(float(len(partitions)))
+
+    def _rebuild(self) -> None:
+        """Repartition from a write-consistent, topology-consistent snapshot."""
+        generation, topology_version, slices = (
+            self._store.sharded_index_snapshot()
+        )
+        partitions: list[_PartitionIndex] = []
+        for start, stop, dynamic_rows, static_rows in slices:
+            partition = _PartitionIndex(
+                self._store, start, stop, registry=self.registry, tracer=self.tracer
+            )
+            partition.load_rows(generation, dynamic_rows, static_rows)
+            partitions.append(partition)
+        self._install(generation, topology_version, partitions)
+        registry = get_registry(self.registry)
+        registry.counter(
+            "pstorm_matcher_index_rebuilds_total",
+            "full columnar-index rebuilds from a store snapshot",
+        ).inc()
+        registry.counter(
+            "pstorm_shard_index_repartitions_total",
+            "sharded-index repartitions (topology or coherence escalations)",
+        ).inc()
+
+    def load_checkpoint(
+        self,
+        generation: int,
+        dynamic_rows: Mapping[str, Mapping[str, Any]],
+        static_rows: Mapping[str, Mapping[str, Any]],
+    ) -> None:
+        """Warm the partitions from a persisted (flat) checkpoint.
+
+        The checkpoint stores rows flat; they are partitioned by the
+        *current* region topology, which a restored substrate has
+        already recovered before this runs.
+        """
+        from .store import DYNAMIC_PREFIX, DYNAMIC_STOP, TABLE_NAME
+
+        with self._lock:
+            topology_version = self._store.topology_version
+            partitions: list[_PartitionIndex] = []
+            for region, __ in self._store.hbase.catalog.regions_of(TABLE_NAME):
+                start = max(region.start_key, DYNAMIC_PREFIX)
+                stop = (
+                    DYNAMIC_STOP
+                    if region.end_key is None
+                    else min(region.end_key, DYNAMIC_STOP)
+                )
+                if start >= stop:
+                    continue
+                members = {
+                    job_id: columns
+                    for job_id, columns in dynamic_rows.items()
+                    if start <= DYNAMIC_PREFIX + job_id < stop
+                }
+                statics = {
+                    job_id: static_rows[job_id]
+                    for job_id in members
+                    if job_id in static_rows
+                }
+                partition = _PartitionIndex(
+                    self._store,
+                    start,
+                    stop,
+                    registry=self.registry,
+                    tracer=self.tracer,
+                )
+                partition.load_rows(generation, members, statics)
+                partitions.append(partition)
+            self._install(generation, topology_version, partitions)
+        get_registry(self.registry).counter(
+            "pstorm_match_index_checkpoint_loads_total",
+            "columnar-index warm loads from a snapshot checkpoint",
+        ).inc()
+
+    # -- frozen export --------------------------------------------------
+    def export_view(self) -> "FrozenShardedView":
+        """Freeze every partition at one generation into a store-free view."""
+        with self._lock:
+            self.ensure_fresh()
+            return FrozenShardedView(
+                generation=self._built_generation,
+                topology_version=self._built_topology,
+                ranges=[
+                    (partition.start_key, partition.stop_key)
+                    for partition in self._partitions
+                ],
+                views=[partition.export_view() for partition in self._partitions],
+            )
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Deterministic size snapshot (sorted keys)."""
+        with self._lock:
+            per_partition = [partition.stats() for partition in self._partitions]
+            return {
+                "built_generation": self._built_generation,
+                "live_rows": sum(s["live_rows"] for s in per_partition),
+                "partitions": len(self._partitions),
+                "rows": sum(s["rows"] for s in per_partition),
+                "topology_version": self._built_topology,
+            }
+
+
+class FrozenShardedView(_ScatterGather):
+    """An immutable scatter-gather view: frozen partitions plus their
+    key ranges, answering every probe stage without store or locks.
+
+    The per-partition views may sit on shared memory (one segment per
+    partition, see :mod:`repro.core.shm_index`); this wrapper adds no
+    state of its own beyond the routing table.
+    """
+
+    def __init__(
+        self,
+        generation: int,
+        topology_version: int,
+        ranges: Sequence[tuple[str, str]],
+        views: Sequence[FrozenIndexView],
+    ) -> None:
+        if len(ranges) != len(views):
+            raise ValueError("one key range per partition view required")
+        self.generation = int(generation)
+        self.topology_version = int(topology_version)
+        self.ranges = [(str(start), str(stop)) for start, stop in ranges]
+        self.views = list(views)
+        self._starts = [start for start, __ in self.ranges]
+
+    def _parts(self) -> tuple[Sequence[FrozenIndexView], Sequence[str]]:
+        return self.views, self._starts
+
+    def ensure_fresh(self) -> None:
+        """No-op: a frozen view is always internally consistent."""
+
+    def stats(self) -> dict[str, int]:
+        """Deterministic size snapshot (sorted keys)."""
+        per_partition = [view.stats() for view in self.views]
+        return {
+            "built_generation": self.generation,
+            "live_rows": sum(s["live_rows"] for s in per_partition),
+            "partitions": len(self.views),
+            "rows": sum(s["rows"] for s in per_partition),
+            "topology_version": self.topology_version,
+        }

@@ -39,6 +39,19 @@ every column, each 64-byte aligned, and the non-array metadata (ids,
 vocabularies, CFG payloads, normalizer bounds, store payloads) rides as
 one pickled ``__meta__`` pseudo-array.
 
+Sharded generations
+-------------------
+A :class:`~repro.core.shard_index.FrozenShardedView` publishes as one
+data segment *per partition* (``<root>p0``, ``<root>p1``, …, each the
+stock single-index layout) plus a root *directory* segment — named in
+the control record exactly like a flat generation — whose ``__meta__``
+carries the partition key ranges, the child segment names, and the
+profile/static payloads.  Readers attach the root, then every child,
+and rebuild a ``FrozenShardedView`` over zero-copy per-partition views;
+all segments of a generation retire together, so the stale-not-torn
+guarantee is unchanged (a reader keeps every mapping of the generation
+it pinned).
+
 Lifecycle accounting
 --------------------
 The publisher tracks every segment it created and unlinks all of them
@@ -63,6 +76,7 @@ from multiprocessing import resource_tracker, shared_memory
 
 from ..observability import MetricsRegistry, get_registry
 from .match_index import FrozenIndexView
+from .shard_index import FrozenShardedView
 
 if TYPE_CHECKING:
     from .store import ProfileStore
@@ -157,26 +171,27 @@ def _silent_close(shm: shared_memory.SharedMemory) -> None:
 
 
 class _Attached:
-    """One attached data segment: the view plus the mapping keeping it alive."""
+    """One attached generation: the view plus every mapping (root segment
+    first, then per-partition children for sharded generations) keeping
+    it alive."""
 
     def __init__(
-        self, shm: shared_memory.SharedMemory, generation: int,
-        view: FrozenIndexView, meta: dict[str, Any],
+        self, shms: list[shared_memory.SharedMemory], generation: int,
+        view: Any, meta: dict[str, Any],
     ) -> None:
-        self.shm = shm
+        self.shms = shms
         self.generation = generation
         self.view = view
         self.meta = meta
 
     def close(self) -> None:
-        self.view = None  # type: ignore[assignment]
+        self.view = None
         self.meta = {}
-        _silent_close(self.shm)
+        for shm in self.shms:
+            _silent_close(shm)
 
 
-def _attach_segment(
-    name: str, unregister: bool
-) -> tuple[shared_memory.SharedMemory, dict[str, Any], FrozenIndexView]:
+def _open_segment(name: str, unregister: bool) -> shared_memory.SharedMemory:
     shm = shared_memory.SharedMemory(name=name)
     if unregister:
         # This process is a reader, not the owner: the writer's unlink is
@@ -187,15 +202,52 @@ def _attach_segment(
             resource_tracker.unregister(shm._name, "shared_memory")
         except (KeyError, AttributeError):  # pragma: no cover - tracker quirk
             pass
+    return shm
+
+
+def _view_from_segment(shm: shared_memory.SharedMemory) -> FrozenIndexView:
+    arrays = _unpack_segment(shm)
+    meta = pickle.loads(arrays.pop("__meta__").tobytes())
+    return FrozenIndexView.from_parts(meta["index"], arrays)
+
+
+def _attach_segment(
+    name: str, unregister: bool
+) -> tuple[list[shared_memory.SharedMemory], dict[str, Any], Any]:
+    """Attach one published generation by its root segment name.
+
+    Flat generations come back as a :class:`FrozenIndexView`; sharded
+    ones attach every child partition segment named by the root's
+    directory metadata and come back as a :class:`FrozenShardedView`.
+    A ``FileNotFoundError`` on *any* segment (the writer retired the
+    generation mid-attach) unwinds every mapping taken so far and
+    propagates, so the caller's retry loop sees one clean name race.
+    """
+    shms = [_open_segment(name, unregister)]
     try:
-        arrays = _unpack_segment(shm)
+        arrays = _unpack_segment(shms[0])
         meta_blob = arrays.pop("__meta__")
         meta = pickle.loads(meta_blob.tobytes())
-        view = FrozenIndexView.from_parts(meta["index"], arrays)
+        sharded = meta.get("sharded")
+        if sharded is None:
+            view: Any = FrozenIndexView.from_parts(meta["index"], arrays)
+        else:
+            views = []
+            for child_name in sharded["partitions"]:
+                child = _open_segment(child_name, unregister)
+                shms.append(child)
+                views.append(_view_from_segment(child))
+            view = FrozenShardedView(
+                generation=sharded["generation"],
+                topology_version=sharded["topology_version"],
+                ranges=[tuple(pair) for pair in sharded["ranges"]],
+                views=views,
+            )
     except Exception:
-        shm.close()
+        for shm in shms:
+            _silent_close(shm)
         raise
-    return shm, meta, view
+    return shms, meta, view
 
 
 class SharedIndexPublisher:
@@ -222,7 +274,9 @@ class SharedIndexPublisher:
         self.registry = registry
         self._prefix = prefix or f"psm{os.getpid():x}{uuid.uuid4().hex[:6]}"
         self._keep = keep_generations
-        self._live: dict[int, shared_memory.SharedMemory] = {}
+        #: generation -> [root segment, partition segments...]; every
+        #: segment of a generation is created and retired together.
+        self._live: dict[int, list[shared_memory.SharedMemory]] = {}
         self._published_names: dict[int, str] = {}
         self._closed = False
         self._ctrl = shared_memory.SharedMemory(
@@ -243,7 +297,11 @@ class SharedIndexPublisher:
 
     def segment_names(self) -> list[str]:
         """Every data-segment name currently owned (for leak accounting)."""
-        return [self._live[gen].name for gen in sorted(self._live)]
+        return [
+            segment.name
+            for gen in sorted(self._live)
+            for segment in self._live[gen]
+        ]
 
     # ------------------------------------------------------------------
     def publish(self, force: bool = False) -> int:
@@ -271,24 +329,76 @@ class SharedIndexPublisher:
             job_id: static.to_dict()
             for job_id, static in self._store.bulk_statics().items()
         }
-        meta = {
-            "index": view.export_meta(),
-            "profiles": profiles,
-            "statics": statics,
-        }
-        arrays = dict(view.export_arrays())
-        arrays["__meta__"] = np.frombuffer(
-            pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
-        )
-        payload = _pack_segment(arrays)
-        name = f"{self._prefix}g{generation}"
-        segment = shared_memory.SharedMemory(
-            name=name, create=True, size=max(len(payload), 1)
-        )
-        segment.buf[: len(payload)] = payload
-        self._live[generation] = segment
-        self._published_names[generation] = segment.name
-        self._flip_ctrl(generation, segment.name)
+        root_name = f"{self._prefix}g{generation}"
+        segments: list[shared_memory.SharedMemory] = []
+        total_bytes = 0
+        try:
+            partition_views = getattr(view, "views", None)
+            if partition_views is not None:
+                # Sharded: one stock-layout segment per partition, then a
+                # root directory segment naming them all.
+                child_names = []
+                for position, partition in enumerate(partition_views):
+                    child_meta = {"index": partition.export_meta()}
+                    child_arrays = dict(partition.export_arrays())
+                    child_arrays["__meta__"] = np.frombuffer(
+                        pickle.dumps(
+                            child_meta, protocol=pickle.HIGHEST_PROTOCOL
+                        ),
+                        dtype=np.uint8,
+                    )
+                    child_payload = _pack_segment(child_arrays)
+                    child = shared_memory.SharedMemory(
+                        name=f"{root_name}p{position}",
+                        create=True,
+                        size=max(len(child_payload), 1),
+                    )
+                    child.buf[: len(child_payload)] = child_payload
+                    segments.append(child)
+                    child_names.append(child.name)
+                    total_bytes += len(child_payload)
+                meta = {
+                    "sharded": {
+                        "generation": generation,
+                        "topology_version": view.topology_version,
+                        "ranges": list(view.ranges),
+                        "partitions": child_names,
+                    },
+                    "profiles": profiles,
+                    "statics": statics,
+                }
+                arrays: dict[str, np.ndarray] = {}
+            else:
+                meta = {
+                    "index": view.export_meta(),
+                    "profiles": profiles,
+                    "statics": statics,
+                }
+                arrays = dict(view.export_arrays())
+            arrays["__meta__"] = np.frombuffer(
+                pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL),
+                dtype=np.uint8,
+            )
+            payload = _pack_segment(arrays)
+            root = shared_memory.SharedMemory(
+                name=root_name, create=True, size=max(len(payload), 1)
+            )
+            root.buf[: len(payload)] = payload
+            segments.insert(0, root)
+            total_bytes += len(payload)
+        except Exception:
+            # A torn publish (e.g. name collision, ENOMEM on a child)
+            # must not leak the segments already created.
+            for segment in segments:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - race
+                    pass
+            raise
+        self._live[generation] = segments
+        self._published_names[generation] = root.name
+        self._flip_ctrl(generation, root.name)
         self._retire(keep_floor=generation)
         registry = get_registry(self.registry)
         registry.counter(
@@ -302,11 +412,11 @@ class SharedIndexPublisher:
         registry.gauge(
             "shm_index_segment_bytes",
             "size of the most recently published data segment",
-        ).set(float(len(payload)))
+        ).set(float(total_bytes))
         registry.gauge(
             "shm_index_segments_active",
             "data segments currently owned (not yet unlinked)",
-        ).set(float(len(self._live)))
+        ).set(float(sum(len(group) for group in self._live.values())))
         return generation
 
     def _flip_ctrl(self, generation: int, name: str) -> None:
@@ -327,18 +437,18 @@ class SharedIndexPublisher:
         ]
         registry = get_registry(self.registry)
         for gen in retire:
-            segment = self._live.pop(gen)
-            segment.close()
-            segment.unlink()
-            registry.counter(
-                "shm_index_segments_unlinked_total",
-                "retired data segments unlinked by the publisher",
-            ).inc()
+            for segment in self._live.pop(gen):
+                segment.close()
+                segment.unlink()
+                registry.counter(
+                    "shm_index_segments_unlinked_total",
+                    "retired data segments unlinked by the publisher",
+                ).inc()
         if retire:
             registry.gauge(
                 "shm_index_segments_active",
                 "data segments currently owned (not yet unlinked)",
-            ).set(float(len(self._live)))
+            ).set(float(sum(len(group) for group in self._live.values())))
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -348,18 +458,18 @@ class SharedIndexPublisher:
         self._closed = True
         registry = get_registry(self.registry)
         for gen in sorted(self._live):
-            segment = self._live.pop(gen)
-            segment.close()
-            try:
-                segment.unlink()
-            except FileNotFoundError:
-                # Already gone (e.g. an external cleanup raced us);
-                # close() must still release everything else.
-                pass
-            registry.counter(
-                "shm_index_segments_unlinked_total",
-                "retired data segments unlinked by the publisher",
-            ).inc()
+            for segment in self._live.pop(gen):
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    # Already gone (e.g. an external cleanup raced us);
+                    # close() must still release everything else.
+                    pass
+                registry.counter(
+                    "shm_index_segments_unlinked_total",
+                    "retired data segments unlinked by the publisher",
+                ).inc()
         registry.gauge(
             "shm_index_segments_active",
             "data segments currently owned (not yet unlinked)",
@@ -441,7 +551,7 @@ class SharedIndexClient:
         """Generation of the currently attached view (-1 = none)."""
         return -1 if self._attached is None else self._attached.generation
 
-    def view(self) -> FrozenIndexView:
+    def view(self) -> "FrozenIndexView | FrozenShardedView":
         """The freshest attachable frozen view (see class docstring)."""
         registry = get_registry(self.registry)
         generation, name = self._read_ctrl()
@@ -450,7 +560,7 @@ class SharedIndexClient:
         last_error: Exception | None = None
         for attempt in range(self._retries):
             try:
-                shm, meta, frozen = _attach_segment(name, self._unregister)
+                shms, meta, frozen = _attach_segment(name, self._unregister)
             except FileNotFoundError as error:
                 last_error = error
                 registry.counter(
@@ -460,7 +570,7 @@ class SharedIndexClient:
                 generation, name = self._read_ctrl()
                 continue
             previous = self._attached
-            self._attached = _Attached(shm, generation, frozen, meta)
+            self._attached = _Attached(shms, generation, frozen, meta)
             if previous is not None:
                 previous.close()
             registry.counter(

@@ -74,6 +74,10 @@ __all__ = [
 ]
 
 DYNAMIC_PREFIX = "Dynamic/"
+#: Exclusive upper bound of the Dynamic key range ("Dynamic0": '0' is
+#: the character after '/'); region ranges clip against it to find
+#: which regions hold Dynamic rows.
+DYNAMIC_STOP = DYNAMIC_PREFIX[:-1] + chr(ord(DYNAMIC_PREFIX[-1]) + 1)
 STATIC_PREFIX = "Static/"
 PROFILE_PREFIX = "Profile/"
 _META_ROW = "Meta/__normalizers__"
@@ -268,6 +272,17 @@ class ProfileStore:
             rebuild.  Ignored when *hbase* is supplied.
         group_commit: WAL group-commit batch size for a freshly created
             durable substrate (1 = sync every record).
+        num_region_servers: region servers for a freshly created
+            substrate (ignored when *hbase* is supplied).
+        split_threshold: rows per region before it splits, for a freshly
+            created substrate; ``None`` keeps the cluster default.
+        replication: hosts per region (primary + read replicas) for a
+            freshly created substrate.
+        merge_threshold: auto-merge floor for a freshly created
+            substrate (``None`` = merges off).
+        shard_index: hand out a :class:`~repro.core.shard_index.ShardedMatchIndex`
+            — one partition per region of the Dynamic key range, probed
+            scatter-gather — instead of the flat :class:`MatchIndex`.
     """
 
     def __init__(
@@ -281,6 +296,11 @@ class ProfileStore:
         scan_batch: int = 64,
         data_dir: Path | str | None = None,
         group_commit: int = 1,
+        num_region_servers: int = 1,
+        split_threshold: int | None = None,
+        replication: int = 1,
+        merge_threshold: int | None = None,
+        shard_index: bool = False,
     ) -> None:
         #: Observability sinks; None falls back to the module defaults.
         #: A freshly created substrate inherits them; an injected one
@@ -288,17 +308,23 @@ class ProfileStore:
         self.registry = registry
         self.tracer = tracer
         self.data_dir = Path(data_dir) if data_dir is not None else None
-        self.hbase = (
-            hbase
-            if hbase is not None
-            else HBaseCluster(
+        if hbase is not None:
+            self.hbase = hbase
+        else:
+            cluster_kwargs: dict[str, Any] = {}
+            if split_threshold is not None:
+                cluster_kwargs["split_threshold"] = split_threshold
+            self.hbase = HBaseCluster(
+                num_region_servers=num_region_servers,
                 registry=registry,
                 tracer=tracer,
                 chaos=chaos,
                 data_dir=None if self.data_dir is None else self.data_dir / "hbase",
                 group_commit=group_commit,
+                replication=replication,
+                merge_threshold=merge_threshold,
+                **cluster_kwargs,
             )
-        )
         #: Whether writes persist (the substrate owns the actual files).
         self._durable = self.hbase.data_dir is not None
         self.pushdown = pushdown
@@ -330,6 +356,8 @@ class ProfileStore:
             raise ValueError("scan_batch must be at least 1")
         self.scan_batch = scan_batch
         self.enable_index = enable_index
+        #: Partitioned (per-region) vs flat match index.
+        self.shard_index = shard_index
         #: Monotone write version: bumped under the lock on every
         #: put/delete.  The match index and the normalizer cache compare
         #: against it to decide whether their snapshots are still live.
@@ -382,6 +410,11 @@ class ProfileStore:
             for region, __ in self.hbase.catalog.regions_of(TABLE_NAME):
                 stack.enter_context(region.store.deferred())
             yield
+        # Splits/merges triggered mid-batch were queued (committing one
+        # inside the deferred scopes would tear this logical write across
+        # a topology swap); commit them now, past the fsync point and
+        # still under the store lock so no probe sees a half-made move.
+        self.hbase.run_pending_maintenance()
 
     def _put_inner(
         self,
@@ -515,6 +548,15 @@ class ProfileStore:
         with self._lock:
             return self._generation
 
+    @property
+    def topology_version(self) -> int:
+        """The substrate's region-topology version (splits/merges/moves).
+
+        The sharded match index compares against it: a bump means the
+        partition map is stale and the next probe repartitions.
+        """
+        return self.hbase.topology_version
+
     def load_normalizer(self, side: str, kind: str) -> MinMaxNormalizer:
         """The *persisted* min/max bounds, cached per store generation.
 
@@ -544,22 +586,32 @@ class ProfileStore:
                 f"{side}.{kind}", MinMaxNormalizer()
             )
 
-    def match_index(self) -> "MatchIndex | None":
+    def match_index(self) -> Any:
         """The columnar match index (lazily built), or None if disabled.
 
         One index per store: serving workers that share this store (via
         ``ResilientProfileStore``/``MaintainedStore`` delegation) probe
-        the same structure.
+        the same structure.  With ``shard_index`` on this is a
+        :class:`~repro.core.shard_index.ShardedMatchIndex` (one
+        partition per region, probed scatter-gather); both answer the
+        same probe-stage interface.
         """
         if not self.enable_index:
             return None
         with self._lock:
             if self._match_index is None:
-                from .match_index import MatchIndex
+                if self.shard_index:
+                    from .shard_index import ShardedMatchIndex
 
-                self._match_index = MatchIndex(
-                    self, registry=self.registry, tracer=self.tracer
-                )
+                    self._match_index = ShardedMatchIndex(
+                        self, registry=self.registry, tracer=self.tracer
+                    )
+                else:
+                    from .match_index import MatchIndex
+
+                    self._match_index = MatchIndex(
+                        self, registry=self.registry, tracer=self.tracer
+                    )
             return self._match_index
 
     def refresh_match_index(self) -> None:
@@ -603,6 +655,50 @@ class ProfileStore:
                 )
             }
         return generation, dynamic, static
+
+    def sharded_index_snapshot(
+        self,
+    ) -> tuple[
+        int,
+        int,
+        list[tuple[str, str, dict[str, dict[str, Any]], dict[str, dict[str, Any]]]],
+    ]:
+        """A write-consistent snapshot partitioned by region key range.
+
+        Returns ``(generation, topology_version, partitions)`` where each
+        partition is ``(start, stop, dynamic_rows, static_rows)`` — one
+        per region whose range intersects the Dynamic key range, in key
+        order, holding exactly the jobs whose ``Dynamic/`` row that
+        region owns (the partition's static rows follow its job ids,
+        wherever the ``Static/`` rows physically live).  Rows and the
+        topology are read under the store lock, so the partition map and
+        its contents can never disagree.
+        """
+        with self._lock:
+            generation, dynamic, static = self.index_snapshot()
+            topology_version = self.hbase.topology_version
+            ranges: list[tuple[str, str]] = []
+            for region, __ in self.hbase.catalog.regions_of(TABLE_NAME):
+                start = max(region.start_key, DYNAMIC_PREFIX)
+                stop = (
+                    DYNAMIC_STOP
+                    if region.end_key is None
+                    else min(region.end_key, DYNAMIC_STOP)
+                )
+                if start < stop:
+                    ranges.append((start, stop))
+        partitions = []
+        for start, stop in ranges:
+            members = {
+                job_id: columns
+                for job_id, columns in dynamic.items()
+                if start <= DYNAMIC_PREFIX + job_id < stop
+            }
+            statics = {
+                job_id: static[job_id] for job_id in members if job_id in static
+            }
+            partitions.append((start, stop, members, statics))
+        return generation, topology_version, partitions
 
     # ------------------------------------------------------------------
     # Durability: snapshots and restore

@@ -1,52 +1,78 @@
-"""The -ROOT-/.META.-style catalog: which server hosts which key range.
+"""The -ROOT-/.META.-style catalog: which servers host which key range.
 
 §5.2.2 of the paper contrasts how region entries look in the ``.META.``
 table under different data models; this catalog reproduces those entries as
-``(table_name, start_key, region_id) -> server_id`` mappings and provides
+``(table_name, start_key, region_id) -> server_ids`` mappings and provides
 the key-range routing clients use to direct gets and scans.
+
+Each region is hosted by an ordered tuple of servers: the first is the
+*primary* (all writes route there), the rest are read replicas sharing
+the region's store — the HBase read-replica shape, where secondaries
+serve reads over the same HFiles.  Clients that hit a dead primary fall
+back to the next replica in order (see :meth:`HTable.get`/``scan``).
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 from .region import Region
 
 __all__ = ["CatalogEntry", "MetaCatalog"]
 
 
+def _as_server_ids(server_ids: int | Sequence[int]) -> tuple[int, ...]:
+    if isinstance(server_ids, int):
+        return (server_ids,)
+    ids = tuple(int(server_id) for server_id in server_ids)
+    if not ids:
+        raise ValueError("a region needs at least one hosting server")
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"duplicate replica servers: {ids}")
+    return ids
+
+
 @dataclass(frozen=True)
 class CatalogEntry:
-    """One .META. row: a region's identity and its hosting server."""
+    """One .META. row: a region's identity and its hosting servers."""
 
     table_name: str
     start_key: str
     region_id: int
     server_id: int
+    replica_ids: tuple[int, ...] = field(default=())
 
     @property
     def meta_key(self) -> str:
         """The .META. row key, ``<table>,<start_key>,<region_id>``."""
         return f"{self.table_name},{self.start_key},{self.region_id}"
 
+    @property
+    def server_ids(self) -> tuple[int, ...]:
+        """Primary first, then the read replicas."""
+        return (self.server_id,) + self.replica_ids
+
 
 class MetaCatalog:
-    """Routing table from (table, row key) to (region, server)."""
+    """Routing table from (table, row key) to (region, servers)."""
 
     def __init__(self) -> None:
-        self._entries: dict[str, list[tuple[str, int, int]]] = {}
+        self._entries: dict[str, list[tuple[str, int, tuple[int, ...]]]] = {}
         self._regions: dict[int, Region] = {}
         self._next_region_id = 0
 
     # ------------------------------------------------------------------
-    def register(self, region: Region, server_id: int) -> int:
-        """Register a region with its hosting server; returns region id."""
+    def register(self, region: Region, server_ids: int | Sequence[int]) -> int:
+        """Register a region with its hosting servers (primary first);
+        returns the region id."""
+        hosts = _as_server_ids(server_ids)
         region_id = self._next_region_id
         self._next_region_id += 1
         self._regions[region_id] = region
         entries = self._entries.setdefault(region.table_name, [])
-        bisect.insort(entries, (region.start_key, region_id, server_id))
+        bisect.insort(entries, (region.start_key, region_id, hosts))
         return region_id
 
     def unregister(self, region_id: int) -> None:
@@ -56,42 +82,93 @@ class MetaCatalog:
             entry for entry in entries if entry[1] != region_id
         ]
 
+    def reassign(self, region_id: int, server_ids: int | Sequence[int]) -> None:
+        """Move a registered region to a new host set (rebalancing)."""
+        hosts = _as_server_ids(server_ids)
+        region = self._regions[region_id]
+        entries = self._entries[region.table_name]
+        for position, (start, entry_id, __) in enumerate(entries):
+            if entry_id == region_id:
+                entries[position] = (start, region_id, hosts)
+                return
+        raise KeyError(f"region id {region_id} is not registered")
+
     def drop_table(self, table_name: str) -> None:
         for __, region_id, __ in list(self._entries.get(table_name, [])):
             self._regions.pop(region_id, None)
         self._entries.pop(table_name, None)
 
     # ------------------------------------------------------------------
-    def locate(self, table_name: str, row_key: str) -> tuple[Region, int]:
-        """Region and server responsible for *row_key* in *table_name*."""
+    def _entry_for(self, table_name: str, row_key: str) -> tuple[str, int, tuple[int, ...]]:
         entries = self._entries.get(table_name)
         if not entries:
             raise KeyError(f"no regions registered for table {table_name!r}")
         starts = [start for start, __, __ in entries]
         index = bisect.bisect_right(starts, row_key) - 1
         index = max(0, index)
-        __, region_id, server_id = entries[index]
-        return self._regions[region_id], server_id
+        return entries[index]
+
+    def locate(self, table_name: str, row_key: str) -> tuple[Region, int]:
+        """Region and *primary* server responsible for *row_key*."""
+        __, region_id, hosts = self._entry_for(table_name, row_key)
+        return self._regions[region_id], hosts[0]
+
+    def locate_replicas(
+        self, table_name: str, row_key: str
+    ) -> tuple[Region, tuple[int, ...]]:
+        """Region and its full host set (primary first) for *row_key*."""
+        __, region_id, hosts = self._entry_for(table_name, row_key)
+        return self._regions[region_id], hosts
 
     def find(self, region: Region) -> tuple[int, int]:
-        """``(region_id, server_id)`` of a registered region object."""
-        for __, region_id, server_id in self._entries.get(region.table_name, []):
+        """``(region_id, primary_server_id)`` of a registered region."""
+        region_id, hosts = self.find_replicas(region)
+        return region_id, hosts[0]
+
+    def find_replicas(self, region: Region) -> tuple[int, tuple[int, ...]]:
+        """``(region_id, server_ids)`` of a registered region object."""
+        for __, region_id, hosts in self._entries.get(region.table_name, []):
             if self._regions[region_id] is region:
-                return region_id, server_id
+                return region_id, hosts
         raise KeyError(f"region {region!r} is not registered")
 
     def regions_of(self, table_name: str) -> list[tuple[Region, int]]:
-        """All (region, server) pairs of a table, in key order."""
+        """All (region, primary server) pairs of a table, in key order."""
         return [
-            (self._regions[region_id], server_id)
-            for __, region_id, server_id in self._entries.get(table_name, [])
+            (self._regions[region_id], hosts[0])
+            for __, region_id, hosts in self._entries.get(table_name, [])
         ]
+
+    def replicas_of(self, table_name: str) -> list[tuple[Region, tuple[int, ...]]]:
+        """All (region, server_ids) pairs of a table, in key order."""
+        return [
+            (self._regions[region_id], hosts)
+            for __, region_id, hosts in self._entries.get(table_name, [])
+        ]
+
+    def adjacent(self, region: Region) -> tuple[Region | None, Region | None]:
+        """The key-order neighbors of a registered region (None at edges)."""
+        entries = self._entries.get(region.table_name, [])
+        for position, (__, region_id, __) in enumerate(entries):
+            if self._regions[region_id] is region:
+                left = (
+                    self._regions[entries[position - 1][1]] if position > 0 else None
+                )
+                right = (
+                    self._regions[entries[position + 1][1]]
+                    if position + 1 < len(entries)
+                    else None
+                )
+                return left, right
+        raise KeyError(f"region {region!r} is not registered")
 
     def meta_rows(self, table_name: str | None = None) -> list[CatalogEntry]:
         """The .META. rows, for inspection (as shown in §5.2.2)."""
         rows = []
         tables = [table_name] if table_name else sorted(self._entries)
         for name in tables:
-            for start, region_id, server_id in self._entries.get(name, []):
-                rows.append(CatalogEntry(name, start, region_id, server_id))
+            for start, region_id, hosts in self._entries.get(name, []):
+                rows.append(
+                    CatalogEntry(name, start, region_id, hosts[0], hosts[1:])
+                )
         return rows

@@ -204,6 +204,41 @@ class Region:
                 target.store.put(key, rows[key])
         return left, right
 
+    @classmethod
+    def merge(
+        cls,
+        left: "Region",
+        right: "Region",
+        make_store: Callable[[], LsmStore] | None = None,
+    ) -> "Region":
+        """Merge two *adjacent* regions into one spanning both ranges.
+
+        The inverse of :meth:`split`: rows copy with their full cell
+        history into one region covering ``[left.start_key,
+        right.end_key)``.  Raises ``ValueError`` unless the regions are
+        key-adjacent siblings of the same table.
+        """
+        if left.table_name != right.table_name:
+            raise ValueError("cannot merge regions of different tables")
+        if left.end_key != right.start_key:
+            raise ValueError(
+                f"regions are not adjacent: [{left.start_key!r}, "
+                f"{left.end_key!r}) / [{right.start_key!r}, {right.end_key!r})"
+            )
+        merged = cls(
+            left.table_name,
+            left.families,
+            left.start_key,
+            right.end_key,
+            store=make_store() if make_store is not None else None,
+        )
+        with merged.store.deferred():
+            for source in (left, right):
+                keys, rows = source.store.sorted_view()
+                for key in keys:
+                    merged.store.put(key, rows[key])
+        return merged
+
     def __repr__(self) -> str:
         end = self.end_key if self.end_key is not None else "∞"
         return (

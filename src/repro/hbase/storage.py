@@ -390,6 +390,17 @@ class LsmStore:
         if self.chaos is not None and self.data_dir is not None:
             self.chaos.on_operation(op)
 
+    @property
+    def in_deferred_scope(self) -> bool:
+        """Whether a :meth:`deferred` batch scope is currently open.
+
+        Region maintenance (splits/merges) checks this: rewriting the
+        region mid-batch would tear one logical write across a topology
+        swap, so the cluster queues the operation until the batch's
+        fsync point instead.
+        """
+        return self._deferred > 0
+
     @contextmanager
     def deferred(self):
         """Batch scope: WAL syncs and flushes are deferred to scope exit,

@@ -19,6 +19,7 @@ from ..observability import (
     get_tracer,
 )
 from .catalog import MetaCatalog
+from .errors import ServerUnavailableError
 from .filters import Filter, serialize_filter
 from .regionserver import RegionServer
 
@@ -29,7 +30,14 @@ __all__ = ["HTable"]
 
 
 class HTable:
-    """Client handle for one HBase table."""
+    """Client handle for one HBase table.
+
+    Reads (gets and scans) route to a region's *primary* server first
+    and fail over, in catalog order, to its read replicas when the
+    primary is down (:class:`~repro.hbase.errors.ServerUnavailableError`
+    from a chaos crash window) — the HBase timeline-consistent
+    read-replica shape.  Writes always route to the primary.
+    """
 
     def __init__(
         self,
@@ -42,6 +50,7 @@ class HTable:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         chaos: "FaultInjector | None" = None,
+        on_shrink: Any = None,
     ) -> None:
         self.name = name
         self.families = families
@@ -49,6 +58,9 @@ class HTable:
         self._servers = servers
         self._split_threshold = split_threshold
         self._on_split = on_split
+        #: Merge hook: called after a delete leaves a region undersized
+        #: (the cluster decides whether to actually merge).  None = off.
+        self._on_shrink = on_shrink
         #: Observability sinks; None falls back to the module defaults.
         self.registry = registry
         self.tracer = tracer
@@ -62,6 +74,20 @@ class HTable:
             labels={"table": self.name},
             buckets=LATENCY_BUCKETS,
         ).observe(seconds)
+
+    def _count_replica_fallback(self, op: str) -> None:
+        get_registry(self.registry).counter(
+            "hbase_replica_read_fallbacks_total",
+            "reads that failed over past a dead replica server",
+            labels={"op": op},
+        ).inc()
+
+    def _count_replica_read(self, op: str) -> None:
+        get_registry(self.registry).counter(
+            "hbase_replica_reads_total",
+            "reads served by a non-primary replica server",
+            labels={"op": op},
+        ).inc()
 
     # ------------------------------------------------------------------
     def put(self, row_key: str, family: str, qualifier: str, value: Any) -> None:
@@ -84,16 +110,33 @@ class HTable:
 
     def delete_row(self, row_key: str) -> bool:
         region, __ = self._catalog.locate(self.name, row_key)
-        return region.delete_row(row_key)
+        existed = region.delete_row(row_key)
+        if existed and self._on_shrink is not None:
+            self._on_shrink(self.name, region)
+        return existed
 
     # ------------------------------------------------------------------
     def get(self, row_key: str) -> dict[str, dict[str, Any]] | None:
-        """Latest version of one row, or None."""
+        """Latest version of one row, or None (replica fallback on a
+        dead primary)."""
         registry = get_registry(self.registry)
         start = perf_counter() if registry.enabled else 0.0
-        region, server_id = self._catalog.locate(self.name, row_key)
+        region, server_ids = self._catalog.locate_replicas(self.name, row_key)
         if self.chaos is not None:
-            self.chaos.on_operation("get", server_id=server_id)
+            error: ServerUnavailableError | None = None
+            for position, server_id in enumerate(server_ids):
+                try:
+                    self.chaos.on_operation("get", server_id=server_id)
+                except ServerUnavailableError as exc:
+                    error = exc
+                    self._count_replica_fallback("get")
+                    continue
+                if position:
+                    self._count_replica_read("get")
+                break
+            else:
+                assert error is not None
+                raise error
         row = region.get(row_key)
         if registry.enabled:
             self._observe_latency("get", perf_counter() - start)
@@ -127,18 +170,10 @@ class HTable:
         shipped = 0
         began = perf_counter() if (registry.enabled or tracer.enabled) else 0.0
         try:
-            for region, server_id in self._catalog.regions_of(self.name):
-                server = self._servers[server_id]
-                if batch is not None:
-                    rows = (
-                        item
-                        for chunk in server.scan_region_batch(
-                            region, start, stop, payload, batch=batch
-                        )
-                        for item in chunk
-                    )
-                else:
-                    rows = server.scan_region(region, start, stop, payload)
+            for region, server_ids in self._catalog.replicas_of(self.name):
+                rows = self._region_row_stream(
+                    region, server_ids, start, stop, payload, batch
+                )
                 for row_key, row in rows:
                     if scan_filter is not None and not pushdown:
                         if not scan_filter.matches(row_key, row):
@@ -163,6 +198,54 @@ class HTable:
                     },
                     clock="wall",
                 )
+
+    def _region_row_stream(
+        self,
+        region: Any,
+        server_ids: tuple[int, ...],
+        start: str | None,
+        stop: str | None,
+        payload: Mapping[str, Any] | None,
+        batch: int | None,
+    ) -> Iterator[tuple[str, dict[str, dict[str, Any]]]]:
+        """One region's scan rows, failing over to replica servers.
+
+        The chaos consult fires at the head of a region-server scan,
+        before any row ships, so a dead server is always detected with
+        zero rows yielded — failover restarts the scan on the next
+        replica without ever duplicating or dropping a row.
+        """
+        error: ServerUnavailableError | None = None
+        for position, server_id in enumerate(server_ids):
+            server = self._servers[server_id]
+            if batch is not None:
+                rows: Iterator[tuple[str, dict[str, dict[str, Any]]]] = (
+                    item
+                    for chunk in server.scan_region_batch(
+                        region, start, stop, payload, batch=batch
+                    )
+                    for item in chunk
+                )
+            else:
+                rows = server.scan_region(region, start, stop, payload)
+            iterator = iter(rows)
+            try:
+                first = next(iterator)
+            except StopIteration:
+                if position:
+                    self._count_replica_read("scan")
+                return
+            except ServerUnavailableError as exc:
+                error = exc
+                self._count_replica_fallback("scan")
+                continue
+            if position:
+                self._count_replica_read("scan")
+            yield first
+            yield from iterator
+            return
+        assert error is not None
+        raise error
 
     # ------------------------------------------------------------------
     def num_rows(self) -> int:

@@ -131,6 +131,14 @@ class LoadConfig:
     #: of a group's first arrival into one handle_batch call (0 = off).
     batch_window_seconds: float = 0.0
     batch_max: int = 8
+    #: Region servers hosting the shared store's HBase substrate.
+    num_region_servers: int = 1
+    #: Read replicas per region (clamped to num_region_servers).
+    replication: int = 1
+    #: Rows per region before it splits; None = substrate default.
+    split_threshold: int | None = None
+    #: Probe through per-region scatter-gather match-index partitions.
+    shard_index: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("open", "closed"):
@@ -155,6 +163,10 @@ class LoadConfig:
             backend=self.backend,
             batch_window_seconds=self.batch_window_seconds,
             batch_max=self.batch_max,
+            num_region_servers=self.num_region_servers,
+            replication=self.replication,
+            split_threshold=self.split_threshold,
+            shard_index=self.shard_index,
             # Off the 0.01 cache-hit grid: warm-path percentiles resolve
             # to real values instead of clamping at one clock tick.
             cache_lookup_cost_seconds=0.0003,

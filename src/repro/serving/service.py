@@ -113,6 +113,15 @@ class ServiceConfig:
     batch_window_seconds: float = 0.0
     #: Process backend: most submissions coalesced per dispatch.
     batch_max: int = 8
+    #: Region servers hosting the store's HBase substrate (sharding).
+    num_region_servers: int = 1
+    #: Read replicas per region (clamped to num_region_servers).
+    replication: int = 1
+    #: Rows per region before it splits; None = substrate default.
+    split_threshold: int | None = None
+    #: Probe with per-region scatter-gather match-index partitions
+    #: instead of one flat index.
+    shard_index: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -125,6 +134,10 @@ class ServiceConfig:
             raise ValueError("batch_max must be at least 1")
         if self.batch_window_seconds < 0:
             raise ValueError("batch window cannot be negative")
+        if self.num_region_servers < 1:
+            raise ValueError("need at least one region server")
+        if self.replication < 1:
+            raise ValueError("replication must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -219,7 +232,14 @@ class TuningService:
         inner = (
             store
             if store is not None
-            else ProfileStore(registry=registry, data_dir=data_dir)
+            else ProfileStore(
+                registry=registry,
+                data_dir=data_dir,
+                num_region_servers=self.config.num_region_servers,
+                replication=self.config.replication,
+                split_threshold=self.config.split_threshold,
+                shard_index=self.config.shard_index,
+            )
         )
         if self.config.store_capacity is not None and not isinstance(
             inner, (MaintainedStore, ResilientProfileStore)

@@ -29,6 +29,7 @@ from repro.chaos import (
     flaky_plan,
     outage_plan,
     plan_from_spec,
+    replica_kill_plan,
     rolling_restart_plan,
     set_default_injector,
     slow_plan,
@@ -122,9 +123,13 @@ class TestFaultPlan:
         )
         assert plan_from_spec("crash-point:37") == crash_point_plan(at=37)
         assert plan_from_spec("worker-kill:2") == worker_kill_plan(at=2)
+        assert plan_from_spec("replica-kill") == replica_kill_plan(server_id=1)
+        assert plan_from_spec("replica-kill:0") == replica_kill_plan(
+            server_id=0
+        )
         assert set(PRESETS) == {
             "flaky", "outage", "slow", "rolling-restart", "crash-point",
-            "worker-kill",
+            "worker-kill", "replica-kill",
         }
 
     def test_unknown_preset_rejected(self):

@@ -29,7 +29,7 @@ from repro.chaos import FaultInjector, FaultPlan, crash_point_plan
 from repro.cli import _synthetic_job
 from repro.core.features import JobFeatures
 from repro.core.matcher import ProfileMatcher
-from repro.core.store import ProfileStore
+from repro.core.store import TABLE_NAME, ProfileStore
 from repro.hbase import LsmStore, SimulatedCrashError
 from repro.hbase.wal import HEADER_SIZE, decode_frames, decode_record
 from repro.observability import MetricsRegistry
@@ -333,6 +333,154 @@ class TestChaosCrashPoints:
         ops, states = chaos_reference
         for kill_at in range(len(ops) + 1):
             recovered = _crash_and_recover(
+                tmp_path / f"k{kill_at}", kill_at, states
+            )
+            # Probe parity on a spread (the full matcher run per point
+            # would dominate the sweep without adding coverage).
+            if kill_at % 10 == 0:
+                _assert_probe_parity(recovered)
+
+
+# ======================================================================
+# Part 3: crash points at sharded-topology boundaries
+# ======================================================================
+
+#: Thresholds small enough that the workload below crosses every
+#: topology transition: splits while writing, merges while deleting,
+#: and one explicit rebalance.
+_SHARD_KW = dict(
+    num_region_servers=3,
+    replication=2,
+    split_threshold=4,
+    merge_threshold=3,
+    shard_index=True,
+)
+
+
+def _run_sharded_workload(store, on_ack):
+    """Writes that split regions, deletes that merge them back, a
+    rebalance, and a final post-rebalance write — so the crash sweep
+    kills the process on either side of every topology operation."""
+    jobs = [_synthetic_job(i) for i in range(8)]
+    for number in range(8):
+        store.put(jobs[number][0], jobs[number][1], job_id=f"job-{number}@shard")
+        on_ack(store)
+    for number in (0, 2, 4, 6, 7):
+        store.delete(f"job-{number}@shard")
+        on_ack(store)
+    store.hbase.rebalance()  # topology only: no acked data change
+    store.put(jobs[0][0], jobs[0][1], job_id="job-0b@shard")
+    on_ack(store)
+
+
+def _assert_sharded_topology(store):
+    """The recovered regions tile the key space: no gaps, no overlaps,
+    and every region's host set is deduplicated and within bounds."""
+    regions = sorted(
+        (region for region, __ in store.hbase.catalog.regions_of(TABLE_NAME)),
+        key=lambda region: region.start_key,
+    )
+    assert regions[0].start_key == ""
+    assert regions[-1].end_key is None
+    for left, right in zip(regions, regions[1:]):
+        assert left.end_key == right.start_key
+    servers = len(store.hbase.servers)
+    for __, hosts in store.hbase.catalog.replicas_of(TABLE_NAME):
+        assert len(set(hosts)) == len(hosts)
+        assert all(0 <= server_id < servers for server_id in hosts)
+
+
+@pytest.fixture(scope="module")
+def sharded_chaos_reference(tmp_path_factory):
+    """The sharded twin of ``chaos_reference``: one counting run that
+    proves the workload actually crosses split/merge/rebalance
+    boundaries, one chaos-free run recording the acked states."""
+    ops_dir = tmp_path_factory.mktemp("shard-ops")
+    injector = RecordingInjector(FaultPlan(), registry=MetricsRegistry())
+    counting = ProfileStore(
+        data_dir=ops_dir, registry=MetricsRegistry(), chaos=injector, **_SHARD_KW
+    )
+    _run_sharded_workload(counting, lambda s: None)
+    seen = set(injector.ops)
+    assert {"split", "merge", "rebalance"} <= seen, sorted(seen)
+
+    states_dir = tmp_path_factory.mktemp("shard-states")
+    store = ProfileStore(
+        data_dir=states_dir, registry=MetricsRegistry(), **_SHARD_KW
+    )
+    states = [_canonical(store)]
+    _run_sharded_workload(store, lambda s: states.append(_canonical(s)))
+    return injector.ops, states
+
+
+def _crash_and_recover_sharded(data_dir, kill_at, states):
+    """Sharded twin of ``_crash_and_recover``; additionally holds the
+    recovered-topology invariant.  The reopen passes only the data
+    directory (plus the index flavour): server count, thresholds and
+    replication must come back from the cluster meta document."""
+    acked = 0
+
+    def on_ack(_store):
+        nonlocal acked
+        acked += 1
+
+    crashed = False
+    try:
+        store = ProfileStore(
+            data_dir=data_dir,
+            registry=MetricsRegistry(),
+            chaos=FaultInjector(
+                crash_point_plan(kill_at), registry=MetricsRegistry()
+            ),
+            **_SHARD_KW,
+        )
+        _run_sharded_workload(store, on_ack)
+    except SimulatedCrashError:
+        crashed = True
+    # Deliberately no close(): a crash abandons the process mid-flight.
+
+    recovered = ProfileStore(
+        data_dir=data_dir, registry=MetricsRegistry(), shard_index=True
+    )
+    state = _canonical(recovered)
+    if not crashed:
+        assert state == states[-1], f"kill_at={kill_at}: clean run diverged"
+    else:
+        allowed = [states[acked]]
+        if acked + 1 < len(states):
+            allowed.append(states[acked + 1])
+        assert state in allowed, (
+            f"kill_at={kill_at}: recovered state is not the acked prefix "
+            f"(acked={acked})"
+        )
+    _assert_sharded_topology(recovered)
+    return recovered
+
+
+class TestShardedTopologyCrashPoints:
+    def test_sampled_topology_crash_points(self, sharded_chaos_reference, tmp_path):
+        ops, states = sharded_chaos_reference
+        total = len(ops)
+        # Both sides of the first and the last of each topology op,
+        # plus an even spread and the clean run past the end.
+        kills = set()
+        for kind in ("split", "merge", "rebalance"):
+            first = ops.index(kind)
+            kills.update((max(0, first - 1), first, min(total, first + 1)))
+            kills.add(total - 1 - ops[::-1].index(kind))
+        kills.update((0, total))
+        kills.update(range(0, total, max(1, total // 10)))
+        for kill_at in sorted(kills):
+            recovered = _crash_and_recover_sharded(
+                tmp_path / f"k{kill_at}", kill_at, states
+            )
+            _assert_probe_parity(recovered)
+
+    @pytest.mark.slow
+    def test_every_topology_crash_point(self, sharded_chaos_reference, tmp_path):
+        ops, states = sharded_chaos_reference
+        for kill_at in range(len(ops) + 1):
+            recovered = _crash_and_recover_sharded(
                 tmp_path / f"k{kill_at}", kill_at, states
             )
             # Probe parity on a spread (the full matcher run per point
