@@ -15,6 +15,9 @@ Commands:
   stdout is byte-identical for the same seed (see ``docs/serving.md``).
 - ``serve`` — drive the real thread-pool frontend end to end (queues,
   futures, clean shutdown); exits nonzero if a worker hangs.
+- ``league`` — race the tuner family (RBO, CBO, SPSA, surrogate,
+  ensemble) across the workload zoo under one seed and print the
+  leaderboard JSON (byte-identical per seed; see ``docs/tuning.md``).
 - ``snapshot --data-dir DIR`` — open (or restore) a durable profile
   store rooted at DIR and checkpoint it: flush every region's memstore
   to SSTables and write ``index_checkpoint.json`` so the next restore
@@ -180,12 +183,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     injector = _maybe_enable_chaos(args)
     engine = HadoopEngine(ec2_cluster())
+    tuner = getattr(args, "tuner", "cbo")
     if getattr(args, "data_dir", None):
         from .core.store import ProfileStore
 
-        pstorm = PStorM(engine, store=ProfileStore(data_dir=args.data_dir))
+        pstorm = PStorM(
+            engine, store=ProfileStore(data_dir=args.data_dir), tuner=tuner
+        )
     else:
-        pstorm = PStorM(engine)
+        pstorm = PStorM(engine, tuner=tuner)
     wiki = wikipedia_35gb()
 
     print("storing the bigram relative frequency job's profile...")
@@ -294,6 +300,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         replication=args.replication,
         split_threshold=args.split_threshold,
         shard_index=args.shard_index,
+        probe_workers=args.probe_workers,
+        tuner=args.tuner,
     )
     print(
         f"replaying {config.requests} requests "
@@ -341,6 +349,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             replication=args.replication,
             split_threshold=args.split_threshold,
             shard_index=args.shard_index,
+            probe_workers=args.probe_workers,
+            tuner=args.tuner,
         ),
         seed=args.seed,
         data_dir=getattr(args, "data_dir", None) or None,
@@ -502,6 +512,46 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_league(args: argparse.Namespace) -> int:
+    """Race the tuner family across the workload zoo.
+
+    The leaderboard JSON on stdout is byte-identical for the same seed
+    and roster (status chatter goes to stderr), so the CI smoke can
+    assert well-formedness and compare re-runs byte for byte.
+    """
+    from .tuners import TUNER_NAMES
+    from .tuners.league import LeagueConfig, leaderboard_json, run_league
+
+    roster = (
+        tuple(name.strip() for name in args.tuners.split(",") if name.strip())
+        if args.tuners
+        else TUNER_NAMES
+    )
+    try:
+        config = LeagueConfig(
+            seed=args.seed,
+            tuners=roster,
+            workers=args.workers,
+            quick=args.quick,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"racing {', '.join(roster)} "
+        f"({'quick' if args.quick else 'full'} mode, seed {config.seed})...",
+        file=sys.stderr,
+    )
+    rendered = leaderboard_json(run_league(config))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"leaderboard written to {args.out}", file=sys.stderr)
+    print(rendered, end="")
+    _maybe_emit_metrics(args)
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from .experiments.common import ExperimentContext
     from .perfxplain import ExecutionLog, PerfQuery, PerfXplain
@@ -579,6 +629,24 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="probe per-region match-index partitions (scatter-gather)",
         )
+        subparser.add_argument(
+            "--probe-workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help=(
+                "threads fanning out a sharded probe's partition scans "
+                "(bit-identical at any width; default: 1)"
+            ),
+        )
+
+    def add_tuner(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--tuner",
+            choices=("rbo", "cbo", "spsa", "surrogate", "ensemble"),
+            default="cbo",
+            help="hit-path optimizer (default: cbo, the paper's workflow)",
+        )
 
     def add_chaos(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
@@ -619,6 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     demo = commands.add_parser("demo", help="tune a never-seen job via PStorM")
+    add_tuner(demo)
     add_emit_metrics(demo)
     add_chaos(demo)
     add_data_dir(demo)
@@ -695,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--batch-max", type=int, default=8)
     add_sharding(loadgen)
+    add_tuner(loadgen)
     add_seed(loadgen)
     add_emit_metrics(loadgen)
     add_chaos(loadgen)
@@ -727,11 +797,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-future and shutdown timeout (wall seconds)",
     )
     add_sharding(serve)
+    add_tuner(serve)
     add_seed(serve)
     add_emit_metrics(serve)
     add_chaos(serve)
     add_data_dir(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    league = commands.add_parser(
+        "league", help="race the tuner family on a seeded leaderboard"
+    )
+    league.add_argument(
+        "--quick",
+        action="store_true",
+        help="first-per-family workloads and reduced search budgets",
+    )
+    league.add_argument(
+        "--tuners",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated roster (default: rbo,cbo,spsa,surrogate,ensemble)",
+    )
+    league.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="threads for race cells (never changes the payload)",
+    )
+    league.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the leaderboard JSON to PATH",
+    )
+    add_seed(league)
+    add_emit_metrics(league)
+    league.set_defaults(handler=_cmd_league)
 
     explain = commands.add_parser("explain", help="PerfXplain a job pair")
     explain.add_argument("job_a", help="reference job key, e.g. word-count@wikipedia-35gb")

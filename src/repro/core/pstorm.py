@@ -42,6 +42,7 @@ from ..starfish.profiler import StarfishProfiler
 from ..starfish.rbo import RuleBasedOptimizer
 from ..starfish.sampler import Sampler
 from ..starfish.whatif import WhatIfEngine
+from ..tuners import TunerContext, make_tuner
 from .features import JobFeatures, extract_job_features
 from .matcher import MatchOutcome, ProfileMatcher, SideMatch, Stage1Batch
 from .resilient import ResilientProfileStore
@@ -214,6 +215,11 @@ class PStorM:
     engine: HadoopEngine
     store: ProfileStore = field(default_factory=ProfileStore)
     seed: int = 0
+    #: Which member of the tuner family optimizes matched profiles on
+    #: the hit path: "rbo", "cbo" (the paper's workflow and the
+    #: default — bit-identical to the pre-family submit path), "spsa",
+    #: "surrogate", or "ensemble".
+    tuner: str = "cbo"
     #: Observability sinks; None falls back to the module defaults.  An
     #: explicit registry/tracer is pushed into the store and matcher the
     #: daemon owns (but never into an externally shared engine).
@@ -241,6 +247,21 @@ class PStorM:
             )
         self.matcher = ProfileMatcher(
             self.resilient_store, registry=self.registry, tracer=self.tracer
+        )
+        # The hit-path optimizer, resolved through the family registry.
+        # "cbo" adapts the exact CostBasedOptimizer built above, so the
+        # default daemon recommends bit-identically to the pre-family
+        # submit path; the surrogate mines the daemon's own store.
+        self.tuner_impl = make_tuner(
+            self.tuner,
+            self.whatif,
+            cluster=self.engine.cluster,
+            seed=self.seed,
+            store=self.resilient_store,
+            cbo=self.cbo,
+            rbo=self.rbo,
+            registry=self.registry,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -449,18 +470,24 @@ class PStorM:
                 for side in (outcome.map_match, outcome.reduce_match):
                     if side is not None and side.job_id is not None:
                         record_hit(side.job_id)
-            result = self.cbo.optimize(
-                outcome.profile, data_bytes=dataset.nominal_bytes
+            decision = self.tuner_impl.optimize(
+                outcome.profile,
+                data_bytes=dataset.nominal_bytes,
+                context=TunerContext(
+                    features=features,
+                    outcome=outcome,
+                    data_bytes=dataset.nominal_bytes,
+                ),
             )
             execution = self.engine.run_job(
-                job, dataset, result.best_config, seed=seed
+                job, dataset, decision.best_config, seed=seed
             )
             return SubmissionResult(
                 job_name=job.name,
                 dataset_name=dataset.name,
                 matched=True,
                 outcome=outcome,
-                config=result.best_config,
+                config=decision.best_config,
                 execution=execution,
                 sampling_seconds=sampling_seconds,
                 profile_stored_as=None,

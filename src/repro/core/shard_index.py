@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -133,10 +134,42 @@ class _ScatterGather:
     ``(partitions, start_keys)`` pair — a consistent snapshot of the
     partition list (the live index swaps it under its lock on
     repartition; the frozen view's never changes).
+
+    Partition probes fan out over a thread pool when the subclass was
+    built with ``probe_workers > 1``.  The gather is **bit-identical to
+    the sequential loop at any width**: futures are collected in
+    submission (= partition range) order, each partition only touches
+    its own columns and lock, and the tie-break's similarity
+    observations are buffered per partition and replayed in range order
+    — the one side channel whose ordering the flat index guarantees.
     """
+
+    #: Thread fan-out of per-partition probe work (1 = sequential).
+    probe_workers: int = 1
+    _probe_pool: "ThreadPoolExecutor | None" = None
 
     def _parts(self) -> tuple[Sequence[Any], Sequence[str]]:
         raise NotImplementedError
+
+    def _init_probe_pool(self, probe_workers: int) -> None:
+        """Install the fan-out (constructors call this once)."""
+        if probe_workers < 1:
+            raise ValueError("probe_workers must be at least 1")
+        self.probe_workers = int(probe_workers)
+        if self.probe_workers > 1:
+            self._probe_pool = ThreadPoolExecutor(
+                max_workers=self.probe_workers,
+                thread_name_prefix="shard-probe",
+            )
+
+    def _pmap(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run probe thunks; results come back in submission order, so
+        a parallel gather merges exactly like the sequential loop."""
+        pool = self._probe_pool
+        if pool is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
 
     @staticmethod
     def _grouped(
@@ -228,21 +261,32 @@ class _ScatterGather:
         candidates: list[str] | None = None,
     ) -> list[str]:
         partitions, starts = self._parts()
-        merged: list[str] = []
         if candidates is None:
             block = np.asarray([probe], dtype=np.float64)
-            for partition in self._pruned(
-                partitions, side, kind, block, threshold
-            ):
-                merged.extend(partition.euclidean_stage(side, kind, probe, threshold))
+            results = self._pmap(
+                [
+                    lambda p=partition: p.euclidean_stage(
+                        side, kind, probe, threshold
+                    )
+                    for partition in self._pruned(
+                        partitions, side, kind, block, threshold
+                    )
+                ]
+            )
         else:
-            for partition, subset in self._grouped(partitions, starts, candidates):
-                merged.extend(
-                    partition.euclidean_stage(side, kind, probe, threshold, subset)
-                )
+            results = self._pmap(
+                [
+                    lambda p=partition, s=subset: p.euclidean_stage(
+                        side, kind, probe, threshold, s
+                    )
+                    for partition, subset in self._grouped(
+                        partitions, starts, candidates
+                    )
+                ]
+            )
         # Disjoint unions of per-partition survivors: sorting yields the
         # flat path's sorted list bit for bit.
-        return sorted(merged)
+        return sorted(job_id for survivors in results for job_id in survivors)
 
     def euclidean_stage_batch(
         self,
@@ -255,10 +299,14 @@ class _ScatterGather:
         block = np.asarray(probes, dtype=np.float64)
         if block.ndim == 2:
             partitions = self._pruned(partitions, side, kind, block, threshold)
-        per_partition = [
-            partition.euclidean_stage_batch(side, kind, probes, threshold)
-            for partition in partitions
-        ]
+        per_partition = self._pmap(
+            [
+                lambda p=partition: p.euclidean_stage_batch(
+                    side, kind, probes, threshold
+                )
+                for partition in partitions
+            ]
+        )
         merged: list[list[str]] = []
         for k in range(len(probes)):
             row: list[str] = []
@@ -271,19 +319,31 @@ class _ScatterGather:
         self, side: str, probe_cfg: ControlFlowGraph, candidates: list[str]
     ) -> list[str]:
         partitions, starts = self._parts()
-        merged: list[str] = []
-        for partition, subset in self._grouped(partitions, starts, candidates):
-            merged.extend(partition.cfg_stage(side, probe_cfg, subset))
-        return sorted(merged)
+        results = self._pmap(
+            [
+                lambda p=partition, s=subset: p.cfg_stage(side, probe_cfg, s)
+                for partition, subset in self._grouped(
+                    partitions, starts, candidates
+                )
+            ]
+        )
+        return sorted(job_id for survivors in results for job_id in survivors)
 
     def jaccard_stage(
         self, probe: Mapping[str, str], threshold: float, candidates: list[str]
     ) -> list[str]:
         partitions, starts = self._parts()
-        merged: list[str] = []
-        for partition, subset in self._grouped(partitions, starts, candidates):
-            merged.extend(partition.jaccard_stage(probe, threshold, subset))
-        return sorted(merged)
+        results = self._pmap(
+            [
+                lambda p=partition, s=subset: p.jaccard_stage(
+                    probe, threshold, s
+                )
+                for partition, subset in self._grouped(
+                    partitions, starts, candidates
+                )
+            ]
+        )
+        return sorted(job_id for survivors in results for job_id in survivors)
 
     def tie_break_scored(
         self,
@@ -294,11 +354,36 @@ class _ScatterGather:
         observe: Callable[[float], None] | None = None,
     ) -> tuple[int, int, float, str] | None:
         partitions, starts = self._parts()
-        best: tuple[int, int, float, str] | None = None
-        for partition, subset in self._grouped(partitions, starts, candidates):
+
+        def probe_one(
+            partition: Any, subset: list[str]
+        ) -> tuple[tuple[int, int, float, str] | None, list[float]]:
+            # Buffer the similarity side channel per partition: replayed
+            # in range order below, the observation sequence is exactly
+            # the sequential loop's (= the flat scan's sorted-id order).
+            buffer: list[float] = []
             key = partition.tie_break_scored(
-                subset, input_bytes, side_statics, side, observe
+                subset,
+                input_bytes,
+                side_statics,
+                side,
+                buffer.append if observe is not None else None,
             )
+            return key, buffer
+
+        scored = self._pmap(
+            [
+                lambda p=partition, s=subset: probe_one(p, s)
+                for partition, subset in self._grouped(
+                    partitions, starts, candidates
+                )
+            ]
+        )
+        best: tuple[int, int, float, str] | None = None
+        for key, buffer in scored:
+            if observe is not None:
+                for value in buffer:
+                    observe(value)
             if key is not None and (best is None or key < best):
                 best = key
         return best
@@ -337,10 +422,12 @@ class ShardedMatchIndex(_ScatterGather):
         store: "ProfileStore",
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        probe_workers: int = 1,
     ) -> None:
         self._store = store
         self.registry = registry
         self.tracer = tracer
+        self._init_probe_pool(probe_workers)
         #: Guards the partition list and freshness bookkeeping.  Lock
         #: order matches the flat index: probe holds this → store lock
         #: (snapshot); writers hold store lock → ``_pending_lock`` only.
@@ -539,6 +626,7 @@ class ShardedMatchIndex(_ScatterGather):
                     for partition in self._partitions
                 ],
                 views=[partition.export_view() for partition in self._partitions],
+                probe_workers=self.probe_workers,
             )
 
     # -- introspection --------------------------------------------------
@@ -570,6 +658,7 @@ class FrozenShardedView(_ScatterGather):
         topology_version: int,
         ranges: Sequence[tuple[str, str]],
         views: Sequence[FrozenIndexView],
+        probe_workers: int = 1,
     ) -> None:
         if len(ranges) != len(views):
             raise ValueError("one key range per partition view required")
@@ -578,6 +667,7 @@ class FrozenShardedView(_ScatterGather):
         self.ranges = [(str(start), str(stop)) for start, stop in ranges]
         self.views = list(views)
         self._starts = [start for start, __ in self.ranges]
+        self._init_probe_pool(probe_workers)
 
     def _parts(self) -> tuple[Sequence[FrozenIndexView], Sequence[str]]:
         return self.views, self._starts

@@ -283,6 +283,9 @@ class ProfileStore:
         shard_index: hand out a :class:`~repro.core.shard_index.ShardedMatchIndex`
             — one partition per region of the Dynamic key range, probed
             scatter-gather — instead of the flat :class:`MatchIndex`.
+        probe_workers: thread fan-out of the sharded index's partition
+            probes; 1 keeps the sequential gather, any width answers
+            bit-identically.
     """
 
     def __init__(
@@ -301,6 +304,7 @@ class ProfileStore:
         replication: int = 1,
         merge_threshold: int | None = None,
         shard_index: bool = False,
+        probe_workers: int = 1,
     ) -> None:
         #: Observability sinks; None falls back to the module defaults.
         #: A freshly created substrate inherits them; an injected one
@@ -358,6 +362,11 @@ class ProfileStore:
         self.enable_index = enable_index
         #: Partitioned (per-region) vs flat match index.
         self.shard_index = shard_index
+        if probe_workers < 1:
+            raise ValueError("probe_workers must be at least 1")
+        #: Thread fan-out of sharded-index partition probes (1 = the
+        #: sequential scatter-gather; any width is bit-identical).
+        self.probe_workers = probe_workers
         #: Monotone write version: bumped under the lock on every
         #: put/delete.  The match index and the normalizer cache compare
         #: against it to decide whether their snapshots are still live.
@@ -604,7 +613,10 @@ class ProfileStore:
                     from .shard_index import ShardedMatchIndex
 
                     self._match_index = ShardedMatchIndex(
-                        self, registry=self.registry, tracer=self.tracer
+                        self,
+                        registry=self.registry,
+                        tracer=self.tracer,
+                        probe_workers=self.probe_workers,
                     )
                 else:
                     from .match_index import MatchIndex

@@ -259,6 +259,7 @@ class WorkerRuntime:
         seed: int = 0,
         registry: MetricsRegistry | None = None,
         unregister: bool = False,
+        tuner: str = "cbo",
     ) -> None:
         #: Per-process sink; disabled by default so result payloads skip
         #: the per-submit metrics snapshot (parent-side metrics are the
@@ -274,6 +275,7 @@ class WorkerRuntime:
             HadoopEngine(cluster),
             store=self.proxy,
             seed=seed,
+            tuner=tuner,
             registry=self.registry,
         )
 
@@ -362,11 +364,12 @@ def _worker_main(
     task_queue: Any,
     result_queue: Any,
     unregister: bool,
+    tuner: str = "cbo",
 ) -> None:
     """Child-process entry point: build a runtime, drain the task queue."""
     try:
         runtime = WorkerRuntime(
-            ctrl_name, cluster, seed=seed, unregister=unregister
+            ctrl_name, cluster, seed=seed, unregister=unregister, tuner=tuner
         )
     except Exception as exc:  # noqa: BLE001 — report, never hang the parent
         result_queue.put(
@@ -485,6 +488,7 @@ class ProcessPoolFrontend:
                 task_queue,
                 self._result_queue,
                 self._unregister,
+                self.service.config.tuner,
             ),
             name=f"tuning-proc-{index}",
             daemon=True,

@@ -1,0 +1,133 @@
+"""Ensemble policy: pick a tuner per job from features and match quality.
+
+The policy composes a per-job **shortlist** from what the submit path
+knows — the profile's shape and, when available, the matcher's verdict:
+
+- the CBO is *always* shortlisted (it is the paper's optimizer and the
+  strongest general-purpose member, so the ensemble can never do worse
+  than it on any job);
+- an **uncertain profile** (no match outcome, an unmatched probe, a
+  composite profile stitched from two donors, or a cost-based-fallback
+  match) adds the surrogate — model-based exploration hedges against a
+  profile that may mispredict the cost surface;
+- a shuffle-heavy job (reduce side present, input at or beyond
+  ``spsa_bytes``) adds SPSA, whose two-probe gradients are cheap in the
+  dimensions where shuffle knobs interact;
+- a map-only profile adds the RBO, whose map-side rules are nearly free
+  and occasionally sharpest there.
+
+Each shortlisted member runs under the *same* seed and the best
+predicted configuration wins (ties break in shortlist order, so the
+decision is deterministic).  The decision's ``chosen`` field names the
+winning member; ``evaluations`` sums the whole shortlist's budget — the
+league leaderboard charges the ensemble honestly for its hedging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..observability import MetricsRegistry, Tracer, get_registry
+from ..starfish.profile import JobProfile
+from .base import Tuner, TunerContext, TunerDecision, traced_optimize
+
+__all__ = ["EnsembleTuner"]
+
+#: Match stages that mark the matched profile as low-confidence.
+_UNCERTAIN_STAGES = frozenset({"cost-fallback", "no-match", "no-match-dynamic"})
+
+
+@dataclass
+class EnsembleTuner:
+    """Feature/match-quality-routed portfolio over the tuner family."""
+
+    members: Mapping[str, Tuner]
+    #: Input size at which a reducing job is "shuffle-heavy" (adds SPSA).
+    spsa_bytes: int = 1 << 30
+    registry: MetricsRegistry | None = None
+    tracer: Tracer | None = None
+
+    name = "ensemble"
+
+    def __post_init__(self) -> None:
+        if "cbo" not in self.members:
+            raise ValueError("the ensemble requires a 'cbo' member")
+
+    # ------------------------------------------------------------------
+    def shortlist(
+        self, profile: JobProfile, context: TunerContext | None
+    ) -> tuple[str, ...]:
+        """Member names to race for this job, in priority order."""
+        names = ["cbo"]
+        outcome = context.outcome if context is not None else None
+        uncertain = (
+            outcome is None
+            or not outcome.matched
+            or outcome.is_composite
+            or outcome.map_match.stage in _UNCERTAIN_STAGES
+            or (
+                outcome.reduce_match is not None
+                and outcome.reduce_match.stage in _UNCERTAIN_STAGES
+            )
+        )
+        if uncertain:
+            names.append("surrogate")
+        if profile.has_reduce and profile.input_bytes >= self.spsa_bytes:
+            names.append("spsa")
+        if not profile.has_reduce:
+            names.append("rbo")
+        return tuple(name for name in names if name in self.members)
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        profile: JobProfile,
+        data_bytes: int | None = None,
+        context: TunerContext | None = None,
+    ) -> TunerDecision:
+        return traced_optimize(
+            self.name,
+            self.tracer,
+            self.registry,
+            lambda: self._optimize(profile, data_bytes, context),
+        )
+
+    def _optimize(
+        self,
+        profile: JobProfile,
+        data_bytes: int | None,
+        context: TunerContext | None,
+    ) -> TunerDecision:
+        names = self.shortlist(profile, context)
+        registry = get_registry(self.registry)
+        best: TunerDecision | None = None
+        evaluations = 0
+        memo_hits = 0
+        for name in names:
+            decision = self.members[name].optimize(profile, data_bytes, context)
+            evaluations += decision.evaluations
+            memo_hits += decision.memo_hits
+            # Strict <: the first minimum wins (shortlist priority order).
+            if best is None or decision.predicted_runtime < best.predicted_runtime:
+                best = decision
+        assert best is not None  # shortlist always contains "cbo"
+        registry.counter(
+            "tuner_ensemble_selections_total",
+            "ensemble decisions by winning member",
+            labels={"member": best.tuner},
+        ).inc()
+        registry.histogram(
+            "tuner_ensemble_shortlist_size",
+            "members raced per ensemble decision",
+            buckets=(1.0, 2.0, 3.0, 4.0),
+        ).observe(float(len(names)))
+        return TunerDecision(
+            tuner=self.name,
+            best_config=best.best_config,
+            predicted_runtime=best.predicted_runtime,
+            default_predicted_runtime=best.default_predicted_runtime,
+            evaluations=evaluations,
+            memo_hits=memo_hits,
+            chosen=best.tuner,
+        )

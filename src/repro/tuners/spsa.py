@@ -1,0 +1,133 @@
+"""SPSA: simultaneous-perturbation stochastic approximation.
+
+The noisy-gradient tuner of "Performance Tuning of Hadoop MapReduce: A
+Noisy Gradient Approach" (PAPERS.md), transplanted onto the What-If cost
+surface: instead of measuring real cluster runs, each gradient probe is
+one What-If prediction — two predictions per iteration regardless of the
+14 dimensions, which is the whole point of SPSA against coordinate-wise
+finite differences.
+
+The search runs in the unit cube (:mod:`repro.tuners.base`): every
+iterate and every perturbed probe is projected onto ``[0, 1]^14`` by a
+plain clip *before* decoding, so no evaluated candidate can ever leave a
+parameter's legal range (the bounds property test walks the history to
+prove it).  The objective is normalized by the default configuration's
+predicted runtime, which makes the gain schedule scale-free across jobs
+whose runtimes span minutes to hours.
+
+Fully deterministic for a fixed seed: one ``numpy`` generator drives the
+Rademacher perturbation directions and nothing else consults entropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..observability import MetricsRegistry, Tracer
+from ..starfish.profile import JobProfile
+from ..starfish.whatif import WhatIfEngine
+from .base import (
+    DEFAULT_ROW,
+    DIMENSIONS,
+    TunerContext,
+    TunerDecision,
+    WhatIfObjective,
+    config_from_row,
+    traced_optimize,
+    unit_from_row,
+)
+
+__all__ = ["SpsaTuner"]
+
+
+@dataclass
+class SpsaTuner:
+    """Projected SPSA over the What-If objective.
+
+    Attributes:
+        whatif: the What-If engine used as the objective.
+        iterations: gradient iterations (2 probes each).
+        a0, alpha, stability: Spall's gain sequence
+            ``a_k = a0 / (k + 1 + stability)^alpha`` for the step size.
+        c0, gamma: perturbation sequence ``c_k = c0 / (k + 1)^gamma``;
+            ``c0`` is in unit-cube units, so 0.15 spans 15% of every
+            parameter's (log-)range.
+        restarts: independent seeded starts beyond the default-config
+            start; the best evaluated candidate across all runs wins.
+        seed: RNG seed; the search is fully deterministic.
+    """
+
+    whatif: WhatIfEngine
+    iterations: int = 25
+    a0: float = 0.25
+    alpha: float = 0.602
+    stability: float = 5.0
+    c0: float = 0.15
+    gamma: float = 0.101
+    restarts: int = 1
+    seed: int = 0
+    registry: MetricsRegistry | None = None
+    tracer: Tracer | None = None
+
+    name = "spsa"
+
+    def optimize(
+        self,
+        profile: JobProfile,
+        data_bytes: int | None = None,
+        context: TunerContext | None = None,
+    ) -> TunerDecision:
+        return traced_optimize(
+            self.name,
+            self.tracer,
+            self.registry,
+            lambda: self._optimize(profile, data_bytes),
+        )
+
+    def _optimize(
+        self, profile: JobProfile, data_bytes: int | None
+    ) -> TunerDecision:
+        objective = WhatIfObjective(self.whatif, profile, data_bytes)
+        rng = np.random.default_rng(self.seed)
+
+        default_runtime = objective(DEFAULT_ROW)
+        scale = max(default_runtime, 1e-9)
+        best_row, best_runtime = DEFAULT_ROW.copy(), default_runtime
+
+        def consider(row: np.ndarray, runtime: float) -> None:
+            nonlocal best_row, best_runtime
+            # Strict <: the first minimum wins, like the CBO's stable sort.
+            if runtime < best_runtime:
+                best_row, best_runtime = row, runtime
+
+        starts = [unit_from_row(DEFAULT_ROW)]
+        for __ in range(max(0, self.restarts - 1)):
+            starts.append(rng.uniform(0.0, 1.0, size=DIMENSIONS))
+
+        for u0 in starts:
+            u = np.clip(u0, 0.0, 1.0)
+            for k in range(self.iterations):
+                c_k = self.c0 / (k + 1) ** self.gamma
+                a_k = self.a0 / (k + 1 + self.stability) ** self.alpha
+                delta = rng.integers(0, 2, size=DIMENSIONS) * 2.0 - 1.0
+                row_plus, y_plus = objective.price_unit(u + c_k * delta)
+                row_minus, y_minus = objective.price_unit(u - c_k * delta)
+                consider(row_plus, y_plus)
+                consider(row_minus, y_minus)
+                # delta is Rademacher, so 1/delta == delta elementwise.
+                gradient = ((y_plus - y_minus) / scale) / (2.0 * c_k) * delta
+                u = np.clip(u - a_k * gradient, 0.0, 1.0)
+            final_row, final_runtime = objective.price_unit(u)
+            consider(final_row, final_runtime)
+
+        return TunerDecision(
+            tuner=self.name,
+            best_config=config_from_row(best_row),
+            predicted_runtime=best_runtime,
+            default_predicted_runtime=default_runtime,
+            evaluations=objective.evaluations,
+            memo_hits=objective.memo_hits,
+            history=objective.history,
+        )

@@ -400,3 +400,90 @@ class TestSoak:
         assert sharded.tie_break(
             sample_ids, near_spec["input_bytes"], statics, "map"
         ) == flat.tie_break(sample_ids, near_spec["input_bytes"], statics, "map")
+
+
+class TestParallelProbes:
+    """``probe_workers > 1`` fans partition probes across a thread pool;
+    nothing about the fan-out may be observable — not the outcome, not
+    even the order of tie-break similarity observations."""
+
+    @_settings
+    @given(
+        jobs=st.lists(job_spec, max_size=6),
+        deletes=st.lists(st.integers(min_value=0, max_value=5), max_size=2),
+        probe=job_spec,
+        workers=st.sampled_from([2, 3, 4]),
+    )
+    def test_outcome_identical_any_width(self, jobs, deletes, probe, workers):
+        sequential, __ = _sharded_store(jobs, deletes)
+        fanned, __ = _sharded_store(jobs, deletes, probe_workers=workers)
+        features = make_features(probe)
+        seq_matcher, __, __ = _probe_pair(sequential)
+        fan_matcher, __, registry = _probe_pair(fanned)
+        assert fan_matcher.match_job(features) == seq_matcher.match_job(features)
+        sides = 2 if features.has_reduce else 1
+        assert_no_silent_fallback(registry, expected_hits=sides)
+
+    def test_tie_break_observations_replay_in_range_order(self):
+        # The tie-break similarity side channel feeds a histogram; the
+        # pool buffers per-partition observations and replays them in
+        # partition-range order, so the sequence must be bit-identical
+        # to the sequential gather no matter the pool width.
+        specs = _many_specs(8)
+        probe = specs[0]
+        features = make_features(probe)
+        __, __, statics, __ = features.side_vectors("map")
+        sequences = {}
+        for workers in (1, 4):
+            store, job_ids = _sharded_store(specs, probe_workers=workers)
+            index = store.match_index()
+            index.ensure_fresh()
+            assert index.partition_count > 1
+            seen = []
+            winner = index.tie_break(
+                job_ids, probe["input_bytes"], statics, "map",
+                observe=seen.append,
+            )
+            assert len(seen) == len(job_ids)
+            sequences[workers] = (winner, seen)
+        assert sequences[1] == sequences[4]
+
+    def test_probe_pool_threads_are_used(self):
+        # Not just "same answer": prove the wide path really leaves the
+        # calling thread when more than one partition is probed.
+        import threading
+
+        store, job_ids = _sharded_store(_many_specs(8), probe_workers=4)
+        index = store.match_index()
+        index.ensure_fresh()
+        assert index.partition_count > 1
+        assert index.probe_workers == 4
+        assert index._probe_pool is not None
+        threads = set()
+        index._pmap(
+            [
+                (lambda: threads.add(threading.current_thread().name))
+                for __ in range(index.partition_count)
+            ]
+        )
+        assert any(name.startswith("shard-probe") for name in threads)
+
+    def test_single_worker_keeps_sequential_path(self):
+        store, __ = _sharded_store(_many_specs(6))
+        index = store.match_index()
+        assert index.probe_workers == 1
+        assert index._probe_pool is None
+
+    def test_export_view_inherits_probe_workers(self):
+        store, __ = _sharded_store(_many_specs(6), probe_workers=3)
+        index = store.match_index()
+        index.ensure_fresh()
+        view = index.export_view()
+        assert isinstance(view, FrozenShardedView)
+        assert view.probe_workers == 3
+
+    def test_invalid_probe_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileStore(
+                registry=MetricsRegistry(), probe_workers=0, **SHARD_KW
+            )
