@@ -1,0 +1,149 @@
+"""Cold point reads: binary block-sharded SSTables vs legacy JSON blobs.
+
+A legacy ``sst_*.json`` table pays its whole serialized self on first
+touch — a cold point read parses every row ever flushed.  The binary
+format reads the footer (index-sized) plus exactly one block, so the
+cold-read cost is flat in table size.  This benchmark populates one
+store per format at several row counts, fully compacts each to a single
+deep run, then times a cold restart-to-first-point-read per format and
+a warm pass that exercises the shared LRU block cache.  Results land in
+``BENCH_storage.json``.
+
+``STORAGE_BENCH_QUICK=1`` shrinks the sizes for CI smoke runs; the
+binary format must beat JSON at every size in both modes and clear the
+speedup floor at the largest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.hbase import LsmStore
+from repro.observability import MetricsRegistry
+
+QUICK = os.environ.get("STORAGE_BENCH_QUICK", "") not in ("", "0")
+SIZES = [500, 2000] if QUICK else [1000, 8000, 64000]
+#: Acceptance floor: cold binary vs cold JSON point read at the largest
+#: size.  The full-mode floor is the headline claim; quick mode keeps a
+#: margin suited to its smaller tables.
+SPEEDUP_FLOOR = 1.3 if QUICK else 3.0
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_storage.json"
+
+#: Few flushes (cheap population), no automatic compaction (the forced
+#: one below leaves exactly one deep run per store), amortized fsyncs.
+_STORE_KW = dict(
+    flush_threshold=4096,
+    compaction_threshold=10**9,
+    group_commit=512,
+)
+
+
+def _value(i: int) -> dict:
+    return {"n": i, "pad": "x" * 64}
+
+
+def _populate(data_dir: Path, fmt: str, rows: int) -> int:
+    store = LsmStore(data_dir=data_dir, sstable_format=fmt, **_STORE_KW)
+    for i in range(rows):
+        store.put(f"k{i:06d}", _value(i))
+    store.flush()
+    store.compact(force=True)
+    assert len(store.hfiles) == 1
+    store.close()
+    return sum(path.stat().st_size for path in data_dir.glob("sst_*"))
+
+
+def _cold_point_read(data_dir: Path, fmt: str, key: str, expect: dict) -> float:
+    """Restart-to-first-point-read, best of three fresh opens."""
+    best = float("inf")
+    for __ in range(3):
+        start = time.perf_counter()
+        store = LsmStore(
+            data_dir=data_dir, sstable_format=fmt,
+            registry=MetricsRegistry(), **_STORE_KW,
+        )
+        found, value, __probed = store.get(key)
+        best = min(best, time.perf_counter() - start)
+        assert found and value == expect
+        store.close()
+    return best
+
+
+def _warm_cache_pass(data_dir: Path, rows: int) -> tuple[float, int]:
+    """Two sweeps over a key sample through one binary store: the first
+    faults blocks into the cache, the second should serve hot."""
+    store = LsmStore(
+        data_dir=data_dir, sstable_format="binary",
+        registry=MetricsRegistry(), **_STORE_KW,
+    )
+    sample = [f"k{i:06d}" for i in range(0, rows, max(1, rows // 100))]
+    for __ in range(2):
+        for key in sample:
+            found, value, __probed = store.get(key)
+            assert found and value == _value(int(key[1:]))
+    stats = store.block_cache.stats()
+    [table] = store.hfiles
+    blocks = table.num_blocks
+    store.close()
+    return stats["hit_rate"], blocks
+
+
+def test_binary_cold_point_reads_beat_json(tmp_path):
+    # Warm both paths once so first-touch costs (imports, lazy module
+    # state) are not billed to the smallest size.
+    _populate(tmp_path / "warm-bin", "binary", 64)
+    _populate(tmp_path / "warm-json", "json", 64)
+    _cold_point_read(tmp_path / "warm-bin", "binary", "k000032", _value(32))
+    _cold_point_read(tmp_path / "warm-json", "json", "k000032", _value(32))
+
+    rows = []
+    for size in SIZES:
+        bin_dir = tmp_path / f"bin{size}"
+        json_dir = tmp_path / f"json{size}"
+        bin_bytes = _populate(bin_dir, "binary", size)
+        json_bytes = _populate(json_dir, "json", size)
+        key = f"k{size // 2:06d}"
+        expect = _value(size // 2)
+        bin_s = _cold_point_read(bin_dir, "binary", key, expect)
+        json_s = _cold_point_read(json_dir, "json", key, expect)
+        hit_rate, blocks = _warm_cache_pass(bin_dir, size)
+        rows.append(
+            {
+                "rows": size,
+                "binary_cold_read_s": round(bin_s, 6),
+                "json_cold_read_s": round(json_s, 6),
+                "speedup": round(json_s / bin_s, 2),
+                "binary_blocks": blocks,
+                "binary_sst_bytes": bin_bytes,
+                "json_sst_bytes": json_bytes,
+                "warm_cache_hit_rate": round(hit_rate, 3),
+            }
+        )
+
+    payload = {}
+    if _RESULT_PATH.exists():
+        payload = json.loads(_RESULT_PATH.read_text())
+    payload["cold_point_reads"] = {
+        "sizes": SIZES,
+        "rows": rows,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    payload["quick_mode"] = QUICK
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    for row in rows:
+        assert row["speedup"] > 1.0, row
+        # The second sweep served from the cache: at least the repeated
+        # half of the lookups must have been hits.
+        assert row["warm_cache_hit_rate"] >= 0.4, row
+    assert rows[-1]["speedup"] >= SPEEDUP_FLOOR, rows[-1]
+    # The whole point of block sharding: cold-read cost stays near-flat
+    # while the JSON blob parse grows linearly with table size.
+    growth_bin = rows[-1]["binary_cold_read_s"] / rows[0]["binary_cold_read_s"]
+    growth_json = rows[-1]["json_cold_read_s"] / rows[0]["json_cold_read_s"]
+    assert growth_bin < growth_json, (growth_bin, growth_json)

@@ -280,6 +280,10 @@ class ProfileStore:
             freshly created substrate.
         merge_threshold: auto-merge floor for a freshly created
             substrate (``None`` = merges off).
+        sstable_format: durable SSTable format for a freshly created
+            substrate — ``"binary"`` (block-sharded, default) or
+            ``"json"`` (legacy).  A restored substrate keeps whatever
+            format its ``cluster.json`` records.
         shard_index: hand out a :class:`~repro.core.shard_index.ShardedMatchIndex`
             — one partition per region of the Dynamic key range, probed
             scatter-gather — instead of the flat :class:`MatchIndex`.
@@ -303,6 +307,7 @@ class ProfileStore:
         split_threshold: int | None = None,
         replication: int = 1,
         merge_threshold: int | None = None,
+        sstable_format: str = "binary",
         shard_index: bool = False,
         probe_workers: int = 1,
     ) -> None:
@@ -327,6 +332,7 @@ class ProfileStore:
                 group_commit=group_commit,
                 replication=replication,
                 merge_threshold=merge_threshold,
+                sstable_format=sstable_format,
                 **cluster_kwargs,
             )
         #: Whether writes persist (the substrate owns the actual files).
@@ -735,6 +741,70 @@ class ProfileStore:
             name = "mem" if store.data_dir is None else store.data_dir.name
             counts[name] = store.flushes
         return counts
+
+    def compact(self, force: bool = True) -> dict[str, Any]:
+        """Fully compact every region store; returns a layout summary.
+
+        Each unique region store is flushed and force-compacted into
+        one deep run, which rewrites every surviving table in the
+        substrate's current ``sstable_format`` — so on a durable store
+        this is the legacy-JSON → binary-block migration
+        (``repro compact`` is the CLI surface).  ``force=False`` skips
+        stores already down to a single table.
+
+        The summary reports per-level table/block counts across all
+        regions, the on-disk format tally, and how many legacy JSON
+        tables were rewritten to binary.
+        """
+        with self._lock:
+            stores: list[Any] = []
+            seen: set[int] = set()
+            for region, __ in self.hbase.catalog.regions_of(TABLE_NAME):
+                if id(region.store) not in seen:
+                    seen.add(id(region.store))
+                    stores.append(region.store)
+            migrated = 0
+            for store in stores:
+                legacy = sum(
+                    1
+                    for run in store.levels
+                    for table in run
+                    if table.storage_format == "json"
+                )
+                store.flush()
+                store.compact(force=force)
+                if store.sstable_format == "binary":
+                    migrated += legacy
+            # Re-persist the cluster meta: a pre-upgrade directory that
+            # was just migrated must record the format it now holds.
+            self.hbase._write_meta()
+            level_stats: dict[int, dict[str, int]] = {}
+            formats: dict[str, int] = {}
+            for store in stores:
+                for level, run in enumerate(store.levels):
+                    for table in run:
+                        stats = level_stats.setdefault(
+                            level, {"tables": 0, "blocks": 0}
+                        )
+                        stats["tables"] += 1
+                        stats["blocks"] += table.num_blocks
+                        formats[table.storage_format] = (
+                            formats.get(table.storage_format, 0) + 1
+                        )
+        get_registry(self.registry).counter(
+            "pstorm_store_compactions_total", "forced full-store compactions"
+        ).inc()
+        return {
+            "regions": len(stores),
+            "migrated_tables": migrated,
+            "tables": sum(stats["tables"] for stats in level_stats.values()),
+            "blocks": sum(stats["blocks"] for stats in level_stats.values()),
+            "formats": formats,
+            "levels": [
+                {"level": level, **level_stats[level]}
+                for level in sorted(level_stats)
+            ],
+        }
 
     def snapshot(self) -> Path:
         """Checkpoint the store: flush every region, persist the index.

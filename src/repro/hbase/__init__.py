@@ -11,6 +11,7 @@ from .cluster import HBaseCluster
 from .bloom import BloomFilter
 from .errors import (
     RETRYABLE_ERRORS,
+    CorruptSSTableError,
     CorruptWalError,
     HBaseError,
     ServerUnavailableError,
@@ -33,9 +34,10 @@ from .filters import (
 )
 from .region import Cell, Region, decode_cells, encode_cells
 from .regionserver import RegionServer, ServerMetrics
-from .storage import TOMBSTONE, HFile, LsmStore, SSTable, WalEntry
+from .sstable import BlockCache, BlockFile, BlockMeta
+from .storage import TOMBSTONE, HFile, LsmStore, ProbeResult, SSTable, WalEntry
 from .table import HTable
-from .wal import WalRecord, WriteAheadLog, decode_frames, encode_frame
+from .wal import WalRecord, WriteAheadLog, decode_frame, decode_frames, encode_frame
 
 __all__ = [
     "CatalogEntry",
@@ -49,6 +51,7 @@ __all__ = [
     "TransientError",
     "ServerUnavailableError",
     "CorruptWalError",
+    "CorruptSSTableError",
     "SimulatedCrashError",
     "RETRYABLE_ERRORS",
     "ColumnValueFilter",
@@ -66,14 +69,19 @@ __all__ = [
     "RegionServer",
     "ServerMetrics",
     "BloomFilter",
+    "BlockCache",
+    "BlockFile",
+    "BlockMeta",
     "HFile",
     "SSTable",
+    "ProbeResult",
     "TOMBSTONE",
     "LsmStore",
     "WalEntry",
     "WalRecord",
     "WriteAheadLog",
     "encode_frame",
+    "decode_frame",
     "decode_frames",
     "HTable",
 ]

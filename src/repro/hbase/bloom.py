@@ -1,13 +1,15 @@
-"""Per-SSTable Bloom filters for the LSM read path.
+"""Bloom filters for the LSM read path — one per SSTable *block*.
 
-HBase attaches a Bloom filter to every HFile so a point read skips
-files that provably cannot contain the key; with leveled compaction the
-worst-case read amplification is then the number of files whose filter
-*might* match, not the file count.  This is the mechanism that keeps a
-cold-store probe cheap after a snapshot restore: the store loads only
-filter bits and key ranges from the manifest, and a ``get`` touches
-only the blocks the filters pass (``bloom_skipped_blocks_total`` counts
-the ones it didn't).
+HBase attaches Bloom filters to its HFiles so a point read skips data
+that provably cannot contain the key.  Here the binary block-sharded
+format (:mod:`repro.hbase.sstable`) carries one filter per ~4 KiB cell
+block, serialized in the file footer: a cold probe binary-searches the
+block index to the single candidate block and consults only that
+block's filter, so the worst-case read is one block per table whose
+filter *might* match — not one whole file.  Legacy JSON tables keep a
+table-level filter in the manifest (their file is one block).  Either
+way a ``get`` touches only the blocks the filters pass
+(``bloom_skipped_blocks_total`` counts the ones it didn't, per block).
 
 The filter is the textbook double-hashing construction — ``k`` probe
 positions derived as ``h1 + i*h2`` from one 128-bit blake2b digest —

@@ -11,6 +11,7 @@ __all__ = [
     "TransientError",
     "ServerUnavailableError",
     "CorruptWalError",
+    "CorruptSSTableError",
     "SimulatedCrashError",
     "WorkerKilledError",
     "RETRYABLE_ERRORS",
@@ -65,6 +66,18 @@ class CorruptWalError(HBaseError):
     crash mid-write or corrupted on disk.  Recovery discards the tail and
     keeps the intact prefix — this error is a *diagnosis*, never a panic,
     and it is not retryable: the bytes will not get better.
+    """
+
+
+class CorruptSSTableError(HBaseError):
+    """A binary SSTable block or footer failed framing or checksum checks.
+
+    Raised when a block read hits a torn frame, a CRC mismatch, a
+    malformed footer, or a truncated trailer — the read path surfaces
+    the damage as this one typed diagnosis instead of returning garbage
+    bytes as data.  Like :class:`CorruptWalError` it is not retryable:
+    the bytes will not get better; the caller falls back (re-open,
+    re-replicate, or restore from snapshot) instead of looping.
     """
 
 

@@ -18,10 +18,24 @@ file (length-prefixed, CRC-checked frames — see :mod:`repro.hbase.wal`),
 flushes and compactions write SSTable files and atomically commit a
 ``manifest.json`` (tmp + ``os.replace``), and constructing a store on
 an existing directory *recovers*: the manifest is loaded (SSTables
-lazily — a cold store reads only key ranges and Bloom bits), the WAL
-tail is replayed with torn/corrupt tails detected, truncated, and
-surfaced as a typed diagnosis.  Deletes write tombstones, which leveled
-compaction drops once they reach the deepest level.
+lazily — a cold store reads only key ranges and the footer-sized block
+index), the WAL tail is replayed with torn/corrupt tails detected,
+truncated, and surfaced as a typed diagnosis.  Deletes write
+tombstones, which leveled compaction drops once they reach the deepest
+level.
+
+The durable file format is binary and block-sharded (see
+:mod:`repro.hbase.sstable`): an ``sst_*.bin`` file holds
+length+CRC32-framed cell blocks of ~``block_size`` encoded bytes each,
+plus a footer with a first-key block index and one Bloom filter per
+block.  A cold point read binary-searches the index to the single
+candidate block, consults only that block's Bloom, and ``seek``+reads
+exactly one frame through a cluster-shared LRU :class:`BlockCache` —
+instead of parsing the whole table.  Legacy one-JSON-blob ``sst_*.json``
+tables (manifest entries without a ``format`` field) stay readable
+transparently, and any compaction rewrites them into the current
+format (``compact(force=True)``, surfaced as ``repro compact``,
+migrates even a single remaining table).
 
 Without ``data_dir`` the store behaves exactly like the pre-durability
 substrate (no files, no chaos consults), so every in-memory test and
@@ -35,44 +49,74 @@ import json
 import os
 from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator, NamedTuple
 
 from ..observability import MetricsRegistry, get_registry
 from .bloom import BloomFilter
+from .sstable import (
+    DEFAULT_BLOCK_SIZE,
+    TOMBSTONE,
+    BlockCache,
+    BlockFile,
+    write_block_file,
+)
 from .wal import WalRecord, WriteAheadLog
 
 if TYPE_CHECKING:
     from ..chaos import FaultInjector
 
-__all__ = ["WalEntry", "HFile", "SSTable", "LsmStore", "TOMBSTONE"]
+__all__ = [
+    "WalEntry",
+    "HFile",
+    "SSTable",
+    "LsmStore",
+    "TOMBSTONE",
+    "ProbeResult",
+    "BlockCache",
+]
 
 #: Compat alias: the WAL record type used to be defined here.
 WalEntry = WalRecord
 
 MANIFEST_NAME = "manifest.json"
 WAL_NAME = "wal.log"
-MANIFEST_VERSION = 1
+#: v1 manifests predate block sharding: their entries carry no
+#: ``format`` field and are read as legacy one-JSON-blob tables.
+MANIFEST_VERSION = 2
 
 
-class _Tombstone:
-    """Sentinel marking a deleted key until compaction drops it."""
+class ProbeResult(NamedTuple):
+    """Outcome of one table's point read, with block-level accounting.
 
-    __slots__ = ()
+    ``consulted`` counts Bloom filters asked, ``probed`` the blocks
+    actually searched, ``skipped`` the blocks a Bloom ruled out — all
+    *blocks*, not tables, so a multi-block binary table reports the
+    same way a single-block one does.
+    """
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "TOMBSTONE"
+    found: bool
+    value: Any
+    consulted: int
+    probed: int
+    skipped: int
+    false_positive: bool
 
 
-TOMBSTONE = _Tombstone()
+#: A probe pruned by the block index alone (no Bloom consulted).
+_ABSENT = ProbeResult(False, None, 0, 0, 0, False)
 
 
 class SSTable:
     """An immutable, sorted key->value run flushed from the memstore.
 
-    Key ranges and Bloom bits always live in memory (they come from the
-    manifest); the key/value arrays may be loaded lazily from disk on
-    first touch, so a freshly restored store pays only for the blocks
-    its reads actually visit.
+    Key ranges always live in memory (they come from the manifest); the
+    key/value arrays may be loaded lazily from disk on first touch, so
+    a freshly restored store pays only for the blocks its reads
+    actually visit.  A binary table additionally carries a
+    :class:`~repro.hbase.sstable.BlockFile`, whose footer index and
+    per-block Bloom filters let :meth:`probe` read exactly one block;
+    a legacy JSON table keeps a table-level ``bloom`` from the manifest
+    and loads whole (its file *is* one block).
     """
 
     __slots__ = (
@@ -81,10 +125,12 @@ class SSTable:
         "min_key",
         "max_key",
         "bloom",
+        "storage_format",
         "_num_keys",
         "_keys",
         "_values",
         "_loader",
+        "_block_file",
     )
 
     def __init__(
@@ -92,19 +138,23 @@ class SSTable:
         file_id: int,
         keys: tuple[str, ...] | None,
         values: tuple[Any, ...] | None,
-        bloom: BloomFilter,
+        bloom: BloomFilter | None = None,
         level: int = 0,
         min_key: str | None = None,
         max_key: str | None = None,
         num_keys: int | None = None,
         loader: Callable[[], tuple[tuple[str, ...], tuple[Any, ...]]] | None = None,
+        block_file: BlockFile | None = None,
+        storage_format: str = "memory",
     ) -> None:
         self.file_id = file_id
         self.level = level
         self.bloom = bloom
+        self.storage_format = storage_format
         self._keys = keys
         self._values = values
         self._loader = loader
+        self._block_file = block_file
         if keys is not None:
             self.min_key = keys[0] if keys else ""
             self.max_key = keys[-1] if keys else ""
@@ -135,11 +185,24 @@ class SSTable:
     # ------------------------------------------------------------------
     def _ensure_loaded(self) -> None:
         if self._keys is None:
-            if self._loader is None:
+            if self._block_file is not None:
+                self._keys, self._values = self._block_file.read_all()
+            elif self._loader is not None:
+                self._keys, self._values = self._loader()
+            else:
                 raise RuntimeError(
                     f"SSTable {self.file_id} has neither data nor a loader"
                 )
-            self._keys, self._values = self._loader()
+
+    def attach_block_file(self, block_file: BlockFile) -> None:
+        """Adopt the durable block layout a flush/compaction just wrote.
+
+        The table keeps its loaded arrays (hot reads stay in-memory);
+        the block file is what a *restored* table will read lazily, and
+        it makes ``num_blocks`` and cache invalidation exact now.
+        """
+        self._block_file = block_file
+        self.storage_format = "binary"
 
     @property
     def loaded(self) -> bool:
@@ -159,16 +222,67 @@ class SSTable:
     def num_keys(self) -> int:
         return self._num_keys
 
+    @property
+    def num_blocks(self) -> int:
+        """Durable cell blocks in this table (1 for legacy/in-memory)."""
+        if self._block_file is not None:
+            return self._block_file.num_blocks
+        return 1 if self._num_keys else 0
+
+    @property
+    def block_file(self) -> BlockFile | None:
+        return self._block_file
+
     def key_in_range(self, key: str) -> bool:
         return self.min_key <= key <= self.max_key
 
     def get(self, key: str) -> tuple[bool, Any]:
-        """(found, value) via binary search; loads the block if needed."""
+        """(found, value) via binary search; loads the table if needed."""
         keys = self.keys
         index = bisect.bisect_left(keys, key)
         if index < len(keys) and keys[index] == key:
             return True, self.values[index]
         return False, None
+
+    def probe(self, key: str) -> ProbeResult:
+        """Point-read with block-level accounting; never loads more
+        than one block.
+
+        A loaded table (memstore-fresh, or already scanned) answers
+        from memory with single-block semantics — one Bloom consult
+        when it has a table filter, one block searched.  A cold binary
+        table binary-searches the footer's first-key index down to at
+        most one candidate block, consults only *that block's* Bloom,
+        and reads exactly that block (through the shared cache).
+        """
+        if self._keys is None and self._block_file is not None:
+            return self._probe_blocks(key)
+        if self.bloom is not None and not self.bloom.might_contain(key):
+            return ProbeResult(False, None, 1, 0, 1, False)
+        consulted = 1 if self.bloom is not None else 0
+        found, value = self.get(key)
+        return ProbeResult(
+            found, value, consulted, 1, 0, (not found) and consulted > 0
+        )
+
+    def _probe_blocks(self, key: str) -> ProbeResult:
+        block_file = self._block_file
+        assert block_file is not None
+        first_keys = block_file.first_keys()
+        if not first_keys:
+            return _ABSENT
+        index = bisect.bisect_right(first_keys, key) - 1
+        if index < 0:
+            return _ABSENT
+        if key > block_file.metas[index].last_key:
+            return _ABSENT  # falls in the gap between two blocks
+        if not block_file.bloom(index).might_contain(key):
+            return ProbeResult(False, None, 1, 0, 1, False)
+        keys, values = block_file.read_block(index)
+        position = bisect.bisect_left(keys, key)
+        if position < len(keys) and keys[position] == key:
+            return ProbeResult(True, values[position], 1, 1, 0, False)
+        return ProbeResult(False, None, 1, 1, 0, True)
 
     def items(self) -> Iterator[tuple[str, Any]]:
         self._ensure_loaded()
@@ -191,13 +305,25 @@ class LsmStore:
             on a directory that already holds a manifest *recovers* it.
         level_fanout: per-level capacity multiplier (level *n* holds up
             to ``flush_threshold * fanout**n`` entries before cascading).
-        bloom_fpr / bloom_seed: per-SSTable Bloom filter configuration.
+        bloom_fpr / bloom_seed: Bloom filter configuration (per block in
+            the binary format, per table for legacy JSON).
         group_commit: WAL records buffered per fsync (durable mode).
+        sstable_format: ``"binary"`` (default, block-sharded) or
+            ``"json"`` (the legacy one-blob-per-table format, kept for
+            migration tests and benchmarks).  Existing tables of the
+            *other* format stay readable either way; new flushes and
+            compactions write this one.
+        block_size: target bytes of encoded cells per binary block.
+        block_cache: a :class:`~repro.hbase.sstable.BlockCache` to read
+            binary blocks through — pass one shared instance across
+            region stores (the cluster does); ``None`` in durable mode
+            creates a private cache.
         value_encoder / value_decoder: hooks mapping stored values to
             JSON-able payloads and back (regions store cell maps).
         chaos: fault injector consulted at durability boundaries
-            (WAL append, flush, compaction) — only in durable mode, so
-            in-memory chaos schedules are byte-identical to before.
+            (WAL append, flush, per-block/footer SSTable writes,
+            compaction) — only in durable mode, so in-memory chaos
+            schedules are byte-identical to before.
     """
 
     def __init__(
@@ -209,12 +335,19 @@ class LsmStore:
         bloom_fpr: float = 0.01,
         bloom_seed: int = 0,
         group_commit: int = 1,
+        sstable_format: str = "binary",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        block_cache: BlockCache | None = None,
         value_encoder: Callable[[Any], Any] | None = None,
         value_decoder: Callable[[Any], Any] | None = None,
         chaos: "FaultInjector | None" = None,
         registry: MetricsRegistry | None = None,
         clock: Any = None,
     ) -> None:
+        if sstable_format not in ("binary", "json"):
+            raise ValueError(f"unknown sstable_format {sstable_format!r}")
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
         self.flush_threshold = flush_threshold
         self.compaction_threshold = compaction_threshold
         self.level_fanout = level_fanout
@@ -223,6 +356,11 @@ class LsmStore:
         self.registry = registry
         self.chaos = chaos
         self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.sstable_format = sstable_format
+        self.block_size = block_size
+        if block_cache is None and self.data_dir is not None:
+            block_cache = BlockCache(registry=registry)
+        self.block_cache = block_cache
         self._value_encoder = value_encoder
         self._value_decoder = value_decoder
 
@@ -279,13 +417,14 @@ class LsmStore:
     # ------------------------------------------------------------------
     # Durable attach / manifest
     # ------------------------------------------------------------------
-    def _sst_path(self, file_id: int) -> Path:
+    def _sst_path(self, file_id: int, fmt: str | None = None) -> Path:
         assert self.data_dir is not None
-        return self.data_dir / f"sst_{file_id:06d}.json"
+        suffix = "bin" if (fmt or self.sstable_format) == "binary" else "json"
+        return self.data_dir / f"sst_{file_id:06d}.{suffix}"
 
     def _sst_loader(self, file_id: int):
         def load() -> tuple[tuple[str, ...], tuple[Any, ...]]:
-            payload = json.loads(self._sst_path(file_id).read_text())
+            payload = json.loads(self._sst_path(file_id, "json").read_text())
             keys = tuple(payload["keys"])
             values = tuple(
                 TOMBSTONE if tag == 0 else self._decode_value(raw)
@@ -311,18 +450,7 @@ class LsmStore:
             self.levels = []
             for level, tables in enumerate(manifest["levels"]):
                 run = [
-                    SSTable(
-                        file_id=int(entry["file_id"]),
-                        keys=None,
-                        values=None,
-                        bloom=BloomFilter.from_dict(entry["bloom"]),
-                        level=level,
-                        min_key=entry["min_key"],
-                        max_key=entry["max_key"],
-                        num_keys=int(entry["num_keys"]),
-                        loader=self._sst_loader(int(entry["file_id"])),
-                    )
-                    for entry in tables
+                    self._attach_table(level, entry) for entry in tables
                 ]
                 self.levels.append(run)
             if not self.levels:
@@ -339,33 +467,124 @@ class LsmStore:
             self._next_seq = max(self._next_seq, records[-1].sequence + 1)
         return records
 
+    def _attach_table(self, level: int, entry: dict[str, Any]) -> SSTable:
+        """One manifest entry → a lazy SSTable of the recorded format.
+
+        Entries without a ``format`` field are legacy (manifest v1)
+        JSON tables: they carry a serialized table-level Bloom.  Binary
+        entries carry none — their per-block Blooms live in the file
+        footer, loaded on first probe.
+        """
+        file_id = int(entry["file_id"])
+        fmt = entry.get("format", "json")
+        common = dict(
+            level=level,
+            min_key=entry["min_key"],
+            max_key=entry["max_key"],
+            num_keys=int(entry["num_keys"]),
+        )
+        if fmt == "binary":
+            return SSTable(
+                file_id,
+                None,
+                None,
+                block_file=BlockFile(
+                    self._sst_path(file_id, "binary"),
+                    value_decoder=self._decode_value,
+                    cache=self.block_cache,
+                ),
+                storage_format="binary",
+                **common,
+            )
+        return SSTable(
+            file_id,
+            None,
+            None,
+            bloom=BloomFilter.from_dict(entry["bloom"]),
+            loader=self._sst_loader(file_id),
+            storage_format="json",
+            **common,
+        )
+
     def _commit_manifest(self) -> None:
         assert self.data_dir is not None
+        levels = []
+        for run in self.levels:
+            entries = []
+            for table in run:
+                entry: dict[str, Any] = {
+                    "file_id": table.file_id,
+                    "num_keys": table.num_keys,
+                    "min_key": table.min_key,
+                    "max_key": table.max_key,
+                    "format": table.storage_format,
+                }
+                if table.storage_format != "binary":
+                    # Binary tables keep their (per-block) Blooms in the
+                    # file footer; duplicating a table-level filter here
+                    # would bloat the manifest for no read-path gain.
+                    assert table.bloom is not None
+                    entry["bloom"] = table.bloom.to_dict()
+                entries.append(entry)
+            levels.append(entries)
         payload = {
             "version": MANIFEST_VERSION,
             "next_file_id": self._next_file_id,
             "next_seq": self._next_seq,
             "flushes": self.flushes,
             "compactions": self.compactions,
-            "levels": [
-                [
-                    {
-                        "file_id": table.file_id,
-                        "num_keys": table.num_keys,
-                        "min_key": table.min_key,
-                        "max_key": table.max_key,
-                        "bloom": table.bloom.to_dict(),
-                    }
-                    for table in run
-                ]
-                for run in self.levels
-            ],
+            "levels": levels,
         }
         tmp = self.data_dir / (MANIFEST_NAME + ".tmp")
         tmp.write_text(json.dumps(payload))
         os.replace(tmp, self.data_dir / MANIFEST_NAME)
 
     def _write_sstable_file(self, table: SSTable) -> None:
+        if self.sstable_format == "binary":
+            self._write_binary_sstable(table)
+        else:
+            self._write_json_sstable(table)
+
+    def _write_binary_sstable(self, table: SSTable) -> None:
+        """Stream the table into an ``sst_*.bin`` block file.
+
+        Chaos fires at every block boundary (``sst-block``) and after
+        the footer (``sst-footer``) — both land *before* the atomic
+        ``os.replace``, so a crash at either leaves only an ignored tmp
+        file and recovery replays the WAL exactly as a pre-flush crash
+        would.
+        """
+        assert self.data_dir is not None
+        path = self._sst_path(table.file_id, "binary")
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            metas, blooms = write_block_file(
+                handle,
+                table.keys,
+                table.values,
+                value_encoder=self._encode_value,
+                block_size=self.block_size,
+                bloom_fpr=self.bloom_fpr,
+                bloom_seed=self.bloom_seed,
+                on_block=lambda: self._chaos_point("sst-block"),
+                on_footer=lambda: self._chaos_point("sst-footer"),
+            )
+        if self.block_cache is not None:
+            # A reused file_id (or a re-written path) must never serve
+            # blocks cached from the file it replaces.
+            self.block_cache.drop_file(str(path))
+        os.replace(tmp, path)
+        table.attach_block_file(
+            BlockFile(
+                path,
+                value_decoder=self._decode_value,
+                cache=self.block_cache,
+                metas=metas,
+                blooms=blooms,
+            )
+        )
+
+    def _write_json_sstable(self, table: SSTable) -> None:
         assert self.data_dir is not None
         payload = {
             "file_id": table.file_id,
@@ -376,10 +595,18 @@ class LsmStore:
                 for value in table.values
             ],
         }
-        path = self._sst_path(table.file_id)
+        path = self._sst_path(table.file_id, "json")
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload))
         os.replace(tmp, path)
+        table.storage_format = "json"
+
+    def _remove_sstable_file(self, table: SSTable) -> None:
+        """Delete a replaced table's file and evict its cached blocks."""
+        path = self._sst_path(table.file_id, table.storage_format)
+        if self.block_cache is not None and table.storage_format == "binary":
+            self.block_cache.drop_file(str(path))
+        path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # Chaos / batching
@@ -561,7 +788,7 @@ class LsmStore:
         if self.data_dir is not None:
             self._commit_manifest()
             for old in replaced:
-                self._sst_path(old.file_id).unlink(missing_ok=True)
+                self._remove_sstable_file(old)
 
     def _cascade(self) -> None:
         """Push over-capacity runs deeper; the bottom level is unbounded."""
@@ -574,10 +801,19 @@ class LsmStore:
                 self._compact_level(level)
             level += 1
 
-    def compact(self) -> None:
-        """Force a full compaction: merge every table into one deep run."""
+    def compact(self, force: bool = False) -> None:
+        """Force a full compaction: merge every table into one deep run.
+
+        With ``force=True`` even a single remaining table is rewritten
+        — the migration path: rewriting always emits the store's
+        current ``sstable_format``, so a forced compaction converts
+        legacy JSON tables to binary blocks (or back, for a
+        ``sstable_format="json"`` store).
+        """
         tables = [table for run in self.levels for table in run]
-        if len(tables) <= 1:
+        if not tables:
+            return
+        if len(tables) <= 1 and not force:
             return
         merged = self._merge_runs([], self._tables_oldest_first(), True)
         replaced = tables
@@ -605,7 +841,7 @@ class LsmStore:
         if self.data_dir is not None:
             self._commit_manifest()
             for old in replaced:
-                self._sst_path(old.file_id).unlink(missing_ok=True)
+                self._remove_sstable_file(old)
 
     # ------------------------------------------------------------------
     # Read path
@@ -625,9 +861,11 @@ class LsmStore:
 
     def get(self, key: str) -> tuple[bool, Any, int]:
         """(found, value, blocks probed) — memstore first, then SSTables
-        newest-to-oldest.  Tables whose key range or Bloom filter rules
-        the key out are skipped without loading their block; ``probed``
-        counts only the blocks actually searched."""
+        newest-to-oldest.  Tables whose key range, block index, or Bloom
+        filter rules the key out are skipped without loading a block;
+        ``probed`` counts only the blocks actually searched.  All
+        counters are block-granular: a cold multi-block table consults
+        one per-block Bloom and reads at most one block."""
         if key in self.memstore:
             value = self.memstore[key]
             if value is TOMBSTONE:
@@ -638,25 +876,31 @@ class LsmStore:
         for table in reversed(self.hfiles):
             if not table.key_in_range(key):
                 continue
-            registry.counter(
-                "bloom_probes_total", "SSTable Bloom filters consulted"
-            ).inc()
-            if not table.bloom.might_contain(key):
+            result = table.probe(key)
+            if result.consulted:
+                registry.counter(
+                    "bloom_probes_total", "SSTable block Bloom filters consulted"
+                ).inc(result.consulted)
+            if result.skipped:
                 registry.counter(
                     "bloom_skipped_blocks_total",
                     "SSTable blocks skipped by a Bloom filter",
-                ).inc()
-                continue
-            probed += 1
-            found, value = table.get(key)
-            if found:
-                if value is TOMBSTONE:
+                ).inc(result.skipped)
+            if result.probed:
+                registry.counter(
+                    "bloom_probed_blocks_total",
+                    "SSTable blocks actually searched by point reads",
+                ).inc(result.probed)
+                probed += result.probed
+            if result.found:
+                if result.value is TOMBSTONE:
                     return False, None, probed
-                return True, value, probed
-            registry.counter(
-                "bloom_false_positives_total",
-                "Bloom filter passes that found no key in the block",
-            ).inc()
+                return True, result.value, probed
+            if result.false_positive:
+                registry.counter(
+                    "bloom_false_positives_total",
+                    "Bloom filter passes that found no key in the block",
+                ).inc()
         return False, None, probed
 
     def _merged(self) -> tuple[list[str], dict[str, Any]]:

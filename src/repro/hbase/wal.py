@@ -43,6 +43,7 @@ __all__ = [
     "WalRecord",
     "WriteAheadLog",
     "encode_frame",
+    "decode_frame",
     "decode_frames",
     "encode_record",
     "decode_record",
@@ -114,6 +115,26 @@ def decode_record(
 def encode_frame(payload: bytes) -> bytes:
     """Wrap a payload in the length+CRC frame."""
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frame(data: bytes) -> tuple[bytes | None, str | None]:
+    """Decode exactly one frame from *data* (which must span it fully).
+
+    Total over arbitrary bytes, like :func:`decode_frames`.  Returns
+    ``(payload, None)`` when *data* is one intact frame, else
+    ``(None, diagnosis)``.  SSTable block and footer reads share this
+    with the WAL so both substrates fail torn/corrupt bytes the same
+    way: a typed diagnosis, never garbage.
+    """
+    if len(data) < HEADER_SIZE:
+        return None, "torn frame header"
+    length, crc = _HEADER.unpack_from(data, 0)
+    if length != len(data) - HEADER_SIZE:
+        return None, "torn frame payload"
+    payload = bytes(data[HEADER_SIZE:])
+    if zlib.crc32(payload) != crc:
+        return None, "frame checksum mismatch"
+    return payload, None
 
 
 def decode_frames(data: bytes) -> tuple[list[bytes], int, str | None]:

@@ -17,6 +17,11 @@ prefix**:
   in-flight write may legally have committed).  The recovered store's
   *indexed* probe must agree with its scan-path probe.
 
+A third sweep damages a binary block-sharded ``sst_*.bin`` at sampled
+byte offsets (truncations and bit flips): reads must either return the
+exact pre-damage data or raise a typed ``CorruptSSTableError`` — never
+garbage.
+
 The default run samples the sweeps; ``-m slow`` runs them exhaustively.
 """
 
@@ -30,7 +35,7 @@ from repro.cli import _synthetic_job
 from repro.core.features import JobFeatures
 from repro.core.matcher import ProfileMatcher
 from repro.core.store import TABLE_NAME, ProfileStore
-from repro.hbase import LsmStore, SimulatedCrashError
+from repro.hbase import CorruptSSTableError, LsmStore, SimulatedCrashError
 from repro.hbase.wal import HEADER_SIZE, decode_frames, decode_record
 from repro.observability import MetricsRegistry
 from repro.starfish.profile import (
@@ -253,9 +258,16 @@ def chaos_reference(tmp_path_factory):
     )
     _run_workload(counting, lambda s: None)
     # The workload must actually cross every durability boundary the
-    # harness claims to sweep.
+    # harness claims to sweep — including the per-block and footer
+    # write points inside a binary SSTable flush.
     seen = set(injector.ops)
-    assert {"lsm-put", "lsm-flush", "snapshot"} <= seen, sorted(seen)
+    assert {
+        "lsm-put",
+        "lsm-flush",
+        "sst-block",
+        "sst-footer",
+        "snapshot",
+    } <= seen, sorted(seen)
 
     states_dir = tmp_path_factory.mktemp("chaos-states")
     store = ProfileStore(data_dir=states_dir, registry=MetricsRegistry())
@@ -487,6 +499,93 @@ class TestShardedTopologyCrashPoints:
             # would dominate the sweep without adding coverage).
             if kill_at % 10 == 0:
                 _assert_probe_parity(recovered)
+
+
+# ======================================================================
+# Part 4: byte-damage sweep on a binary block-sharded SSTable
+# ======================================================================
+
+_SST_KW = dict(flush_threshold=64, compaction_threshold=100, block_size=48)
+
+
+@pytest.fixture(scope="module")
+def sst_fixture(tmp_path_factory):
+    """A closed durable store whose whole state lives in one multi-block
+    ``sst_*.bin`` (the WAL is empty after the flush), so every read must
+    go through the block file — damage cannot hide behind a replay."""
+    base = tmp_path_factory.mktemp("sst-sweep") / "base"
+    store = LsmStore(data_dir=base, **_SST_KW)
+    expected = {f"k{i:03d}": i * 10 for i in range(24)}
+    for key, value in expected.items():
+        store.put(key, value)
+    store.flush()
+    assert dict(store.scan()) == expected
+    [table] = store.hfiles
+    assert table.num_blocks > 2, "block_size must shard this run"
+    store.close()
+    [sst_path] = base.glob("sst_*.bin")
+    return base, sst_path.name, sst_path.read_bytes(), expected
+
+
+def _check_sst_damage(base, sst_name, mutated, expected, workdir, label):
+    """Reads over a damaged block file either return exactly the
+    pre-damage data or raise ``CorruptSSTableError`` — never garbage."""
+    target = workdir / label
+    shutil.copytree(base, target)
+    (target / sst_name).write_bytes(mutated)
+    store = LsmStore(data_dir=target, **_SST_KW)  # attach is lazy
+    try:
+        state = dict(store.scan())
+    except CorruptSSTableError:
+        state = None
+    else:
+        assert state == expected, f"{label}: scan returned garbage"
+    for key in list(expected)[:2] + ["k011", "zz-absent"]:
+        try:
+            found, value, __ = store.get(key)
+        except CorruptSSTableError:
+            continue
+        assert (found, value) == (key in expected, expected.get(key)), (
+            f"{label}: get({key!r}) returned garbage"
+        )
+    store.close()
+    shutil.rmtree(target)
+    return state
+
+
+class TestSSTableByteSweep:
+    def test_sampled_truncations_fail_typed(self, sst_fixture, tmp_path):
+        base, sst_name, data, expected = sst_fixture
+        # Every proper prefix loses the trailer, so each truncated open
+        # must surface as a typed corruption — never a partial answer.
+        for cut in range(0, len(data), max(1, len(data) // 24)):
+            state = _check_sst_damage(
+                base, sst_name, data[:cut], expected, tmp_path, f"cut{cut}"
+            )
+            assert state is None, f"cut={cut}: torn file served a scan"
+
+    def test_sampled_bit_flips_fail_typed_or_read_clean(
+        self, sst_fixture, tmp_path
+    ):
+        base, sst_name, data, expected = sst_fixture
+        for pos in range(0, len(data), max(1, len(data) // 32)):
+            mutated = bytearray(data)
+            mutated[pos] ^= 0x20
+            _check_sst_damage(
+                base, sst_name, bytes(mutated), expected, tmp_path, f"flip{pos}"
+            )
+
+    @pytest.mark.slow
+    def test_every_bit_flip_fails_typed_or_reads_clean(
+        self, sst_fixture, tmp_path
+    ):
+        base, sst_name, data, expected = sst_fixture
+        for pos in range(len(data)):
+            mutated = bytearray(data)
+            mutated[pos] ^= 0x20
+            _check_sst_damage(
+                base, sst_name, bytes(mutated), expected, tmp_path, f"flip{pos}"
+            )
 
 
 class TestCrashDuringSnapshot:
